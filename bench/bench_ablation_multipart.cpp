@@ -1,0 +1,90 @@
+// Design-space ablation (SIV-C): composing FP32/FP64 arithmetic from
+// different base multiplier widths. For each width the multi-part
+// engine gives the step count (throughput = 1/steps of the one-step
+// rate), and the hardware model gives the relative multiplier area -
+// exposing the area x delay trade-off the paper says "broadens the
+// design exploration space". Every row's numerics are verified to be
+// correctly rounded (exact products) before printing.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/multi_part.hpp"
+#include "hwmodel/cost_model.hpp"
+
+using namespace m3xu;
+
+namespace {
+
+bool verify_exact_products(const core::MultiPartEngine& engine,
+                           bool fp64_mode) {
+  Rng rng(123);
+  for (int i = 0; i < 20'000; ++i) {
+    if (fp64_mode) {
+      const double a = rng.next_double() * 2.0 - 1.0;
+      const double b = rng.next_double() * 2.0 - 1.0;
+      const double av[] = {a};
+      const double bv[] = {b};
+      if (engine.dot(av, bv, 0.0) != a * b) return false;
+    } else {
+      const float a = rng.scaled_float();
+      const float b = rng.scaled_float();
+      const double av[] = {a};
+      const double bv[] = {b};
+      const float expected =
+          static_cast<float>(static_cast<double>(a) * b);
+      if (engine.dot(av, bv, 0.0) != static_cast<double>(expected)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void sweep(const fp::FloatFormat& fmt, const char* label,
+           const std::vector<int>& widths) {
+  std::printf("\n== %s composed from w-bit multipliers ==\n", label);
+  Table t({"mult width", "parts", "steps", "design area (hwmodel)",
+           "area x steps", "products exact"});
+  const hw::TechnologyConstants tech;
+  for (int w : widths) {
+    core::MultiPartConfig cfg;
+    cfg.format = fmt;
+    cfg.part_bits = w;
+    cfg.accum_prec = fmt == fp::kFp64 ? 53 : 48;
+    cfg.per_step_rounding = false;
+    const core::MultiPartEngine engine(cfg);
+    // Whole-design area from the synthesis model (multiplier array,
+    // wider accumulation, per-step assignment buffers, pipelining).
+    const hw::MxuDesign design =
+        hw::composed_design(w, fmt.sig_bits(), cfg.accum_prec);
+    const double area = hw::evaluate(design, tech).area;
+    const bool exact = verify_exact_products(engine, fmt == fp::kFp64);
+    t.add_row({std::to_string(w), std::to_string(engine.parts()),
+               std::to_string(engine.steps()), Table::num(area, 2),
+               Table::num(area * engine.steps(), 2),
+               exact ? "yes" : "NO"});
+  }
+  t.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== SIV-C design-space ablation ==\n");
+  std::printf("(M3XU's shipped point: FP32 on 12-bit multipliers = 2 "
+              "parts / 4 product classes in 2 steps via the B-swap "
+              "pairing; the generalized engine runs one product class "
+              "per step.)\n");
+  sweep(fp::kFp32, "FP32", {4, 6, 8, 12, 16, 24});
+  sweep(fp::kFp64, "FP64", {9, 11, 14, 18, 27, 28});
+  std::printf("\nEvery width yields bit-exact products (the split is "
+              "exact). Among the multi-step options, 12 bits minimizes "
+              "area x steps for FP32 - exactly one extra mantissa bit "
+              "over the FP16 baseline, the paper's design point. The "
+              "monolithic 24-bit row is the 3.55x-area FP32-MXU that "
+              "SII-B's bandwidth argument rules out; 27-bit parts are "
+              "the corresponding FP64 sweet spot.\n");
+  return 0;
+}

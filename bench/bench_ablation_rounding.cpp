@@ -1,0 +1,82 @@
+// Numerical ablation of the accumulation-register design (DESIGN.md S5):
+// per-step vs per-instruction rounding, and the register significand
+// width (the paper picks 48 bits; stock Tensor Cores accumulate at 24).
+// Measures FP32 GEMM error against the exact oracle for each design
+// point, alongside the FP32 SIMT FMA chain.
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "core/mxu.hpp"
+#include "gemm/kernels.hpp"
+#include "gemm/reference.hpp"
+
+using namespace m3xu;
+
+namespace {
+
+gemm::ErrorStats engine_error(const core::M3xuConfig& cfg,
+                              const gemm::Matrix<float>& a,
+                              const gemm::Matrix<float>& b,
+                              const gemm::Matrix<double>& exact) {
+  const core::M3xuEngine engine(cfg);
+  gemm::Matrix<float> c(a.rows(), b.cols());
+  c.fill(0.0f);
+  gemm::run_sgemm(gemm::SgemmKernel::kM3xu, engine, a, b, c);
+  return gemm::compare(c, exact);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(77);
+  const int m = 96, n = 96, k = 1024;
+  gemm::Matrix<float> a(m, k), b(k, n);
+  // Well-conditioned positive data so relative errors are meaningful.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) a(i, j) = rng.uniform(0.25f, 1.0f);
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) b(i, j) = rng.uniform(0.25f, 1.0f);
+  }
+  gemm::Matrix<double> exact(m, n);
+  exact.fill(0.0);
+  gemm::exact_gemm(a, b, exact);
+
+  std::printf("== Accumulation-register ablation: FP32 GEMM %dx%dx%d, "
+              "mean relative error vs exact ==\n",
+              m, n, k);
+  Table t({"design", "mean rel err", "max rel err"});
+  {
+    const core::M3xuEngine simt_unused;  // SIMT path needs no engine
+    gemm::Matrix<float> c(m, n);
+    c.fill(0.0f);
+    gemm::run_sgemm(gemm::SgemmKernel::kSimt, simt_unused, a, b, c);
+    const gemm::ErrorStats e = gemm::compare(c, exact);
+    t.add_row({"FP32 SIMT FMA chain", Table::num(e.mean_rel * 1e9, 3) + "e-9",
+               Table::num(e.max_rel * 1e9, 3) + "e-9"});
+  }
+  for (int prec : {24, 32, 40, 48, 56}) {
+    for (bool per_step : {true, false}) {
+      core::M3xuConfig cfg;
+      cfg.accum_prec = prec;
+      cfg.per_step_rounding = per_step;
+      const gemm::ErrorStats e = engine_error(cfg, a, b, exact);
+      char name[80];
+      std::snprintf(name, sizeof(name), "m3xu %2d-bit regs, per-%s", prec,
+                    per_step ? "step" : "instruction");
+      t.add_row({name, Table::num(e.mean_rel * 1e9, 3) + "e-9",
+                 Table::num(e.max_rel * 1e9, 3) + "e-9"});
+    }
+  }
+  t.print();
+  std::printf("\nThe shipped design (48-bit registers, per-step rounding) "
+              "matches the idealized per-instruction rounding to well "
+              "below FP32 resolution and beats the FP32 FMA chain - the "
+              "basis of the paper's 'no additional error' claim. 24-bit "
+              "registers (stock Tensor-Core accumulation) already suffice "
+              "for parity with SIMT on well-conditioned data; the 48-bit "
+              "extension buys margin for long reductions.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Fig. 4(b): complex GEMM (FP32C) speedup over SIMT CUDA
+// cores for problem sizes 1K^3 .. 16K^3.
+//
+// Paper targets: M3XU avg 3.51x, up to 3.82x; 3xTF32 complex emulation
+// up to 2.1x; non-pipelined M3XU avg 3.51x (text) / 3.35x for FP32.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/eval_kernels.hpp"
+
+using namespace m3xu;
+using namespace m3xu::sim;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const long max_size = cli.get_int("max-size", 16384);
+
+  const GpuSim gpu(GpuConfig::a100());
+  std::printf("== Fig 4(b): CGEMM speedup over cutlass_simt_cgemm ==\n");
+  Table table({"size", "simt TFLOPS", "3xTF32 complex",
+               "m3xu (non-pipelined)", "m3xu (pipelined)"});
+  std::vector<double> m3xu_speedups;
+  double m3xu_max = 0.0;
+  for (long size = 1024; size <= max_size; size *= 2) {
+    const GemmTime simt =
+        time_cgemm(gpu, CgemmVariant::kSimt, size, size, size);
+    const GemmTime tf32 =
+        time_cgemm(gpu, CgemmVariant::kTensorOp3xTf32, size, size, size);
+    const GemmTime np =
+        time_cgemm(gpu, CgemmVariant::kM3xuNonPipelined, size, size, size);
+    const GemmTime m3 = time_cgemm(gpu, CgemmVariant::kM3xu, size, size,
+                                   size);
+    m3xu_speedups.push_back(simt.seconds / m3.seconds);
+    m3xu_max = std::max(m3xu_max, simt.seconds / m3.seconds);
+    table.add_row({std::to_string(size),
+                   Table::num(simt.achieved_flops / 1e12, 2),
+                   Table::speedup(simt.seconds / tf32.seconds),
+                   Table::speedup(simt.seconds / np.seconds),
+                   Table::speedup(simt.seconds / m3.seconds)});
+  }
+  table.print();
+
+  const Summary s = summarize(m3xu_speedups);
+  std::printf("\nm3xu_cgemm speedup: avg %.2fx (paper: 3.51x), "
+              "max %.2fx (paper: 3.82x)\n",
+              s.mean, m3xu_max);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Reproduces Fig. 5(a)/(b): relative energy of SGEMM and CGEMM kernels
+// against the naive full-width FP32-MXU baseline (baseline_MXU_*gemm).
+//
+// Paper targets (SVI-B):
+//   SGEMM: M3XU 61% below FP32-MXU, 27% below the best software;
+//          non-pipelined M3XU 71% / 45% below.
+//   CGEMM: M3XU 57% / 36%; non-pipelined 68% / 52% below.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/eval_kernels.hpp"
+
+using namespace m3xu;
+using namespace m3xu::sim;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const long size = cli.get_int("size", 8192);
+  const GpuSim gpu(GpuConfig::a100());
+
+  std::printf("== Fig 5(a): SGEMM energy relative to baseline_MXU_sgemm "
+              "(size %ld^3) ==\n",
+              size);
+  const double ref_s =
+      time_sgemm(gpu, SgemmVariant::kFp32Mxu, size, size, size).energy;
+  Table ta({"kernel", "relative energy"});
+  const std::vector<SgemmVariant> sv = {
+      SgemmVariant::kSimt, SgemmVariant::kTensorOp3xTf32,
+      SgemmVariant::kEehc3xBf16, SgemmVariant::kM3xu,
+      SgemmVariant::kM3xuNonPipelined};
+  double best_sw_s = 1e300;
+  double m3xu_s = 0.0, m3xu_np_s = 0.0;
+  for (SgemmVariant v : sv) {
+    const double e =
+        time_sgemm(gpu, v, size, size, size).energy / ref_s;
+    ta.add_row({variant_name(v), Table::num(e, 3)});
+    if (v == SgemmVariant::kTensorOp3xTf32 || v == SgemmVariant::kEehc3xBf16) {
+      best_sw_s = std::min(best_sw_s, e);
+    }
+    if (v == SgemmVariant::kM3xu) m3xu_s = e;
+    if (v == SgemmVariant::kM3xuNonPipelined) m3xu_np_s = e;
+  }
+  ta.add_row({"baseline_MXU_sgemm", "1.000"});
+  ta.print();
+  std::printf("m3xu_sgemm_pipelined: %.0f%% below FP32-MXU (paper: 61%%), "
+              "%.0f%% below best software (paper: 27%%)\n",
+              (1.0 - m3xu_s) * 100.0, (1.0 - m3xu_s / best_sw_s) * 100.0);
+  std::printf("m3xu_sgemm (non-pipelined): %.0f%% below FP32-MXU (paper: "
+              "71%%), %.0f%% below best software (paper: 45%%)\n",
+              (1.0 - m3xu_np_s) * 100.0,
+              (1.0 - m3xu_np_s / best_sw_s) * 100.0);
+
+  std::printf("\n== Fig 5(b): CGEMM energy relative to baseline_MXU_cgemm "
+              "==\n");
+  const double ref_c =
+      time_cgemm(gpu, CgemmVariant::kFp32Mxu, size, size, size).energy;
+  Table tb({"kernel", "relative energy"});
+  const std::vector<CgemmVariant> cv = {CgemmVariant::kSimt,
+                                        CgemmVariant::kTensorOp3xTf32,
+                                        CgemmVariant::kM3xu,
+                                        CgemmVariant::kM3xuNonPipelined};
+  double sw_c = 0.0, m3xu_c = 0.0, m3xu_np_c = 0.0;
+  for (CgemmVariant v : cv) {
+    const double e =
+        time_cgemm(gpu, v, size, size, size).energy / ref_c;
+    tb.add_row({variant_name(v), Table::num(e, 3)});
+    if (v == CgemmVariant::kTensorOp3xTf32) sw_c = e;
+    if (v == CgemmVariant::kM3xu) m3xu_c = e;
+    if (v == CgemmVariant::kM3xuNonPipelined) m3xu_np_c = e;
+  }
+  tb.add_row({"baseline_MXU_cgemm", "1.000"});
+  tb.print();
+  std::printf("m3xu_cgemm_pipelined: %.0f%% below FP32-MXU (paper: 57%%), "
+              "%.0f%% below software (paper: 36%%)\n",
+              (1.0 - m3xu_c) * 100.0, (1.0 - m3xu_c / sw_c) * 100.0);
+  std::printf("m3xu_cgemm (non-pipelined): %.0f%% below FP32-MXU (paper: "
+              "68%%), %.0f%% below software (paper: 52%%)\n",
+              (1.0 - m3xu_np_c) * 100.0, (1.0 - m3xu_np_c / sw_c) * 100.0);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Fig. 5(c)/(d): achieved throughput relative to the
+// theoretical performance target (SGEMM target = 25% of FP16 TC TOPS;
+// CGEMM target = 6.25%).
+//
+// Paper: M3XU kernels reach >94% of the target; software solutions top
+// out at 63%.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "sim/eval_kernels.hpp"
+
+using namespace m3xu;
+using namespace m3xu::sim;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const long size = cli.get_int("size", 8192);
+  const GpuSim gpu(GpuConfig::a100());
+  const GpuConfig& cfg = gpu.config();
+
+  std::printf("== Fig 5(c): SGEMM %% of theoretical target (25%% of FP16 "
+              "TC = %.1f TFLOPS), size %ld^3 ==\n",
+              cfg.m3xu_fp32_peak() / 1e12, size);
+  Table ta({"kernel", "achieved TFLOPS", "% of target"});
+  const std::vector<SgemmVariant> sv = {
+      SgemmVariant::kTensorOp3xTf32, SgemmVariant::kEehc3xBf16,
+      SgemmVariant::kM3xuNonPipelined, SgemmVariant::kM3xu};
+  for (SgemmVariant v : sv) {
+    const GemmTime t = time_sgemm(gpu, v, size, size, size);
+    ta.add_row({variant_name(v), Table::num(t.achieved_flops / 1e12, 1),
+                Table::pct(t.achieved_flops / cfg.m3xu_fp32_peak())});
+  }
+  ta.print();
+
+  std::printf("\n== Fig 5(d): CGEMM %% of theoretical target (6.25%% of "
+              "FP16 TC complex-op rate = %.1f TFLOPS) ==\n",
+              cfg.m3xu_fp32c_peak() / 1e12);
+  Table tb({"kernel", "achieved TFLOPS", "% of target"});
+  const std::vector<CgemmVariant> cv = {CgemmVariant::kTensorOp3xTf32,
+                                        CgemmVariant::kM3xuNonPipelined,
+                                        CgemmVariant::kM3xu};
+  for (CgemmVariant v : cv) {
+    const GemmTime t = time_cgemm(gpu, v, size, size, size);
+    tb.add_row({variant_name(v), Table::num(t.achieved_flops / 1e12, 1),
+                Table::pct(t.achieved_flops / cfg.m3xu_fp32c_peak())});
+  }
+  tb.print();
+  std::printf("\nPaper: M3XU kernels >94%% of target; software <=63%%. The "
+              "non-pipelined M3XU runs at a 1/1.21 clock, so its %% is "
+              "measured against the full-clock target, as in the paper.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Reproduces Fig. 6: batched 1-D FFT speedup over cuFFT for sizes
+// 2^12 .. 2^24 (batch sized to keep ~2^26 total elements in flight).
+//
+// Paper targets: M3XU up to 1.99x / avg 1.52x over cuFFT; tcFFT
+// (extended to TF32) does not improve over cuFFT.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "fft/fft_timing.hpp"
+
+using namespace m3xu;
+using namespace m3xu::fft;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int max_log2 = static_cast<int>(cli.get_int("max-log2", 24));
+
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  std::printf("== Fig 6: FFT speedup over cuFFT ==\n");
+  Table t({"size", "batch", "cuFFT ms", "tcFFT-TF32 vs cuFFT",
+           "m3xu vs cuFFT"});
+  std::vector<double> m3xu_speedups;
+  double m3xu_max = 0.0;
+  for (int l = 12; l <= max_log2; l += 2) {
+    const long n = 1L << l;
+    const long batch = std::max<long>(1, (1L << 26) / n);
+    const FftTime cufft = time_fft(gpu, FftImpl::kCuFft, n, batch);
+    const FftTime tc = time_fft(gpu, FftImpl::kTcFftTf32, n, batch);
+    const FftTime m3 = time_fft(gpu, FftImpl::kM3xu, n, batch);
+    const double sp = cufft.seconds / m3.seconds;
+    m3xu_speedups.push_back(sp);
+    m3xu_max = std::max(m3xu_max, sp);
+    t.add_row({"2^" + std::to_string(l), std::to_string(batch),
+               Table::num(cufft.seconds * 1e3, 3),
+               Table::speedup(cufft.seconds / tc.seconds),
+               Table::speedup(sp)});
+  }
+  t.print();
+  const Summary s = summarize(m3xu_speedups);
+  std::printf("\nm3xu FFT speedup over cuFFT: avg %.2fx (paper: 1.52x), "
+              "max %.2fx (paper: 1.99x)\n",
+              s.mean, m3xu_max);
+  return 0;
+}

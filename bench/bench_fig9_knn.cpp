@@ -1,0 +1,53 @@
+// Reproduces Fig. 9: KNN speedup heatmap over the cublas_sgemm-based
+// kNN-CUDA baseline - reference/query points 2048..65536, dimensions
+// 512..4096, K = 16.
+//
+// Paper target: speedup grows with input size/dimension (the GEMM share
+// grows) and tops at ~1.8x.
+#include <cstdio>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "knn/knn_timing.hpp"
+
+using namespace m3xu;
+using namespace m3xu::knn;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int k = static_cast<int>(cli.get_int("k", 16));
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+
+  std::printf("== Fig 9: KNN speedup heatmap (K=%d) ==\n", k);
+  const std::vector<long> sizes = {2048, 8192, 16384, 65536};
+  const std::vector<long> dims = {512, 1024, 2048, 4096};
+  Table t({"points \\ dims", "512", "1024", "2048", "4096"});
+  double top = 0.0;
+  for (long size : sizes) {
+    std::vector<std::string> row = {std::to_string(size)};
+    for (long d : dims) {
+      const KnnTime base = time_knn(gpu, size, size, d, k, false);
+      const KnnTime m3 = time_knn(gpu, size, size, d, k, true);
+      const double sp = base.seconds / m3.seconds;
+      top = std::max(top, sp);
+      row.push_back(Table::speedup(sp));
+    }
+    t.add_row(row);
+  }
+  t.print();
+
+  std::printf("\nGEMM share of baseline runtime (drives the gradient):\n");
+  Table t2({"points \\ dims", "512", "1024", "2048", "4096"});
+  for (long size : sizes) {
+    std::vector<std::string> row = {std::to_string(size)};
+    for (long d : dims) {
+      row.push_back(
+          Table::pct(time_knn(gpu, size, size, d, k, false).gemm_fraction()));
+    }
+    t2.add_row(row);
+  }
+  t2.print();
+  std::printf("\ntop speedup %.2fx (paper: tops at 1.8x)\n", top);
+  return 0;
+}

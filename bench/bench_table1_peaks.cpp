@@ -1,0 +1,72 @@
+// Reproduces Table I: peak throughput of the modeled A100 per data
+// type, from the GPU configuration, plus the M3XU mode targets
+// (SIII-C), and cross-checks them against what the cycle simulator
+// actually achieves on large compute-bound GEMMs.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "sim/eval_kernels.hpp"
+
+using namespace m3xu;
+using namespace m3xu::sim;
+
+int main() {
+  const GpuConfig cfg = GpuConfig::a100();
+  const GpuSim gpu(cfg);
+
+  std::printf("== Table I: A100 peak throughput (config-derived) ==\n");
+  Table t({"data type", "bit format", "model peak", "paper"});
+  t.add_row({"FP32", "(1,8,23)",
+             Table::num(cfg.fp32_simt_peak() / 1e12, 1) + " TFLOPS",
+             "19.5 TFLOPS"});
+  t.add_row({"FP16", "(1,5,10)",
+             Table::num(cfg.fp16_simd_peak() / 1e12, 1) + " TFLOPS",
+             "78 TFLOPS"});
+  t.add_row({"BF16", "(1,8,7)",
+             Table::num(cfg.bf16_simd_peak() / 1e12, 1) + " TFLOPS",
+             "39 TFLOPS"});
+  t.add_row({"TF32 Tensor Core", "(1,8,10)",
+             Table::num(cfg.tf32_tc_peak() / 1e12, 1) + " TFLOPS",
+             "156 TFLOPS"});
+  t.add_row({"FP16 Tensor Core", "(1,5,10)",
+             Table::num(cfg.fp16_tc_peak() / 1e12, 1) + " TFLOPS",
+             "312 TFLOPS"});
+  t.add_row({"BF16 Tensor Core", "(1,8,7)",
+             Table::num(cfg.bf16_tc_peak() / 1e12, 1) + " TFLOPS",
+             "312 TFLOPS"});
+  t.print();
+
+  std::printf("\n== M3XU mode targets (SIII-C) ==\n");
+  Table t2({"mode", "target", "paper"});
+  t2.add_row({"M3XU FP32 (2-step)",
+              Table::num(cfg.m3xu_fp32_peak() / 1e12, 1) + " TFLOPS",
+              "78 TFLOPS (1/4 of FP16 TC)"});
+  t2.add_row({"M3XU FP32C (4-step)",
+              Table::num(cfg.m3xu_fp32c_peak() / 1e12, 1) + " TFLOPS",
+              "4x over SIMT CGEMM"});
+  t2.add_row({"M3XU FP64",
+              Table::num(cfg.m3xu_fp64_peak() / 1e12, 1) + " TFLOPS", "-"});
+  t2.print();
+
+  std::printf("\n== Achieved throughput on 8K^3 compute-bound GEMMs "
+              "(cycle simulator) ==\n");
+  Table t3({"kernel", "achieved TFLOPS", "% of mode peak"});
+  const long s = 8192;
+  const GemmTime hg = time_hgemm(gpu, s, s, s);
+  t3.add_row({"fp16 tensorop hgemm", Table::num(hg.achieved_flops / 1e12, 1),
+              Table::pct(hg.achieved_flops / cfg.fp16_tc_peak())});
+  const GemmTime mg = time_sgemm(gpu, SgemmVariant::kM3xu, s, s, s);
+  t3.add_row({"m3xu_sgemm", Table::num(mg.achieved_flops / 1e12, 1),
+              Table::pct(mg.achieved_flops / cfg.m3xu_fp32_peak())});
+  const GemmTime cg = time_cgemm(gpu, CgemmVariant::kM3xu, s, s, s);
+  t3.add_row({"m3xu_cgemm", Table::num(cg.achieved_flops / 1e12, 1),
+              Table::pct(cg.achieved_flops / cfg.m3xu_fp32c_peak())});
+  const GemmTime sg = time_sgemm(gpu, SgemmVariant::kSimt, s, s, s);
+  t3.add_row({"cutlass_simt_sgemm", Table::num(sg.achieved_flops / 1e12, 1),
+              Table::pct(sg.achieved_flops / cfg.fp32_simt_peak())});
+  const GemmTime dg = time_dgemm(gpu, DgemmVariant::kM3xu, s, s, s);
+  t3.add_row({"m3xu_dgemm", Table::num(dg.achieved_flops / 1e12, 1),
+              Table::pct(dg.achieved_flops / cfg.m3xu_fp64_peak())});
+  t3.print();
+  return 0;
+}

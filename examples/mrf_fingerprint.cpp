@@ -1,0 +1,68 @@
+// MRF fingerprinting end to end: generate a (T1,T2) dictionary,
+// compress it with the M3XU complex GEMM, acquire noisy signals from
+// unknown tissues, and recover their relaxation parameters by
+// dictionary matching - the SnapMRF workflow of the paper's SVI-C3
+// case study, run functionally.
+//
+//   $ ./examples/mrf_fingerprint
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/mxu.hpp"
+#include "mrf/dictionary.hpp"
+
+using namespace m3xu;
+using namespace m3xu::mrf;
+
+int main() {
+  const MrfConfig cfg = MrfConfig::small_grid();
+  const core::M3xuEngine engine;
+
+  const Dictionary dict = generate_dictionary(cfg);
+  const auto basis = compression_basis(96, cfg.timepoints);
+  const auto compressed =
+      compress(dict, basis, gemm::CgemmKernel::kM3xu, engine);
+  std::printf("dictionary: %d atoms x %d timepoints, compressed to rank "
+              "%d via m3xu_cgemm\n\n",
+              dict.atoms(), dict.timepoints(), basis.rows());
+
+  // "Acquire" three tissues (white matter / gray matter / CSF-like)
+  // with additive measurement noise, then match.
+  struct Tissue {
+    const char* name;
+    double t1;
+    double t2;
+  };
+  const Tissue tissues[] = {
+      {"white-matter-like", 800.0, 70.0},
+      {"gray-matter-like", 1300.0, 110.0},
+      {"fluid-like", 2000.0, 250.0},
+  };
+  Rng rng(11);
+  std::printf("%-20s %-16s %-16s %s\n", "tissue", "true (T1,T2) ms",
+              "matched (T1,T2)", "grid error");
+  bool ok = true;
+  for (const Tissue& tissue : tissues) {
+    auto sig = simulate_signal(tissue.t1, tissue.t2, cfg);
+    for (auto& v : sig) {
+      v += std::complex<double>(rng.normal(), rng.normal()) * 0.002;
+    }
+    const int atom =
+        match(compressed, basis, sig, gemm::CgemmKernel::kM3xu, engine);
+    const auto [t1, t2] = dict.params[static_cast<std::size_t>(atom)];
+    const double err = std::max(std::fabs(std::log(t1 / tissue.t1)),
+                                std::fabs(std::log(t2 / tissue.t2)));
+    // The grid is 1.35x-spaced: within one step is a correct match.
+    const bool hit = err < std::log(1.36);
+    ok = ok && hit;
+    char truth[32], found[32];
+    std::snprintf(truth, sizeof(truth), "(%.0f, %.0f)", tissue.t1,
+                  tissue.t2);
+    std::snprintf(found, sizeof(found), "(%.0f, %.0f)", t1, t2);
+    std::printf("%-20s %-16s %-16s %s\n", tissue.name, truth, found,
+                hit ? "within 1 step" : "MISS");
+  }
+  std::printf("\n%s\n", ok ? "fingerprint matching OK" : "FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,51 @@
+// Bit-manipulation helpers shared by the soft-float and MXU models.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace m3xu {
+
+/// Reinterprets the bits of a float as a uint32_t (type-pun safe).
+inline std::uint32_t bits_of(float f) {
+  return std::bit_cast<std::uint32_t>(f);
+}
+
+/// Reinterprets the bits of a double as a uint64_t.
+inline std::uint64_t bits_of(double d) {
+  return std::bit_cast<std::uint64_t>(d);
+}
+
+/// Builds a float from raw IEEE-754 bits.
+inline float float_from_bits(std::uint32_t b) { return std::bit_cast<float>(b); }
+
+/// Builds a double from raw IEEE-754 bits.
+inline double double_from_bits(std::uint64_t b) {
+  return std::bit_cast<double>(b);
+}
+
+/// Mask with the low `n` bits set (n in [0, 64]).
+constexpr std::uint64_t low_mask(int n) {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/// Index of the most significant set bit, or -1 for zero.
+constexpr int highest_bit(std::uint64_t v) {
+  return v == 0 ? -1 : 63 - std::countl_zero(v);
+}
+
+/// True if `v` is a power of two (v != 0).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Integer ceil(a / b) for b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Rounds `a` up to the next multiple of `b` (b > 0).
+constexpr std::uint64_t round_up(std::uint64_t a, std::uint64_t b) {
+  return ceil_div(a, b) * b;
+}
+
+}  // namespace m3xu

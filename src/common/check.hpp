@@ -1,0 +1,31 @@
+// Lightweight runtime assertions used across the library.
+//
+// M3XU_CHECK is always on (cheap invariants on public API boundaries);
+// M3XU_DCHECK compiles out in NDEBUG builds (hot inner loops).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace m3xu {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  std::fprintf(stderr, "M3XU_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace m3xu
+
+#define M3XU_CHECK(expr)                                   \
+  do {                                                     \
+    if (!(expr)) ::m3xu::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define M3XU_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define M3XU_DCHECK(expr) M3XU_CHECK(expr)
+#endif

@@ -1,0 +1,50 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+namespace m3xu {
+
+Cli::Cli(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!arg.starts_with("--")) {
+      std::fprintf(stderr, "unexpected argument: %s (flags are --name=value)\n",
+                   argv[i]);
+      std::exit(2);
+    }
+    arg.remove_prefix(2);
+    auto eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      flags_[std::string(arg)] = "true";
+    } else {
+      flags_[std::string(arg.substr(0, eq))] = std::string(arg.substr(eq + 1));
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get(const std::string& name, const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace m3xu

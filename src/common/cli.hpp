@@ -1,0 +1,27 @@
+// Minimal --flag=value parsing for the benchmark/example executables.
+// Keeps the harness binaries dependency-free and self-describing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace m3xu {
+
+class Cli {
+ public:
+  /// Parses argv of the form --name=value or --name (boolean true).
+  /// Unrecognized positional arguments abort with a usage message.
+  Cli(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+};
+
+}  // namespace m3xu

@@ -1,0 +1,90 @@
+// Deterministic, seedable RNG for tests, workload generators, and
+// property sweeps. splitmix64 seeding + xoshiro256** core: fast, high
+// quality, and fully reproducible across platforms (unlike std::
+// distributions, whose outputs are implementation-defined).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/bits.hpp"
+
+namespace m3xu {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  /// Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(next_double()) * (hi - lo);
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic, throughput is not a concern here).
+  double normal() {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+           __builtin_cos(6.283185307179586476925286766559 * u2);
+  }
+
+  /// A finite float drawn from the full bit space (any exponent, any
+  /// mantissa) - exercises subnormals and extreme magnitudes.
+  float any_finite_float() {
+    for (;;) {
+      std::uint32_t b = next_u32();
+      // Reject Inf/NaN (exponent all ones).
+      if (((b >> 23) & 0xff) != 0xff) return float_from_bits(b);
+    }
+  }
+
+  /// A "well-scaled" float: magnitude in roughly [2^-8, 2^8], the range
+  /// where GEMM accumulation is numerically benign.
+  float scaled_float() {
+    int e = static_cast<int>(next_below(17)) - 8;
+    float m = uniform(-1.0f, 1.0f);
+    return __builtin_ldexpf(m, e);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace m3xu

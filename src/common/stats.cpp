@@ -1,0 +1,37 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+namespace m3xu {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  s.min = values.front();
+  s.max = values.front();
+  double sum = 0.0;
+  double log_sum = 0.0;
+  bool any_zero = false;
+  for (double v : values) {
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+    sum += v;
+    if (v == 0.0) {
+      any_zero = true;
+    } else {
+      log_sum += std::log(std::fabs(v));
+    }
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  s.geomean =
+      any_zero ? 0.0 : std::exp(log_sum / static_cast<double>(values.size()));
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+}  // namespace m3xu

@@ -1,0 +1,24 @@
+// Summary statistics used by the benchmark harnesses and tests
+// (speedup series, error distributions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace m3xu {
+
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double geomean = 0.0;
+  double stddev = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes min/max/mean/geomean/stddev of `values`. Geomean is over
+/// absolute values and is 0 if any value is 0. Empty input yields a
+/// zeroed Summary.
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace m3xu

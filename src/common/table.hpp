@@ -1,0 +1,36 @@
+// Fixed-width ASCII table printer for the benchmark harnesses; every
+// figure/table reproduction prints its rows through this so the output
+// stays aligned and grep-friendly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace m3xu {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table (with a separator under the header) to `out`.
+  void print(std::FILE* out = stdout) const;
+
+  /// Formats a double with `digits` fractional digits.
+  static std::string num(double v, int digits = 2);
+
+  /// Formats "3.64x"-style speedups.
+  static std::string speedup(double v) { return num(v, 2) + "x"; }
+
+  /// Formats a percentage, e.g. pct(0.47) == "47.0%".
+  static std::string pct(double fraction, int digits = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace m3xu

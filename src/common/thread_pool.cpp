@@ -1,0 +1,97 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace m3xu {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Task& task) {
+  for (;;) {
+    std::size_t begin = task.next.fetch_add(task.chunk);
+    if (begin >= task.end) break;
+    std::size_t end = std::min(begin + task.chunk, task.end);
+    for (std::size_t i = begin; i < end; ++i) (*task.fn)(i);
+    task.done.fetch_add(end - begin);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen_generation = generation_;
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return stop_ || (current_ != nullptr && generation_ != seen_generation);
+    });
+    if (stop_) return;
+    seen_generation = generation_;
+    Task* task = current_;
+    ++active_;
+    lock.unlock();
+    drain(*task);
+    lock.lock();
+    --active_;
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  Task task;
+  task.fn = &fn;
+  task.end = n;
+  // Aim for ~4 chunks per thread to balance load without excess atomics.
+  task.chunk = std::max<std::size_t>(1, n / (4 * thread_count()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    M3XU_CHECK(current_ == nullptr);  // no nested parallel_for
+    current_ = &task;
+    ++generation_;
+  }
+  cv_.notify_all();
+  drain(task);
+  {
+    // Wait until every iteration ran AND no worker still holds a
+    // reference to `task` (it lives on this stack frame).
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return active_ == 0 && task.done.load() == task.end;
+    });
+    current_ = nullptr;
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, fn);
+}
+
+}  // namespace m3xu

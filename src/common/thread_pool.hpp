@@ -1,0 +1,63 @@
+// A small work-stealing-free thread pool with a blocking parallel_for.
+//
+// GEMM drivers and workload generators parallelize over tile grids with
+// parallel_for; the pool is created once and reused. On single-core
+// hosts the pool degenerates to serial execution with identical results
+// (chunk order is deterministic regardless of thread count).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace m3xu {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks.
+  /// Blocks until all iterations complete. Exceptions in `fn` abort.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::size_t end = 0;
+    std::size_t chunk = 1;
+    std::atomic<std::size_t> done{0};
+  };
+
+  void worker_loop();
+  static void drain(Task& task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  Task* current_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over the global pool.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+}  // namespace m3xu

@@ -1,0 +1,49 @@
+// Dot-product unit model (paper Fig 1 / Fig 3b).
+//
+// One *step* multiplies `lanes` operand pairs in parallel - each
+// multiplier takes two `mult_bits`-wide significands - and feeds the
+// aligned products into an adder tree. The model idealizes the adder
+// tree + shifter network as an exact fixed-point sum (ExactAccumulator)
+// so that the only roundings are the architecturally visible ones at
+// the accumulation-register boundary.
+//
+// The per-product alignment shifts (0 / 12 / 24 bits for the FP32 mode,
+// paper SIV-A) are folded into the operands' exp2 fields by the
+// data-assignment stage.
+#pragma once
+
+#include <span>
+
+#include "core/lane_operand.hpp"
+#include "fp/exact_accumulator.hpp"
+
+namespace m3xu::core {
+
+struct DpUnitConfig {
+  int mult_bits = 12;  // multiplier significand width (M3XU: 11+1)
+  // Sum products in a local 192-bit window when their exponents are
+  // close (the common case), pushing three limbs into the wide
+  // accumulator instead of one entry per product. Bit-identical to the
+  // direct path (verified by tests); disable to force the direct path.
+  bool enable_fast_path = true;
+};
+
+class DpUnit {
+ public:
+  explicit DpUnit(const DpUnitConfig& config) : config_(config) {}
+
+  /// Accumulates sum += dot(a, b) exactly. a and b must have equal
+  /// size; every finite operand's significand must fit mult_bits.
+  /// IEEE special semantics: NaN operands poison the sum; Inf*0 is
+  /// NaN; Inf*finite contributes a signed infinity.
+  void accumulate_dot(std::span<const LaneOperand> a,
+                      std::span<const LaneOperand> b,
+                      fp::ExactAccumulator& sum) const;
+
+  const DpUnitConfig& config() const { return config_; }
+
+ private:
+  DpUnitConfig config_;
+};
+
+}  // namespace m3xu::core

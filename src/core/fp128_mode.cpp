@@ -1,0 +1,232 @@
+#include "core/fp128_mode.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace m3xu::core {
+
+namespace {
+
+constexpr int kSigBits = 113;   // binary128 significand incl. hidden 1
+constexpr int kExpBias = 16383;
+constexpr int kMaxAbsExp = 1500;  // supported |unbiased exponent|
+
+struct Q {
+  enum class Cls { kZero, kFinite, kInf, kNaN };
+  Cls cls = Cls::kZero;
+  bool sign = false;
+  int exp = 0;  // value = sig * 2^(exp - 112)
+  unsigned __int128 sig = 0;
+};
+
+Q unpack_q(__float128 v) {
+  std::uint64_t w[2];
+  std::memcpy(w, &v, 16);  // x86-64: w[1] holds sign/exp/top fraction
+  Q q;
+  q.sign = (w[1] >> 63) != 0;
+  const int biased = static_cast<int>((w[1] >> 48) & 0x7fff);
+  const unsigned __int128 frac =
+      (static_cast<unsigned __int128>(w[1] & 0xffffffffffffull) << 64) |
+      w[0];
+  if (biased == 0x7fff) {
+    q.cls = frac != 0 ? Q::Cls::kNaN : Q::Cls::kInf;
+    return q;
+  }
+  if (biased == 0) return q;  // zero or flushed subnormal
+  q.cls = Q::Cls::kFinite;
+  q.exp = biased - kExpBias;
+  M3XU_CHECK(q.exp >= -kMaxAbsExp && q.exp <= kMaxAbsExp);
+  q.sig = (static_cast<unsigned __int128>(1) << 112) | frac;
+  return q;
+}
+
+__float128 pack_q(bool sign, int exp, unsigned __int128 sig113) {
+  // sig113 has its leading bit at position 112.
+  const int biased = exp + kExpBias;
+  M3XU_CHECK(biased >= 1 && biased <= 0x7ffe);
+  const unsigned __int128 frac =
+      sig113 & (((static_cast<unsigned __int128>(1) << 112)) - 1);
+  std::uint64_t w[2];
+  w[0] = static_cast<std::uint64_t>(frac);
+  w[1] = (static_cast<std::uint64_t>(sign) << 63) |
+         (static_cast<std::uint64_t>(biased) << 48) |
+         static_cast<std::uint64_t>(frac >> 64);
+  __float128 out;
+  std::memcpy(&out, w, 16);
+  return out;
+}
+
+__float128 make_special(bool nan, bool sign) {
+  std::uint64_t w[2];
+  w[0] = nan ? 1u : 0u;
+  w[1] = (static_cast<std::uint64_t>(sign) << 63) |
+         (static_cast<std::uint64_t>(0x7fff) << 48) |
+         (nan ? (std::uint64_t{1} << 47) : 0);
+  __float128 out;
+  std::memcpy(&out, w, 16);
+  return out;
+}
+
+/// Two's-complement fixed-point window sized for the restricted
+/// exponent range: bit 0 weighs 2^kLsb.
+struct Wide {
+  static constexpr int kWords = 104;
+  static constexpr int kLsb = -3300;
+
+  std::array<std::uint64_t, kWords> w{};
+  bool nan = false;
+  bool pinf = false;
+  bool ninf = false;
+
+  void add_scaled(bool sign, std::uint64_t sig, int exp) {
+    if (sig == 0) return;
+    const int pos = exp - kLsb;
+    M3XU_CHECK(pos >= 0 && pos / 64 + 2 < kWords);
+    const int word = pos / 64;
+    const int sh = pos % 64;
+    const std::uint64_t lo = sig << sh;
+    const std::uint64_t hi = sh ? (sig >> (64 - sh)) : 0;
+    if (!sign) {
+      std::uint64_t old = w[word];
+      w[word] += lo;
+      std::uint64_t carry = w[word] < old ? 1 : 0;
+      std::uint64_t add = hi + carry;
+      for (int i = word + 1; add != 0 && i < kWords; ++i) {
+        old = w[i];
+        w[i] += add;
+        add = w[i] < old ? 1 : 0;
+      }
+    } else {
+      std::uint64_t old = w[word];
+      w[word] -= lo;
+      std::uint64_t borrow = w[word] > old ? 1 : 0;
+      std::uint64_t sub = hi + borrow;
+      for (int i = word + 1; sub != 0 && i < kWords; ++i) {
+        old = w[i];
+        w[i] -= sub;
+        sub = w[i] > old ? 1 : 0;
+      }
+    }
+  }
+
+  /// Adds a full 113-bit significand value sig * 2^(exp).
+  void add_sig113(bool sign, unsigned __int128 sig, int exp) {
+    add_scaled(sign, static_cast<std::uint64_t>(sig), exp);
+    add_scaled(sign, static_cast<std::uint64_t>(sig >> 64), exp + 64);
+  }
+
+  __float128 round() const {
+    if (nan || (pinf && ninf)) return make_special(true, false);
+    if (pinf || ninf) return make_special(false, ninf);
+    std::array<std::uint64_t, kWords> mag = w;
+    const bool negative = (mag[kWords - 1] >> 63) != 0;
+    if (negative) {
+      std::uint64_t carry = 1;
+      for (auto& word : mag) {
+        const std::uint64_t inv = ~word;
+        word = inv + carry;
+        carry = word < inv ? 1 : 0;
+      }
+    }
+    int top = kWords - 1;
+    while (top >= 0 && mag[top] == 0) --top;
+    if (top < 0) return __float128(0);
+    const int h = top * 64 + highest_bit(mag[top]);
+    // Extract bits [h .. h-112] and a sticky below.
+    auto bit_at = [&](int idx) -> int {
+      if (idx < 0) return 0;
+      return (mag[idx / 64] >> (idx % 64)) & 1;
+    };
+    unsigned __int128 sig = 0;
+    for (int i = 0; i < kSigBits; ++i) {
+      sig = (sig << 1) | static_cast<unsigned>(bit_at(h - i));
+    }
+    const int guard = bit_at(h - kSigBits);
+    bool sticky = false;
+    for (int idx = 0; idx < h - kSigBits && !sticky; ++idx) {
+      // Word-level fast path.
+      if (idx % 64 == 0 && idx + 64 <= h - kSigBits) {
+        sticky = mag[idx / 64] != 0;
+        idx += 63;
+      } else {
+        sticky = bit_at(idx) != 0;
+      }
+    }
+    int exp = Wide::kLsb + h;  // exponent of the leading bit
+    if (guard && (sticky || (sig & 1))) {
+      ++sig;
+      if (sig >> kSigBits) {
+        sig >>= 1;
+        ++exp;
+      }
+    }
+    return pack_q(negative, exp, sig);
+  }
+};
+
+}  // namespace
+
+Fp128Engine::Fp128Engine(int part_bits) : part_bits_(part_bits) {
+  M3XU_CHECK(part_bits >= 4 && part_bits <= 28);
+  parts_ = (kSigBits + part_bits - 1) / part_bits;
+}
+
+__float128 Fp128Engine::dot(std::span<const __float128> a,
+                            std::span<const __float128> b,
+                            __float128 c) const {
+  M3XU_CHECK(a.size() == b.size());
+  Wide acc;
+  const std::uint64_t mask = low_mask(part_bits_);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Q x = unpack_q(a[i]);
+    const Q y = unpack_q(b[i]);
+    if (x.cls == Q::Cls::kNaN || y.cls == Q::Cls::kNaN) {
+      acc.nan = true;
+      continue;
+    }
+    if (x.cls == Q::Cls::kInf || y.cls == Q::Cls::kInf) {
+      if (x.cls == Q::Cls::kZero || y.cls == Q::Cls::kZero) {
+        acc.nan = true;
+      } else {
+        ((x.sign ^ y.sign) ? acc.ninf : acc.pinf) = true;
+      }
+      continue;
+    }
+    if (x.cls == Q::Cls::kZero || y.cls == Q::Cls::kZero) continue;
+    const bool sign = x.sign ^ y.sign;
+    // All parts^2 product classes, exactly.
+    for (int p = 0; p < parts_; ++p) {
+      const std::uint64_t xp =
+          static_cast<std::uint64_t>(x.sig >> (p * part_bits_)) & mask;
+      if (xp == 0) continue;
+      for (int r = 0; r < parts_; ++r) {
+        const std::uint64_t yp =
+            static_cast<std::uint64_t>(y.sig >> (r * part_bits_)) & mask;
+        if (yp == 0) continue;
+        acc.add_scaled(sign, xp * yp,
+                       (x.exp - 112 + p * part_bits_) +
+                           (y.exp - 112 + r * part_bits_));
+      }
+    }
+  }
+  const Q qc = unpack_q(c);
+  switch (qc.cls) {
+    case Q::Cls::kNaN:
+      acc.nan = true;
+      break;
+    case Q::Cls::kInf:
+      (qc.sign ? acc.ninf : acc.pinf) = true;
+      break;
+    case Q::Cls::kFinite:
+      acc.add_sig113(qc.sign, qc.sig, qc.exp - 112);
+      break;
+    case Q::Cls::kZero:
+      break;
+  }
+  return acc.round();
+}
+
+}  // namespace m3xu::core

@@ -1,0 +1,39 @@
+// FP128 (IEEE binary128) dot products composed from narrow multipliers
+// - the far end of the SIV-C design space ("this analogous approach
+// easily extends to even higher bitwidth floating-point formats, such
+// as FP128"). The host's __float128 provides storage and the
+// correctly-rounded reference arithmetic; the engine splits the
+// 113-bit significand into `part_bits`-wide parts, multiplies parts
+// exactly, sums all partial products of a dot product in a wide
+// fixed-point window, and rounds once back to binary128.
+//
+// Range restriction: |unbiased exponent| <= 1500 (checked), so partial
+// products fit the internal window; full-range binary128 would need a
+// ~33k-bit accumulator, which real hardware would avoid the same way.
+#pragma once
+
+#include <span>
+
+namespace m3xu::core {
+
+class Fp128Engine {
+ public:
+  /// part_bits in [4, 28]: 113 bits split into ceil(113/part_bits)
+  /// parts; a dot product needs parts^2 product-class steps.
+  explicit Fp128Engine(int part_bits = 28);
+
+  int parts() const { return parts_; }
+  int steps() const { return parts_ * parts_; }
+
+  /// round_binary128(sum_k a[k]*b[k] + c), with exact partial products
+  /// and a single rounding. Subnormals flush; specials follow IEEE
+  /// product/sum semantics (NaN poisons, Inf-Inf is NaN).
+  __float128 dot(std::span<const __float128> a,
+                 std::span<const __float128> b, __float128 c) const;
+
+ private:
+  int part_bits_;
+  int parts_;
+};
+
+}  // namespace m3xu::core

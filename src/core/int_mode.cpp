@@ -1,0 +1,57 @@
+#include "core/int_mode.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace m3xu::core {
+
+void IntEngine::gemm_s8(int m, int n, int k, const std::int8_t* a, int lda,
+                        const std::int8_t* b, int ldb, std::int32_t* c,
+                        int ldc) {
+  M3XU_CHECK(k <= (1 << 16));  // 14-bit products cannot overflow int32
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int32_t acc = c[i * ldc + j];
+      for (int kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(a[i * lda + kk]) *
+               static_cast<std::int32_t>(b[kk * ldb + j]);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+std::int64_t IntEngine::dot_s32_multistep(std::span<const std::int32_t> a,
+                                          std::span<const std::int32_t> b) {
+  M3XU_CHECK(a.size() == b.size());
+  // Split: x = xh * 2^16 + xl with xh = x >> 16 (arithmetic, signed)
+  // and xl = x & 0xffff (unsigned low half).
+  std::int64_t step0 = 0;  // high*high << 32 and low*low
+  std::int64_t step1 = 0;  // cross terms << 16
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t ah = a[i] >> 16;
+    const std::int64_t al = a[i] & 0xffff;
+    const std::int64_t bh = b[i] >> 16;
+    const std::int64_t bl = b[i] & 0xffff;
+    step0 += (ah * bh << 32) + al * bl;
+    step1 += (ah * bl + al * bh) << 16;
+  }
+  return step0 + step1;
+}
+
+void IntEngine::gemm_s32(int m, int n, int k, const std::int32_t* a, int lda,
+                         const std::int32_t* b, int ldb, std::int64_t* c,
+                         int ldc) {
+  std::vector<std::int32_t> bcol(static_cast<std::size_t>(k));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      for (int kk = 0; kk < k; ++kk) bcol[kk] = b[kk * ldb + j];
+      c[i * ldc + j] += dot_s32_multistep(
+          {a + i * lda, static_cast<std::size_t>(k)},
+          {bcol.data(), static_cast<std::size_t>(k)});
+    }
+  }
+}
+
+}  // namespace m3xu::core

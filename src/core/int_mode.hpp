@@ -1,0 +1,37 @@
+// Integer-semiring modes (Observation 1 is stated for "any Matrix
+// Semiring operation", not just floating point): the INT8 IMMA
+// baseline every commercial MXU ships, and 32-bit integer GEMM
+// composed from 16-bit sub-multipliers with the same two-step
+// high/low-part scheme as the FP32 mode - exact by construction, since
+// integer partial products never round.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace m3xu::core {
+
+class IntEngine {
+ public:
+  /// C += A*B with int8 inputs and int32 accumulation (the IMMA
+  /// baseline mode; exact - no overflow for k <= 2^16).
+  static void gemm_s8(int m, int n, int k, const std::int8_t* a, int lda,
+                      const std::int8_t* b, int ldb, std::int32_t* c,
+                      int ldc);
+
+  /// One two-step dot product of int32 values on 16-bit multipliers:
+  /// a = aH*2^16 + aL (aH signed high half, aL unsigned low half);
+  /// step 0 accumulates aH*bH << 32 and aL*bL, step 1 the cross terms
+  /// << 16 - the integer analog of Eq. 3. Returns the exact int64 sum
+  /// (callers keep k and magnitudes within int64 range).
+  static std::int64_t dot_s32_multistep(std::span<const std::int32_t> a,
+                                        std::span<const std::int32_t> b);
+
+  /// C += A*B with int32 inputs and int64 accumulation via the
+  /// two-step scheme.
+  static void gemm_s32(int m, int n, int k, const std::int32_t* a, int lda,
+                       const std::int32_t* b, int ldb, std::int64_t* c,
+                       int ldc);
+};
+
+}  // namespace m3xu::core

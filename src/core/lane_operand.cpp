@@ -1,0 +1,35 @@
+#include "core/lane_operand.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace m3xu::core {
+
+LaneOperand from_unpacked(const fp::Unpacked& u, int sig_bits) {
+  M3XU_CHECK(sig_bits >= 1 && sig_bits <= 62);
+  LaneOperand op;
+  op.sign = u.sign;
+  switch (u.cls) {
+    case fp::FpClass::kZero:
+      op.cls = LaneOperand::Cls::kZero;
+      return op;
+    case fp::FpClass::kInf:
+      op.cls = LaneOperand::Cls::kInf;
+      return op;
+    case fp::FpClass::kNaN:
+      op.cls = LaneOperand::Cls::kNaN;
+      return op;
+    case fp::FpClass::kNormal:
+      break;
+  }
+  const int drop = fp::Unpacked::kSigTop - (sig_bits - 1);
+  // The operand must be exactly representable in sig_bits (the caller
+  // rounds to the input format first).
+  M3XU_CHECK((u.sig & low_mask(drop)) == 0);
+  op.cls = LaneOperand::Cls::kFinite;
+  op.sig = u.sig >> drop;
+  op.exp2 = u.exp - (sig_bits - 1);
+  return op;
+}
+
+}  // namespace m3xu::core

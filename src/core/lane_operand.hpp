@@ -1,0 +1,62 @@
+// The arithmetic-level operand one dot-product-unit lane consumes after
+// the data-assignment stage has decoded/split/routed the inputs.
+//
+// Fidelity note: the physical buffer entry is (1-bit sign, 8-bit
+// exponent, 12-bit significand field) plus the low/high routing
+// (fp/split.hpp::HwPart). For the arithmetic model we pre-resolve the
+// field semantics into (sig, exp2) where value = (-1)^sign * sig *
+// 2^exp2 - i.e. exp2 already folds in the hidden-1 position and the
+// low-part 2^-12 scale that the hardware corrects with shifters.
+#pragma once
+
+#include <cstdint>
+
+#include "fp/split.hpp"
+#include "fp/unpacked.hpp"
+
+namespace m3xu::core {
+
+struct LaneOperand {
+  enum class Cls : std::uint8_t { kZero, kFinite, kInf, kNaN };
+
+  Cls cls = Cls::kZero;
+  bool sign = false;
+  std::int32_t exp2 = 0;   // weight of sig's least significant bit
+  std::uint64_t sig = 0;   // significand; width checked by the dp unit
+
+  /// Flips the operand's sign bit (the FP32C data-assignment stage does
+  /// this to turn the imaginary*imaginary accumulation into a
+  /// subtraction, paper SIV-B).
+  LaneOperand negated() const {
+    LaneOperand r = *this;
+    r.sign = !r.sign;
+    return r;
+  }
+};
+
+/// Converts a data-assignment buffer entry into a lane operand.
+inline LaneOperand from_hw_part(const fp::HwPart& part) {
+  LaneOperand op;
+  op.sign = part.sign;
+  if (!part.finite) {
+    op.cls = part.nan ? LaneOperand::Cls::kNaN : LaneOperand::Cls::kInf;
+    return op;
+  }
+  if (part.sig == 0) {
+    op.cls = LaneOperand::Cls::kZero;
+    return op;
+  }
+  op.cls = LaneOperand::Cls::kFinite;
+  op.sig = part.sig;
+  // High part: sig/2^11 * 2^(E-127); low part: additionally * 2^-12.
+  op.exp2 = part.exp_biased - 127 - (part.low_part ? 23 : 11);
+  return op;
+}
+
+/// Converts a decoded value (e.g. an FP16/BF16/TF32 input in the
+/// passthrough modes, or a 27-bit FP64 part) into a lane operand with
+/// `sig_bits` significant bits (the value must be exactly
+/// representable; callers round first).
+LaneOperand from_unpacked(const fp::Unpacked& u, int sig_bits);
+
+}  // namespace m3xu::core

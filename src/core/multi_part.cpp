@@ -1,0 +1,130 @@
+#include "core/multi_part.hpp"
+
+#include <array>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "core/data_assignment.hpp"
+#include "fp/exact_accumulator.hpp"
+#include "fp/ext_float.hpp"
+#include "fp/unpacked.hpp"
+
+namespace m3xu::core {
+
+MultiPartEngine::MultiPartEngine(const MultiPartConfig& config)
+    : config_(config), unit_(DpUnitConfig{config.part_bits}) {
+  M3XU_CHECK(config_.part_bits >= 2 && config_.part_bits <= 31);
+  M3XU_CHECK(config_.accum_prec >= config_.format.sig_bits() &&
+             config_.accum_prec <= 63);
+  parts_ = static_cast<int>(
+      ceil_div(config_.format.sig_bits(), config_.part_bits));
+}
+
+std::vector<LaneOperand> MultiPartEngine::split_element(double v) const {
+  const fp::Unpacked u = fp::unpack(v);
+  std::vector<LaneOperand> out(static_cast<std::size_t>(parts_));
+  if (u.cls == fp::FpClass::kNaN || u.cls == fp::FpClass::kInf) {
+    out[0].cls = u.cls == fp::FpClass::kNaN ? LaneOperand::Cls::kNaN
+                                            : LaneOperand::Cls::kInf;
+    out[0].sign = u.sign;
+    return out;
+  }
+  // Zero, or subnormal in `format` (flushed, matching the hardware).
+  if (u.cls == fp::FpClass::kZero || u.exp < config_.format.min_normal_exp()) {
+    return out;
+  }
+  const int sig_bits = config_.format.sig_bits();
+  const int drop = fp::Unpacked::kSigTop - (sig_bits - 1);
+  // Inputs must be exact values of the configured format.
+  M3XU_CHECK((u.sig & low_mask(drop)) == 0);
+  const std::uint64_t m = u.sig >> drop;
+  for (int q = 0; q < parts_; ++q) {
+    // Chunk q covers significand bits [q*part_bits, ...) from the LSB;
+    // out[0] is the most significant part (holds the hidden 1).
+    const int lsb = q * config_.part_bits;
+    const std::uint64_t sig =
+        (m >> lsb) & low_mask(std::min(config_.part_bits, sig_bits - lsb));
+    LaneOperand& op = out[static_cast<std::size_t>(parts_ - 1 - q)];
+    op.sign = u.sign;
+    if (sig == 0) continue;  // stays kZero
+    op.cls = LaneOperand::Cls::kFinite;
+    op.sig = sig;
+    op.exp2 = u.exp - (sig_bits - 1) + lsb;
+  }
+  return out;
+}
+
+double MultiPartEngine::dot(std::span<const double> a,
+                            std::span<const double> b, double c) const {
+  M3XU_CHECK(a.size() == b.size());
+  const int s = parts_;
+  std::vector<StepOperands> steps(static_cast<std::size_t>(s * s));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto pa = split_element(a[i]);
+    const auto pb = split_element(b[i]);
+    const bool special = pa[0].cls == LaneOperand::Cls::kInf ||
+                         pa[0].cls == LaneOperand::Cls::kNaN ||
+                         pb[0].cls == LaneOperand::Cls::kInf ||
+                         pb[0].cls == LaneOperand::Cls::kNaN;
+    if (special) {
+      // Element-level bypass: the most significant parts carry the
+      // class; a zero/flushed partner keeps its kZero class; a finite
+      // partner is represented by its (nonzero) leading part.
+      steps[0].a.push_back(pa[0]);
+      steps[0].b.push_back(pb[0]);
+      continue;
+    }
+    for (int x = 0; x < s; ++x) {
+      for (int y = 0; y < s; ++y) {
+        StepOperands& step = steps[static_cast<std::size_t>(x * s + y)];
+        step.a.push_back(pa[static_cast<std::size_t>(x)]);
+        step.b.push_back(pb[static_cast<std::size_t>(y)]);
+      }
+    }
+  }
+  fp::Unpacked result;
+  if (config_.per_step_rounding) {
+    fp::ExtFloat reg = fp::ExtFloat::from_double(c, config_.accum_prec);
+    for (const StepOperands& step : steps) {
+      fp::ExactAccumulator sum;
+      unit_.accumulate_dot(step.a, step.b, sum);
+      reg = reg.plus_exact(sum);
+    }
+    result = reg.value();
+  } else {
+    fp::ExactAccumulator sum;
+    for (const StepOperands& step : steps) {
+      unit_.accumulate_dot(step.a, step.b, sum);
+    }
+    sum.add_unpacked(fp::unpack(c));
+    result = sum.round_to_precision(config_.accum_prec);
+  }
+  // Writeback: register -> target format.
+  const std::uint64_t payload = fp::pack(result, config_.format);
+  return fp::pack_to_double(fp::unpack(payload, config_.format));
+}
+
+void MultiPartEngine::gemm(int m, int n, int k, int k_chunk, const double* a,
+                           int lda, const double* b, int ldb, double* c,
+                           int ldc) const {
+  M3XU_CHECK(k_chunk >= 1);
+  std::vector<double> bcol(static_cast<std::size_t>(k_chunk));
+  std::vector<double> arow(static_cast<std::size_t>(k_chunk));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = c[i * ldc + j];
+      for (int k0 = 0; k0 < k; k0 += k_chunk) {
+        const int kc = std::min(k_chunk, k - k0);
+        for (int kk = 0; kk < kc; ++kk) {
+          arow[kk] = a[i * lda + k0 + kk];
+          bcol[kk] = b[(k0 + kk) * ldb + j];
+        }
+        acc = dot({arow.data(), static_cast<std::size_t>(kc)},
+                  {bcol.data(), static_cast<std::size_t>(kc)}, acc);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+}  // namespace m3xu::core

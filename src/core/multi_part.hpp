@@ -1,0 +1,59 @@
+// Generalized multi-part engine (paper SIV-C: "the original arithmetic
+// unit requirements remain flexible, accommodating options like 8-bit
+// or 32-bit multipliers for composing higher bitwidth datatypes").
+//
+// Given a base multiplier width of `part_bits` and a target format, the
+// significand splits into S = ceil(sig_bits / part_bits) parts; a dot
+// product needs S^2 product-class steps. M3XU's FP32-on-12-bit mode is
+// the S=2 instance; FP64-on-27-bit is S=2 with wider parts; FP64 on the
+// unmodified 12-bit multipliers is S=5 (25 steps) - the design-space
+// points the ablation bench explores.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/dp_unit.hpp"
+#include "fp/format.hpp"
+
+namespace m3xu::core {
+
+struct MultiPartConfig {
+  fp::FloatFormat format = fp::kFp32;  // element format of inputs/outputs
+  int part_bits = 12;                  // base multiplier width
+  int accum_prec = 48;                 // accumulation-register width
+  bool per_step_rounding = true;
+};
+
+class MultiPartEngine {
+ public:
+  explicit MultiPartEngine(const MultiPartConfig& config);
+
+  /// Number of significand parts per element.
+  int parts() const { return parts_; }
+  /// Dot-product steps per MMA (one per product class).
+  int steps() const { return parts_ * parts_; }
+
+  /// d = round_fmt(sum_k a[k]*b[k] + c). Inputs must already be exact
+  /// values of `format` (pass doubles; FP32 values widen exactly).
+  /// Subnormal inputs flush to zero; specials follow IEEE semantics.
+  double dot(std::span<const double> a, std::span<const double> b,
+             double c) const;
+
+  /// C <- A*B + C over row-major buffers, one rounding per `k_chunk`
+  /// columns of K (the instruction boundary).
+  void gemm(int m, int n, int k, int k_chunk, const double* a, int lda,
+            const double* b, int ldb, double* c, int ldc) const;
+
+  const MultiPartConfig& config() const { return config_; }
+
+ private:
+  std::vector<LaneOperand> split_element(double v) const;
+
+  MultiPartConfig config_;
+  DpUnit unit_;
+  int parts_;
+};
+
+}  // namespace m3xu::core

@@ -1,0 +1,306 @@
+#include "core/mxu.hpp"
+
+#include <array>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace m3xu::core {
+
+MmaShape shape_for(MxuMode mode) {
+  switch (mode) {
+    case MxuMode::kFp16:
+    case MxuMode::kBf16:
+      return {16, 8, 16};
+    case MxuMode::kTf32:
+      return {16, 8, 8};
+    case MxuMode::kFp32:
+      return {16, 8, 8};  // half the FP16 K (Observation 1)
+    case MxuMode::kFp32Complex:
+      return {16, 8, 4};  // complex elements; quarter throughput
+    case MxuMode::kFp64:
+      return {16, 8, 4};
+    case MxuMode::kFp64Complex:
+      return {16, 8, 2};  // complex elements; 1/32 of the FP16 rate
+  }
+  return {0, 0, 0};
+}
+
+int steps_for(MxuMode mode) {
+  switch (mode) {
+    case MxuMode::kFp16:
+    case MxuMode::kBf16:
+    case MxuMode::kTf32:
+      return 1;
+    case MxuMode::kFp32:
+      return 2;
+    case MxuMode::kFp32Complex:
+    case MxuMode::kFp64:
+      return 4;
+    case MxuMode::kFp64Complex:
+      return 8;
+  }
+  return 0;
+}
+
+const char* mode_name(MxuMode mode) {
+  switch (mode) {
+    case MxuMode::kFp16:
+      return "fp16";
+    case MxuMode::kBf16:
+      return "bf16";
+    case MxuMode::kTf32:
+      return "tf32";
+    case MxuMode::kFp32:
+      return "fp32";
+    case MxuMode::kFp32Complex:
+      return "fp32c";
+    case MxuMode::kFp64:
+      return "fp64";
+    case MxuMode::kFp64Complex:
+      return "fp64c";
+  }
+  return "?";
+}
+
+M3xuEngine::M3xuEngine(const M3xuConfig& config)
+    : config_(config),
+      dp12_(DpUnitConfig{/*mult_bits=*/12}),
+      dp27_(DpUnitConfig{DataAssignmentStage::kFp64PartBits}) {
+  M3XU_CHECK(config_.accum_prec >= 24 && config_.accum_prec <= 63);
+  M3XU_CHECK(config_.fp64_accum_prec >= 53 && config_.fp64_accum_prec <= 63);
+}
+
+template <int kSteps>
+fp::Unpacked M3xuEngine::run_steps(const std::array<StepOperands, kSteps>& steps,
+                                   const fp::Unpacked& c, const DpUnit& unit,
+                                   int prec) const {
+  if (config_.per_step_rounding) {
+    // The accumulation register is initialized with C (exact: C is
+    // FP32/FP64, narrower than the register) and rounded once per step.
+    fp::ExtFloat reg = fp::ExtFloat::from_unpacked(c, prec);
+    for (const StepOperands& step : steps) {
+      fp::ExactAccumulator sum;
+      unit.accumulate_dot(step.a, step.b, sum);
+      reg = reg.plus_exact(sum);
+    }
+    return reg.value();
+  }
+  // Idealized: one rounding per instruction.
+  fp::ExactAccumulator sum;
+  for (const StepOperands& step : steps) {
+    unit.accumulate_dot(step.a, step.b, sum);
+  }
+  sum.add_unpacked(c);
+  return sum.round_to_precision(prec);
+}
+
+float M3xuEngine::mma_dot_fp32(std::span<const float> a,
+                               std::span<const float> b, float c) const {
+  M3XU_CHECK(static_cast<int>(a.size()) <= shape_for(MxuMode::kFp32).k);
+  const auto steps = DataAssignmentStage::schedule_fp32(a, b);
+  const fp::Unpacked r =
+      run_steps<2>(steps, fp::unpack(c), dp12_, config_.accum_prec);
+  return fp::pack_to_float(r);
+}
+
+float M3xuEngine::mma_dot_passthrough(std::span<const float> a,
+                                      std::span<const float> b, float c,
+                                      const fp::FloatFormat& fmt) const {
+  const std::array<StepOperands, 1> steps = {
+      DataAssignmentStage::schedule_passthrough(a, b, fmt)};
+  // Stock Tensor-Core accumulation: FP32 registers.
+  const fp::Unpacked r =
+      run_steps<1>(steps, fp::unpack(c), dp12_, fp::ExtFloat::kFp32AccumPrec);
+  return fp::pack_to_float(r);
+}
+
+std::complex<float> M3xuEngine::mma_dot_fp32c(
+    std::span<const std::complex<float>> a,
+    std::span<const std::complex<float>> b, std::complex<float> c) const {
+  M3XU_CHECK(static_cast<int>(a.size()) <= shape_for(MxuMode::kFp32Complex).k);
+  const auto sched = DataAssignmentStage::schedule_fp32c(a, b);
+  const fp::Unpacked re = run_steps<2>(sched.real, fp::unpack(c.real()),
+                                       dp12_, config_.accum_prec);
+  const fp::Unpacked im = run_steps<2>(sched.imag, fp::unpack(c.imag()),
+                                       dp12_, config_.accum_prec);
+  return {fp::pack_to_float(re), fp::pack_to_float(im)};
+}
+
+double M3xuEngine::mma_dot_fp64(std::span<const double> a,
+                                std::span<const double> b, double c) const {
+  M3XU_CHECK(static_cast<int>(a.size()) <= shape_for(MxuMode::kFp64).k);
+  const auto steps = DataAssignmentStage::schedule_fp64(a, b);
+  const fp::Unpacked r =
+      run_steps<4>(steps, fp::unpack(c), dp27_, config_.fp64_accum_prec);
+  return fp::pack_to_double(r);
+}
+
+std::complex<double> M3xuEngine::mma_dot_fp64c(
+    std::span<const std::complex<double>> a,
+    std::span<const std::complex<double>> b, std::complex<double> c) const {
+  M3XU_CHECK(static_cast<int>(a.size()) <= shape_for(MxuMode::kFp64Complex).k);
+  const auto sched = DataAssignmentStage::schedule_fp64c(a, b);
+  const fp::Unpacked re = run_steps<4>(sched.real, fp::unpack(c.real()),
+                                       dp27_, config_.fp64_accum_prec);
+  const fp::Unpacked im = run_steps<4>(sched.imag, fp::unpack(c.imag()),
+                                       dp27_, config_.fp64_accum_prec);
+  return {fp::pack_to_double(re), fp::pack_to_double(im)};
+}
+
+namespace {
+
+/// Gathers a strided B column chunk into a contiguous fragment (models
+/// the shared-memory -> register fragment load).
+template <typename T>
+void gather_column(const T* b, int ldb, int j, int k0, int kc, T* out) {
+  for (int kk = 0; kk < kc; ++kk) out[kk] = b[(k0 + kk) * ldb + j];
+}
+
+}  // namespace
+
+void M3xuEngine::gemm_fp32(int m, int n, int k, const float* a, int lda,
+                           const float* b, int ldb, float* c, int ldc) const {
+  const int kc_max = shape_for(MxuMode::kFp32).k;
+  std::vector<float> bcol(static_cast<std::size_t>(kc_max));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = c[i * ldc + j];
+      for (int k0 = 0; k0 < k; k0 += kc_max) {
+        const int kc = std::min(kc_max, k - k0);
+        gather_column(b, ldb, j, k0, kc, bcol.data());
+        acc = mma_dot_fp32({a + i * lda + k0, static_cast<std::size_t>(kc)},
+                           {bcol.data(), static_cast<std::size_t>(kc)}, acc);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+void M3xuEngine::gemm_fp16(int m, int n, int k, const fp::Half* a, int lda,
+                           const fp::Half* b, int ldb, float* c,
+                           int ldc) const {
+  const int kc_max = shape_for(MxuMode::kFp16).k;
+  std::vector<float> arow(static_cast<std::size_t>(kc_max));
+  std::vector<float> bcol(static_cast<std::size_t>(kc_max));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = c[i * ldc + j];
+      for (int k0 = 0; k0 < k; k0 += kc_max) {
+        const int kc = std::min(kc_max, k - k0);
+        for (int kk = 0; kk < kc; ++kk) {
+          arow[kk] = a[i * lda + k0 + kk].to_float();
+          bcol[kk] = b[(k0 + kk) * ldb + j].to_float();
+        }
+        acc = mma_dot_passthrough(
+            {arow.data(), static_cast<std::size_t>(kc)},
+            {bcol.data(), static_cast<std::size_t>(kc)}, acc, fp::kFp16);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+void M3xuEngine::gemm_bf16(int m, int n, int k, const fp::Bf16* a, int lda,
+                           const fp::Bf16* b, int ldb, float* c,
+                           int ldc) const {
+  const int kc_max = shape_for(MxuMode::kBf16).k;
+  std::vector<float> arow(static_cast<std::size_t>(kc_max));
+  std::vector<float> bcol(static_cast<std::size_t>(kc_max));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = c[i * ldc + j];
+      for (int k0 = 0; k0 < k; k0 += kc_max) {
+        const int kc = std::min(kc_max, k - k0);
+        for (int kk = 0; kk < kc; ++kk) {
+          arow[kk] = a[i * lda + k0 + kk].to_float();
+          bcol[kk] = b[(k0 + kk) * ldb + j].to_float();
+        }
+        acc = mma_dot_passthrough(
+            {arow.data(), static_cast<std::size_t>(kc)},
+            {bcol.data(), static_cast<std::size_t>(kc)}, acc, fp::kBf16);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+void M3xuEngine::gemm_tf32(int m, int n, int k, const float* a, int lda,
+                           const float* b, int ldb, float* c, int ldc) const {
+  const int kc_max = shape_for(MxuMode::kTf32).k;
+  std::vector<float> bcol(static_cast<std::size_t>(kc_max));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = c[i * ldc + j];
+      for (int k0 = 0; k0 < k; k0 += kc_max) {
+        const int kc = std::min(kc_max, k - k0);
+        gather_column(b, ldb, j, k0, kc, bcol.data());
+        // The stage rounds FP32 register contents to TF32 on ingest.
+        acc = mma_dot_passthrough(
+            {a + i * lda + k0, static_cast<std::size_t>(kc)},
+            {bcol.data(), static_cast<std::size_t>(kc)}, acc, fp::kTf32);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+void M3xuEngine::gemm_fp32c(int m, int n, int k, const std::complex<float>* a,
+                            int lda, const std::complex<float>* b, int ldb,
+                            std::complex<float>* c, int ldc) const {
+  const int kc_max = shape_for(MxuMode::kFp32Complex).k;
+  std::vector<std::complex<float>> bcol(static_cast<std::size_t>(kc_max));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::complex<float> acc = c[i * ldc + j];
+      for (int k0 = 0; k0 < k; k0 += kc_max) {
+        const int kc = std::min(kc_max, k - k0);
+        gather_column(b, ldb, j, k0, kc, bcol.data());
+        acc = mma_dot_fp32c({a + i * lda + k0, static_cast<std::size_t>(kc)},
+                            {bcol.data(), static_cast<std::size_t>(kc)}, acc);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+void M3xuEngine::gemm_fp64c(int m, int n, int k,
+                            const std::complex<double>* a, int lda,
+                            const std::complex<double>* b, int ldb,
+                            std::complex<double>* c, int ldc) const {
+  const int kc_max = shape_for(MxuMode::kFp64Complex).k;
+  std::vector<std::complex<double>> bcol(static_cast<std::size_t>(kc_max));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::complex<double> acc = c[i * ldc + j];
+      for (int k0 = 0; k0 < k; k0 += kc_max) {
+        const int kc = std::min(kc_max, k - k0);
+        gather_column(b, ldb, j, k0, kc, bcol.data());
+        acc = mma_dot_fp64c({a + i * lda + k0, static_cast<std::size_t>(kc)},
+                            {bcol.data(), static_cast<std::size_t>(kc)}, acc);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+void M3xuEngine::gemm_fp64(int m, int n, int k, const double* a, int lda,
+                           const double* b, int ldb, double* c,
+                           int ldc) const {
+  const int kc_max = shape_for(MxuMode::kFp64).k;
+  std::vector<double> bcol(static_cast<std::size_t>(kc_max));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = c[i * ldc + j];
+      for (int k0 = 0; k0 < k; k0 += kc_max) {
+        const int kc = std::min(kc_max, k - k0);
+        gather_column(b, ldb, j, k0, kc, bcol.data());
+        acc = mma_dot_fp64({a + i * lda + k0, static_cast<std::size_t>(kc)},
+                           {bcol.data(), static_cast<std::size_t>(kc)}, acc);
+      }
+      c[i * ldc + j] = acc;
+    }
+  }
+}
+
+}  // namespace m3xu::core

@@ -1,0 +1,136 @@
+// M3XU: the multi-mode matrix unit (the paper's contribution).
+//
+// One engine supports, on the *same* 12-bit multipliers:
+//   - the baseline low-precision modes (FP16 / BF16 / TF32, one step),
+//   - true IEEE FP32 MMA in two steps (SIV-A),
+//   - FP32 complex MMA in four steps (SIV-B),
+//   - FP64 MMA in four steps on 27-bit sub-multipliers (SIV-C).
+//
+// Arithmetic contract (see DESIGN.md S5): within one MMA instruction a
+// dot-product unit's step sums its aligned partial products exactly
+// (idealized adder tree); accumulation registers are ExtFloat with a
+// configurable significand width (48 bits for M3XU, 24 for the stock
+// Tensor-Core FP32 accumulate). Every partial product is exact, so the
+// only error sources are the architecturally visible register
+// roundings - the property behind the paper's "no additional error
+// compared to conventional FP32 ALUs" claim, which the test suite
+// verifies.
+//
+// GEMM-level entry points chunk K by the mode's instruction shape and
+// round into the FP32 (or FP64) accumulator fragment per instruction,
+// exactly like a CUTLASS mainloop issuing one mma.sync per K-chunk.
+#pragma once
+
+#include <complex>
+#include <span>
+
+#include "core/data_assignment.hpp"
+#include "core/dp_unit.hpp"
+#include "fp/ext_float.hpp"
+#include "fp/types.hpp"
+
+namespace m3xu::core {
+
+enum class MxuMode {
+  kFp16,
+  kBf16,
+  kTf32,
+  kFp32,
+  kFp32Complex,
+  kFp64,
+  kFp64Complex,
+};
+
+/// Instruction-level MMA shape (mma.sync granularity on Ampere).
+struct MmaShape {
+  int m;
+  int n;
+  int k;
+};
+
+/// Shape of one MMA instruction in each mode. FP32 halves the K of the
+/// FP16 instruction (Observation 1); FP32C/FP64 quarter it.
+MmaShape shape_for(MxuMode mode);
+
+/// Dot-product-unit steps one instruction takes (1 / 2 / 4).
+int steps_for(MxuMode mode);
+
+/// Human-readable mode name for harness output.
+const char* mode_name(MxuMode mode);
+
+struct M3xuConfig {
+  /// true  = round into the accumulation register after every step
+  ///         (faithful to the 48-bit register datapath);
+  /// false = idealized single rounding per MMA instruction (ablation).
+  bool per_step_rounding = true;
+  /// Accumulation-register significand width for FP32/FP32C modes.
+  int accum_prec = fp::ExtFloat::kM3xuAccumPrec;
+  /// Accumulation-register width for the FP64 mode ("FP64 registers").
+  int fp64_accum_prec = 53;
+};
+
+class M3xuEngine {
+ public:
+  explicit M3xuEngine(const M3xuConfig& config = {});
+
+  const M3xuConfig& config() const { return config_; }
+
+  // --- Instruction-level dot products (one output element) -----------
+  // k must not exceed shape_for(mode).k; tests drive these directly.
+
+  /// FP32 mode: d = round_fp32(sum_k a[k]*b[k] + c) with exact products.
+  float mma_dot_fp32(std::span<const float> a, std::span<const float> b,
+                     float c) const;
+
+  /// Passthrough modes (FP16/BF16/TF32 inputs as floats, FP32 accum).
+  float mma_dot_passthrough(std::span<const float> a,
+                            std::span<const float> b, float c,
+                            const fp::FloatFormat& fmt) const;
+
+  /// FP32C mode.
+  std::complex<float> mma_dot_fp32c(std::span<const std::complex<float>> a,
+                                    std::span<const std::complex<float>> b,
+                                    std::complex<float> c) const;
+
+  /// FP64 mode.
+  double mma_dot_fp64(std::span<const double> a, std::span<const double> b,
+                      double c) const;
+
+  /// FP64 complex mode (8 steps).
+  std::complex<double> mma_dot_fp64c(std::span<const std::complex<double>> a,
+                                     std::span<const std::complex<double>> b,
+                                     std::complex<double> c) const;
+
+  // --- GEMM-level entry points: C <- A*B + C --------------------------
+  // Row-major with leading dimensions; K is chunked by the mode's
+  // instruction shape (each chunk is one MMA's rounding boundary).
+
+  void gemm_fp32(int m, int n, int k, const float* a, int lda,
+                 const float* b, int ldb, float* c, int ldc) const;
+  void gemm_fp16(int m, int n, int k, const fp::Half* a, int lda,
+                 const fp::Half* b, int ldb, float* c, int ldc) const;
+  void gemm_bf16(int m, int n, int k, const fp::Bf16* a, int lda,
+                 const fp::Bf16* b, int ldb, float* c, int ldc) const;
+  void gemm_tf32(int m, int n, int k, const float* a, int lda,
+                 const float* b, int ldb, float* c, int ldc) const;
+  void gemm_fp32c(int m, int n, int k, const std::complex<float>* a, int lda,
+                  const std::complex<float>* b, int ldb,
+                  std::complex<float>* c, int ldc) const;
+  void gemm_fp64(int m, int n, int k, const double* a, int lda,
+                 const double* b, int ldb, double* c, int ldc) const;
+  void gemm_fp64c(int m, int n, int k, const std::complex<double>* a,
+                  int lda, const std::complex<double>* b, int ldb,
+                  std::complex<double>* c, int ldc) const;
+
+ private:
+  template <int kSteps>
+  fp::Unpacked run_steps(const std::array<StepOperands, kSteps>& steps,
+                         const fp::Unpacked& c, const DpUnit& unit,
+                         int prec) const;
+
+  M3xuConfig config_;
+  DpUnit dp12_;  // 12-bit multipliers (FP16..FP32C modes)
+  DpUnit dp27_;  // 27-bit sub-multipliers (FP64 mode)
+};
+
+}  // namespace m3xu::core

@@ -1,0 +1,90 @@
+#include "core/outer_product.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/data_assignment.hpp"
+#include "core/dp_unit.hpp"
+#include "fp/exact_accumulator.hpp"
+#include "fp/ext_float.hpp"
+
+namespace m3xu::core {
+
+OuterProductEngine::OuterProductEngine(const M3xuConfig& config)
+    : config_(config) {
+  M3XU_CHECK(config_.accum_prec >= 24 && config_.accum_prec <= 63);
+}
+
+void OuterProductEngine::mma_fp32(int m, int n, int k, const float* a,
+                                  int lda, const float* b, int ldb,
+                                  const float* c, int ldc, float* d,
+                                  int ldd) const {
+  M3XU_CHECK(k >= 0 && k <= shape_for(MxuMode::kFp32).k);
+  const DpUnit unit(DpUnitConfig{12});
+  if (config_.per_step_rounding) {
+    // Natural outer-product register behavior: one rounding per rank-1
+    // update (each K element's two split steps applied exactly, then
+    // rounded into the 48-bit register).
+    std::vector<fp::ExtFloat> regs(
+        static_cast<std::size_t>(m) * n, fp::ExtFloat(config_.accum_prec));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        regs[static_cast<std::size_t>(i) * n + j] =
+            fp::ExtFloat::from_float(c[i * ldc + j], config_.accum_prec);
+      }
+    }
+    for (int kk = 0; kk < k; ++kk) {
+      for (int i = 0; i < m; ++i) {
+        const float av = a[i * lda + kk];
+        for (int j = 0; j < n; ++j) {
+          const float bv = b[kk * ldb + j];
+          const auto steps = DataAssignmentStage::schedule_fp32(
+              std::span<const float>(&av, 1), std::span<const float>(&bv, 1));
+          fp::ExactAccumulator sum;
+          unit.accumulate_dot(steps[0].a, steps[0].b, sum);
+          unit.accumulate_dot(steps[1].a, steps[1].b, sum);
+          auto& reg = regs[static_cast<std::size_t>(i) * n + j];
+          reg = reg.plus_exact(sum);
+        }
+      }
+    }
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        d[i * ldd + j] = regs[static_cast<std::size_t>(i) * n + j].to_float();
+      }
+    }
+    return;
+  }
+  // Per-instruction rounding: exact accumulation over all rank-1
+  // updates - commutative, hence bit-identical to the dot-product
+  // dataflow.
+  std::vector<fp::ExactAccumulator> accs(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      accs[static_cast<std::size_t>(i) * n + j].add_unpacked(
+          fp::unpack(c[i * ldc + j]));
+    }
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    for (int i = 0; i < m; ++i) {
+      const float av = a[i * lda + kk];
+      for (int j = 0; j < n; ++j) {
+        const float bv = b[kk * ldb + j];
+        const auto steps = DataAssignmentStage::schedule_fp32(
+            std::span<const float>(&av, 1), std::span<const float>(&bv, 1));
+        auto& acc = accs[static_cast<std::size_t>(i) * n + j];
+        unit.accumulate_dot(steps[0].a, steps[0].b, acc);
+        unit.accumulate_dot(steps[1].a, steps[1].b, acc);
+      }
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      d[i * ldd + j] = fp::pack_to_float(
+          accs[static_cast<std::size_t>(i) * n + j].round_to_precision(
+              config_.accum_prec));
+    }
+  }
+}
+
+}  // namespace m3xu::core

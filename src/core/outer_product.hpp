@@ -1,0 +1,39 @@
+// Outer-product-unit M3XU (SII-A: "the extension that M3XU proposes
+// can apply to any MXU architecture, regardless of whether the
+// underlying implementation is dot-product-unit-based, outer-product-
+// unit-based, or a systolic array").
+//
+// Same data-assignment split and step schedule, different dataflow:
+// each K element contributes a rank-1 update of the output tile. With
+// the idealized exact adder tree the two dataflows are provably
+// bit-identical under per-instruction rounding (exact accumulation is
+// commutative) - a property the tests check against M3xuEngine. Under
+// per-element rounding (one register update per rank-1 step, the
+// natural outer-product hardware behavior) results differ by at most
+// the accumulation-register quantum.
+#pragma once
+
+#include <span>
+
+#include "core/mxu.hpp"
+
+namespace m3xu::core {
+
+class OuterProductEngine {
+ public:
+  explicit OuterProductEngine(const M3xuConfig& config = {});
+
+  /// One FP32-mode MMA instruction over an m x n x k tile
+  /// (k <= shape_for(kFp32).k): D = A*B + C, row-major with leading
+  /// dimensions, computed as k rank-1 updates of split operands.
+  void mma_fp32(int m, int n, int k, const float* a, int lda,
+                const float* b, int ldb, const float* c, int ldc, float* d,
+                int ldd) const;
+
+  const M3xuConfig& config() const { return config_; }
+
+ private:
+  M3xuConfig config_;
+};
+
+}  // namespace m3xu::core

@@ -1,0 +1,65 @@
+#include "core/systolic.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/data_assignment.hpp"
+#include "core/dp_unit.hpp"
+#include "fp/exact_accumulator.hpp"
+#include "fp/ext_float.hpp"
+
+namespace m3xu::core {
+
+SystolicEngine::SystolicEngine(const M3xuConfig& config) : config_(config) {
+  M3XU_CHECK(config_.accum_prec >= 24 && config_.accum_prec <= 63);
+}
+
+void SystolicEngine::mma_fp32(int m, int n, int k, const float* a, int lda,
+                              const float* b, int ldb, const float* c,
+                              int ldc, float* d, int ldd) const {
+  M3XU_CHECK(k >= 0 && k <= shape_for(MxuMode::kFp32).k);
+  const DpUnit unit(DpUnitConfig{12});
+  // Pre-split the stationary B operands once (they are loaded into the
+  // PE grid before the wavefront starts - the dataflow's whole point).
+  struct SplitB {
+    std::array<StepOperands, 2> steps;  // per PE, per row element of A
+  };
+  // For each output row i of A streaming through, column j accumulates
+  // sum_kk a[i][kk]*b[kk][j] as the partial sum hops down the k chain.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (config_.per_step_rounding) {
+        // Per-hop rounding: each PE adds its product pair into the
+        // traveling 48-bit partial sum.
+        fp::ExtFloat psum =
+            fp::ExtFloat::from_float(c[i * ldc + j], config_.accum_prec);
+        for (int kk = 0; kk < k; ++kk) {
+          const float av = a[i * lda + kk];
+          const float bv = b[kk * ldb + j];
+          const auto steps = DataAssignmentStage::schedule_fp32(
+              std::span<const float>(&av, 1), std::span<const float>(&bv, 1));
+          fp::ExactAccumulator hop;
+          unit.accumulate_dot(steps[0].a, steps[0].b, hop);
+          unit.accumulate_dot(steps[1].a, steps[1].b, hop);
+          psum = psum.plus_exact(hop);
+        }
+        d[i * ldd + j] = psum.to_float();
+      } else {
+        fp::ExactAccumulator acc;
+        acc.add_unpacked(fp::unpack(c[i * ldc + j]));
+        for (int kk = 0; kk < k; ++kk) {
+          const float av = a[i * lda + kk];
+          const float bv = b[kk * ldb + j];
+          const auto steps = DataAssignmentStage::schedule_fp32(
+              std::span<const float>(&av, 1), std::span<const float>(&bv, 1));
+          unit.accumulate_dot(steps[0].a, steps[0].b, acc);
+          unit.accumulate_dot(steps[1].a, steps[1].b, acc);
+        }
+        d[i * ldd + j] = fp::pack_to_float(
+            acc.round_to_precision(config_.accum_prec));
+      }
+    }
+  }
+}
+
+}  // namespace m3xu::core

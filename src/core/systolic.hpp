@@ -1,0 +1,31 @@
+// Weight-stationary systolic-array M3XU - the third dataflow of SII-A
+// ("dot-product-unit-based, outer-product-unit-based, or a systolic
+// array"). B (the "weights") stays resident in the PE grid; rows of A
+// stream through; each PE multiply-accumulates split operands exactly
+// as the other dataflows do. Under per-instruction rounding all three
+// dataflows are bit-identical (exact accumulation commutes); the
+// per-hop rounding variant models each PE's 48-bit register.
+#pragma once
+
+#include "core/mxu.hpp"
+
+namespace m3xu::core {
+
+class SystolicEngine {
+ public:
+  explicit SystolicEngine(const M3xuConfig& config = {});
+
+  /// One FP32-mode MMA over an m x n x k tile (k <= the FP32
+  /// instruction K): D = A*B + C. The PE grid is k x n (B-stationary);
+  /// A rows stream through, partial sums flow down the k dimension.
+  void mma_fp32(int m, int n, int k, const float* a, int lda,
+                const float* b, int ldb, const float* c, int ldc, float* d,
+                int ldd) const;
+
+  const M3xuConfig& config() const { return config_; }
+
+ private:
+  M3xuConfig config_;
+};
+
+}  // namespace m3xu::core

@@ -1,0 +1,119 @@
+#include "dnn/conv.hpp"
+
+#include "common/check.hpp"
+
+namespace m3xu::dnn {
+
+namespace {
+
+void check_weights(const WeightMatrix& weights, const ConvLayer& conv) {
+  M3XU_CHECK(weights.rows() == conv.c_out);
+  M3XU_CHECK(weights.cols() == conv.c_in * conv.kh * conv.kw);
+}
+
+}  // namespace
+
+Tensor4 conv2d_reference(const Tensor4& input, const WeightMatrix& weights,
+                         const ConvLayer& conv) {
+  M3XU_CHECK(input.c == conv.c_in && input.h == conv.h && input.w == conv.w);
+  check_weights(weights, conv);
+  const int oh = conv.out_h();
+  const int ow = conv.out_w();
+  Tensor4 out(input.n, conv.c_out, oh, ow);
+  for (int n = 0; n < input.n; ++n) {
+    for (int co = 0; co < conv.c_out; ++co) {
+      for (int y = 0; y < oh; ++y) {
+        for (int x = 0; x < ow; ++x) {
+          float acc = 0.0f;
+          for (int ci = 0; ci < conv.c_in; ++ci) {
+            for (int ky = 0; ky < conv.kh; ++ky) {
+              for (int kx = 0; kx < conv.kw; ++kx) {
+                const int iy = y * conv.stride + ky - conv.pad;
+                const int ix = x * conv.stride + kx - conv.pad;
+                if (iy < 0 || iy >= input.h || ix < 0 || ix >= input.w) {
+                  continue;  // zero padding
+                }
+                acc += input.at(n, ci, iy, ix) *
+                       weights(co, (ci * conv.kh + ky) * conv.kw + kx);
+              }
+            }
+          }
+          out.at(n, co, y, x) = acc;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+gemm::Matrix<float> im2col(const Tensor4& input, const ConvLayer& conv) {
+  M3XU_CHECK(input.c == conv.c_in && input.h == conv.h && input.w == conv.w);
+  const int oh = conv.out_h();
+  const int ow = conv.out_w();
+  gemm::Matrix<float> out(input.n * oh * ow,
+                          conv.c_in * conv.kh * conv.kw);
+  for (int n = 0; n < input.n; ++n) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        const int row = (n * oh + y) * ow + x;
+        for (int ci = 0; ci < conv.c_in; ++ci) {
+          for (int ky = 0; ky < conv.kh; ++ky) {
+            for (int kx = 0; kx < conv.kw; ++kx) {
+              const int iy = y * conv.stride + ky - conv.pad;
+              const int ix = x * conv.stride + kx - conv.pad;
+              const int col = (ci * conv.kh + ky) * conv.kw + kx;
+              out(row, col) =
+                  (iy < 0 || iy >= input.h || ix < 0 || ix >= input.w)
+                      ? 0.0f
+                      : input.at(n, ci, iy, ix);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor4 conv2d_gemm(const Tensor4& input, const WeightMatrix& weights,
+                    const ConvLayer& conv, ConvMath math,
+                    const core::M3xuEngine& engine) {
+  check_weights(weights, conv);
+  const gemm::Matrix<float> cols = im2col(input, conv);
+  // GEMM: (N*P*Q x K) * (K x c_out); weights stored (c_out x K) so
+  // transpose once.
+  gemm::Matrix<float> wt(weights.cols(), weights.rows());
+  for (int i = 0; i < weights.rows(); ++i) {
+    for (int j = 0; j < weights.cols(); ++j) wt(j, i) = weights(i, j);
+  }
+  gemm::Matrix<float> result(cols.rows(), conv.c_out);
+  result.fill(0.0f);
+  switch (math) {
+    case ConvMath::kSimtFp32:
+      gemm::run_sgemm(gemm::SgemmKernel::kSimt, engine, cols, wt, result);
+      break;
+    case ConvMath::kM3xuFp32:
+      gemm::run_sgemm(gemm::SgemmKernel::kM3xu, engine, cols, wt, result);
+      break;
+    case ConvMath::kTensorFp16:
+      gemm::tensorop_hgemm(engine, cols, wt, result);
+      break;
+  }
+  // col2im for the output layout (pure reshape: rows are (n, y, x)).
+  const int oh = conv.out_h();
+  const int ow = conv.out_w();
+  Tensor4 out(input.n, conv.c_out, oh, ow);
+  for (int n = 0; n < input.n; ++n) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x) {
+        const int row = (n * oh + y) * ow + x;
+        for (int co = 0; co < conv.c_out; ++co) {
+          out.at(n, co, y, x) = result(row, co);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace m3xu::dnn

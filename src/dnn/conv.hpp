@@ -1,0 +1,56 @@
+// Functional convolution lowering: im2col + GEMM, the transformation
+// the training-time model assumes (implicit GEMM). Validated against a
+// direct convolution reference; the GEMM can run on any of the kernel
+// inventory (FP16 Tensor-Core forward, M3XU FP32 backward-precision
+// path, SIMT).
+#pragma once
+
+#include <vector>
+
+#include "dnn/network.hpp"
+#include "gemm/kernels.hpp"
+#include "gemm/matrix.hpp"
+
+namespace m3xu::dnn {
+
+/// NCHW activation tensor.
+struct Tensor4 {
+  int n = 0;
+  int c = 0;
+  int h = 0;
+  int w = 0;
+  std::vector<float> data;
+
+  Tensor4() = default;
+  Tensor4(int n_, int c_, int h_, int w_)
+      : n(n_), c(c_), h(h_), w(w_),
+        data(static_cast<std::size_t>(n_) * c_ * h_ * w_, 0.0f) {}
+
+  float& at(int in, int ic, int ih, int iw) {
+    return data[((static_cast<std::size_t>(in) * c + ic) * h + ih) * w + iw];
+  }
+  float at(int in, int ic, int ih, int iw) const {
+    return data[((static_cast<std::size_t>(in) * c + ic) * h + ih) * w + iw];
+  }
+};
+
+/// Weights as (c_out, c_in * kh * kw) row-major.
+using WeightMatrix = gemm::Matrix<float>;
+
+/// Direct (loop-nest) convolution reference. Output sized
+/// (n, c_out, out_h, out_w); zero padding.
+Tensor4 conv2d_reference(const Tensor4& input, const WeightMatrix& weights,
+                         const ConvLayer& conv);
+
+/// Lowers the padded input to the im2col matrix: rows = n*out_h*out_w,
+/// cols = c_in*kh*kw (matching forward_gemm()'s M and K).
+gemm::Matrix<float> im2col(const Tensor4& input, const ConvLayer& conv);
+
+enum class ConvMath { kSimtFp32, kM3xuFp32, kTensorFp16 };
+
+/// Convolution as im2col + GEMM on the chosen math pipe.
+Tensor4 conv2d_gemm(const Tensor4& input, const WeightMatrix& weights,
+                    const ConvLayer& conv, ConvMath math,
+                    const core::M3xuEngine& engine);
+
+}  // namespace m3xu::dnn

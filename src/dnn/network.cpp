@@ -1,0 +1,234 @@
+#include "dnn/network.hpp"
+
+#include "common/check.hpp"
+
+namespace m3xu::dnn {
+
+namespace {
+
+Layer conv(std::string name, int c_in, int c_out, int h, int w, int k,
+           int stride, int pad) {
+  Layer l;
+  l.kind = Layer::Kind::kConv;
+  l.conv = {c_in, c_out, h, w, k, k, stride, pad};
+  l.name = std::move(name);
+  return l;
+}
+
+Layer fc(std::string name, int in, int out) {
+  Layer l;
+  l.kind = Layer::Kind::kFc;
+  l.fc = {in, out};
+  l.name = std::move(name);
+  return l;
+}
+
+Layer elementwise(std::string name, double elems) {
+  Layer l;
+  l.kind = Layer::Kind::kElementwise;
+  l.elems = elems;
+  l.name = std::move(name);
+  return l;
+}
+
+double out_elems(const ConvLayer& c) {
+  return static_cast<double>(c.c_out) * c.out_h() * c.out_w();
+}
+
+}  // namespace
+
+Network alexnet(int batch) {
+  Network net;
+  net.name = "AlexNet";
+  net.batch = batch;
+  auto add_conv = [&](const char* name, int ci, int co, int h, int w, int k,
+                      int s, int p) {
+    net.layers.push_back(conv(name, ci, co, h, w, k, s, p));
+    net.layers.push_back(
+        elementwise(std::string(name) + "_relu",
+                    out_elems(net.layers.back().conv)));
+  };
+  add_conv("conv1", 3, 64, 224, 224, 11, 4, 2);
+  add_conv("conv2", 64, 192, 27, 27, 5, 1, 2);
+  add_conv("conv3", 192, 384, 13, 13, 3, 1, 1);
+  add_conv("conv4", 384, 256, 13, 13, 3, 1, 1);
+  add_conv("conv5", 256, 256, 13, 13, 3, 1, 1);
+  net.layers.push_back(fc("fc6", 9216, 4096));
+  net.layers.push_back(elementwise("fc6_relu", 4096));
+  net.layers.push_back(fc("fc7", 4096, 4096));
+  net.layers.push_back(elementwise("fc7_relu", 4096));
+  net.layers.push_back(fc("fc8", 4096, 1000));
+  return net;
+}
+
+Network vgg16(int batch) {
+  Network net;
+  net.name = "VGG-16";
+  net.batch = batch;
+  struct Block {
+    int convs;
+    int channels;
+    int size;
+  };
+  const Block blocks[] = {{2, 64, 224}, {2, 128, 112}, {3, 256, 56},
+                          {3, 512, 28}, {3, 512, 14}};
+  int c_in = 3;
+  for (const Block& b : blocks) {
+    for (int i = 0; i < b.convs; ++i) {
+      const std::string name =
+          "conv" + std::to_string(b.size) + "_" + std::to_string(i);
+      net.layers.push_back(
+          conv(name, c_in, b.channels, b.size, b.size, 3, 1, 1));
+      net.layers.push_back(elementwise(
+          name + "_relu", out_elems(net.layers.back().conv)));
+      c_in = b.channels;
+    }
+  }
+  net.layers.push_back(fc("fc1", 25088, 4096));
+  net.layers.push_back(elementwise("fc1_relu", 4096));
+  net.layers.push_back(fc("fc2", 4096, 4096));
+  net.layers.push_back(elementwise("fc2_relu", 4096));
+  net.layers.push_back(fc("fc3", 4096, 1000));
+  return net;
+}
+
+Network resnet18(int batch) {
+  Network net;
+  net.name = "ResNet-18";
+  net.batch = batch;
+  net.layers.push_back(conv("conv1", 3, 64, 224, 224, 7, 2, 3));
+  net.layers.push_back(elementwise("conv1_bn_relu", 64.0 * 112 * 112));
+  struct Stage {
+    int channels;
+    int size;       // input spatial size of the stage
+    int downsample;  // stride of the first block
+  };
+  const Stage stages[] = {{64, 56, 1}, {128, 56, 2}, {256, 28, 2},
+                          {512, 14, 2}};
+  int c_in = 64;
+  for (const Stage& s : stages) {
+    for (int block = 0; block < 2; ++block) {
+      const int stride = block == 0 ? s.downsample : 1;
+      const int in_size = block == 0 ? s.size : s.size / s.downsample;
+      const std::string name = "res" + std::to_string(s.channels) + "_" +
+                               std::to_string(block);
+      net.layers.push_back(
+          conv(name + "a", c_in, s.channels, in_size, in_size, 3, stride, 1));
+      net.layers.push_back(elementwise(
+          name + "a_bn_relu", out_elems(net.layers.back().conv)));
+      const int mid = net.layers[net.layers.size() - 2].conv.out_h();
+      net.layers.push_back(
+          conv(name + "b", s.channels, s.channels, mid, mid, 3, 1, 1));
+      net.layers.push_back(elementwise(
+          name + "b_bn_relu_add", out_elems(net.layers.back().conv) * 2.0));
+      c_in = s.channels;
+    }
+  }
+  net.layers.push_back(elementwise("avgpool", 512.0 * 7 * 7));
+  net.layers.push_back(fc("fc", 512, 1000));
+  return net;
+}
+
+Network resnet50(int batch) {
+  Network net;
+  net.name = "ResNet-50";
+  net.batch = batch;
+  net.layers.push_back(conv("conv1", 3, 64, 224, 224, 7, 2, 3));
+  net.layers.push_back(elementwise("conv1_bn_relu", 64.0 * 112 * 112));
+  struct Stage {
+    int mid;      // bottleneck width
+    int out;      // stage output channels
+    int blocks;
+    int in_size;  // spatial size entering the stage
+    int stride;   // stride of the first block
+  };
+  const Stage stages[] = {{64, 256, 3, 56, 1},
+                          {128, 512, 4, 56, 2},
+                          {256, 1024, 6, 28, 2},
+                          {512, 2048, 3, 14, 2}};
+  int c_in = 64;
+  for (const Stage& s : stages) {
+    for (int block = 0; block < s.blocks; ++block) {
+      const int stride = block == 0 ? s.stride : 1;
+      const int in_size = block == 0 ? s.in_size : s.in_size / s.stride;
+      const std::string name = "res50_" + std::to_string(s.out) + "_" +
+                               std::to_string(block);
+      // 1x1 reduce, 3x3, 1x1 expand.
+      net.layers.push_back(
+          conv(name + "a", c_in, s.mid, in_size, in_size, 1, stride, 0));
+      const int mid_size = net.layers.back().conv.out_h();
+      net.layers.push_back(elementwise(
+          name + "a_bn_relu", out_elems(net.layers[net.layers.size() - 1]
+                                            .conv)));
+      net.layers.push_back(
+          conv(name + "b", s.mid, s.mid, mid_size, mid_size, 3, 1, 1));
+      net.layers.push_back(elementwise(
+          name + "b_bn_relu", out_elems(net.layers[net.layers.size() - 1]
+                                            .conv)));
+      net.layers.push_back(
+          conv(name + "c", s.mid, s.out, mid_size, mid_size, 1, 1, 0));
+      net.layers.push_back(elementwise(
+          name + "c_bn_relu_add",
+          out_elems(net.layers[net.layers.size() - 1].conv) * 2.0));
+      c_in = s.out;
+    }
+  }
+  net.layers.push_back(elementwise("avgpool", 2048.0 * 7 * 7));
+  net.layers.push_back(fc("fc", 2048, 1000));
+  return net;
+}
+
+FlopCensus count_flops(const Network& net) {
+  FlopCensus census;
+  for (const Layer& l : net.layers) {
+    switch (l.kind) {
+      case Layer::Kind::kConv:
+        census.forward += forward_gemm(l.conv, net.batch).flops();
+        census.backward += dgrad_gemm(l.conv, net.batch).flops() +
+                           wgrad_gemm(l.conv, net.batch).flops();
+        census.parameters +=
+            static_cast<long>(l.conv.c_out) * l.conv.c_in * l.conv.kh *
+            l.conv.kw;
+        break;
+      case Layer::Kind::kFc:
+        census.forward += forward_gemm(l.fc, net.batch).flops();
+        census.backward += dgrad_gemm(l.fc, net.batch).flops() +
+                           wgrad_gemm(l.fc, net.batch).flops();
+        census.parameters += static_cast<long>(l.fc.in) * l.fc.out;
+        break;
+      case Layer::Kind::kElementwise:
+        census.activations += l.elems * net.batch;
+        break;
+    }
+  }
+  return census;
+}
+
+GemmShape forward_gemm(const ConvLayer& c, int batch) {
+  return {static_cast<long>(batch) * c.out_h() * c.out_w(), c.c_out,
+          static_cast<long>(c.c_in) * c.kh * c.kw};
+}
+
+GemmShape dgrad_gemm(const ConvLayer& c, int batch) {
+  return {static_cast<long>(batch) * c.h * c.w, c.c_in,
+          static_cast<long>(c.c_out) * c.kh * c.kw};
+}
+
+GemmShape wgrad_gemm(const ConvLayer& c, int batch) {
+  return {c.c_out, static_cast<long>(c.c_in) * c.kh * c.kw,
+          static_cast<long>(batch) * c.out_h() * c.out_w()};
+}
+
+GemmShape forward_gemm(const FcLayer& f, int batch) {
+  return {batch, f.out, f.in};
+}
+
+GemmShape dgrad_gemm(const FcLayer& f, int batch) {
+  return {batch, f.in, f.out};
+}
+
+GemmShape wgrad_gemm(const FcLayer& f, int batch) {
+  return {f.out, f.in, batch};
+}
+
+}  // namespace m3xu::dnn

@@ -1,0 +1,77 @@
+// Network descriptions for the DNN training case study (SVI-C2, Fig 7):
+// AlexNet, VGG-16, and ResNet-18 from the Nebula benchmark suite, plus
+// the conv -> implicit-GEMM lowerings for forward, data-gradient, and
+// weight-gradient passes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m3xu::dnn {
+
+struct ConvLayer {
+  int c_in = 0;
+  int c_out = 0;
+  int h = 0;  // input spatial dims
+  int w = 0;
+  int kh = 0;
+  int kw = 0;
+  int stride = 1;
+  int pad = 0;
+
+  int out_h() const { return (h + 2 * pad - kh) / stride + 1; }
+  int out_w() const { return (w + 2 * pad - kw) / stride + 1; }
+};
+
+struct FcLayer {
+  int in = 0;
+  int out = 0;
+};
+
+struct Layer {
+  enum class Kind { kConv, kFc, kElementwise };
+  Kind kind = Kind::kElementwise;
+  ConvLayer conv{};
+  FcLayer fc{};
+  /// For kElementwise: activations touched (per sample).
+  double elems = 0.0;
+  std::string name;
+};
+
+struct Network {
+  std::string name;
+  int batch = 32;
+  std::vector<Layer> layers;
+};
+
+Network alexnet(int batch);
+Network vgg16(int batch);
+Network resnet18(int batch);
+Network resnet50(int batch);  // bottleneck blocks (1x1-3x3-1x1)
+
+struct GemmShape {
+  long m = 0;
+  long n = 0;
+  long k = 0;
+  double flops() const { return 2.0 * m * n * k; }
+};
+
+/// Implicit-GEMM lowerings (row-major conventions).
+GemmShape forward_gemm(const ConvLayer& c, int batch);
+GemmShape dgrad_gemm(const ConvLayer& c, int batch);
+GemmShape wgrad_gemm(const ConvLayer& c, int batch);
+GemmShape forward_gemm(const FcLayer& f, int batch);
+GemmShape dgrad_gemm(const FcLayer& f, int batch);
+GemmShape wgrad_gemm(const FcLayer& f, int batch);
+
+struct FlopCensus {
+  double forward = 0.0;       // GEMM flops, forward pass
+  double backward = 0.0;      // dgrad + wgrad flops
+  double activations = 0.0;   // elementwise activations touched
+  long parameters = 0;        // learnable parameters (conv + fc)
+};
+
+/// Per-iteration GEMM flop and parameter census of a network.
+FlopCensus count_flops(const Network& net);
+
+}  // namespace m3xu::dnn

@@ -1,0 +1,103 @@
+#include "dnn/training_time.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sim/eval_kernels.hpp"
+
+namespace m3xu::dnn {
+
+namespace {
+
+constexpr double kLaunchSeconds = 5e-6;
+
+struct Breakdown {
+  double forward = 0.0;
+  double backward_mixed = 0.0;
+  double backward_m3xu = 0.0;
+};
+
+double gemm_seconds(const sim::GpuSim& sim, const GemmShape& g,
+                    sim::SgemmVariant v) {
+  return sim::time_sgemm(sim, v, g.m, g.n, g.k).seconds + kLaunchSeconds;
+}
+
+double hgemm_seconds(const sim::GpuSim& sim, const GemmShape& g) {
+  return sim::time_hgemm(sim, g.m, g.n, g.k).seconds + kLaunchSeconds;
+}
+
+double elementwise_seconds(const sim::GpuSim& sim, double bytes) {
+  return sim::time_streaming(sim, bytes, bytes).seconds + kLaunchSeconds;
+}
+
+Breakdown compute_breakdown(const sim::GpuSim& sim, const Network& net) {
+  Breakdown b;
+  for (const Layer& layer : net.layers) {
+    switch (layer.kind) {
+      case Layer::Kind::kConv: {
+        const GemmShape f = forward_gemm(layer.conv, net.batch);
+        const GemmShape d = dgrad_gemm(layer.conv, net.batch);
+        const GemmShape w = wgrad_gemm(layer.conv, net.batch);
+        b.forward += hgemm_seconds(sim, f);
+        b.backward_mixed += gemm_seconds(sim, d, sim::SgemmVariant::kSimt) +
+                            gemm_seconds(sim, w, sim::SgemmVariant::kSimt);
+        b.backward_m3xu += gemm_seconds(sim, d, sim::SgemmVariant::kM3xu) +
+                           gemm_seconds(sim, w, sim::SgemmVariant::kM3xu);
+        break;
+      }
+      case Layer::Kind::kFc: {
+        const GemmShape f = forward_gemm(layer.fc, net.batch);
+        const GemmShape d = dgrad_gemm(layer.fc, net.batch);
+        const GemmShape w = wgrad_gemm(layer.fc, net.batch);
+        b.forward += hgemm_seconds(sim, f);
+        b.backward_mixed += gemm_seconds(sim, d, sim::SgemmVariant::kSimt) +
+                            gemm_seconds(sim, w, sim::SgemmVariant::kSimt);
+        b.backward_m3xu += gemm_seconds(sim, d, sim::SgemmVariant::kM3xu) +
+                           gemm_seconds(sim, w, sim::SgemmVariant::kM3xu);
+        break;
+      }
+      case Layer::Kind::kElementwise: {
+        // FP16 activations forward; backward touches activations and
+        // gradients (~1.5x the traffic).
+        const double bytes = layer.elems * net.batch * 2.0;
+        b.forward += elementwise_seconds(sim, bytes);
+        const double bwd = elementwise_seconds(sim, bytes * 1.5);
+        b.backward_mixed += bwd;
+        b.backward_m3xu += bwd;
+        break;
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+double paper_backward_share(const std::string& network_name) {
+  if (network_name == "VGG-16") return 0.396;
+  if (network_name == "ResNet-18") return 0.391;
+  if (network_name == "AlexNet") return 0.465;
+  return 0.0;
+}
+
+IterationTime time_iteration(const sim::GpuSim& sim, const Network& net,
+                             TrainingMode mode,
+                             double baseline_backward_share) {
+  const Breakdown b = compute_breakdown(sim, net);
+  IterationTime t;
+  t.forward_seconds = b.forward;
+  t.backward_seconds = mode == TrainingMode::kMixedPrecision
+                           ? b.backward_mixed
+                           : b.backward_m3xu;
+  if (baseline_backward_share > 0.0) {
+    M3XU_CHECK(baseline_backward_share < 1.0);
+    // Calibrate the (mode-independent) framework time so the BASELINE
+    // iteration's backward share matches the paper's measurement.
+    const double target_total = b.backward_mixed / baseline_backward_share;
+    t.framework_seconds =
+        std::max(0.0, target_total - b.backward_mixed - b.forward);
+  }
+  return t;
+}
+
+}  // namespace m3xu::dnn

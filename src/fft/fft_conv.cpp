@@ -1,0 +1,60 @@
+#include "fft/fft_conv.hpp"
+
+#include <complex>
+
+#include "common/check.hpp"
+#include "fft/gemm_fft.hpp"
+
+namespace m3xu::fft {
+
+std::vector<float> fft_conv2d_circular(const std::vector<float>& image,
+                                       int rows, int cols,
+                                       const std::vector<float>& kernel,
+                                       int kh, int kw,
+                                       const core::M3xuEngine& engine) {
+  M3XU_CHECK(static_cast<int>(image.size()) == rows * cols);
+  M3XU_CHECK(static_cast<int>(kernel.size()) == kh * kw);
+  M3XU_CHECK(kh <= rows && kw <= cols);
+  GemmFft2d plan(rows, cols, 16, &engine);
+  std::vector<std::complex<float>> fi(image.size());
+  std::vector<std::complex<float>> fk(image.size(), {0.0f, 0.0f});
+  for (std::size_t i = 0; i < image.size(); ++i) fi[i] = {image[i], 0.0f};
+  for (int y = 0; y < kh; ++y) {
+    for (int x = 0; x < kw; ++x) {
+      fk[static_cast<std::size_t>(y) * cols + x] = {kernel[y * kw + x],
+                                                    0.0f};
+    }
+  }
+  plan.forward(fi.data());
+  plan.forward(fk.data());
+  for (std::size_t i = 0; i < fi.size(); ++i) fi[i] *= fk[i];
+  plan.inverse(fi.data());
+  std::vector<float> out(image.size());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = fi[i].real();
+  return out;
+}
+
+std::vector<float> conv2d_circular_reference(const std::vector<float>& image,
+                                             int rows, int cols,
+                                             const std::vector<float>& kernel,
+                                             int kh, int kw) {
+  M3XU_CHECK(static_cast<int>(image.size()) == rows * cols);
+  std::vector<float> out(image.size(), 0.0f);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      double acc = 0.0;
+      for (int y = 0; y < kh; ++y) {
+        for (int x = 0; x < kw; ++x) {
+          const int sr = ((r - y) % rows + rows) % rows;
+          const int sc = ((c - x) % cols + cols) % cols;
+          acc += static_cast<double>(image[sr * cols + sc]) *
+                 kernel[y * kw + x];
+        }
+      }
+      out[static_cast<std::size_t>(r) * cols + c] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace m3xu::fft

@@ -1,0 +1,29 @@
+// Frequency-domain convolution via the convolution theorem on the
+// FP32C GEMM-FFT - the complex-arithmetic CNN computation style the
+// paper cites as an FP32C motivation (Ko et al., frequency-domain CNN
+// training accelerators).
+#pragma once
+
+#include <vector>
+
+#include "core/mxu.hpp"
+
+namespace m3xu::fft {
+
+/// Circular 2-D convolution: out[r][c] = sum_{y,x} image[(r-y) mod R]
+/// [(c-x) mod C] * kernel[y][x]. `rows`/`cols` must be powers of two;
+/// the kernel (kh x kw, both <= rows/cols) is embedded at the origin.
+/// Computed as ifft2(fft2(image) .* fft2(kernel)) on the M3XU FFT.
+std::vector<float> fft_conv2d_circular(const std::vector<float>& image,
+                                       int rows, int cols,
+                                       const std::vector<float>& kernel,
+                                       int kh, int kw,
+                                       const core::M3xuEngine& engine);
+
+/// Direct O(R*C*kh*kw) reference with the same circular semantics.
+std::vector<float> conv2d_circular_reference(const std::vector<float>& image,
+                                             int rows, int cols,
+                                             const std::vector<float>& kernel,
+                                             int kh, int kw);
+
+}  // namespace m3xu::fft

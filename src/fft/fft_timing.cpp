@@ -1,0 +1,146 @@
+#include "fft/fft_timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sim/eval_kernels.hpp"
+
+namespace m3xu::fft {
+
+namespace {
+
+constexpr double kLaunchSeconds = 5e-6;  // per-stage kernel launch cost
+
+int log2_of(long n) {
+  int l = 0;
+  while ((1L << l) < n) ++l;
+  return l;
+}
+
+/// One butterfly stage: a full pass over the signal (read + write,
+/// complex64) with per-element math on the given pipe.
+/// `mma_instr_per_elem` is MMA *instructions* per signal element.
+sim::KernelTiming stage_time(const sim::GpuSim& sim, double elems,
+                             double ffma_per_elem, int mma_ii,
+                             double mma_instr_per_elem, double mma_energy,
+                             double l2_hit) {
+  const double bytes = elems * 8.0;
+  sim::KernelLaunch launch = sim::build_streaming_kernel(
+      sim.config(), bytes, bytes, /*ffma_per_kb=*/0.0);
+  launch.l2_hit_fraction = l2_hit;
+  launch.energy_per_mma = mma_energy;
+  // Per-CTA work (the builder sizes CTAs at 128 KiB of reads).
+  const double elems_per_cta = elems / launch.grid_ctas;
+  if (ffma_per_elem > 0.0) {
+    const int count = std::max(
+        1, static_cast<int>(ffma_per_elem * elems_per_cta / 32.0 /
+                            launch.program.warps));
+    sim::Instr f = sim::Instr::ffma(count);
+    f.dep_on_prev = true;
+    // Insert before the trailing store.
+    launch.program.body.insert(launch.program.body.end() - 1, f);
+  }
+  if (mma_instr_per_elem > 0.0) {
+    const long count = std::max<long>(
+        1, static_cast<long>(mma_instr_per_elem * elems_per_cta /
+                             launch.program.warps));
+    for (long i = 0; i < count; ++i) {
+      sim::Instr m = sim::Instr::mma(mma_ii);
+      m.dep_on_prev = (i == 0);
+      launch.program.body.insert(launch.program.body.end() - 1, m);
+    }
+  }
+  return sim.run(launch);
+}
+
+}  // namespace
+
+const char* impl_name(FftImpl impl) {
+  switch (impl) {
+    case FftImpl::kCuFft:
+      return "cuFFT";
+    case FftImpl::kTcFftTf32:
+      return "tcFFT-TF32";
+    case FftImpl::kM3xu:
+      return "m3xu-fft";
+  }
+  return "?";
+}
+
+FftTime time_fft(const sim::GpuSim& sim, FftImpl impl, long n, long batch) {
+  M3XU_CHECK(n >= 2 && batch >= 1);
+  const double elems = static_cast<double>(n) * batch;
+  const double working_set = elems * 8.0 * 2.0;  // ping-pong buffers
+  const double l2_hit =
+      working_set <= sim.config().l2_capacity_bytes * 0.8 ? 0.85 : 0.1;
+  const int log2n = log2_of(n);
+
+  FftTime out;
+  switch (impl) {
+    case FftImpl::kCuFft: {
+      // Radix-8 Stockham: ceil(log8 n) passes, ~10 FMA per element per
+      // pass on the FP32 pipe. Very large transforms fall back to a
+      // four-step decomposition with explicit transpose kernels
+      // (three extra passes over the data).
+      out.stages = (log2n + 2) / 3;
+      const int transpose_passes = n >= (1L << 21) ? 3 : 0;
+      for (int s = 0; s < out.stages; ++s) {
+        const sim::KernelTiming t =
+            stage_time(sim, elems, 10.0, 0, 0.0, 0.0, l2_hit);
+        out.seconds += t.seconds + kLaunchSeconds;
+        out.energy += t.energy;
+      }
+      for (int s = 0; s < transpose_passes; ++s) {
+        const sim::KernelTiming t =
+            stage_time(sim, elems, 0.0, 0, 0.0, 0.0, l2_hit);
+        out.seconds += t.seconds + kLaunchSeconds;
+        out.energy += t.energy;
+      }
+      out.stages += transpose_passes;
+      return out;
+    }
+    case FftImpl::kTcFftTf32: {
+      // Radix-16 stages; each complex GEMM needs 4x the Tensor-Core
+      // operations (4 real TF32 GEMMs per complex product, SVI-C1)
+      // -> 16 cmacs/elem * 4 real products * 4x op count on the TC,
+      // plus split FMAs on the CUDA cores.
+      out.stages = (log2n + 3) / 4;
+      // 16 cmacs/elem x 4 real products x 4x op count, at 1024 real
+      // MACs per TF32 m16n8k8 instruction -> 0.25 instructions/elem.
+      const double instr_per_elem = 16.0 * 4.0 * 4.0 / 1024.0;
+      const double mma_e = sim::kind_tf32(sim.config()).energy_per_mma;
+      for (int s = 0; s < out.stages; ++s) {
+        // 1.5x traffic: Tensor-Core fragments need de-interleaved
+        // real/imag planes, so every stage pays a layout shuffle on
+        // top of the butterfly pass (tcFFT's published overhead; the
+        // M3XU data-assignment stage does this routing in hardware).
+        const sim::KernelTiming t = stage_time(
+            sim, elems * 1.5, 4.0, sim::kind_tf32(sim.config()).ii,
+            instr_per_elem / 1.5, mma_e, l2_hit);
+        out.seconds += t.seconds + kLaunchSeconds;
+        out.energy += t.energy;
+      }
+      return out;
+    }
+    case FftImpl::kM3xu: {
+      // Radix-16 stages; 16 native complex MACs per element per stage
+      // on the FP32C pipe, twiddles fused into the DFT matrices.
+      out.stages = (log2n + 3) / 4;
+      // 16 cmacs/elem at 512 cmacs per m16n8k4 FP32C instruction.
+      const double instr_per_elem = 16.0 / 512.0;
+      const double mma_e = sim::kind_m3xu_fp32c(sim.config()).energy_per_mma;
+      for (int s = 0; s < out.stages; ++s) {
+        const sim::KernelTiming t =
+            stage_time(sim, elems, 1.0, sim::kind_m3xu_fp32c(sim.config()).ii,
+                       instr_per_elem, mma_e, l2_hit);
+        out.seconds += t.seconds + kLaunchSeconds;
+        out.energy += t.energy;
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace m3xu::fft

@@ -1,0 +1,32 @@
+// Fig 6 timing model: batched 1-D FFT on three implementations.
+//
+//  - cuFFT baseline: radix-8 Stockham stages on CUDA cores; each stage
+//    is one pass over the data (memory-bound at large sizes) plus
+//    SIMT butterfly arithmetic, with a fixed kernel-launch cost.
+//  - tcFFT extended to TF32 (SVI-C1): radix-16 stages whose butterfly
+//    CGEMMs run on Tensor Cores but need 4x the operations per complex
+//    GEMM (no hardware complex support) plus split overhead.
+//  - M3XU: radix-16 stages whose CGEMMs run natively in FP32C mode.
+//
+// Fewer, natively-complex stages buy M3XU its bandwidth advantage -
+// the mechanism behind the paper's 1.52x average / 1.99x max speedup.
+#pragma once
+
+#include "sim/kernel_sim.hpp"
+
+namespace m3xu::fft {
+
+enum class FftImpl { kCuFft, kTcFftTf32, kM3xu };
+
+const char* impl_name(FftImpl impl);
+
+struct FftTime {
+  double seconds = 0.0;
+  int stages = 0;
+  double energy = 0.0;
+};
+
+/// Times `batch` independent n-point FFTs.
+FftTime time_fft(const sim::GpuSim& sim, FftImpl impl, long n, long batch);
+
+}  // namespace m3xu::fft

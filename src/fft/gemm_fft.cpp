@@ -1,0 +1,221 @@
+#include "fft/gemm_fft.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace m3xu::fft {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+}  // namespace
+
+void reference_fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  M3XU_CHECK(n >= 1 && is_pow2(n));
+  // Bit reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u = data[i + j];
+        const std::complex<double> v = data[i + j + len / 2] * w;
+        data[i + j] = u + v;
+        data[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : data) v /= static_cast<double>(n);
+  }
+}
+
+GemmFft::GemmFft(int n, int radix, const core::M3xuEngine* engine)
+    : n_(n), radix_(radix), engine_(engine) {
+  M3XU_CHECK(n >= 2 && is_pow2(static_cast<std::uint64_t>(n)));
+  M3XU_CHECK(radix >= 2 && radix <= 64 &&
+             is_pow2(static_cast<std::uint64_t>(radix)));
+  M3XU_CHECK(engine != nullptr);
+}
+
+const std::vector<std::complex<float>>& GemmFft::dft_matrix(int r) const {
+  for (const auto& m : dft_cache_) {
+    if (static_cast<int>(m.size()) == r * r) return m;
+  }
+  std::vector<std::complex<float>> m(static_cast<std::size_t>(r) * r);
+  for (int j = 0; j < r; ++j) {
+    for (int k = 0; k < r; ++k) {
+      const double ang = -kTwoPi * j * k / r;
+      m[static_cast<std::size_t>(j) * r + k] = {
+          static_cast<float>(std::cos(ang)),
+          static_cast<float>(std::sin(ang))};
+    }
+  }
+  dft_cache_.push_back(std::move(m));
+  return dft_cache_.back();
+}
+
+void GemmFft::transform(std::complex<float>* data,
+                        std::complex<float>* scratch, int n) const {
+  if (n == 1) return;
+  if (n <= radix_) {
+    // Base case: one n-point DFT as an n x 1 x n CGEMM.
+    const auto& f = dft_matrix(n);
+    for (int i = 0; i < n; ++i) scratch[i] = {0.0f, 0.0f};
+    engine_->gemm_fp32c(n, 1, n, f.data(), n, data, 1, scratch, 1);
+    for (int i = 0; i < n; ++i) data[i] = scratch[i];
+    return;
+  }
+  const int r = radix_;
+  const int n2 = n / r;
+  // Step 1 (the M3XU CGEMM): A = F_r * X with X viewed row-major r x n2.
+  const auto& f = dft_matrix(r);
+  for (int i = 0; i < n; ++i) scratch[i] = {0.0f, 0.0f};
+  engine_->gemm_fp32c(r, n2, r, f.data(), r, data, n2, scratch, n2);
+  // Step 2: twiddles A[k1][j2] *= w_n^(k1*j2) (elementwise, SIMT path).
+  for (int k1 = 1; k1 < r; ++k1) {
+    for (int j2 = 1; j2 < n2; ++j2) {
+      const double ang = -kTwoPi * k1 * j2 / n;
+      const std::complex<float> tw(static_cast<float>(std::cos(ang)),
+                                   static_cast<float>(std::sin(ang)));
+      scratch[static_cast<std::size_t>(k1) * n2 + j2] *= tw;
+    }
+  }
+  // Step 3: n2-point FFT on each row (recursion scratch reuses `data`,
+  // which holds no live values now).
+  for (int k1 = 0; k1 < r; ++k1) {
+    transform(scratch + static_cast<std::size_t>(k1) * n2,
+              data + static_cast<std::size_t>(k1) * n2, n2);
+  }
+  // Step 4: transposing store: out[k1 + r*k2] = A[k1][k2].
+  for (int k1 = 0; k1 < r; ++k1) {
+    for (int k2 = 0; k2 < n2; ++k2) {
+      data[k1 + static_cast<std::size_t>(r) * k2] =
+          scratch[static_cast<std::size_t>(k1) * n2 + k2];
+    }
+  }
+}
+
+void GemmFft::forward(std::complex<float>* data) const {
+  std::vector<std::complex<float>> scratch(static_cast<std::size_t>(n_));
+  transform(data, scratch.data(), n_);
+}
+
+double GemmFft::cgemm_cmacs() const {
+  double total = 0.0;
+  int cur = n_;
+  while (cur > radix_) {
+    total += static_cast<double>(radix_) * n_;
+    cur /= radix_;
+  }
+  total += static_cast<double>(cur) * n_;  // base-case DFTs
+  return total;
+}
+
+void GemmFft::inverse(std::complex<float>* data) const {
+  for (int i = 0; i < n_; ++i) data[i] = std::conj(data[i]);
+  forward(data);
+  const float scale = 1.0f / static_cast<float>(n_);
+  for (int i = 0; i < n_; ++i) data[i] = std::conj(data[i]) * scale;
+}
+
+int GemmFft::stage_count() const {
+  int stages = 1;  // base case
+  int cur = n_;
+  while (cur > radix_) {
+    ++stages;
+    cur /= radix_;
+  }
+  return stages;
+}
+
+RealFft::RealFft(int n, int radix, const core::M3xuEngine* engine)
+    : n_(n), half_plan_(n / 2, radix, engine) {
+  M3XU_CHECK(n >= 4 && is_pow2(static_cast<std::uint64_t>(n)));
+}
+
+void RealFft::forward(const float* in, std::complex<float>* out) const {
+  const int m = n_ / 2;
+  // Pack even samples into the real channel, odd into the imaginary.
+  std::vector<std::complex<float>> z(static_cast<std::size_t>(m));
+  for (int k = 0; k < m; ++k) {
+    z[static_cast<std::size_t>(k)] = {in[2 * k], in[2 * k + 1]};
+  }
+  half_plan_.forward(z.data());
+  // Untangle: X[k] = E[k] + e^{-2pi i k/n} O[k] with
+  // E[k] = (Z[k] + conj(Z[m-k]))/2, O[k] = -i (Z[k] - conj(Z[m-k]))/2.
+  for (int k = 0; k <= m; ++k) {
+    const std::complex<double> zk(z[static_cast<std::size_t>(k % m)]);
+    const std::complex<double> zmk(
+        std::conj(std::complex<double>(z[static_cast<std::size_t>((m - k) % m)])));
+    const std::complex<double> even = 0.5 * (zk + zmk);
+    const std::complex<double> odd =
+        std::complex<double>(0.0, -0.5) * (zk - zmk);
+    const double ang = -kTwoPi * k / n_;
+    const std::complex<double> tw(std::cos(ang), std::sin(ang));
+    out[k] = std::complex<float>(even + tw * odd);
+  }
+}
+
+GemmFft2d::GemmFft2d(int rows, int cols, int radix,
+                     const core::M3xuEngine* engine)
+    : rows_(rows),
+      cols_(cols),
+      row_plan_(cols, radix, engine),
+      col_plan_(rows, radix, engine) {}
+
+void GemmFft2d::pass(std::complex<float>* data, bool inv) const {
+  // Rows in place.
+  for (int r = 0; r < rows_; ++r) {
+    std::complex<float>* row = data + static_cast<std::size_t>(r) * cols_;
+    if (inv) {
+      row_plan_.inverse(row);
+    } else {
+      row_plan_.forward(row);
+    }
+  }
+  // Columns via a transposed scratch image.
+  std::vector<std::complex<float>> t(static_cast<std::size_t>(rows_) * cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      t[static_cast<std::size_t>(c) * rows_ + r] =
+          data[static_cast<std::size_t>(r) * cols_ + c];
+    }
+  }
+  for (int c = 0; c < cols_; ++c) {
+    std::complex<float>* col = t.data() + static_cast<std::size_t>(c) * rows_;
+    if (inv) {
+      col_plan_.inverse(col);
+    } else {
+      col_plan_.forward(col);
+    }
+  }
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      data[static_cast<std::size_t>(r) * cols_ + c] =
+          t[static_cast<std::size_t>(c) * rows_ + r];
+    }
+  }
+}
+
+void GemmFft2d::forward(std::complex<float>* data) const {
+  pass(data, /*inv=*/false);
+}
+
+void GemmFft2d::inverse(std::complex<float>* data) const {
+  pass(data, /*inv=*/true);
+}
+
+}  // namespace m3xu::fft

@@ -1,0 +1,102 @@
+// GEMM-based FFT on the M3XU FP32C engine (the paper's FFT case study,
+// SVI-C1; tcFFT-style).
+//
+// The four-step decomposition N = R * N2 turns every butterfly stage
+// into a complex matrix multiplication: with the input viewed as an
+// R x N2 matrix X (row-major), A = F_R * X is one CGEMM against the
+// R-point DFT matrix, followed by elementwise twiddles, N2-point
+// sub-FFTs on the rows, and a transposing store. M3XU executes the
+// CGEMMs natively in FP32C; a conventional GPU must run them on SIMT
+// cores or approximate them with TF32 splits.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "core/mxu.hpp"
+
+namespace m3xu::fft {
+
+/// Reference radix-2 iterative FFT (double precision, for validation).
+void reference_fft(std::vector<std::complex<double>>& data, bool inverse);
+
+class GemmFft {
+ public:
+  /// n must be a power of two >= 2. radix must be a power of two
+  /// (<= 16); stages use radix R until the remainder is smaller.
+  GemmFft(int n, int radix, const core::M3xuEngine* engine);
+
+  int n() const { return n_; }
+  int radix() const { return radix_; }
+
+  /// In-place forward FFT of `data` (length n).
+  void forward(std::complex<float>* data) const;
+
+  /// In-place inverse FFT (normalized by 1/n), via the conjugation
+  /// identity ifft(x) = conj(fft(conj(x))) / n - no extra hardware
+  /// pass beyond the sign flips the data-assignment stage already has.
+  void inverse(std::complex<float>* data) const;
+
+  /// Total complex MACs executed in DFT-matrix CGEMMs for one
+  /// transform (drives the Fig 6 timing model).
+  double cgemm_cmacs() const;
+  /// Number of butterfly stages (each is one pass over the data).
+  int stage_count() const;
+
+ private:
+  void transform(std::complex<float>* data, std::complex<float>* scratch,
+                 int n) const;
+  const std::vector<std::complex<float>>& dft_matrix(int r) const;
+
+  int n_;
+  int radix_;
+  const core::M3xuEngine* engine_;
+  // DFT matrices F_r for every radix used (row-major r x r).
+  mutable std::vector<std::vector<std::complex<float>>> dft_cache_;
+};
+
+/// Real-input FFT via the two-for-one trick: an n-point real signal
+/// packs into an n/2-point complex FFT, then an O(n) untangling pass
+/// recovers the n/2+1 non-redundant spectrum bins. Halves the CGEMM
+/// work versus transforming the zero-padded complex signal.
+class RealFft {
+ public:
+  /// n must be a power of two >= 4.
+  RealFft(int n, int radix, const core::M3xuEngine* engine);
+
+  int n() const { return n_; }
+
+  /// Computes spectrum bins 0..n/2 (inclusive) of the length-n real
+  /// signal `in` into `out` (n/2+1 entries). Remaining bins are the
+  /// conjugate mirror.
+  void forward(const float* in, std::complex<float>* out) const;
+
+ private:
+  int n_;
+  GemmFft half_plan_;
+};
+
+/// 2-D FFT over a rows x cols row-major image: transforms every row,
+/// then every column (each dimension a power of two). The column pass
+/// works on a transposed copy so both passes use the contiguous 1-D
+/// plan.
+class GemmFft2d {
+ public:
+  GemmFft2d(int rows, int cols, int radix, const core::M3xuEngine* engine);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  void forward(std::complex<float>* data) const;
+  void inverse(std::complex<float>* data) const;
+
+ private:
+  void pass(std::complex<float>* data, bool inv) const;
+
+  int rows_;
+  int cols_;
+  GemmFft row_plan_;
+  GemmFft col_plan_;
+};
+
+}  // namespace m3xu::fft

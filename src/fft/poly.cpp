@@ -1,0 +1,92 @@
+#include "fft/poly.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "fft/gemm_fft.hpp"
+
+namespace m3xu::fft {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::int64_t round_to_int(float v) {
+  return static_cast<std::int64_t>(std::llround(static_cast<double>(v)));
+}
+
+}  // namespace
+
+std::vector<std::int64_t> poly_multiply(const std::vector<std::int64_t>& p,
+                                        const std::vector<std::int64_t>& q,
+                                        const core::M3xuEngine& engine) {
+  if (p.empty() || q.empty()) return {};
+  const std::size_t out_len = p.size() + q.size() - 1;
+  const std::size_t n = std::max<std::size_t>(2, next_pow2(out_len));
+  GemmFft plan(static_cast<int>(n), 16, &engine);
+  std::vector<std::complex<float>> fp_(n, {0.0f, 0.0f});
+  std::vector<std::complex<float>> fq(n, {0.0f, 0.0f});
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    fp_[i] = {static_cast<float>(p[i]), 0.0f};
+  }
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    fq[i] = {static_cast<float>(q[i]), 0.0f};
+  }
+  plan.forward(fp_.data());
+  plan.forward(fq.data());
+  for (std::size_t i = 0; i < n; ++i) fp_[i] *= fq[i];
+  plan.inverse(fp_.data());
+  std::vector<std::int64_t> out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    out[i] = round_to_int(fp_[i].real());
+  }
+  return out;
+}
+
+std::vector<std::int64_t> poly_multiply_reference(
+    const std::vector<std::int64_t>& p, const std::vector<std::int64_t>& q) {
+  if (p.empty() || q.empty()) return {};
+  std::vector<std::int64_t> out(p.size() + q.size() - 1, 0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    for (std::size_t j = 0; j < q.size(); ++j) out[i + j] += p[i] * q[j];
+  }
+  return out;
+}
+
+std::vector<std::int64_t> poly_multiply_negacyclic(
+    const std::vector<std::int64_t>& p, const std::vector<std::int64_t>& q,
+    const core::M3xuEngine& engine) {
+  const std::size_t n = p.size();
+  M3XU_CHECK(n >= 2 && is_pow2(n) && q.size() == n);
+  GemmFft plan(static_cast<int>(n), 16, &engine);
+  // Twist by the 2n-th root of unity turns negacyclic into cyclic.
+  std::vector<std::complex<float>> tp(n), tq(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = kPi * static_cast<double>(i) / static_cast<double>(n);
+    const std::complex<double> w(std::cos(ang), std::sin(ang));
+    tp[i] = std::complex<float>(w * static_cast<double>(p[i]));
+    tq[i] = std::complex<float>(w * static_cast<double>(q[i]));
+  }
+  plan.forward(tp.data());
+  plan.forward(tq.data());
+  for (std::size_t i = 0; i < n; ++i) tp[i] *= tq[i];
+  plan.inverse(tp.data());
+  std::vector<std::int64_t> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = -kPi * static_cast<double>(k) / static_cast<double>(n);
+    const std::complex<double> w(std::cos(ang), std::sin(ang));
+    out[k] = static_cast<std::int64_t>(
+        std::llround((w * std::complex<double>(tp[k])).real()));
+  }
+  return out;
+}
+
+}  // namespace m3xu::fft

@@ -1,0 +1,34 @@
+// Polynomial multiplication via the FP32C FFT - the transform workload
+// behind the paper's security-application motivation (NTT-style
+// convolutions in homomorphic encryption / lattice cryptography, refs
+// [49][66]). For small integer coefficients the complex FFT route is
+// exact after rounding; the tests quantify the coefficient-magnitude
+// ceiling FP32C supports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mxu.hpp"
+
+namespace m3xu::fft {
+
+/// Multiplies two integer polynomials (coefficient vectors, lowest
+/// degree first) via FFT on the engine, rounding the result back to
+/// integers. Exact as long as |result coefficients| stay well within
+/// FP32C's 24-bit significand (the tests establish the ceiling).
+std::vector<std::int64_t> poly_multiply(const std::vector<std::int64_t>& p,
+                                        const std::vector<std::int64_t>& q,
+                                        const core::M3xuEngine& engine);
+
+/// Schoolbook reference.
+std::vector<std::int64_t> poly_multiply_reference(
+    const std::vector<std::int64_t>& p, const std::vector<std::int64_t>& q);
+
+/// Negacyclic (x^n + 1) convolution of two length-n coefficient
+/// vectors - the Ring-LWE primitive. n must be a power of two.
+std::vector<std::int64_t> poly_multiply_negacyclic(
+    const std::vector<std::int64_t>& p, const std::vector<std::int64_t>& q,
+    const core::M3xuEngine& engine);
+
+}  // namespace m3xu::fft

@@ -1,0 +1,271 @@
+#include "fp/exact_accumulator.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace m3xu::fp {
+
+void ExactAccumulator::add_magnitude(std::uint64_t sig, int bit_pos) {
+  M3XU_CHECK(bit_pos >= 0);
+  const int word = bit_pos / 64;
+  const int shift = bit_pos % 64;
+  const std::uint64_t lo = sig << shift;
+  const std::uint64_t hi = shift ? (sig >> (64 - shift)) : 0;
+  M3XU_CHECK(word + (hi ? 1 : 0) < kWords - 1);  // top word reserved for sign
+  std::uint64_t carry = 0;
+  std::uint64_t old = words_[word];
+  words_[word] += lo;
+  carry = words_[word] < old ? 1 : 0;
+  int w = word + 1;
+  std::uint64_t add = hi + carry;  // hi < 2^64-1 when carry==1? hi<=2^63
+  while (add != 0 && w < kWords) {
+    old = words_[w];
+    words_[w] += add;
+    add = words_[w] < old ? 1 : 0;
+    ++w;
+  }
+}
+
+void ExactAccumulator::sub_magnitude(std::uint64_t sig, int bit_pos) {
+  M3XU_CHECK(bit_pos >= 0);
+  const int word = bit_pos / 64;
+  const int shift = bit_pos % 64;
+  const std::uint64_t lo = sig << shift;
+  const std::uint64_t hi = shift ? (sig >> (64 - shift)) : 0;
+  M3XU_CHECK(word + (hi ? 1 : 0) < kWords - 1);
+  std::uint64_t old = words_[word];
+  words_[word] -= lo;
+  std::uint64_t borrow = words_[word] > old ? 1 : 0;
+  int w = word + 1;
+  std::uint64_t sub = hi + borrow;
+  while (sub != 0 && w < kWords) {
+    old = words_[w];
+    words_[w] -= sub;
+    sub = words_[w] > old ? 1 : 0;
+    ++w;
+  }
+}
+
+void ExactAccumulator::add_scaled(bool sign, std::uint64_t sig, int exp) {
+  if (sig == 0) return;
+  const int bit_pos = exp - kLsbExponent;
+  if (sign) {
+    sub_magnitude(sig, bit_pos);
+  } else {
+    add_magnitude(sig, bit_pos);
+  }
+}
+
+void ExactAccumulator::add_unpacked(const Unpacked& value) {
+  switch (value.cls) {
+    case FpClass::kZero:
+      return;
+    case FpClass::kNaN:
+      has_nan_ = true;
+      return;
+    case FpClass::kInf:
+      (value.sign ? has_neg_inf_ : has_pos_inf_) = true;
+      return;
+    case FpClass::kNormal:
+      add_scaled(value.sign, value.sig, value.exp - Unpacked::kSigTop);
+      return;
+  }
+}
+
+void ExactAccumulator::add_product(const Unpacked& a, const Unpacked& b) {
+  if (a.is_nan() || b.is_nan()) {
+    has_nan_ = true;
+    return;
+  }
+  if (a.is_inf() || b.is_inf()) {
+    if (a.is_zero() || b.is_zero()) {
+      has_nan_ = true;  // Inf * 0
+    } else {
+      ((a.sign ^ b.sign) ? has_neg_inf_ : has_pos_inf_) = true;
+    }
+    return;
+  }
+  if (a.is_zero() || b.is_zero()) return;
+  const bool sign = a.sign ^ b.sign;
+  const unsigned __int128 prod =
+      static_cast<unsigned __int128>(a.sig) * b.sig;
+  // value = prod * 2^(a.exp + b.exp - 2*kSigTop)
+  const int exp0 = a.exp + b.exp - 2 * Unpacked::kSigTop;
+  add_scaled(sign, static_cast<std::uint64_t>(prod), exp0);
+  add_scaled(sign, static_cast<std::uint64_t>(prod >> 64), exp0 + 64);
+}
+
+bool ExactAccumulator::is_zero() const {
+  if (has_nan_ || has_pos_inf_ || has_neg_inf_) return false;
+  for (auto w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool ExactAccumulator::is_negative() const {
+  return (words_[kWords - 1] >> 63) != 0;
+}
+
+bool ExactAccumulator::extract_top64(bool* negative, std::uint64_t* top64,
+                                     int* lead_exp, bool* sticky) const {
+  // Take the magnitude of the two's-complement sum.
+  std::array<std::uint64_t, kWords> mag = words_;
+  *negative = is_negative();
+  if (*negative) {
+    std::uint64_t carry = 1;
+    for (auto& w : mag) {
+      const std::uint64_t inv = ~w;
+      w = inv + carry;
+      carry = (w < inv) ? 1 : 0;
+    }
+  }
+  int top_word = kWords - 1;
+  while (top_word >= 0 && mag[top_word] == 0) --top_word;
+  if (top_word < 0) return false;
+  const int h = top_word * 64 + highest_bit(mag[top_word]);
+  // Extract the 64 bits [h .. h-63] plus a sticky for everything below.
+  std::uint64_t val = 0;
+  bool st = false;
+  const int lo_index = h - 63;
+  if (lo_index >= 0) {
+    const int w = lo_index / 64;
+    const int sh = lo_index % 64;
+    val = mag[w] >> sh;
+    if (sh != 0 && w + 1 < kWords) val |= mag[w + 1] << (64 - sh);
+    if (sh != 0) st = st || (mag[w] & low_mask(sh)) != 0;
+    for (int i = 0; i < w; ++i) st = st || mag[i] != 0;
+  } else {
+    // Fewer than 64 significant bits total (h < 63 implies top_word==0).
+    val = mag[0] << -lo_index;
+  }
+  *top64 = val;
+  *lead_exp = kLsbExponent + h;
+  *sticky = st;
+  return true;
+}
+
+namespace {
+
+// Rounds a left-aligned 64-bit window (leading 1 at bit 63, value =
+// top64 * 2^(lead_exp - 63) plus sticky dust) to `keep` bits with RNE.
+// keep may exceed the window only when sticky is false.
+std::uint64_t round_window(std::uint64_t top64, bool sticky, int keep,
+                           bool* carry_out) {
+  M3XU_CHECK(keep >= 0);
+  *carry_out = false;
+  if (keep >= 64) {
+    M3XU_CHECK(!sticky || keep == 64);
+    return top64;  // exact
+  }
+  const int r = 64 - keep;
+  std::uint64_t floor_val = keep == 0 ? 0 : (top64 >> r);
+  const std::uint64_t guard = (top64 >> (r - 1)) & 1;
+  const bool st = sticky || (r > 1 && (top64 & low_mask(r - 1)) != 0);
+  if (guard && (st || (floor_val & 1))) ++floor_val;
+  if (keep > 0 && (floor_val >> keep)) {
+    floor_val >>= 1;
+    *carry_out = true;
+  } else if (keep == 0 && floor_val) {
+    *carry_out = true;  // rounded up from nothing kept
+  }
+  return floor_val;
+}
+
+}  // namespace
+
+Unpacked ExactAccumulator::round_to_precision(int prec) const {
+  M3XU_CHECK(prec >= 1 && prec <= 63);
+  Unpacked out;
+  if (has_nan_ || (has_pos_inf_ && has_neg_inf_)) {
+    out.cls = FpClass::kNaN;
+    return out;
+  }
+  if (has_pos_inf_ || has_neg_inf_) {
+    out.cls = FpClass::kInf;
+    out.sign = has_neg_inf_;
+    return out;
+  }
+  bool negative = false, sticky = false;
+  std::uint64_t top64 = 0;
+  int lead_exp = 0;
+  if (!extract_top64(&negative, &top64, &lead_exp, &sticky)) {
+    out.cls = FpClass::kZero;
+    return out;
+  }
+  bool carry = false;
+  std::uint64_t sig = round_window(top64, sticky, prec, &carry);
+  if (carry) ++lead_exp;
+  out.cls = FpClass::kNormal;
+  out.sign = negative;
+  out.exp = lead_exp;
+  out.sig = sig << (Unpacked::kSigTop - (prec - 1));
+  return out;
+}
+
+std::uint64_t ExactAccumulator::round_to_payload(const FloatFormat& fmt) const {
+  if (has_nan_ || (has_pos_inf_ && has_neg_inf_)) {
+    Unpacked nan;
+    nan.cls = FpClass::kNaN;
+    return pack(nan, fmt);
+  }
+  if (has_pos_inf_ || has_neg_inf_) {
+    Unpacked inf;
+    inf.cls = FpClass::kInf;
+    inf.sign = has_neg_inf_;
+    return pack(inf, fmt);
+  }
+  bool negative = false, sticky = false;
+  std::uint64_t top64 = 0;
+  int lead_exp = 0;
+  if (!extract_top64(&negative, &top64, &lead_exp, &sticky)) {
+    return 0;  // +0
+  }
+  const int mb = fmt.mant_bits;
+  const std::uint64_t sign_bit = std::uint64_t{negative}
+                                 << (fmt.exp_bits + mb);
+  // Effective precision shrinks below the normal range (gradual
+  // underflow); a single rounding at that precision is IEEE-correct.
+  const bool subnormal_range = lead_exp < fmt.min_normal_exp();
+  int keep = fmt.sig_bits();
+  if (subnormal_range) keep -= fmt.min_normal_exp() - lead_exp;
+  // keep < 0 means the magnitude is at most quantum/4 + dust: rounds to
+  // zero (a tie at exactly quantum/2 corresponds to keep == 0 below).
+  if (keep < 0) return sign_bit;
+  bool carry = false;
+  std::uint64_t sig = round_window(top64, sticky, keep, &carry);
+  if (keep == 0) {
+    // Either 0 or rounded up to the smallest subnormal.
+    return sign_bit | (carry ? 1u : 0u);
+  }
+  if (subnormal_range) {
+    if (carry) {
+      // Rounded up to exactly 2^(lead_exp+1): mantissa field 2^keep.
+      // When keep == mant_bits this bit pattern is precisely the
+      // smallest normal (biased exponent 1, zero mantissa).
+      return sign_bit | (std::uint64_t{1} << keep);
+    }
+    return sign_bit | sig;  // mantissa field of a subnormal
+  }
+  if (carry) ++lead_exp;
+  if (lead_exp > fmt.max_normal_exp()) {
+    Unpacked inf;
+    inf.cls = FpClass::kInf;
+    inf.sign = negative;
+    return pack(inf, fmt);
+  }
+  const std::uint64_t biased =
+      static_cast<std::uint64_t>(lead_exp + fmt.bias());
+  return sign_bit | (biased << mb) | (sig & low_mask(mb));
+}
+
+double ExactAccumulator::to_double() const {
+  return double_from_bits(round_to_payload(kFp64));
+}
+
+float ExactAccumulator::to_float() const {
+  return float_from_bits(
+      static_cast<std::uint32_t>(round_to_payload(kFp32)));
+}
+
+}  // namespace m3xu::fp

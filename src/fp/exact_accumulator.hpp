@@ -1,0 +1,82 @@
+// Exact fixed-point ("Kulisch-style") accumulator covering the full
+// FP32-product exponent range. The MXU dot-product unit model uses it
+// as the idealized adder tree that sums one step's aligned partial
+// products without loss; tests use it as an exact dot-product oracle.
+//
+// Window: bit 0 of word 0 has weight 2^kLsbExponent; 72 x 64-bit words
+// in two's complement cover [2^-2304, 2^2303]: any FP32 or FP64 value,
+// any FP32 x FP32 or FP64 x FP64 product (FP64 subnormal products
+// bottom out at 2^-2148), and sums thereof for any realistic reduction
+// length. Out-of-window magnitudes are rejected by a check.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "fp/unpacked.hpp"
+
+namespace m3xu::fp {
+
+class ExactAccumulator {
+ public:
+  static constexpr int kWords = 72;
+  static constexpr int kLsbExponent = -2304;
+  static constexpr int kMsbExponent = kLsbExponent + kWords * 64 - 1;
+
+  ExactAccumulator() { words_.fill(0); }
+
+  /// Adds (-1)^sign * sig * 2^exp exactly. `exp` is the weight of the
+  /// significand's least significant bit. Checks the window.
+  void add_scaled(bool sign, std::uint64_t sig, int exp);
+
+  /// Adds a decoded value exactly (specials set sticky NaN/Inf flags).
+  void add_unpacked(const Unpacked& value);
+
+  /// Adds a host double exactly.
+  void add_double(double v) { add_unpacked(unpack(v)); }
+
+  /// Adds the exact product a*b of two decoded finite values; specials
+  /// follow IEEE semantics (Inf*0 -> NaN, NaN propagates, ...).
+  void add_product(const Unpacked& a, const Unpacked& b);
+
+  /// Marks the sum as NaN (sticky).
+  void set_nan() { has_nan_ = true; }
+
+  bool has_nan() const { return has_nan_; }
+  bool has_pos_inf() const { return has_pos_inf_; }
+  bool has_neg_inf() const { return has_neg_inf_; }
+
+  bool is_zero() const;
+  bool is_negative() const;  // two's-complement sign of the finite sum
+
+  /// Rounds the accumulated sum to an Unpacked value with a
+  /// `prec`-bit significand (RNE). Inf/NaN flags resolve first:
+  /// NaN, or +Inf and -Inf together, yield NaN; a single Inf wins.
+  Unpacked round_to_precision(int prec) const;
+
+  /// Rounds the sum directly to a format payload with a single RNE
+  /// rounding (correct even for subnormal/overflowing results, where
+  /// round_to_precision + pack would double-round).
+  std::uint64_t round_to_payload(const FloatFormat& fmt) const;
+
+  /// Correctly rounded conversions.
+  double to_double() const;
+  float to_float() const;
+
+ private:
+  void add_magnitude(std::uint64_t sig, int bit_pos);
+  void sub_magnitude(std::uint64_t sig, int bit_pos);
+
+  /// Extracts the magnitude's top 64 bits (leading 1 at bit 63), the
+  /// exponent of the leading bit, and a sticky for everything below.
+  /// Returns false when the finite sum is exactly zero.
+  bool extract_top64(bool* negative, std::uint64_t* top64, int* lead_exp,
+                     bool* sticky) const;
+
+  std::array<std::uint64_t, kWords> words_;  // two's complement
+  bool has_nan_ = false;
+  bool has_pos_inf_ = false;
+  bool has_neg_inf_ = false;
+};
+
+}  // namespace m3xu::fp

@@ -1,0 +1,54 @@
+#include "fp/ext_float.hpp"
+
+#include "common/check.hpp"
+
+namespace m3xu::fp {
+
+Unpacked round_unpacked_to_precision(const Unpacked& u, int prec) {
+  M3XU_CHECK(prec >= 1 && prec <= 63);
+  if (u.cls != FpClass::kNormal) return u;
+  Unpacked out = u;
+  const int r = (Unpacked::kSigTop + 1) - prec;  // bits to drop
+  std::uint64_t rounded = rne_shift_right(u.sig, r);
+  if (rounded >> prec) {
+    rounded >>= 1;
+    out.exp += 1;
+  }
+  out.sig = rounded << r;
+  // Rounding a normalized significand can only grow it, so the MSB
+  // stays at kSigTop (the carry case was renormalized above).
+  M3XU_DCHECK((out.sig >> Unpacked::kSigTop) == 1);
+  return out;
+}
+
+ExtFloat::ExtFloat(int prec) : value_(), prec_(prec) {
+  M3XU_CHECK(prec >= 1 && prec <= 63);
+}
+
+ExtFloat ExtFloat::from_unpacked(const Unpacked& u, int prec) {
+  M3XU_CHECK(prec >= 1 && prec <= 63);
+  return ExtFloat(round_unpacked_to_precision(u, prec), prec);
+}
+
+ExtFloat ExtFloat::from_float(float f, int prec) {
+  return from_unpacked(unpack(f), prec);
+}
+
+ExtFloat ExtFloat::from_double(double d, int prec) {
+  return from_unpacked(unpack(d), prec);
+}
+
+ExtFloat ExtFloat::plus(const Unpacked& v) const {
+  ExactAccumulator acc;
+  acc.add_unpacked(value_);
+  acc.add_unpacked(v);
+  return ExtFloat(acc.round_to_precision(prec_), prec_);
+}
+
+ExtFloat ExtFloat::plus_exact(const ExactAccumulator& sum) const {
+  ExactAccumulator acc = sum;
+  acc.add_unpacked(value_);
+  return ExtFloat(acc.round_to_precision(prec_), prec_);
+}
+
+}  // namespace m3xu::fp

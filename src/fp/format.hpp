@@ -1,0 +1,37 @@
+// IEEE-754-style binary format descriptors for every data type the MXU
+// touches: FP16, BF16, TF32, FP32, FP64. A format is (exponent bits,
+// stored mantissa bits); all formats have one sign bit and a hidden
+// leading 1 for normals.
+#pragma once
+
+namespace m3xu::fp {
+
+struct FloatFormat {
+  int exp_bits;
+  int mant_bits;  // explicitly stored fraction bits (without hidden 1)
+
+  constexpr int total_bits() const { return 1 + exp_bits + mant_bits; }
+  constexpr int bias() const { return (1 << (exp_bits - 1)) - 1; }
+  /// Biased exponent value reserved for Inf/NaN.
+  constexpr int exp_special() const { return (1 << exp_bits) - 1; }
+  /// Significand width including the hidden bit.
+  constexpr int sig_bits() const { return mant_bits + 1; }
+  /// Smallest unbiased exponent of a normal number's leading bit.
+  constexpr int min_normal_exp() const { return 1 - bias(); }
+  /// Largest unbiased exponent of a normal number's leading bit.
+  constexpr int max_normal_exp() const { return bias(); }
+
+  constexpr bool operator==(const FloatFormat&) const = default;
+};
+
+inline constexpr FloatFormat kFp16{5, 10};
+inline constexpr FloatFormat kBf16{8, 7};
+inline constexpr FloatFormat kTf32{8, 10};
+inline constexpr FloatFormat kFp32{8, 23};
+inline constexpr FloatFormat kFp64{11, 52};
+// FP8 variants (OCP-style, modeled with IEEE special encodings): the
+// low end of the precision ladder modern MXUs also feed.
+inline constexpr FloatFormat kFp8E4M3{4, 3};
+inline constexpr FloatFormat kFp8E5M2{5, 2};
+
+}  // namespace m3xu::fp

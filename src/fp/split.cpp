@@ -1,0 +1,59 @@
+#include "fp/split.hpp"
+
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "fp/unpacked.hpp"
+
+namespace m3xu::fp {
+
+HwSplit split_fp32_hw(float a) {
+  const std::uint32_t b = bits_of(a);
+  const bool sign = (b >> 31) != 0;
+  const std::uint32_t exp_biased = (b >> 23) & 0xff;
+  const std::uint32_t frac = b & low_mask(23);
+
+  HwSplit s;
+  s.hi.sign = sign;
+  s.lo.sign = sign;
+  s.lo.low_part = true;
+  if (exp_biased == 0xff) {  // Inf / NaN
+    s.hi.finite = false;
+    s.hi.nan = frac != 0;
+    s.hi.exp_biased = 0xff;
+    s.lo.finite = true;  // low lane contributes nothing
+    return s;
+  }
+  if (exp_biased == 0) {
+    // Zero or subnormal: the data-assignment stage flushes subnormal
+    // inputs to zero (sig fields stay 0).
+    return s;
+  }
+  // Normal: 24-bit significand M = 2^23 + frac, split 12 | 12.
+  const std::uint32_t m = (std::uint32_t{1} << 23) | frac;
+  s.hi.exp_biased = static_cast<std::int32_t>(exp_biased);
+  s.hi.sig = static_cast<std::uint16_t>(m >> 12);   // hidden 1 + top 11 bits
+  s.lo.exp_biased = static_cast<std::int32_t>(exp_biased);
+  s.lo.sig = static_cast<std::uint16_t>(m & 0xfff);  // bottom 12 bits
+  return s;
+}
+
+double hw_part_value(const HwPart& part) {
+  if (!part.finite) return part.nan ? std::nan("") : HUGE_VAL;
+  if (part.sig == 0) return part.sign ? -0.0 : 0.0;
+  const int scale = part.low_part ? 23 : 11;
+  const double mag =
+      std::ldexp(static_cast<double>(part.sig), part.exp_biased - 127 - scale);
+  return part.sign ? -mag : mag;
+}
+
+SwSplit2 split_float_sw(float a, const FloatFormat& fmt) {
+  SwSplit2 s;
+  s.hi = round_to_format(a, fmt);
+  // The residual is computed in FP32 on the SIMT path before the GEMMs
+  // launch; for |a| >> ulp it is exact by Sterbenz-style cancellation.
+  s.lo = round_to_format(a - s.hi, fmt);
+  return s;
+}
+
+}  // namespace m3xu::fp

@@ -1,0 +1,65 @@
+// Input-split operations.
+//
+// split_fp32_hw() is the hardware split performed by M3XU's
+// data-assignment stage (paper SIV-A / Fig 3a): an FP32 number's 24-bit
+// significand (hidden 1 + 23 fraction bits) is divided into a 12-bit
+// high part and a 12-bit low part. Both parts share the sign and the
+// 8-bit exponent; the low part's field is implicitly scaled by 2^-12,
+// which the dot-product unit corrects with its shifters.
+//
+// split_float_sw() is the *software* split used by the emulation
+// baselines (CUTLASS 3xTF32, EEHC 3xBF16): hi = round(a, fmt),
+// lo = round(a - hi, fmt). Unlike the hardware split it loses bits
+// (fmt has fewer than 12 mantissa bits of headroom) and costs extra
+// instructions at run time — both effects the paper measures.
+#pragma once
+
+#include <cstdint>
+
+#include "fp/format.hpp"
+
+namespace m3xu::fp {
+
+/// One data-assignment-stage buffer entry (Fig 3a): 1-bit sign, 8-bit
+/// biased exponent, 12-bit significand field. `low_part` distinguishes
+/// the semantics of the 12-bit field:
+///   high: value = sig/2^11 * 2^(exp_biased - 127)        (hidden 1 in sig)
+///   low:  value = sig/2^23 * 2^(exp_biased - 127)        (no hidden 1)
+/// `finite` is false for Inf/NaN inputs (tracked so the arithmetic
+/// model can propagate specials; real hardware wires these through the
+/// exponent-all-ones detection).
+struct HwPart {
+  bool sign = false;
+  std::int32_t exp_biased = 0;  // 8-bit field, 0..255
+  std::uint16_t sig = 0;        // 12-bit field
+  bool low_part = false;
+  bool finite = true;
+  bool nan = false;  // meaningful only when !finite
+};
+
+struct HwSplit {
+  HwPart hi;
+  HwPart lo;
+};
+
+/// Splits an FP32 value into high/low 12-bit parts. Subnormal inputs
+/// are flushed to zero (Tensor-Core input behaviour); +-0 splits into
+/// two zero parts (sig == 0, exp_biased == 0).
+HwSplit split_fp32_hw(float a);
+
+/// Reconstructs the FP32 value of a single part (exact; used by tests
+/// to prove a == value(hi) + value(lo)). Returns a double because the
+/// low part alone may be subnormal-range beyond FP32.
+double hw_part_value(const HwPart& part);
+
+struct SwSplit2 {
+  float hi = 0.0f;
+  float lo = 0.0f;
+};
+
+/// Software 2-way split in format `fmt`: hi = rne(a, fmt),
+/// lo = rne(a - hi, fmt). The residual beyond lo is dropped - this is
+/// the precision loss inherent to the 3-GEMM software emulations.
+SwSplit2 split_float_sw(float a, const FloatFormat& fmt);
+
+}  // namespace m3xu::fp

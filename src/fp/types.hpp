@@ -1,0 +1,44 @@
+// Storage value types for the narrow formats (the host has no native
+// FP16/BF16/TF32). Conversions round-to-nearest-even via the soft-float
+// layer. These are deliberately minimal: the MXU consumes them through
+// the data-assignment stage, not through host arithmetic.
+#pragma once
+
+#include <cstdint>
+
+#include "fp/format.hpp"
+#include "fp/unpacked.hpp"
+
+namespace m3xu::fp {
+
+struct Half {
+  std::uint16_t bits = 0;
+
+  static Half from_float(float f) {
+    return Half{static_cast<std::uint16_t>(pack(unpack(f), kFp16))};
+  }
+  float to_float() const { return pack_to_float(unpack(bits, kFp16)); }
+};
+
+struct Bf16 {
+  std::uint16_t bits = 0;
+
+  static Bf16 from_float(float f) {
+    return Bf16{static_cast<std::uint16_t>(pack(unpack(f), kBf16))};
+  }
+  float to_float() const { return pack_to_float(unpack(bits, kBf16)); }
+};
+
+/// TF32 is stored in a 32-bit container (as on real Tensor Cores, which
+/// read TF32 fragments from FP32 registers with the low 13 mantissa
+/// bits ignored). `bits` holds the 19-bit payload in the low bits.
+struct Tf32 {
+  std::uint32_t bits = 0;
+
+  static Tf32 from_float(float f) {
+    return Tf32{static_cast<std::uint32_t>(pack(unpack(f), kTf32))};
+  }
+  float to_float() const { return pack_to_float(unpack(bits, kTf32)); }
+};
+
+}  // namespace m3xu::fp

@@ -1,0 +1,119 @@
+#include "fp/unpacked.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace m3xu::fp {
+
+std::uint64_t rne_shift_right(std::uint64_t sig, int r) {
+  if (r <= 0) {
+    M3XU_DCHECK(r > -64);
+    M3XU_DCHECK(r == 0 || (sig >> (64 + r)) == 0);  // no overflow on <<
+    return sig << -r;
+  }
+  if (r > 64) return 0;
+  std::uint64_t floor_val, guard, sticky;
+  if (r == 64) {
+    floor_val = 0;
+    guard = sig >> 63;
+    sticky = (sig & low_mask(63)) != 0;
+  } else {
+    floor_val = sig >> r;
+    guard = (sig >> (r - 1)) & 1;
+    sticky = (sig & low_mask(r - 1)) != 0;
+  }
+  if (guard && (sticky || (floor_val & 1))) ++floor_val;
+  return floor_val;
+}
+
+Unpacked unpack(std::uint64_t payload, const FloatFormat& fmt) {
+  const int mb = fmt.mant_bits;
+  Unpacked u;
+  u.sign = (payload >> (fmt.exp_bits + mb)) & 1;
+  const std::uint64_t biased_exp = (payload >> mb) & low_mask(fmt.exp_bits);
+  const std::uint64_t mant = payload & low_mask(mb);
+  if (biased_exp == static_cast<std::uint64_t>(fmt.exp_special())) {
+    u.cls = mant == 0 ? FpClass::kInf : FpClass::kNaN;
+    return u;
+  }
+  if (biased_exp == 0) {
+    if (mant == 0) {
+      u.cls = FpClass::kZero;
+      return u;
+    }
+    // Subnormal: value = mant * 2^(1 - bias - mant_bits); normalize.
+    const int h = highest_bit(mant);
+    u.cls = FpClass::kNormal;
+    u.exp = (1 - fmt.bias() - mb) + h;
+    u.sig = mant << (Unpacked::kSigTop - h);
+    return u;
+  }
+  u.cls = FpClass::kNormal;
+  u.exp = static_cast<std::int32_t>(biased_exp) - fmt.bias();
+  u.sig = ((std::uint64_t{1} << mb) | mant) << (Unpacked::kSigTop - mb);
+  return u;
+}
+
+std::uint64_t pack(const Unpacked& value, const FloatFormat& fmt) {
+  const int mb = fmt.mant_bits;
+  const std::uint64_t sign_bit = std::uint64_t{value.sign}
+                                 << (fmt.exp_bits + mb);
+  switch (value.cls) {
+    case FpClass::kZero:
+      return sign_bit;
+    case FpClass::kInf:
+      return sign_bit |
+             (static_cast<std::uint64_t>(fmt.exp_special()) << mb);
+    case FpClass::kNaN:
+      // Canonical quiet NaN (MSB of the mantissa set), sign preserved.
+      return sign_bit |
+             (static_cast<std::uint64_t>(fmt.exp_special()) << mb) |
+             (std::uint64_t{1} << (mb - 1));
+    case FpClass::kNormal:
+      break;
+  }
+  M3XU_DCHECK((value.sig >> Unpacked::kSigTop) == 1);
+  std::int32_t exp_val = value.exp;
+  if (exp_val >= fmt.min_normal_exp()) {
+    std::uint64_t rounded =
+        rne_shift_right(value.sig, Unpacked::kSigTop - mb);
+    if (rounded >> (mb + 1)) {  // 1.11..1 rounded up to 10.00..0
+      rounded >>= 1;
+      ++exp_val;
+    }
+    if (exp_val > fmt.max_normal_exp()) {
+      return sign_bit |
+             (static_cast<std::uint64_t>(fmt.exp_special()) << mb);
+    }
+    const std::uint64_t biased =
+        static_cast<std::uint64_t>(exp_val + fmt.bias());
+    return sign_bit | (biased << mb) | (rounded & low_mask(mb));
+  }
+  // Gradual underflow: quantize to multiples of 2^(min_normal_exp - mb).
+  const int extra = fmt.min_normal_exp() - exp_val;
+  std::uint64_t rounded =
+      rne_shift_right(value.sig, Unpacked::kSigTop - mb + extra);
+  if (rounded >> mb) {
+    // Rounded all the way up to the smallest normal.
+    return sign_bit | (std::uint64_t{1} << mb) | (rounded & low_mask(mb));
+  }
+  return sign_bit | rounded;  // subnormal (or signed zero if rounded==0)
+}
+
+Unpacked unpack(float f) { return unpack(bits_of(f), kFp32); }
+Unpacked unpack(double d) { return unpack(bits_of(d), kFp64); }
+
+float pack_to_float(const Unpacked& value) {
+  return float_from_bits(static_cast<std::uint32_t>(pack(value, kFp32)));
+}
+
+double pack_to_double(const Unpacked& value) {
+  return double_from_bits(pack(value, kFp64));
+}
+
+float round_to_format(float f, const FloatFormat& fmt) {
+  const std::uint64_t payload = pack(unpack(f), fmt);
+  return pack_to_float(unpack(payload, fmt));
+}
+
+}  // namespace m3xu::fp

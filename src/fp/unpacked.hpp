@@ -1,0 +1,60 @@
+// Unpacked (sign, exponent, significand) representation with exact
+// decode from and round-to-nearest-even encode to any FloatFormat.
+// This is the reference arithmetic layer the MXU functional model and
+// all format conversions are built on.
+#pragma once
+
+#include <cstdint>
+
+#include "fp/format.hpp"
+
+namespace m3xu::fp {
+
+enum class FpClass : std::uint8_t { kZero, kNormal, kInf, kNaN };
+
+/// A decoded floating-point value. For kNormal the significand `sig`
+/// is normalized with its most significant bit at position kSigTop, and
+/// value == (-1)^sign * sig * 2^(exp - kSigTop); i.e. `exp` is the
+/// unbiased exponent of the leading bit. Subnormal encodings decode to
+/// kNormal with a correspondingly smaller `exp`.
+struct Unpacked {
+  static constexpr int kSigTop = 62;
+
+  FpClass cls = FpClass::kZero;
+  bool sign = false;
+  std::int32_t exp = 0;
+  std::uint64_t sig = 0;
+
+  bool is_zero() const { return cls == FpClass::kZero; }
+  bool is_nan() const { return cls == FpClass::kNaN; }
+  bool is_inf() const { return cls == FpClass::kInf; }
+  bool is_finite() const {
+    return cls == FpClass::kZero || cls == FpClass::kNormal;
+  }
+};
+
+/// Decodes `payload` (low total_bits() bits used) per `fmt`. Exact.
+Unpacked unpack(std::uint64_t payload, const FloatFormat& fmt);
+
+/// Encodes to `fmt` with round-to-nearest-even, gradual underflow to
+/// subnormals, and overflow to Inf. NaNs become the canonical quiet NaN
+/// of `fmt` (sign preserved).
+std::uint64_t pack(const Unpacked& value, const FloatFormat& fmt);
+
+/// Shifts `sig` right by `r` bits with round-to-nearest-even (r may be
+/// <= 0 for a left shift, which must not overflow). Shared by pack()
+/// and the extended-float accumulator.
+std::uint64_t rne_shift_right(std::uint64_t sig, int r);
+
+// Host-type conveniences.
+Unpacked unpack(float f);
+Unpacked unpack(double d);
+float pack_to_float(const Unpacked& value);
+double pack_to_double(const Unpacked& value);
+
+/// Round-trips a float through `fmt` (decode host FP32/FP64 -> RNE to
+/// fmt -> back to host). This is the reference "convert to TF32/BF16/
+/// FP16" operation used by the software-emulation baselines.
+float round_to_format(float f, const FloatFormat& fmt);
+
+}  // namespace m3xu::fp

@@ -1,0 +1,133 @@
+#include "gemm/blas.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace m3xu::gemm {
+
+namespace {
+
+Matrix<float> apply_op(const Matrix<float>& m, Trans op) {
+  M3XU_CHECK(op != Trans::kC);  // real entry points have no conjugate
+  if (op == Trans::kN) return m;
+  Matrix<float> t(m.cols(), m.rows());
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) t(j, i) = m(i, j);
+  }
+  return t;
+}
+
+Matrix<std::complex<float>> apply_op(const Matrix<std::complex<float>>& m,
+                                     Trans op) {
+  if (op == Trans::kN) return m;
+  Matrix<std::complex<float>> t(m.cols(), m.rows());
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      t(j, i) = op == Trans::kC ? std::conj(m(i, j)) : m(i, j);
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+void blas_sgemm(const BlasParams& params, SgemmKernel kernel,
+                const core::M3xuEngine& engine, const Matrix<float>& a,
+                const Matrix<float>& b, Matrix<float>& c) {
+  const Matrix<float> oa = apply_op(a, params.transa);
+  const Matrix<float> ob = apply_op(b, params.transb);
+  M3XU_CHECK(oa.cols() == ob.rows());
+  M3XU_CHECK(oa.rows() == c.rows() && ob.cols() == c.cols());
+  // Product into a zeroed temp, then the FP32 epilogue.
+  Matrix<float> prod(c.rows(), c.cols());
+  prod.fill(0.0f);
+  run_sgemm(kernel, engine, oa, ob, prod);
+  // BLAS semantics: beta == 0 means C is write-only (NaN/garbage in C
+  // must not propagate).
+  for (int i = 0; i < c.rows(); ++i) {
+    for (int j = 0; j < c.cols(); ++j) {
+      const float base =
+          params.beta == 0.0f ? 0.0f : params.beta * c(i, j);
+      c(i, j) = params.alpha * prod(i, j) + base;
+    }
+  }
+}
+
+void blas_cgemm(const BlasParamsC& params, CgemmKernel kernel,
+                const core::M3xuEngine& engine,
+                const Matrix<std::complex<float>>& a,
+                const Matrix<std::complex<float>>& b,
+                Matrix<std::complex<float>>& c) {
+  const Matrix<std::complex<float>> oa = apply_op(a, params.transa);
+  const Matrix<std::complex<float>> ob = apply_op(b, params.transb);
+  M3XU_CHECK(oa.cols() == ob.rows());
+  M3XU_CHECK(oa.rows() == c.rows() && ob.cols() == c.cols());
+  Matrix<std::complex<float>> prod(c.rows(), c.cols());
+  prod.fill({});
+  run_cgemm(kernel, engine, oa, ob, prod);
+  const bool beta_zero = params.beta == std::complex<float>{0.0f, 0.0f};
+  for (int i = 0; i < c.rows(); ++i) {
+    for (int j = 0; j < c.cols(); ++j) {
+      const std::complex<float> base =
+          beta_zero ? std::complex<float>{} : params.beta * c(i, j);
+      c(i, j) = params.alpha * prod(i, j) + base;
+    }
+  }
+}
+
+void blas_sgemm_strided_batched(SgemmKernel kernel,
+                                const core::M3xuEngine& engine, int m, int n,
+                                int k, const float* a, long stride_a,
+                                const float* b, long stride_b, float* c,
+                                long stride_c, int batch_count) {
+  M3XU_CHECK(batch_count >= 0);
+  if (kernel == SgemmKernel::kM3xu) {
+    // Native mode: parallelize over batches (the per-batch engine call
+    // is serial).
+    parallel_for(static_cast<std::size_t>(batch_count), [&](std::size_t i) {
+      engine.gemm_fp32(m, n, k, a + i * stride_a, k, b + i * stride_b, n,
+                       c + i * stride_c, n);
+    });
+    return;
+  }
+  // Other kernels parallelize internally: run batches sequentially
+  // (parallel_for does not nest).
+  for (int i = 0; i < batch_count; ++i) {
+    Matrix<float> ma(m, k), mb(k, n), mc(m, n);
+    std::copy_n(a + i * stride_a, static_cast<std::size_t>(m) * k, ma.data());
+    std::copy_n(b + i * stride_b, static_cast<std::size_t>(k) * n, mb.data());
+    std::copy_n(c + i * stride_c, static_cast<std::size_t>(m) * n, mc.data());
+    run_sgemm(kernel, engine, ma, mb, mc);
+    std::copy_n(mc.data(), static_cast<std::size_t>(m) * n,
+                c + i * stride_c);
+  }
+}
+
+void blas_cgemm_strided_batched(CgemmKernel kernel,
+                                const core::M3xuEngine& engine, int m, int n,
+                                int k, const std::complex<float>* a,
+                                long stride_a, const std::complex<float>* b,
+                                long stride_b, std::complex<float>* c,
+                                long stride_c, int batch_count) {
+  M3XU_CHECK(batch_count >= 0);
+  if (kernel == CgemmKernel::kM3xu) {
+    parallel_for(static_cast<std::size_t>(batch_count), [&](std::size_t i) {
+      engine.gemm_fp32c(m, n, k, a + i * stride_a, k, b + i * stride_b, n,
+                        c + i * stride_c, n);
+    });
+    return;
+  }
+  for (int i = 0; i < batch_count; ++i) {
+    Matrix<std::complex<float>> ma(m, k), mb(k, n), mc(m, n);
+    std::copy_n(a + i * stride_a, static_cast<std::size_t>(m) * k, ma.data());
+    std::copy_n(b + i * stride_b, static_cast<std::size_t>(k) * n, mb.data());
+    std::copy_n(c + i * stride_c, static_cast<std::size_t>(m) * n, mc.data());
+    run_cgemm(kernel, engine, ma, mb, mc);
+    std::copy_n(mc.data(), static_cast<std::size_t>(m) * n,
+                c + i * stride_c);
+  }
+}
+
+}  // namespace m3xu::gemm

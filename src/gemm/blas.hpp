@@ -1,0 +1,66 @@
+// BLAS-style entry points over the kernel inventory:
+//   C = alpha * op(A) * op(B) + beta * C
+// with op in {N, T, C(onjugate-transpose, complex only)}. This is the
+// drop-in surface the paper's "zero changes in software" argument
+// targets: existing cuBLAS-shaped callers move to M3XU by switching
+// the kernel enum. The epilogue (alpha/beta scaling) runs in FP32 on
+// the SIMT path, as in cuBLAS.
+#pragma once
+
+#include <complex>
+
+#include "gemm/kernels.hpp"
+#include "gemm/matrix.hpp"
+
+namespace m3xu::gemm {
+
+enum class Trans {
+  kN,  // as-is
+  kT,  // transpose
+  kC,  // conjugate transpose (complex entry points only)
+};
+
+struct BlasParams {
+  Trans transa = Trans::kN;
+  Trans transb = Trans::kN;
+  float alpha = 1.0f;
+  float beta = 1.0f;
+};
+
+/// C = alpha * op(A) * op(B) + beta * C. Shapes are validated after
+/// applying the ops: op(A) is m x k, op(B) is k x n, C is m x n.
+void blas_sgemm(const BlasParams& params, SgemmKernel kernel,
+                const core::M3xuEngine& engine, const Matrix<float>& a,
+                const Matrix<float>& b, Matrix<float>& c);
+
+struct BlasParamsC {
+  Trans transa = Trans::kN;
+  Trans transb = Trans::kN;
+  std::complex<float> alpha = {1.0f, 0.0f};
+  std::complex<float> beta = {1.0f, 0.0f};
+};
+
+void blas_cgemm(const BlasParamsC& params, CgemmKernel kernel,
+                const core::M3xuEngine& engine,
+                const Matrix<std::complex<float>>& a,
+                const Matrix<std::complex<float>>& b,
+                Matrix<std::complex<float>>& c);
+
+/// Strided-batched GEMM (the cuBLAS *StridedBatched surface the FFT
+/// and attention-style workloads use): batch_count independent
+/// m x n x k products over flat buffers with per-matrix strides.
+/// C[i] = A[i] * B[i] + C[i]. Batches run on the global thread pool.
+void blas_sgemm_strided_batched(SgemmKernel kernel,
+                                const core::M3xuEngine& engine, int m, int n,
+                                int k, const float* a, long stride_a,
+                                const float* b, long stride_b, float* c,
+                                long stride_c, int batch_count);
+
+void blas_cgemm_strided_batched(CgemmKernel kernel,
+                                const core::M3xuEngine& engine, int m, int n,
+                                int k, const std::complex<float>* a,
+                                long stride_a, const std::complex<float>* b,
+                                long stride_b, std::complex<float>* c,
+                                long stride_c, int batch_count);
+
+}  // namespace m3xu::gemm

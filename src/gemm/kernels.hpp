@@ -1,0 +1,78 @@
+// The GEMM kernel inventory of the paper's evaluation (Tables II & IV):
+// SIMT baselines, the software-emulation kernels on stock Tensor Cores,
+// and the M3XU kernels. These are the *functional* implementations; the
+// timing simulator (src/sim) models their execution cost.
+//
+//   FP32 (Table IV):
+//     cutlass_simt_sgemm       - FP32 FMA on CUDA cores
+//     cutlass_tensorop_sgemm   - 3xTF32 software emulation (drops the
+//                                low*low term -> loses precision)
+//     EEHC_sgemm_fp32B         - 3xBF16 software emulation [Ma et al.]
+//     m3xu_sgemm               - the M3XU FP32 mode (exact products)
+//   FP32C:
+//     cutlass_simt_cgemm, cutlass_tensorop_cgemm (3xTF32 complex),
+//     m3xu_cgemm
+//
+// The 4xTF32 variant (the "perfect emulation" CUTLASS omits for speed)
+// is included for the precision ablation.
+#pragma once
+
+#include <complex>
+#include <string>
+
+#include "core/mxu.hpp"
+#include "gemm/matrix.hpp"
+
+namespace m3xu::gemm {
+
+enum class SgemmKernel {
+  kSimt,            // cutlass_simt_sgemm
+  kTensorOp3xTf32,  // cutlass_tensorop_sgemm
+  kTensorOp4xTf32,  // precision ablation (4th low*low GEMM included)
+  kEehc3xBf16,      // EEHC_sgemm_fp32B
+  kM3xu,            // m3xu_sgemm (pipelined and non-pipelined share
+                    // numerics; they differ only in clocks, see src/sim)
+};
+
+enum class CgemmKernel {
+  kSimt,            // cutlass_simt_cgemm
+  kTensorOp3xTf32,  // cutlass_tensorop_cgemm
+  kM3xu,            // m3xu_cgemm
+};
+
+const char* kernel_name(SgemmKernel k);
+const char* kernel_name(CgemmKernel k);
+
+/// Runs the kernel: C <- A*B + C. Parallelized over row blocks with the
+/// global thread pool (deterministic results regardless of threading).
+void run_sgemm(SgemmKernel kernel, const core::M3xuEngine& engine,
+               const Matrix<float>& a, const Matrix<float>& b,
+               Matrix<float>& c);
+
+void run_cgemm(CgemmKernel kernel, const core::M3xuEngine& engine,
+               const Matrix<std::complex<float>>& a,
+               const Matrix<std::complex<float>>& b,
+               Matrix<std::complex<float>>& c);
+
+/// FP16 Tensor-Core GEMM (mixed-precision forward pass): inputs are
+/// rounded to FP16, accumulation is FP32.
+void tensorop_hgemm(const core::M3xuEngine& engine, const Matrix<float>& a,
+                    const Matrix<float>& b, Matrix<float>& c);
+
+// --- Building blocks exposed for tests and the apps -------------------
+
+/// Splits every element: hi = rne(x, fmt), lo = rne(x - hi, fmt).
+struct SplitMatrices {
+  Matrix<float> hi;
+  Matrix<float> lo;
+};
+SplitMatrices split_matrix(const Matrix<float>& m, const fp::FloatFormat& fmt);
+
+/// Component planes of a complex matrix.
+struct ComplexPlanes {
+  Matrix<float> re;
+  Matrix<float> im;
+};
+ComplexPlanes planes(const Matrix<std::complex<float>>& m);
+
+}  // namespace m3xu::gemm

@@ -1,0 +1,62 @@
+#include "gemm/matrix.hpp"
+
+namespace m3xu::gemm {
+
+void fill_random(Matrix<float>& m, Rng& rng) {
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) m(i, j) = rng.scaled_float();
+  }
+}
+
+void fill_random(Matrix<double>& m, Rng& rng) {
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      m(i, j) = static_cast<double>(rng.scaled_float());
+    }
+  }
+}
+
+void fill_random(Matrix<std::complex<float>>& m, Rng& rng) {
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      m(i, j) = {rng.scaled_float(), rng.scaled_float()};
+    }
+  }
+}
+
+void fill_random(Matrix<std::complex<double>>& m, Rng& rng) {
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      m(i, j) = {static_cast<double>(rng.scaled_float()),
+                 static_cast<double>(rng.scaled_float())};
+    }
+  }
+}
+
+Matrix<double> widen(const Matrix<float>& m) {
+  Matrix<double> out(m.rows(), m.cols());
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) out(i, j) = m(i, j);
+  }
+  return out;
+}
+
+Matrix<std::complex<double>> widen(const Matrix<std::complex<float>>& m) {
+  Matrix<std::complex<double>> out(m.rows(), m.cols());
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      out(i, j) = std::complex<double>(m(i, j));
+    }
+  }
+  return out;
+}
+
+Matrix<float> narrow(const Matrix<double>& m) {
+  Matrix<float> out(m.rows(), m.cols());
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) out(i, j) = static_cast<float>(m(i, j));
+  }
+  return out;
+}
+
+}  // namespace m3xu::gemm

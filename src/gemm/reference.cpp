@@ -1,0 +1,151 @@
+#include "gemm/reference.hpp"
+
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "fp/exact_accumulator.hpp"
+
+namespace m3xu::gemm {
+
+namespace {
+
+void check_shapes(int am, int ak, int bk, int bn, int cm, int cn) {
+  M3XU_CHECK(ak == bk);
+  M3XU_CHECK(am == cm);
+  M3XU_CHECK(bn == cn);
+}
+
+}  // namespace
+
+void simt_sgemm(const Matrix<float>& a, const Matrix<float>& b,
+                Matrix<float>& c) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const int k = a.cols();
+  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      float acc = c(static_cast<int>(i), j);
+      for (int kk = 0; kk < k; ++kk) {
+        acc = std::fmaf(a(static_cast<int>(i), kk), b(kk, j), acc);
+      }
+      c(static_cast<int>(i), j) = acc;
+    }
+  });
+}
+
+void simt_cgemm(const Matrix<std::complex<float>>& a,
+                const Matrix<std::complex<float>>& b,
+                Matrix<std::complex<float>>& c) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const int k = a.cols();
+  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t si) {
+    const int i = static_cast<int>(si);
+    for (int j = 0; j < b.cols(); ++j) {
+      float re = c(i, j).real();
+      float im = c(i, j).imag();
+      for (int kk = 0; kk < k; ++kk) {
+        const std::complex<float> x = a(i, kk);
+        const std::complex<float> y = b(kk, j);
+        // Four FMAs per complex MAC, the standard SIMT lowering.
+        re = std::fmaf(x.real(), y.real(), re);
+        re = std::fmaf(-x.imag(), y.imag(), re);
+        im = std::fmaf(x.real(), y.imag(), im);
+        im = std::fmaf(x.imag(), y.real(), im);
+      }
+      c(i, j) = {re, im};
+    }
+  });
+}
+
+void ref_dgemm(const Matrix<double>& a, const Matrix<double>& b,
+               Matrix<double>& c) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const int k = a.cols();
+  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t si) {
+    const int i = static_cast<int>(si);
+    for (int j = 0; j < b.cols(); ++j) {
+      double acc = c(i, j);
+      for (int kk = 0; kk < k; ++kk) acc = std::fma(a(i, kk), b(kk, j), acc);
+      c(i, j) = acc;
+    }
+  });
+}
+
+void ref_zgemm(const Matrix<std::complex<double>>& a,
+               const Matrix<std::complex<double>>& b,
+               Matrix<std::complex<double>>& c) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const int k = a.cols();
+  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t si) {
+    const int i = static_cast<int>(si);
+    for (int j = 0; j < b.cols(); ++j) {
+      std::complex<double> acc = c(i, j);
+      for (int kk = 0; kk < k; ++kk) acc += a(i, kk) * b(kk, j);
+      c(i, j) = acc;
+    }
+  });
+}
+
+void exact_gemm(const Matrix<float>& a, const Matrix<float>& b,
+                Matrix<double>& c) {
+  check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
+  const int k = a.cols();
+  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t si) {
+    const int i = static_cast<int>(si);
+    for (int j = 0; j < b.cols(); ++j) {
+      fp::ExactAccumulator acc;
+      acc.add_double(c(i, j));
+      for (int kk = 0; kk < k; ++kk) {
+        acc.add_product(fp::unpack(a(i, kk)), fp::unpack(b(kk, j)));
+      }
+      c(i, j) = acc.to_double();
+    }
+  });
+}
+
+namespace {
+
+constexpr double kRelFloor = 1e-30;
+
+void accumulate_error(double x, double ref, ErrorStats& s, double& rel_sum,
+                      std::size_t& count) {
+  const double abs_err = std::fabs(x - ref);
+  const double rel = abs_err / std::max(std::fabs(ref), kRelFloor);
+  s.max_abs = std::max(s.max_abs, abs_err);
+  s.max_rel = std::max(s.max_rel, rel);
+  rel_sum += rel;
+  ++count;
+}
+
+}  // namespace
+
+ErrorStats compare(const Matrix<float>& x, const Matrix<double>& ref) {
+  M3XU_CHECK(x.rows() == ref.rows() && x.cols() == ref.cols());
+  ErrorStats s;
+  double rel_sum = 0.0;
+  std::size_t count = 0;
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      accumulate_error(x(i, j), ref(i, j), s, rel_sum, count);
+    }
+  }
+  s.mean_rel = count ? rel_sum / static_cast<double>(count) : 0.0;
+  return s;
+}
+
+ErrorStats compare(const Matrix<std::complex<float>>& x,
+                   const Matrix<std::complex<double>>& ref) {
+  M3XU_CHECK(x.rows() == ref.rows() && x.cols() == ref.cols());
+  ErrorStats s;
+  double rel_sum = 0.0;
+  std::size_t count = 0;
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) {
+      accumulate_error(x(i, j).real(), ref(i, j).real(), s, rel_sum, count);
+      accumulate_error(x(i, j).imag(), ref(i, j).imag(), s, rel_sum, count);
+    }
+  }
+  s.mean_rel = count ? rel_sum / static_cast<double>(count) : 0.0;
+  return s;
+}
+
+}  // namespace m3xu::gemm

@@ -1,0 +1,50 @@
+// Reference GEMMs: the CUDA-core (SIMT) semantics baselines and exact
+// oracles every kernel is validated against.
+#pragma once
+
+#include <complex>
+
+#include "gemm/matrix.hpp"
+
+namespace m3xu::gemm {
+
+/// cutlass_simt_sgemm semantics: per-element serial FP32 FMA chain
+/// (one rounding per multiply-add), deterministic K order. This is the
+/// "conventional vector processing units" baseline of the paper.
+void simt_sgemm(const Matrix<float>& a, const Matrix<float>& b,
+                Matrix<float>& c);
+
+/// cutlass_simt_cgemm semantics: complex FP32 FMA chains (four real
+/// FMAs per complex MAC).
+void simt_cgemm(const Matrix<std::complex<float>>& a,
+                const Matrix<std::complex<float>>& b,
+                Matrix<std::complex<float>>& c);
+
+/// Double-precision reference (error measurement baseline).
+void ref_dgemm(const Matrix<double>& a, const Matrix<double>& b,
+               Matrix<double>& c);
+void ref_zgemm(const Matrix<std::complex<double>>& a,
+               const Matrix<std::complex<double>>& b,
+               Matrix<std::complex<double>>& c);
+
+/// Exact oracle: every output element is the correctly rounded (to
+/// double) exact dot product - computed with the exact accumulator.
+/// O(mnk) with wide arithmetic: use on small/medium problems only.
+void exact_gemm(const Matrix<float>& a, const Matrix<float>& b,
+                Matrix<double>& c);
+
+// --- Error metrics ----------------------------------------------------
+
+struct ErrorStats {
+  double max_abs = 0.0;
+  double max_rel = 0.0;
+  double mean_rel = 0.0;
+};
+
+/// Per-element comparison against a double reference; relative error is
+/// |x-ref| / max(|ref|, floor) with a small floor to avoid div-by-zero.
+ErrorStats compare(const Matrix<float>& x, const Matrix<double>& ref);
+ErrorStats compare(const Matrix<std::complex<float>>& x,
+                   const Matrix<std::complex<double>>& ref);
+
+}  // namespace m3xu::gemm

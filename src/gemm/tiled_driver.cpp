@@ -1,0 +1,139 @@
+#include "gemm/tiled_driver.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace m3xu::gemm {
+
+namespace {
+
+struct TileGrid {
+  long grid_m;
+  long grid_n;
+  long tiles() const { return grid_m * grid_n; }
+};
+
+TileGrid make_grid(const TileConfig& cfg, int m, int n) {
+  return {(m + cfg.block_m - 1) / cfg.block_m,
+          (n + cfg.block_n - 1) / cfg.block_n};
+}
+
+long instr_count(int m_eff, int n_eff, int kc, int inst_m, int inst_n,
+                 int inst_k) {
+  return static_cast<long>((m_eff + inst_m - 1) / inst_m) *
+         ((n_eff + inst_n - 1) / inst_n) * ((kc + inst_k - 1) / inst_k);
+}
+
+/// Shared implementation over the element type and engine entry point.
+template <typename T, typename MmaFn>
+TiledGemmStats run_tiled(const TileConfig& cfg, const Matrix<T>& a,
+                         const Matrix<T>& b, Matrix<T>& c, int inst_k,
+                         int inst_m, int inst_n, MmaFn&& mma) {
+  M3XU_CHECK(cfg.valid());
+  // K-chunk boundaries must coincide with the engine's instruction
+  // chunking for bit-identical results vs the flat loop.
+  M3XU_CHECK(cfg.block_k % inst_k == 0);
+  M3XU_CHECK(a.cols() == b.rows());
+  M3XU_CHECK(a.rows() == c.rows() && b.cols() == c.cols());
+  const int m = a.rows(), n = b.cols(), k = a.cols();
+  const TileGrid grid = make_grid(cfg, m, n);
+
+  std::mutex stats_mu;
+  TiledGemmStats stats;
+  stats.block_tiles = grid.tiles();
+
+  parallel_for(static_cast<std::size_t>(grid.tiles()), [&](std::size_t t) {
+    const int bm = static_cast<int>(t / grid.grid_n) * cfg.block_m;
+    const int bn = static_cast<int>(t % grid.grid_n) * cfg.block_n;
+    const int m_eff = std::min(cfg.block_m, m - bm);
+    const int n_eff = std::min(cfg.block_n, n - bn);
+    // Staging buffers (the shared-memory model) and the C fragment.
+    std::vector<T> a_stage(static_cast<std::size_t>(m_eff) * cfg.block_k);
+    std::vector<T> b_stage(static_cast<std::size_t>(cfg.block_k) * n_eff);
+    std::vector<T> c_frag(static_cast<std::size_t>(m_eff) * n_eff);
+    for (int i = 0; i < m_eff; ++i) {
+      for (int j = 0; j < n_eff; ++j) {
+        c_frag[static_cast<std::size_t>(i) * n_eff + j] = c(bm + i, bn + j);
+      }
+    }
+    TiledGemmStats local;
+    for (int k0 = 0; k0 < k; k0 += cfg.block_k) {
+      const int kc = std::min(cfg.block_k, k - k0);
+      // Stage the A and B panels (cp.async in the real kernel).
+      for (int i = 0; i < m_eff; ++i) {
+        for (int kk = 0; kk < kc; ++kk) {
+          a_stage[static_cast<std::size_t>(i) * cfg.block_k + kk] =
+              a(bm + i, k0 + kk);
+        }
+      }
+      for (int kk = 0; kk < kc; ++kk) {
+        for (int j = 0; j < n_eff; ++j) {
+          b_stage[static_cast<std::size_t>(kk) * n_eff + j] =
+              b(k0 + kk, bn + j);
+        }
+      }
+      local.staged_bytes +=
+          static_cast<double>(m_eff + n_eff) * kc * sizeof(T);
+      ++local.mainloop_iterations;
+      // Warp tiles over the block tile.
+      for (int wm = 0; wm < m_eff; wm += cfg.warp_m) {
+        const int wm_eff = std::min(cfg.warp_m, m_eff - wm);
+        for (int wn = 0; wn < n_eff; wn += cfg.warp_n) {
+          const int wn_eff = std::min(cfg.warp_n, n_eff - wn);
+          mma(wm_eff, wn_eff, kc,
+              a_stage.data() + static_cast<std::size_t>(wm) * cfg.block_k,
+              cfg.block_k, b_stage.data() + wn, n_eff,
+              c_frag.data() + static_cast<std::size_t>(wm) * n_eff + wn,
+              n_eff);
+          local.mma_instructions +=
+              instr_count(wm_eff, wn_eff, kc, inst_m, inst_n, inst_k);
+        }
+      }
+    }
+    for (int i = 0; i < m_eff; ++i) {
+      for (int j = 0; j < n_eff; ++j) {
+        c(bm + i, bn + j) = c_frag[static_cast<std::size_t>(i) * n_eff + j];
+      }
+    }
+    const std::lock_guard<std::mutex> lock(stats_mu);
+    stats.mainloop_iterations += local.mainloop_iterations;
+    stats.staged_bytes += local.staged_bytes;
+    stats.mma_instructions += local.mma_instructions;
+  });
+  return stats;
+}
+
+}  // namespace
+
+TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const Matrix<float>& a,
+                           const Matrix<float>& b, Matrix<float>& c) {
+  const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32);
+  return run_tiled<float>(
+      config, a, b, c, shape.k, shape.m, shape.n,
+      [&](int mm, int nn, int kk, const float* pa, int lda, const float* pb,
+          int ldb, float* pc, int ldc) {
+        engine.gemm_fp32(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
+      });
+}
+
+TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config,
+                           const Matrix<std::complex<float>>& a,
+                           const Matrix<std::complex<float>>& b,
+                           Matrix<std::complex<float>>& c) {
+  const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32Complex);
+  return run_tiled<std::complex<float>>(
+      config, a, b, c, shape.k, shape.m, shape.n,
+      [&](int mm, int nn, int kk, const std::complex<float>* pa, int lda,
+          const std::complex<float>* pb, int ldb, std::complex<float>* pc,
+          int ldc) {
+        engine.gemm_fp32c(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
+      });
+}
+
+}  // namespace m3xu::gemm

@@ -1,0 +1,80 @@
+#include "gemm/ulp.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace m3xu::gemm {
+
+namespace {
+
+/// Maps a float's bits to a monotone signed integer line so ULP
+/// distance is a subtraction.
+std::int64_t ordered(float f) {
+  const std::uint32_t b = bits_of(f);
+  return (b & 0x80000000u)
+             ? -static_cast<std::int64_t>(b & 0x7fffffffu)
+             : static_cast<std::int64_t>(b & 0x7fffffffu);
+}
+
+}  // namespace
+
+std::int64_t ulp_distance(float x, double reference) {
+  const float rounded = static_cast<float>(reference);
+  if (std::isnan(x) || std::isnan(rounded)) {
+    return (std::isnan(x) && std::isnan(rounded)) ? 0
+                                                  : (std::int64_t{1} << 40);
+  }
+  if (std::isinf(x) || std::isinf(rounded)) {
+    return x == rounded ? 0 : (std::int64_t{1} << 40);
+  }
+  return std::llabs(ordered(x) - ordered(rounded));
+}
+
+void UlpHistogram::add(float x, double reference) {
+  const std::int64_t d = ulp_distance(x, reference);
+  max_ = std::max(max_, d);
+  ++total_;
+  if (d == 0) {
+    ++buckets_[0];
+  } else if (d == 1) {
+    ++buckets_[1];
+  } else if (d == 2) {
+    ++buckets_[2];
+  } else if (d <= 4) {
+    ++buckets_[3];
+  } else if (d <= 16) {
+    ++buckets_[4];
+  } else {
+    ++buckets_[5];
+  }
+}
+
+void UlpHistogram::add_matrix(const Matrix<float>& x,
+                              const Matrix<double>& reference) {
+  M3XU_CHECK(x.rows() == reference.rows() && x.cols() == reference.cols());
+  for (int i = 0; i < x.rows(); ++i) {
+    for (int j = 0; j < x.cols(); ++j) add(x(i, j), reference(i, j));
+  }
+}
+
+double UlpHistogram::exact_fraction() const {
+  return total_ ? static_cast<double>(buckets_[0]) / total_ : 0.0;
+}
+
+double UlpHistogram::faithful_fraction() const {
+  return total_ ? static_cast<double>(buckets_[0] + buckets_[1]) / total_
+                : 0.0;
+}
+
+std::string UlpHistogram::summary() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%5.1f%% exact | %5.1f%% <=1ulp | max %ld",
+                exact_fraction() * 100.0, faithful_fraction() * 100.0,
+                static_cast<long>(max_));
+  return buf;
+}
+
+}  // namespace m3xu::gemm

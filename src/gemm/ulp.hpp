@@ -1,0 +1,40 @@
+// ULP-level error analysis: distances from correctly rounded results,
+// and histograms for precision reports (the quantitative form of the
+// paper's SV-B exactness discussion).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "gemm/matrix.hpp"
+
+namespace m3xu::gemm {
+
+/// Distance in FP32 ULPs between `x` and the FP32 value correctly
+/// rounded from `reference`. 0 means x IS the correctly rounded value.
+/// Inf/NaN mismatches count as the maximum bucket.
+std::int64_t ulp_distance(float x, double reference);
+
+/// Log-scaled histogram of ULP distances: {0, 1, 2, 3-4, 5-16, >16}.
+class UlpHistogram {
+ public:
+  void add(float x, double reference);
+  void add_matrix(const Matrix<float>& x, const Matrix<double>& reference);
+
+  std::size_t total() const { return total_; }
+  /// Fraction of samples that are exactly correctly rounded.
+  double exact_fraction() const;
+  /// Fraction within 1 ULP.
+  double faithful_fraction() const;
+  std::int64_t max_ulps() const { return max_; }
+  /// "37.5% exact | 99.1% <=1ulp | max 7" style summary.
+  std::string summary() const;
+
+ private:
+  std::array<std::size_t, 6> buckets_{};
+  std::size_t total_ = 0;
+  std::int64_t max_ = 0;
+};
+
+}  // namespace m3xu::gemm

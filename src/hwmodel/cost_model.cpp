@@ -1,0 +1,140 @@
+#include "hwmodel/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace m3xu::hw {
+
+namespace {
+
+constexpr int kBaseMultBits = 11;
+constexpr int kBaseAccumBits = 24;
+
+double area_of(const MxuDesign& d, const TechnologyConstants& t) {
+  const double w = static_cast<double>(d.mult_bits) / kBaseMultBits;
+  double area = t.mult_area_weight * w * w +
+                t.accum_area_weight *
+                    (static_cast<double>(d.accum_bits) / kBaseAccumBits) +
+                t.exp_area_weight;
+  area += t.buffer_area_per_step * d.assign_steps;
+  if (d.has_mux) area += t.mux_area;
+  if (d.sign_flip) area += t.signflip_area;
+  if (d.pipelined_assign) area += t.pipeline_reg_area;
+  return area;
+}
+
+double cycle_time_of(const MxuDesign& d, const TechnologyConstants& t) {
+  // The data-assignment stage sits in front of the multipliers; without
+  // its own pipeline stage it stretches the cycle.
+  if (d.assign_steps > 0 && !d.pipelined_assign) {
+    return 1.0 + t.assign_stage_delay;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double active_energy_per_cycle(const MxuDesign& design,
+                               const TechnologyConstants& tech,
+                               int mode_mult_bits, int mode_accum_bits) {
+  // Toggled widths: gated designs only switch the bits the mode uses;
+  // ungated designs switch the full datapath.
+  const int mult_toggled =
+      design.input_gated ? std::min(design.mult_bits, mode_mult_bits)
+                         : design.mult_bits;
+  const int accum_toggled =
+      design.input_gated ? std::min(design.accum_bits, mode_accum_bits)
+                         : design.accum_bits;
+  const double wm = static_cast<double>(mult_toggled) / kBaseMultBits;
+  double dyn = tech.mult_area_weight * std::pow(wm, tech.mult_power_exp) +
+               tech.accum_area_weight *
+                   (static_cast<double>(accum_toggled) / kBaseAccumBits) +
+               tech.exp_area_weight;
+  // Input-path components switch every cycle regardless of mode: the
+  // active step's buffers and the multiplexers.
+  if (design.assign_steps > 0) dyn += tech.buffer_area_per_step;
+  if (design.has_mux) dyn += tech.mux_area;
+  return dyn;
+}
+
+CostResult evaluate(const MxuDesign& design, const TechnologyConstants& tech) {
+  CostResult r;
+  r.area = area_of(design, tech);
+  r.cycle_time = cycle_time_of(design, tech);
+  r.frequency = 1.0 / r.cycle_time;
+  // FP16-mode workload power at the design's own clock.
+  const double dyn =
+      active_energy_per_cycle(design, tech, kBaseMultBits, kBaseAccumBits);
+  const double dyn_share = 1.0 - tech.leakage_fraction;
+  r.power = dyn_share * dyn * std::pow(r.frequency, tech.dvfs_exp) +
+            tech.leakage_fraction * r.area;
+  return r;
+}
+
+std::vector<MxuDesign> table3_designs() {
+  std::vector<MxuDesign> designs;
+  designs.push_back({.name = "baseline_fp16_mxu"});
+  designs.push_back({.name = "fp32_mxu",
+                     .mult_bits = 24,
+                     .accum_bits = 48,
+                     .input_gated = false});
+  designs.push_back({.name = "m3xu_no_fp32c",
+                     .mult_bits = 12,
+                     .accum_bits = 48,
+                     .assign_steps = 2,
+                     .has_mux = true});
+  designs.push_back({.name = "m3xu",
+                     .mult_bits = 12,
+                     .accum_bits = 48,
+                     .assign_steps = 4,
+                     .has_mux = true,
+                     .sign_flip = true});
+  designs.push_back({.name = "m3xu_pipelined",
+                     .mult_bits = 12,
+                     .accum_bits = 48,
+                     .assign_steps = 4,
+                     .has_mux = true,
+                     .sign_flip = true,
+                     .pipelined_assign = true});
+  return designs;
+}
+
+std::vector<PaperRow> table3_paper_rows() {
+  return {
+      {"baseline_fp16_mxu", 1.00, 1.00, 1.00},
+      {"fp32_mxu", 3.55, 1.00, 7.97},
+      {"m3xu_no_fp32c", 1.37, 1.21, 0.66},
+      {"m3xu", 1.41, 1.21, 0.69},
+      {"m3xu_pipelined", 1.47, 1.00, 1.07},
+  };
+}
+
+double sm_area_increase(double mxu_relative_area, double mxu_sm_fraction) {
+  M3XU_CHECK(mxu_relative_area >= 0.0);
+  return (mxu_relative_area - 1.0) * mxu_sm_fraction;
+}
+
+MxuDesign composed_design(int mult_bits, int target_sig_bits,
+                          int accum_bits) {
+  M3XU_CHECK(mult_bits >= 2 && target_sig_bits >= mult_bits);
+  const int parts = (target_sig_bits + mult_bits - 1) / mult_bits;
+  MxuDesign d;
+  d.name = "composed_w" + std::to_string(mult_bits);
+  d.mult_bits = mult_bits;
+  d.accum_bits = accum_bits;
+  d.assign_steps = parts * parts;
+  d.has_mux = true;
+  d.sign_flip = true;
+  d.pipelined_assign = true;
+  return d;
+}
+
+MxuDesign m3xu_fp64_design() {
+  MxuDesign d = composed_design(27, 53, 56);
+  d.name = "m3xu_fp64";
+  d.assign_steps = 4;  // HH/LL/HL/LH classes (SIV-C)
+  return d;
+}
+
+}  // namespace m3xu::hw

@@ -1,0 +1,111 @@
+// Analytical hardware cost model - the stand-in for the paper's
+// Synopsys DC + FreePDK45 synthesis flow (SV-A, Table III).
+//
+// Each MXU design is an inventory of components with scaling laws:
+//   - significand multiplier array: area ~ w^2, dynamic power ~ w^e
+//     (toggle density grows superlinearly with operand width);
+//   - adder tree + alignment shifters + accumulation registers: area
+//     linear in the accumulation width;
+//   - exponent path + control: fixed per lane;
+//   - data-assignment stage: per-step buffers + multiplexers;
+//   - sign-flip gates (FP32C) and pipeline registers: small adders.
+//
+// Power is *activity-gated* and reported for the common-mode workload
+// (FP16 MMA, the paper's comparison point): M3XU's extra multiplier
+// bit, the upper accumulator half, and the sign-flip logic are zero-
+// padded / idle in FP16 mode and contribute only leakage; the naive
+// FP32-MXU has no such gating and toggles its full 24-bit array.
+// Frequency scaling follows near-linear DVFS (P_dyn ~ f^3).
+//
+// Calibrated constants (documented; everything else is a prediction):
+//   - mult_area_weight from the two synthesized areas (3.55x, 1.37x),
+//   - assign_stage_delay = 0.21 from the synthesized cycle time,
+//   - mult_power_exp = 3.23 from the synthesized FP32-MXU power.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace m3xu::hw {
+
+struct TechnologyConstants {
+  // Area weights; the baseline FP16 MXU lane sums to 1.0.
+  double mult_area_weight = 0.625;  // 11-bit multiplier array
+  double accum_area_weight = 0.20;  // tree + shifters + 24-bit registers
+  double exp_area_weight = 0.175;   // exponent adders + control
+  double buffer_area_per_step = 0.015;  // data-assignment buffers
+  double mux_area = 0.020;              // data-assignment multiplexers
+  double signflip_area = 0.010;         // FP32C sign-flip gates
+  double pipeline_reg_area = 0.060;     // extra pipeline-stage registers
+
+  // Un-pipelined data-assignment stage lengthens the critical path.
+  double assign_stage_delay = 0.21;
+
+  // Power.
+  double mult_power_exp = 3.23;  // multiplier dynamic power ~ w^e
+  double dvfs_exp = 3.0;         // P_dyn ~ f^3 (voltage tracks frequency)
+  double leakage_fraction = 0.08;  // static power ~ area
+};
+
+struct MxuDesign {
+  std::string name;
+  int mult_bits = 11;       // significand multiplier width
+  int accum_bits = 24;      // accumulation register/adder-tree width
+  int assign_steps = 0;     // buffered steps in the data-assignment stage
+  bool has_mux = false;     // data-assignment multiplexers present
+  bool sign_flip = false;   // FP32C subtraction support
+  bool pipelined_assign = false;  // extra pipeline stage for assignment
+  bool input_gated = true;  // extra datapath bits are zero-gated in
+                            // FP16 mode (true for M3XU; false for the
+                            // naive FP32-MXU)
+};
+
+struct CostResult {
+  double area = 1.0;        // relative to baseline FP16 MXU
+  double cycle_time = 1.0;  // relative
+  double power = 1.0;       // relative, FP16-mode workload, own clock
+  double frequency = 1.0;   // relative operating frequency (1/cycle_time)
+};
+
+/// Evaluates one design against the baseline.
+CostResult evaluate(const MxuDesign& design, const TechnologyConstants& tech);
+
+/// The five Table III designs: baseline FP16 MXU, naive FP32-MXU,
+/// M3XU w/o FP32C, full M3XU, pipelined M3XU.
+std::vector<MxuDesign> table3_designs();
+
+/// Paper-reported Table III values (for the model-vs-paper benches).
+struct PaperRow {
+  std::string name;
+  double area;
+  double cycle_time;
+  double power;
+};
+std::vector<PaperRow> table3_paper_rows();
+
+/// SM-level roll-up: MXUs occupy `mxu_sm_fraction` of an SM, so an MXU
+/// overhead of (area-1) grows the SM by (area-1)*fraction.
+double sm_area_increase(double mxu_relative_area,
+                        double mxu_sm_fraction = 0.085);
+
+/// Design-space point: an M3XU-style design whose multipliers are
+/// `mult_bits` wide (composing the target significand from
+/// ceil(sig_bits/mult_bits) parts in parts^2 steps), with the full
+/// data-assignment stage, sign-flip, and pipelining. Used by the
+/// SIV-C ablation.
+MxuDesign composed_design(int mult_bits, int target_sig_bits,
+                          int accum_bits);
+
+/// The FP64-capable M3XU of SIV-C: 27-bit sub-multipliers, 56-bit
+/// accumulation, the full assignment stage. The paper does not
+/// synthesize this point; the model predicts its cost.
+MxuDesign m3xu_fp64_design();
+
+/// Relative per-cycle dynamic energy of a design while actively
+/// executing in `mode_mult_bits`/`mode_accum_bits` (which parts of the
+/// datapath toggle). Used by the timing simulator's energy model.
+double active_energy_per_cycle(const MxuDesign& design,
+                               const TechnologyConstants& tech,
+                               int mode_mult_bits, int mode_accum_bits);
+
+}  // namespace m3xu::hw

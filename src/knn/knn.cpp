@@ -1,0 +1,128 @@
+#include "knn/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace m3xu::knn {
+
+namespace {
+
+std::vector<double> row_norms(const gemm::Matrix<float>& m) {
+  std::vector<double> norms(static_cast<std::size_t>(m.rows()));
+  for (int i = 0; i < m.rows(); ++i) {
+    double acc = 0.0;
+    for (int j = 0; j < m.cols(); ++j) {
+      acc += static_cast<double>(m(i, j)) * m(i, j);
+    }
+    norms[static_cast<std::size_t>(i)] = acc;
+  }
+  return norms;
+}
+
+void select_k(const float* dist, int n, int k, std::vector<int>& idx,
+              std::vector<float>& out) {
+  idx.resize(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](int a, int b) {
+                      return dist[a] != dist[b] ? dist[a] < dist[b] : a < b;
+                    });
+  idx.resize(static_cast<std::size_t>(k));
+  out.resize(static_cast<std::size_t>(k));
+  for (int j = 0; j < k; ++j) out[static_cast<std::size_t>(j)] = dist[idx[j]];
+}
+
+}  // namespace
+
+KnnResult knn_search(const gemm::Matrix<float>& queries,
+                     const gemm::Matrix<float>& refs, int k,
+                     gemm::SgemmKernel kernel,
+                     const core::M3xuEngine& engine) {
+  M3XU_CHECK(queries.cols() == refs.cols());
+  M3XU_CHECK(k >= 1 && k <= refs.rows());
+  const int m = queries.rows();
+  const int n = refs.rows();
+  // G = Q * R^T via the chosen SGEMM kernel.
+  gemm::Matrix<float> rt(refs.cols(), n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < refs.cols(); ++j) rt(j, i) = refs(i, j);
+  }
+  gemm::Matrix<float> g(m, n);
+  g.fill(0.0f);
+  gemm::run_sgemm(kernel, engine, queries, rt, g);
+  const std::vector<double> qn = row_norms(queries);
+  const std::vector<double> rn = row_norms(refs);
+
+  KnnResult result;
+  result.indices.resize(static_cast<std::size_t>(m));
+  result.distances.resize(static_cast<std::size_t>(m));
+  parallel_for(static_cast<std::size_t>(m), [&](std::size_t i) {
+    std::vector<float> dist(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      dist[static_cast<std::size_t>(j)] = static_cast<float>(
+          qn[i] + rn[static_cast<std::size_t>(j)] -
+          2.0 * g(static_cast<int>(i), j));
+    }
+    select_k(dist.data(), n, k, result.indices[i], result.distances[i]);
+  });
+  return result;
+}
+
+KnnResult knn_search_chunked(const gemm::Matrix<float>& queries,
+                             const gemm::Matrix<float>& refs, int k,
+                             gemm::SgemmKernel kernel,
+                             const core::M3xuEngine& engine,
+                             long max_distance_elems) {
+  M3XU_CHECK(max_distance_elems >= refs.rows());
+  const int chunk = static_cast<int>(
+      std::min<long>(queries.rows(),
+                     std::max<long>(1, max_distance_elems / refs.rows())));
+  KnnResult result;
+  result.indices.resize(static_cast<std::size_t>(queries.rows()));
+  result.distances.resize(static_cast<std::size_t>(queries.rows()));
+  for (int q0 = 0; q0 < queries.rows(); q0 += chunk) {
+    const int qc = std::min(chunk, queries.rows() - q0);
+    gemm::Matrix<float> sub(qc, queries.cols());
+    for (int i = 0; i < qc; ++i) {
+      for (int j = 0; j < queries.cols(); ++j) sub(i, j) = queries(q0 + i, j);
+    }
+    KnnResult part = knn_search(sub, refs, k, kernel, engine);
+    for (int i = 0; i < qc; ++i) {
+      result.indices[static_cast<std::size_t>(q0 + i)] =
+          std::move(part.indices[static_cast<std::size_t>(i)]);
+      result.distances[static_cast<std::size_t>(q0 + i)] =
+          std::move(part.distances[static_cast<std::size_t>(i)]);
+    }
+  }
+  return result;
+}
+
+KnnResult knn_reference(const gemm::Matrix<float>& queries,
+                        const gemm::Matrix<float>& refs, int k) {
+  M3XU_CHECK(queries.cols() == refs.cols());
+  const int m = queries.rows();
+  const int n = refs.rows();
+  KnnResult result;
+  result.indices.resize(static_cast<std::size_t>(m));
+  result.distances.resize(static_cast<std::size_t>(m));
+  parallel_for(static_cast<std::size_t>(m), [&](std::size_t i) {
+    std::vector<float> dist(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int d = 0; d < queries.cols(); ++d) {
+        const double diff = static_cast<double>(queries(static_cast<int>(i), d)) -
+                            refs(j, d);
+        acc += diff * diff;
+      }
+      dist[static_cast<std::size_t>(j)] = static_cast<float>(acc);
+    }
+    select_k(dist.data(), n, k, result.indices[i], result.distances[i]);
+  });
+  return result;
+}
+
+}  // namespace m3xu::knn

@@ -1,0 +1,43 @@
+// KNN case study (SVI-C4, Fig 9): GEMM-based k-nearest-neighbor search
+// in the kNN-CUDA / cublas_sgemm style.
+//
+// Squared distances decompose as ||q||^2 + ||r||^2 - 2 Q R^T: the
+// dominant cost is the SGEMM, which is precision-sensitive (FP16
+// Tensor Cores produce meaningless neighbors for inputs with small
+// dynamic range - the paper's motivation); M3XU runs it in exact FP32.
+#pragma once
+
+#include <vector>
+
+#include "gemm/kernels.hpp"
+#include "gemm/matrix.hpp"
+
+namespace m3xu::knn {
+
+struct KnnResult {
+  // indices(i, j) = index of query i's j-th nearest reference.
+  std::vector<std::vector<int>> indices;
+  std::vector<std::vector<float>> distances;  // squared L2
+};
+
+/// Exact k-NN of `queries` (m x d) against `refs` (n x d) using the
+/// given SGEMM kernel for the -2 Q R^T term.
+KnnResult knn_search(const gemm::Matrix<float>& queries,
+                     const gemm::Matrix<float>& refs, int k,
+                     gemm::SgemmKernel kernel,
+                     const core::M3xuEngine& engine);
+
+/// Brute-force double-precision reference for validation.
+KnnResult knn_reference(const gemm::Matrix<float>& queries,
+                        const gemm::Matrix<float>& refs, int k);
+
+/// Memory-bounded variant: processes queries in chunks so the distance
+/// matrix never exceeds `max_distance_elems` (kNN-CUDA's strategy for
+/// large point sets). Results are identical to knn_search.
+KnnResult knn_search_chunked(const gemm::Matrix<float>& queries,
+                             const gemm::Matrix<float>& refs, int k,
+                             gemm::SgemmKernel kernel,
+                             const core::M3xuEngine& engine,
+                             long max_distance_elems);
+
+}  // namespace m3xu::knn

@@ -1,0 +1,25 @@
+// Fig 9 timing: kNN-CUDA-style pipeline latency, cublas_sgemm baseline
+// vs M3XU SGEMM.
+//
+// Pipeline: norms (streaming) + distance SGEMM + distance epilogue
+// (norm add + write) + k-selection. The selection phase models
+// kNN-CUDA's global-memory insertion sort, whose uncoalesced traffic
+// makes it a large fixed cost per distance element (Garcia et al.
+// report the sort dominating for large n) - this is what caps the
+// end-to-end gain at ~1.8x in the paper despite the 4x GEMM speedup.
+#pragma once
+
+#include "sim/kernel_sim.hpp"
+
+namespace m3xu::knn {
+
+struct KnnTime {
+  double seconds = 0.0;
+  double gemm_seconds = 0.0;
+  double gemm_fraction() const { return gemm_seconds / seconds; }
+};
+
+KnnTime time_knn(const sim::GpuSim& sim, long queries, long refs, long dims,
+                 int k, bool use_m3xu);
+
+}  // namespace m3xu::knn

@@ -1,0 +1,165 @@
+#include "mrf/dictionary.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace m3xu::mrf {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// One atom's raw (unnormalized) signal trace: a simplified Bloch/EPG
+/// evolution of transverse magnetization m (complex) and longitudinal
+/// z (real) under the flip-angle schedule with T1/T2 relaxation.
+template <typename Real>
+void simulate(double t1_ms, double t2_ms, const MrfConfig& config,
+              std::complex<Real>* out) {
+  const Real e1 = static_cast<Real>(std::exp(-config.tr_ms / t1_ms));
+  const Real e2 = static_cast<Real>(std::exp(-config.tr_ms / t2_ms));
+  std::complex<Real> m(0, 0);
+  // MRF sequences are inversion-prepared: the initial 180-degree pulse
+  // makes the early signal strongly T1-dependent.
+  Real z = -1;
+  for (int t = 0; t < config.timepoints; ++t) {
+    const Real a = static_cast<Real>(flip_angle(t, config.timepoints));
+    const Real ca = std::cos(a);
+    const Real sa = std::sin(a);
+    // RF pulse about x: mixes z into the imaginary channel.
+    const std::complex<Real> m_rf(m.real() * ca,
+                                  m.imag() * ca + z * sa);
+    const Real z_rf = z * ca - m.imag() * sa;
+    // Relaxation over TR.
+    m = m_rf * e2;
+    z = z_rf * e1 + (1 - e1);
+    out[t] = m;
+  }
+}
+
+template <typename Real>
+void normalize(std::complex<Real>* v, int n) {
+  Real energy = 0;
+  for (int i = 0; i < n; ++i) energy += std::norm(v[i]);
+  const Real inv = energy > 0 ? Real(1) / std::sqrt(energy) : Real(0);
+  for (int i = 0; i < n; ++i) v[i] *= inv;
+}
+
+}  // namespace
+
+MrfConfig MrfConfig::small_grid() {
+  MrfConfig c;
+  for (double t1 = 100.0; t1 <= 2000.0; t1 *= 1.35) {
+    c.t1_values_ms.push_back(t1);
+  }
+  for (double t2 = 20.0; t2 <= 300.0; t2 *= 1.35) {
+    c.t2_values_ms.push_back(t2);
+  }
+  c.timepoints = 256;
+  return c;
+}
+
+double flip_angle(int t, int timepoints) {
+  // FISP-MRF style sinusoidal schedule, 10..60 degrees.
+  const double deg =
+      10.0 + 50.0 * std::fabs(std::sin(kPi * t / timepoints * 3.0));
+  return deg * kPi / 180.0;
+}
+
+Dictionary generate_dictionary(const MrfConfig& config) {
+  Dictionary dict;
+  for (double t1 : config.t1_values_ms) {
+    for (double t2 : config.t2_values_ms) {
+      if (t2 >= t1) continue;  // physical constraint
+      dict.params.emplace_back(t1, t2);
+    }
+  }
+  const int atoms = static_cast<int>(dict.params.size());
+  dict.signals = gemm::Matrix<std::complex<float>>(atoms, config.timepoints);
+  parallel_for(static_cast<std::size_t>(atoms), [&](std::size_t a) {
+    std::complex<float>* row = dict.signals.data() +
+                               static_cast<std::size_t>(a) *
+                                   config.timepoints;
+    simulate<float>(dict.params[a].first, dict.params[a].second, config,
+                    row);
+    normalize(row, config.timepoints);
+  });
+  return dict;
+}
+
+std::vector<std::complex<double>> simulate_signal(double t1_ms, double t2_ms,
+                                                  const MrfConfig& config) {
+  std::vector<std::complex<double>> out(
+      static_cast<std::size_t>(config.timepoints));
+  simulate<double>(t1_ms, t2_ms, config, out.data());
+  double energy = 0;
+  for (const auto& v : out) energy += std::norm(v);
+  const double inv = energy > 0 ? 1.0 / std::sqrt(energy) : 0.0;
+  for (auto& v : out) v *= inv;
+  return out;
+}
+
+gemm::Matrix<std::complex<float>> compression_basis(int rank,
+                                                    int timepoints) {
+  M3XU_CHECK(rank >= 1 && rank <= timepoints);
+  gemm::Matrix<std::complex<float>> b(rank, timepoints);
+  for (int r = 0; r < rank; ++r) {
+    const double scale =
+        std::sqrt((r == 0 ? 1.0 : 2.0) / timepoints);
+    for (int t = 0; t < timepoints; ++t) {
+      b(r, t) = {static_cast<float>(
+                     scale * std::cos(kPi * r * (t + 0.5) / timepoints)),
+                 0.0f};
+    }
+  }
+  return b;
+}
+
+gemm::Matrix<std::complex<float>> compress(
+    const Dictionary& dict,
+    const gemm::Matrix<std::complex<float>>& basis,
+    gemm::CgemmKernel kernel, const core::M3xuEngine& engine) {
+  M3XU_CHECK(basis.cols() == dict.timepoints());
+  // C = D * B^T: build B^T once (timepoints x rank).
+  gemm::Matrix<std::complex<float>> bt(basis.cols(), basis.rows());
+  for (int i = 0; i < basis.rows(); ++i) {
+    for (int j = 0; j < basis.cols(); ++j) bt(j, i) = basis(i, j);
+  }
+  gemm::Matrix<std::complex<float>> out(dict.atoms(), basis.rows());
+  out.fill({});
+  gemm::run_cgemm(kernel, engine, dict.signals, bt, out);
+  return out;
+}
+
+int match(const gemm::Matrix<std::complex<float>>& compressed,
+          const gemm::Matrix<std::complex<float>>& basis,
+          const std::vector<std::complex<double>>& signal,
+          gemm::CgemmKernel kernel, const core::M3xuEngine& engine) {
+  M3XU_CHECK(static_cast<int>(signal.size()) == basis.cols());
+  // Project the measured signal onto the basis, then correlate:
+  // c = compressed * conj(q) as an atoms x 1 x rank CGEMM.
+  gemm::Matrix<std::complex<float>> q(basis.rows(), 1);
+  for (int r = 0; r < basis.rows(); ++r) {
+    std::complex<double> acc{};
+    for (int t = 0; t < basis.cols(); ++t) {
+      acc += std::complex<double>(basis(r, t)) * signal[t];
+    }
+    q(r, 0) = std::complex<float>(std::conj(acc));
+  }
+  gemm::Matrix<std::complex<float>> corr(compressed.rows(), 1);
+  corr.fill({});
+  gemm::run_cgemm(kernel, engine, compressed, q, corr);
+  int best = 0;
+  double best_mag = -1.0;
+  for (int a = 0; a < corr.rows(); ++a) {
+    const double mag = std::abs(std::complex<double>(corr(a, 0)));
+    if (mag > best_mag) {
+      best_mag = mag;
+      best = a;
+    }
+  }
+  return best;
+}
+
+}  // namespace m3xu::mrf

@@ -1,0 +1,36 @@
+// Fig 8 timing: end-to-end dictionary-generation latency, SnapMRF
+// (cublas_cgemm) baseline vs M3XU.
+//
+// Per-timepoint simulation kernels stream the per-atom state
+// (elementwise, SIMT in both variants); the compression CGEMM
+// (atoms x rank x timepoints) runs on SIMT (cublas_cgemm) in the
+// baseline and on the M3XU FP32C mode otherwise. The CGEMM lands at
+// ~22% of baseline dictionary-generation time at the default
+// configuration (the paper's measurement), bounding the end-to-end
+// speedup at ~1.26x by Amdahl's law.
+#pragma once
+
+#include "sim/kernel_sim.hpp"
+
+namespace m3xu::mrf {
+
+struct DictGenTime {
+  double seconds = 0.0;
+  double cgemm_seconds = 0.0;
+  double cgemm_fraction() const { return cgemm_seconds / seconds; }
+};
+
+DictGenTime time_dictionary_generation(const sim::GpuSim& sim, long atoms,
+                                       int timepoints, int rank,
+                                       bool use_m3xu);
+
+/// Pattern matching: correlate `voxels` measured signals against the
+/// compressed dictionary - one big CGEMM (atoms x voxels x rank) plus
+/// an argmax pass. (SnapMRF's second phase; the paper reports
+/// dictionary generation dominating end-to-end runtime at 98.2%,
+/// which corresponds to small per-slice voxel batches relative to the
+/// dictionary size.)
+DictGenTime time_pattern_matching(const sim::GpuSim& sim, long atoms,
+                                  long voxels, int rank, bool use_m3xu);
+
+}  // namespace m3xu::mrf

@@ -1,0 +1,126 @@
+#include "qsim/state_vector.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace m3xu::qsim {
+
+Gate Gate::hadamard() {
+  const float s = static_cast<float>(1.0 / std::sqrt(2.0));
+  return {{{Amp(s, 0), Amp(s, 0)}, {Amp(s, 0), Amp(-s, 0)}}};
+}
+
+Gate Gate::pauli_x() {
+  return {{{Amp(0, 0), Amp(1, 0)}, {Amp(1, 0), Amp(0, 0)}}};
+}
+
+Gate Gate::pauli_z() {
+  return {{{Amp(1, 0), Amp(0, 0)}, {Amp(0, 0), Amp(-1, 0)}}};
+}
+
+Gate Gate::phase(double angle) {
+  return {{{Amp(1, 0), Amp(0, 0)},
+           {Amp(0, 0), Amp(static_cast<float>(std::cos(angle)),
+                           static_cast<float>(std::sin(angle)))}}};
+}
+
+StateVector::StateVector(int qubits, const core::M3xuEngine* engine)
+    : qubits_(qubits), engine_(engine) {
+  M3XU_CHECK(qubits >= 1 && qubits <= 24);
+  M3XU_CHECK(engine != nullptr);
+  amps_.assign(std::size_t{1} << qubits, Amp{});
+  scratch_.resize(amps_.size());
+  amps_[0] = Amp(1.0f, 0.0f);
+}
+
+void StateVector::reset(std::size_t basis) {
+  M3XU_CHECK(basis < amps_.size());
+  std::fill(amps_.begin(), amps_.end(), Amp{});
+  amps_[basis] = Amp(1.0f, 0.0f);
+}
+
+void StateVector::apply(const Gate& gate, int target) {
+  M3XU_CHECK(target >= 0 && target < qubits_);
+  const std::size_t stride = std::size_t{1} << target;
+  const std::size_t batch = amps_.size() / 2;
+  // Gather the amplitude pairs into a 2 x batch matrix (row 0 = the
+  // |0> components, row 1 = the |1> components).
+  Amp* x0 = scratch_.data();
+  Amp* x1 = scratch_.data() + batch;
+  std::size_t col = 0;
+  for (std::size_t base = 0; base < amps_.size(); base += 2 * stride) {
+    for (std::size_t o = 0; o < stride; ++o, ++col) {
+      x0[col] = amps_[base + o];
+      x1[col] = amps_[base + o + stride];
+    }
+  }
+  // One 2 x batch x 2 CGEMM on the engine: Y = G * X.
+  std::vector<Amp> y(2 * batch, Amp{});
+  const Amp g[4] = {gate.m[0][0], gate.m[0][1], gate.m[1][0], gate.m[1][1]};
+  engine_->gemm_fp32c(2, static_cast<int>(batch), 2, g, 2, scratch_.data(),
+                      static_cast<int>(batch), y.data(),
+                      static_cast<int>(batch));
+  // Scatter back.
+  col = 0;
+  for (std::size_t base = 0; base < amps_.size(); base += 2 * stride) {
+    for (std::size_t o = 0; o < stride; ++o, ++col) {
+      amps_[base + o] = y[col];
+      amps_[base + o + stride] = y[batch + col];
+    }
+  }
+}
+
+void StateVector::apply_controlled(const Gate& gate, int control,
+                                   int target) {
+  M3XU_CHECK(control >= 0 && control < qubits_ && target >= 0 &&
+             target < qubits_ && control != target);
+  const std::size_t tbit = std::size_t{1} << target;
+  const std::size_t cbit = std::size_t{1} << control;
+  // Gather only the pairs whose control bit is set.
+  std::vector<std::size_t> lows;
+  lows.reserve(amps_.size() / 4);
+  for (std::size_t b = 0; b < amps_.size(); ++b) {
+    if ((b & cbit) && !(b & tbit)) lows.push_back(b);
+  }
+  const std::size_t batch = lows.size();
+  if (batch == 0) return;
+  Amp* x0 = scratch_.data();
+  Amp* x1 = scratch_.data() + batch;
+  for (std::size_t i = 0; i < batch; ++i) {
+    x0[i] = amps_[lows[i]];
+    x1[i] = amps_[lows[i] | tbit];
+  }
+  std::vector<Amp> y(2 * batch, Amp{});
+  const Amp g[4] = {gate.m[0][0], gate.m[0][1], gate.m[1][0], gate.m[1][1]};
+  engine_->gemm_fp32c(2, static_cast<int>(batch), 2, g, 2, scratch_.data(),
+                      static_cast<int>(batch), y.data(),
+                      static_cast<int>(batch));
+  for (std::size_t i = 0; i < batch; ++i) {
+    amps_[lows[i]] = y[i];
+    amps_[lows[i] | tbit] = y[batch + i];
+  }
+}
+
+double StateVector::norm() const {
+  double acc = 0.0;
+  for (const Amp& a : amps_) acc += std::norm(std::complex<double>(a));
+  return acc;
+}
+
+double StateVector::probability(std::size_t basis) const {
+  M3XU_CHECK(basis < amps_.size());
+  return std::norm(std::complex<double>(amps_[basis]));
+}
+
+void StateVector::apply_qft() {
+  constexpr double kPi = 3.14159265358979323846;
+  for (int q = qubits_ - 1; q >= 0; --q) {
+    apply(Gate::hadamard(), q);
+    for (int c = q - 1; c >= 0; --c) {
+      apply_controlled(Gate::phase(kPi / (1 << (q - c))), c, q);
+    }
+  }
+}
+
+}  // namespace m3xu::qsim

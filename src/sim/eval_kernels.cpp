@@ -1,0 +1,489 @@
+#include "sim/eval_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "hwmodel/cost_model.hpp"
+
+namespace m3xu::sim {
+
+namespace {
+
+// Tensor-kernel tile geometry: CUTLASS-like CTA tiles with 8 warps and
+// a 3-stage cp.async pipeline. The tile shrinks for small problems so
+// the grid can occupy the whole GPU (mirroring library heuristics).
+constexpr int kWarps = 8;
+constexpr int kStages = 3;
+
+struct CtaTile {
+  int m;
+  int n;
+  int warp_m;
+  int warp_n;
+};
+
+CtaTile pick_tile(const GpuConfig& config, long m, long n) {
+  static constexpr CtaTile kTiles[] = {
+      {256, 128, 64, 64},
+      {128, 128, 64, 32},
+      {128, 64, 32, 32},
+      {64, 64, 32, 16},
+  };
+  const long want = 2L * config.num_sms;
+  for (const CtaTile& t : kTiles) {
+    const long grid = ((m + t.m - 1) / t.m) * ((n + t.n - 1) / t.n);
+    if (grid >= want) return t;
+  }
+  return kTiles[3];
+}
+
+// Per-TC-cycle energy scale (pJ per relative-power unit per cycle).
+constexpr double kTcEnergyScale = 1000.0;
+
+double design_power(const hw::MxuDesign& d) {
+  return hw::evaluate(d, hw::TechnologyConstants{}).power;
+}
+
+/// Energy of one MMA instruction: design power x occupied TC cycles.
+double mma_energy(const hw::MxuDesign& d, int ii) {
+  return design_power(d) * ii * kTcEnergyScale / 8.0;
+}
+
+const hw::MxuDesign& baseline_design() {
+  static const hw::MxuDesign d = hw::table3_designs()[0];
+  return d;
+}
+const hw::MxuDesign& fp32mxu_design() {
+  static const hw::MxuDesign d = hw::table3_designs()[1];
+  return d;
+}
+const hw::MxuDesign& m3xu_design() {
+  static const hw::MxuDesign d = hw::table3_designs()[4];  // pipelined
+  return d;
+}
+const hw::MxuDesign& m3xu_nonpipelined_design() {
+  static const hw::MxuDesign d = hw::table3_designs()[3];
+  return d;
+}
+
+}  // namespace
+
+MmaKindInfo kind_fp16(const GpuConfig& config) {
+  const int ii = config.hmma_ii;
+  return {"fp16", 16, 8, 16, ii, 2, 4, mma_energy(baseline_design(), ii)};
+}
+MmaKindInfo kind_bf16(const GpuConfig& config) {
+  const int ii = config.hmma_ii;
+  return {"bf16", 16, 8, 16, ii, 2, 4, mma_energy(baseline_design(), ii)};
+}
+MmaKindInfo kind_tf32(const GpuConfig& config) {
+  const int ii = config.hmma_ii;
+  return {"tf32", 16, 8, 8, ii, 4, 4, mma_energy(baseline_design(), ii)};
+}
+MmaKindInfo kind_m3xu_fp32(const GpuConfig& config) {
+  const int ii = 2 * config.hmma_ii;  // two steps per instruction
+  return {"m3xu_fp32", 16, 8, 8, ii, 4, 4, mma_energy(m3xu_design(), ii)};
+}
+MmaKindInfo kind_m3xu_fp32c(const GpuConfig& config) {
+  // Shapes are in complex elements (8 bytes each); four steps.
+  const int ii = 4 * config.hmma_ii;
+  return {"m3xu_fp32c", 16, 8, 4, ii, 8, 8, mma_energy(m3xu_design(), ii)};
+}
+MmaKindInfo kind_m3xu_fp64(const GpuConfig& config) {
+  const int ii = 4 * config.hmma_ii;
+  return {"m3xu_fp64", 16, 8, 4, ii, 8, 8, mma_energy(m3xu_design(), ii)};
+}
+MmaKindInfo kind_fp32_mxu(const GpuConfig& config) {
+  const int ii = config.hmma_ii;
+  return {"fp32_mxu", 16, 8, 16, ii, 4, 4, mma_energy(fp32mxu_design(), ii)};
+}
+
+namespace {
+
+/// Shared-L2 reuse within a CTA wave: CTAs in the same grid row share
+/// the A panel, same column share B. Unique panel bytes per iteration
+/// over the wave vs total streamed bytes gives the hit fraction,
+/// derated when the per-iteration working set exceeds L2.
+double estimate_l2_hit(const GpuConfig& config, long grid_m, long grid_n,
+                       int cta_m, int cta_n, int cta_k, int elem_bytes,
+                       int ctas_per_sm) {
+  const long grid = grid_m * grid_n;
+  const long wave = std::min<long>(
+      grid, static_cast<long>(config.num_sms) * ctas_per_sm);
+  const long cols = std::min<long>(wave, grid_n);
+  const long rows = std::min<long>(grid_m, (wave + grid_n - 1) / grid_n);
+  const double unique =
+      static_cast<double>(rows) * cta_m + static_cast<double>(cols) * cta_n;
+  const double total = static_cast<double>(wave) * (cta_m + cta_n);
+  double hit = 1.0 - unique / total;
+  // Capacity derate: the wave's live panels (a few pipeline stages
+  // deep) must fit in L2.
+  const double working_set =
+      unique * cta_k * elem_bytes * (kStages + 1);
+  if (working_set > config.l2_capacity_bytes) {
+    hit *= config.l2_capacity_bytes / working_set;
+  }
+  return std::clamp(hit, 0.0, 0.95);
+}
+
+}  // namespace
+
+KernelLaunch build_tensor_gemm(const GpuConfig& config, long m, long n,
+                               long k, const TensorGemmParams& params) {
+  const MmaKindInfo& kind = params.kind;
+  const CtaTile tile = pick_tile(config, m, n);
+  // K-depth per mainloop iteration, sized so a stage's A+B tiles use
+  // ~24 KiB of shared memory regardless of element width.
+  const int cta_k = std::max(kind.inst_k, 64 / kind.elem_bytes);
+  const int k_steps = cta_k / kind.inst_k;
+  M3XU_CHECK(cta_k % kind.inst_k == 0);
+
+  const long grid_m = (m + tile.m - 1) / tile.m;
+  const long grid_n = (n + tile.n - 1) / tile.n;
+  const long iterations = (k + cta_k - 1) / cta_k;
+
+  const double ldg_a_per_warp =
+      static_cast<double>(tile.m) * cta_k * kind.elem_bytes / kWarps;
+  const double ldg_b_per_warp =
+      static_cast<double>(tile.n) * cta_k * kind.elem_bytes / kWarps;
+  const double lds_a_frag =
+      static_cast<double>(tile.warp_m) * kind.inst_k * kind.elem_bytes;
+  const double lds_b_frag =
+      static_cast<double>(tile.warp_n) * kind.inst_k * kind.elem_bytes;
+  const int mma_per_k_step = (tile.warp_m / kind.inst_m) *
+                             (tile.warp_n / kind.inst_n) *
+                             params.mma_multiplier;
+
+  CtaProgram prog;
+  prog.warps = kWarps;
+  prog.iterations = iterations;
+  for (int s = 0; s < kStages - 1; ++s) {
+    prog.prologue.push_back(Instr::ldg(ldg_a_per_warp, s));
+    prog.prologue.push_back(Instr::ldg(ldg_b_per_warp, s));
+  }
+  prog.body.push_back(Instr::ldg(ldg_a_per_warp, kStages - 1));
+  prog.body.push_back(Instr::ldg(ldg_b_per_warp, kStages - 1));
+  prog.body.push_back(Instr::wait_group(0));
+  prog.body.push_back(Instr::bar());
+  if (params.split_alu_per_warp_iter > 0) {
+    prog.body.push_back(Instr::alu(params.split_alu_per_warp_iter));
+  }
+  for (int ks = 0; ks < k_steps; ++ks) {
+    prog.body.push_back(Instr::lds(lds_a_frag));
+    prog.body.push_back(Instr::lds(lds_b_frag));
+    for (int i = 0; i < mma_per_k_step; ++i) {
+      Instr mma = Instr::mma(kind.ii);
+      mma.dep_on_prev = (i == 0);
+      prog.body.push_back(mma);
+    }
+  }
+  if (params.correction_ffma_fraction > 0.0) {
+    const int simt_fma_equiv = tile.warp_m * tile.warp_n * cta_k / 32;
+    const int count = static_cast<int>(params.correction_ffma_fraction *
+                                       simt_fma_equiv);
+    if (count > 0) prog.body.push_back(Instr::ffma(count));
+  }
+  const double out_bytes =
+      static_cast<double>(tile.m) * tile.n * kind.out_bytes / kWarps;
+  if (params.read_c) {
+    prog.epilogue.push_back(Instr::ldg(out_bytes, 0));
+    Instr st = Instr::stg(out_bytes);
+    st.dep_on_prev = true;
+    prog.epilogue.push_back(st);
+  } else {
+    prog.epilogue.push_back(Instr::stg(out_bytes));
+  }
+  prog.epilogue.push_back(Instr::bar());
+
+  KernelLaunch launch;
+  launch.program = std::move(prog);
+  launch.grid_ctas = grid_m * grid_n;
+  launch.ctas_per_sm = 2;
+  launch.smem_bytes_per_cta = static_cast<double>(tile.m + tile.n) * cta_k *
+                              kind.elem_bytes * kStages;
+  launch.l2_hit_fraction =
+      estimate_l2_hit(config, grid_m, grid_n, tile.m, tile.n, cta_k,
+                      kind.elem_bytes, launch.ctas_per_sm);
+  launch.clock_scale = params.clock_scale;
+  launch.energy_per_mma = kind.energy_per_mma;
+  launch.energy_per_ffma_warp = 128.0;
+  launch.energy_per_alu_warp = 32.0;
+  return launch;
+}
+
+KernelLaunch build_simt_gemm(const GpuConfig& config, long m, long n, long k,
+                             SimtMath math) {
+  // Shrink the tile for small problems (library heuristic parity with
+  // the tensor kernels).
+  int cta = 128;
+  if (((m + 127) / 128) * ((n + 127) / 128) < 2L * config.num_sms) {
+    cta = 64;
+  }
+  const int cta_k = 8;
+  const int elem_bytes = math == SimtMath::kFp32 ? 4 : 8;
+  const long grid_m = (m + cta - 1) / cta;
+  const long grid_n = (n + cta - 1) / cta;
+  const long iterations = (k + cta_k - 1) / cta_k;
+
+  // FMA warp-instructions per warp per iteration; complex MACs cost 4.
+  const int mac_scale = math == SimtMath::kFp32Complex ? 4 : 1;
+  const int fma_per_warp_iter = cta * cta * cta_k / 32 / kWarps * mac_scale;
+  constexpr int kFold = 32;  // FMAs folded per Instr to keep streams small
+
+  CtaProgram prog;
+  prog.warps = kWarps;
+  prog.iterations = iterations;
+  const double ldg_per_warp =
+      2.0 * cta * cta_k * elem_bytes / kWarps;  // A + B tiles
+  const double lds_per_warp = (32.0 + 64.0) * cta_k * elem_bytes;
+  for (int s = 0; s < 1; ++s) {
+    prog.prologue.push_back(Instr::ldg(ldg_per_warp, s));
+  }
+  prog.body.push_back(Instr::ldg(ldg_per_warp, 1));
+  prog.body.push_back(Instr::wait_group(0));
+  prog.body.push_back(Instr::bar());
+  prog.body.push_back(Instr::lds(lds_per_warp));
+  const int chunks = fma_per_warp_iter / kFold;
+  for (int c = 0; c < chunks; ++c) {
+    Instr fma = math == SimtMath::kFp64 ? Instr::dfma(kFold)
+                                        : Instr::ffma(kFold);
+    fma.dep_on_prev = (c == 0);
+    prog.body.push_back(fma);
+  }
+  const int out_bytes = math == SimtMath::kFp32 ? 4 : 8;
+  prog.epilogue.push_back(
+      Instr::stg(static_cast<double>(cta) * cta * out_bytes / kWarps));
+  prog.epilogue.push_back(Instr::bar());
+
+  KernelLaunch launch;
+  launch.program = std::move(prog);
+  launch.grid_ctas = grid_m * grid_n;
+  launch.ctas_per_sm = 2;
+  launch.l2_hit_fraction =
+      estimate_l2_hit(config, grid_m, grid_n, cta, cta, cta_k, elem_bytes,
+                      launch.ctas_per_sm);
+  launch.energy_per_ffma_warp = 128.0;
+  launch.energy_per_dfma_warp = 256.0;
+  launch.energy_per_alu_warp = 32.0;
+  return launch;
+}
+
+KernelLaunch build_streaming_kernel(const GpuConfig& config,
+                                    double bytes_read, double bytes_written,
+                                    double ffma_per_kb) {
+  (void)config;
+  constexpr double kChunk = 128.0 * 1024.0;  // bytes per CTA
+  const double driving = std::max(bytes_read, bytes_written);
+  const long grid =
+      std::max<long>(1, static_cast<long>(std::ceil(driving / kChunk)));
+  const double read_per_warp = bytes_read / grid / kWarps;
+  const double write_per_warp = bytes_written / grid / kWarps;
+  const double ffma =
+      ffma_per_kb * (bytes_read / grid) / 1024.0 / kWarps;
+
+  CtaProgram prog;
+  prog.warps = kWarps;
+  prog.iterations = 1;
+  prog.body.push_back(Instr::ldg(read_per_warp, 0));
+  prog.body.push_back(Instr::wait_group(0));
+  if (ffma >= 1.0) {
+    Instr f = Instr::ffma(static_cast<int>(ffma));
+    f.dep_on_prev = true;
+    prog.body.push_back(f);
+  }
+  if (write_per_warp > 0.0) {
+    Instr st = Instr::stg(write_per_warp);
+    st.dep_on_prev = true;
+    prog.body.push_back(st);
+  }
+
+  KernelLaunch launch;
+  launch.program = std::move(prog);
+  launch.grid_ctas = grid;
+  launch.ctas_per_sm = 4;
+  launch.l2_hit_fraction = 0.0;
+  launch.energy_per_ffma_warp = 128.0;
+  return launch;
+}
+
+const char* variant_name(SgemmVariant v) {
+  switch (v) {
+    case SgemmVariant::kSimt:
+      return "cutlass_simt_sgemm";
+    case SgemmVariant::kTensorOp3xTf32:
+      return "cutlass_tensorop_sgemm";
+    case SgemmVariant::kEehc3xBf16:
+      return "EEHC_sgemm_fp32B";
+    case SgemmVariant::kM3xu:
+      return "m3xu_sgemm_pipelined";
+    case SgemmVariant::kM3xuNonPipelined:
+      return "m3xu_sgemm";
+    case SgemmVariant::kFp32Mxu:
+      return "baseline_MXU_sgemm";
+  }
+  return "?";
+}
+
+const char* variant_name(CgemmVariant v) {
+  switch (v) {
+    case CgemmVariant::kSimt:
+      return "cutlass_simt_cgemm";
+    case CgemmVariant::kTensorOp3xTf32:
+      return "cutlass_tensorop_cgemm";
+    case CgemmVariant::kM3xu:
+      return "m3xu_cgemm_pipelined";
+    case CgemmVariant::kM3xuNonPipelined:
+      return "m3xu_cgemm";
+    case CgemmVariant::kFp32Mxu:
+      return "baseline_MXU_cgemm";
+  }
+  return "?";
+}
+
+namespace {
+
+GemmTime finish(const GpuSim& sim, KernelTiming t, double flops,
+                double decouple_seconds) {
+  (void)sim;
+  GemmTime g;
+  g.detail = t;
+  g.seconds = t.seconds;
+  g.decouple_seconds = decouple_seconds;
+  g.energy = t.energy;
+  g.achieved_flops = flops / t.seconds;
+  return g;
+}
+
+}  // namespace
+
+GemmTime time_sgemm(const GpuSim& sim, SgemmVariant v, long m, long n,
+                    long k) {
+  const GpuConfig& cfg = sim.config();
+  const double flops = 2.0 * m * n * k;
+  switch (v) {
+    case SgemmVariant::kSimt: {
+      const KernelLaunch launch =
+          build_simt_gemm(cfg, m, n, k, SimtMath::kFp32);
+      return finish(sim, sim.run(launch), flops, 0.0);
+    }
+    case SgemmVariant::kTensorOp3xTf32: {
+      // Fused single-pass: 3x MMAs + in-register split ALU work.
+      TensorGemmParams p{kind_tf32(cfg), 3, /*split_alu=*/96, false, 1.0};
+      const KernelTiming t = sim.run(build_tensor_gemm(cfg, m, n, k, p));
+      TensorGemmParams p0 = p;
+      p0.split_alu_per_warp_iter = 0;
+      const KernelTiming t0 = sim.run(build_tensor_gemm(cfg, m, n, k, p0));
+      return finish(sim, t, flops, std::max(0.0, t.seconds - t0.seconds));
+    }
+    case SgemmVariant::kEehc3xBf16: {
+      // Decouple pre-pass: read FP32 A/B, write BF16 hi/lo pairs.
+      const double in_bytes = 4.0 * (m * k + static_cast<double>(k) * n);
+      const KernelTiming dec =
+          sim.run(build_streaming_kernel(cfg, in_bytes, in_bytes, 64.0));
+      // 3x BF16 passes fused, plus the scheme's error-compensation FMAs
+      // on the CUDA cores (the measured bottleneck of [Ma et al.]:
+      // ~35% of a pure-SIMT kernel's FMA work).
+      TensorGemmParams p{kind_bf16(cfg), 3, /*split_alu=*/64, false, 1.0, 0.35};
+      const KernelTiming t = sim.run(build_tensor_gemm(cfg, m, n, k, p));
+      return finish(sim, dec + t, flops, dec.seconds);
+    }
+    case SgemmVariant::kM3xu: {
+      TensorGemmParams p{kind_m3xu_fp32(cfg), 1, 0, false, 1.0};
+      return finish(sim, sim.run(build_tensor_gemm(cfg, m, n, k, p)), flops,
+                    0.0);
+    }
+    case SgemmVariant::kM3xuNonPipelined: {
+      TensorGemmParams p{kind_m3xu_fp32(cfg), 1, 0, false,
+                         cfg.m3xu_nonpipelined_clock_scale};
+      KernelLaunch launch = build_tensor_gemm(cfg, m, n, k, p);
+      launch.energy_per_mma =
+          mma_energy(m3xu_nonpipelined_design(), 2 * cfg.hmma_ii) /
+          cfg.m3xu_nonpipelined_clock_scale;  // power x (longer) time
+      return finish(sim, sim.run(launch), flops, 0.0);
+    }
+    case SgemmVariant::kFp32Mxu: {
+      TensorGemmParams p{kind_fp32_mxu(cfg), 1, 0, false, 1.0};
+      return finish(sim, sim.run(build_tensor_gemm(cfg, m, n, k, p)), flops,
+                    0.0);
+    }
+  }
+  return {};
+}
+
+GemmTime time_cgemm(const GpuSim& sim, CgemmVariant v, long m, long n,
+                    long k) {
+  const GpuConfig& cfg = sim.config();
+  const double flops = 8.0 * m * n * k;  // 4 mul + 4 add per complex MAC
+  switch (v) {
+    case CgemmVariant::kSimt: {
+      const KernelLaunch launch =
+          build_simt_gemm(cfg, m, n, k, SimtMath::kFp32Complex);
+      return finish(sim, sim.run(launch), flops, 0.0);
+    }
+    case CgemmVariant::kTensorOp3xTf32: {
+      // 4 component GEMMs x 3 TF32 splits, complex storage.
+      MmaKindInfo kind = kind_tf32(cfg);
+      kind.elem_bytes = 8;
+      kind.out_bytes = 8;
+      TensorGemmParams p{kind, 12, /*split_alu=*/128, false, 1.0};
+      const KernelTiming t = sim.run(build_tensor_gemm(cfg, m, n, k, p));
+      TensorGemmParams p0 = p;
+      p0.split_alu_per_warp_iter = 0;
+      const KernelTiming t0 = sim.run(build_tensor_gemm(cfg, m, n, k, p0));
+      return finish(sim, t, flops, std::max(0.0, t.seconds - t0.seconds));
+    }
+    case CgemmVariant::kM3xu: {
+      TensorGemmParams p{kind_m3xu_fp32c(cfg), 1, 0, false, 1.0};
+      return finish(sim, sim.run(build_tensor_gemm(cfg, m, n, k, p)), flops,
+                    0.0);
+    }
+    case CgemmVariant::kM3xuNonPipelined: {
+      TensorGemmParams p{kind_m3xu_fp32c(cfg), 1, 0, false,
+                         cfg.m3xu_nonpipelined_clock_scale};
+      KernelLaunch launch = build_tensor_gemm(cfg, m, n, k, p);
+      launch.energy_per_mma =
+          mma_energy(m3xu_nonpipelined_design(), 4 * cfg.hmma_ii) /
+          cfg.m3xu_nonpipelined_clock_scale;
+      return finish(sim, sim.run(launch), flops, 0.0);
+    }
+    case CgemmVariant::kFp32Mxu: {
+      MmaKindInfo kind = kind_fp32_mxu(cfg);
+      kind.elem_bytes = 8;
+      kind.out_bytes = 8;
+      TensorGemmParams p{kind, 4, 0, false, 1.0};  // 4 real GEMMs
+      return finish(sim, sim.run(build_tensor_gemm(cfg, m, n, k, p)), flops,
+                    0.0);
+    }
+  }
+  return {};
+}
+
+GemmTime time_hgemm(const GpuSim& sim, long m, long n, long k) {
+  TensorGemmParams p{kind_fp16(sim.config()), 1, 0, false, 1.0};
+  const double flops = 2.0 * m * n * k;
+  return finish(sim, sim.run(build_tensor_gemm(sim.config(), m, n, k, p)),
+                flops, 0.0);
+}
+
+GemmTime time_dgemm(const GpuSim& sim, DgemmVariant v, long m, long n,
+                    long k) {
+  const double flops = 2.0 * m * n * k;
+  if (v == DgemmVariant::kSimt) {
+    const KernelLaunch launch =
+        build_simt_gemm(sim.config(), m, n, k, SimtMath::kFp64);
+    return finish(sim, sim.run(launch), flops, 0.0);
+  }
+  TensorGemmParams p{kind_m3xu_fp64(sim.config()), 1, 0, false, 1.0};
+  return finish(sim, sim.run(build_tensor_gemm(sim.config(), m, n, k, p)),
+                flops, 0.0);
+}
+
+KernelTiming time_streaming(const GpuSim& sim, double bytes_read,
+                            double bytes_written, double ffma_per_kb) {
+  return sim.run(build_streaming_kernel(sim.config(), bytes_read,
+                                        bytes_written, ffma_per_kb));
+}
+
+}  // namespace m3xu::sim

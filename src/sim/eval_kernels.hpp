@@ -1,0 +1,119 @@
+// Kernel builders and evaluation-variant timing: the Table II / IV
+// kernels expressed as CTA programs for the timing simulator.
+//
+// Tensor-core GEMM kernels follow a CUTLASS-style multi-stage pipelined
+// mainloop (cp.async prefetch, barrier, fragment loads, MMA bursts);
+// SIMT kernels follow the classic shared-memory-tiled FFMA loop. The
+// software-emulation kernels (3xTF32 / 3xBF16) replicate the MMA count
+// and add the in-kernel split/decouple ALU work the paper measures at
+// ~14% of execution time.
+#pragma once
+
+#include <string>
+
+#include "sim/gpu_config.hpp"
+#include "sim/kernel_sim.hpp"
+
+namespace m3xu::sim {
+
+/// Per-instruction MMA characteristics of a math pipe mode.
+struct MmaKindInfo {
+  std::string name;
+  int inst_m = 16;
+  int inst_n = 8;
+  int inst_k = 16;     // elements (complex elements in FP32C mode)
+  int ii = 8;          // tensor-core cycles per instruction
+  int elem_bytes = 2;  // A/B element storage
+  int out_bytes = 4;   // C/D element storage
+  double energy_per_mma = 8.0;  // relative; filled from the hwmodel
+};
+
+/// Built-in kinds. Initiation intervals scale from the device's FP16
+/// MMA rate (config.hmma_ii): one step costs hmma_ii cycles, so the
+/// FP32 mode is 2x and FP32C/FP64 are 4x. Energy fields derive from
+/// the hwmodel designs.
+MmaKindInfo kind_fp16(const GpuConfig& config);
+MmaKindInfo kind_bf16(const GpuConfig& config);
+MmaKindInfo kind_tf32(const GpuConfig& config);
+MmaKindInfo kind_m3xu_fp32(const GpuConfig& config);
+MmaKindInfo kind_m3xu_fp32c(const GpuConfig& config);
+MmaKindInfo kind_m3xu_fp64(const GpuConfig& config);
+MmaKindInfo kind_fp32_mxu(const GpuConfig& config);  // naive FP32-MXU (Fig 5 ref)
+
+struct TensorGemmParams {
+  MmaKindInfo kind;
+  int mma_multiplier = 1;  // 3x for the split emulations (per pass)
+  int split_alu_per_warp_iter = 0;  // decouple work, warp ALU instrs
+  bool read_c = false;              // epilogue reads C (beta != 0)
+  double clock_scale = 1.0;
+  // CUDA-core correction/merge FMAs per mainloop iteration, as a
+  // fraction of a pure-SIMT kernel's FMA work over the same tile
+  // (EEHC's error-compensation arithmetic [Ma et al.]).
+  double correction_ffma_fraction = 0.0;
+};
+
+/// Builds a tensor-core GEMM launch for problem m x n x k (k in
+/// elements of the kind; complex elements for FP32C).
+KernelLaunch build_tensor_gemm(const GpuConfig& config, long m, long n,
+                               long k, const TensorGemmParams& params);
+
+/// Classic SIMT GEMM (FP32 / FP32-complex / FP64 FMA loops).
+enum class SimtMath { kFp32, kFp32Complex, kFp64 };
+KernelLaunch build_simt_gemm(const GpuConfig& config, long m, long n, long k,
+                             SimtMath math);
+
+/// Streaming elementwise kernel (decouple passes, app glue): reads
+/// `bytes_read`, writes `bytes_written`, `ffma_per_kb` warp FMA
+/// instructions per KiB read.
+KernelLaunch build_streaming_kernel(const GpuConfig& config,
+                                    double bytes_read, double bytes_written,
+                                    double ffma_per_kb = 0.0);
+
+// --- Evaluation variants (Fig 4 / Fig 5) ------------------------------
+
+enum class SgemmVariant {
+  kSimt,              // cutlass_simt_sgemm
+  kTensorOp3xTf32,    // cutlass_tensorop_sgemm
+  kEehc3xBf16,        // EEHC_sgemm_fp32B
+  kM3xu,              // m3xu_sgemm_pipelined
+  kM3xuNonPipelined,  // m3xu_sgemm (reduced clock)
+  kFp32Mxu,           // naive FP32-MXU (energy reference)
+};
+
+enum class CgemmVariant {
+  kSimt,
+  kTensorOp3xTf32,
+  kM3xu,
+  kM3xuNonPipelined,
+  kFp32Mxu,
+};
+
+const char* variant_name(SgemmVariant v);
+const char* variant_name(CgemmVariant v);
+
+struct GemmTime {
+  double seconds = 0.0;
+  double decouple_seconds = 0.0;  // split overhead within `seconds`
+  double energy = 0.0;
+  double achieved_flops = 0.0;
+  KernelTiming detail;
+};
+
+GemmTime time_sgemm(const GpuSim& sim, SgemmVariant v, long m, long n,
+                    long k);
+GemmTime time_cgemm(const GpuSim& sim, CgemmVariant v, long m, long n,
+                    long k);
+
+/// FP16 Tensor-Core GEMM (mixed-precision forward pass).
+GemmTime time_hgemm(const GpuSim& sim, long m, long n, long k);
+
+/// FP64 GEMM on SIMT FP64 units vs the M3XU FP64 mode.
+enum class DgemmVariant { kSimt, kM3xu };
+GemmTime time_dgemm(const GpuSim& sim, DgemmVariant v, long m, long n,
+                    long k);
+
+/// Streaming pass helper for the apps.
+KernelTiming time_streaming(const GpuSim& sim, double bytes_read,
+                            double bytes_written, double ffma_per_kb = 0.0);
+
+}  // namespace m3xu::sim

@@ -1,0 +1,105 @@
+// GPU configuration for the timing simulator - an A100-class device
+// (the paper's testbed), with the M3XU extension parameters.
+//
+// Derived peak throughputs reproduce Table I:
+//   FP32 SIMT : 108 SM x 64 lanes x 2 flop x 1.41 GHz = 19.5 TFLOPS
+//   FP16 TC   : 108 SM x 4 TC x 512 flop/cyc x 1.41   = 312  TFLOPS
+//   BF16 TC   : same rate as FP16 TC                  = 312  TFLOPS
+//   TF32 TC   : half K per instruction                = 156  TFLOPS
+//   M3XU FP32 : 2 steps, half K  -> 1/4 of FP16 TC    = 78   TFLOPS
+//   M3XU FP32C: 4 steps, 1/4 K   -> 1/16 of FP16 TC   = 19.5 TFLOPS
+//     (complex MACs: 4 real flops each -> 4x SIMT CGEMM throughput)
+#pragma once
+
+namespace m3xu::sim {
+
+struct GpuConfig {
+  // Compute.
+  int num_sms = 108;
+  int tensor_cores_per_sm = 4;
+  double clock_ghz = 1.41;
+  int fp32_lanes_per_sm = 64;   // CUDA cores
+  int fp64_lanes_per_sm = 32;
+  int schedulers_per_sm = 4;
+  int max_warps_per_sm = 64;
+
+  // Tensor core: one FP16 m16n8k16 MMA (4096 flops) per TC every
+  // `hmma_ii` cycles -> 512 flops/TC/cycle.
+  int hmma_ii = 8;
+  int mma_latency = 24;
+
+  // Memory system.
+  double dram_bandwidth_gbs = 1555.0;
+  double l2_bandwidth_bytes_per_sm_cycle = 40.0;
+  double l2_capacity_bytes = 40.0 * 1024 * 1024;
+  double smem_bytes_per_sm_cycle = 128.0;
+  double smem_capacity_bytes = 164.0 * 1024.0;  // per SM
+  int dram_latency_cycles = 450;
+  int l2_latency_cycles = 200;
+  int smem_latency_cycles = 25;
+
+  // M3XU variant: the non-pipelined design runs at a lower clock
+  // (cycle-time ratio 1.21 from the synthesis model / Table III).
+  double m3xu_nonpipelined_clock_scale = 1.0 / 1.21;
+
+  // Derived peaks (FLOPS).
+  double fp32_simt_peak() const {
+    return num_sms * fp32_lanes_per_sm * 2.0 * clock_ghz * 1e9;
+  }
+  double fp64_simt_peak() const {
+    return num_sms * fp64_lanes_per_sm * 2.0 * clock_ghz * 1e9;
+  }
+  double fp16_simd_peak() const { return 4.0 * fp32_simt_peak(); }
+  double bf16_simd_peak() const { return 2.0 * fp32_simt_peak(); }
+  double tc_flops_per_cycle() const { return 4096.0 / hmma_ii; }
+  double fp16_tc_peak() const {
+    return num_sms * tensor_cores_per_sm * tc_flops_per_cycle() * clock_ghz *
+           1e9;
+  }
+  double bf16_tc_peak() const { return fp16_tc_peak(); }
+  double tf32_tc_peak() const { return fp16_tc_peak() / 2.0; }
+  double m3xu_fp32_peak() const { return fp16_tc_peak() / 4.0; }
+  // Complex flops counted as 4 real flops per complex MAC, matching
+  // how cuBLAS reports CGEMM: same numerator as SGEMM of 4x the work.
+  double m3xu_fp32c_peak() const { return fp16_tc_peak() / 16.0 * 4.0; }
+  double m3xu_fp64_peak() const { return fp16_tc_peak() / 16.0; }
+  double dram_bytes_per_sm_cycle() const {
+    return dram_bandwidth_gbs * 1e9 / (clock_ghz * 1e9) / num_sms;
+  }
+
+  static GpuConfig a100() { return GpuConfig{}; }
+
+  /// Hopper-class device (SIII-C: the M3XU FP32 target scales to
+  /// ~248 TFLOPS). H100 SXM: 132 SMs, ~990 TFLOPS dense FP16 TC.
+  static GpuConfig h100() {
+    GpuConfig c;
+    c.num_sms = 132;
+    c.clock_ghz = 1.83;
+    c.fp32_lanes_per_sm = 128;
+    c.fp64_lanes_per_sm = 64;
+    c.hmma_ii = 4;  // 1024 flops/TC/cycle
+    c.dram_bandwidth_gbs = 3350.0;
+    c.l2_capacity_bytes = 50.0 * 1024 * 1024;
+    c.l2_bandwidth_bytes_per_sm_cycle = 48.0;
+    return c;
+  }
+
+  /// CDNA2-class device (SIII-C: AMD Matrix Cores deliver 8x the SIMT
+  /// FP32 rate, so an M3XU extension retains a 2x FP32 advantage).
+  /// One MI250 GCD: 104 CUs, 22.6 TFLOPS FP32 vector, 181 TFLOPS FP16
+  /// matrix (8x), 1.6 TB/s HBM2e.
+  static GpuConfig mi250_gcd() {
+    GpuConfig c;
+    c.num_sms = 104;
+    c.clock_ghz = 1.7;
+    c.fp32_lanes_per_sm = 64;
+    c.fp64_lanes_per_sm = 64;
+    c.hmma_ii = 16;  // 256 flops per matrix unit per cycle
+    c.tensor_cores_per_sm = 4;
+    c.dram_bandwidth_gbs = 1638.0;
+    c.l2_capacity_bytes = 8.0 * 1024 * 1024;
+    return c;
+  }
+};
+
+}  // namespace m3xu::sim

@@ -1,0 +1,60 @@
+// Warp-level instruction IR consumed by the cycle-level SM model.
+//
+// A CTA program is (prologue, body x iterations, epilogue); every warp
+// of the CTA executes the same stream (GEMM kernels are symmetric
+// across warps). Dependencies are expressed with ldg groups (cp.async
+// commit groups), a dep-on-previous flag (fragment load -> MMA), and
+// CTA-wide barriers - the same synchronization skeleton as a CUTLASS
+// multi-stage mainloop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace m3xu::sim {
+
+enum class Op : std::uint8_t {
+  kLdgAsync,   // global -> smem copy (cp.async), non-blocking
+  kWaitGroup,  // wait until ldg group `group` has landed
+  kBar,        // CTA-wide barrier
+  kLds,        // shared memory -> register fragment load
+  kMma,        // tensor-core MMA (pipe_cycles = initiation interval)
+  kFfma,       // FP32 pipe warp instruction
+  kDfma,       // FP64 pipe warp instruction
+  kAlu,        // integer/misc pipe (address math, splits, shuffles)
+  kSts,        // register -> shared store
+  kStg,        // global store (epilogue)
+};
+
+struct Instr {
+  Op op = Op::kAlu;
+  int pipe_cycles = 1;    // issue occupancy of the target pipe
+  double bytes = 0.0;     // memory ops: bytes moved by this warp
+  int group = 0;          // kLdgAsync: commit group; kWaitGroup: target
+  bool dep_on_prev = false;  // must wait for previous instr completion
+
+  static Instr ldg(double bytes, int group) {
+    return {Op::kLdgAsync, 1, bytes, group, false};
+  }
+  static Instr wait_group(int group) {
+    return {Op::kWaitGroup, 1, 0.0, group, false};
+  }
+  static Instr bar() { return {Op::kBar, 1, 0.0, 0, false}; }
+  static Instr lds(double bytes) { return {Op::kLds, 1, bytes, 0, false}; }
+  static Instr mma(int ii) { return {Op::kMma, ii, 0.0, 0, false}; }
+  static Instr ffma(int count = 1) { return {Op::kFfma, count, 0.0, 0, false}; }
+  static Instr dfma(int count = 1) { return {Op::kDfma, count, 0.0, 0, false}; }
+  static Instr alu(int count = 1) { return {Op::kAlu, count, 0.0, 0, false}; }
+  static Instr sts(double bytes) { return {Op::kSts, 1, bytes, 0, false}; }
+  static Instr stg(double bytes) { return {Op::kStg, 1, bytes, 0, false}; }
+};
+
+struct CtaProgram {
+  std::vector<Instr> prologue;
+  std::vector<Instr> body;   // one mainloop iteration
+  long iterations = 0;
+  std::vector<Instr> epilogue;
+  int warps = 8;
+};
+
+}  // namespace m3xu::sim

@@ -1,0 +1,118 @@
+#include "sim/kernel_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "sim/sm_model.hpp"
+
+namespace m3xu::sim {
+
+namespace {
+
+// Mainloop iterations simulated before extrapolating. Two runs (half
+// and full) give the steady-state slope without instrumentation.
+constexpr long kSimIterations = 48;
+
+}  // namespace
+
+KernelTiming GpuSim::run(const KernelLaunch& launch) const {
+  M3XU_CHECK(launch.grid_ctas >= 1);
+  // Shared memory bounds occupancy; CTAs spread across SMs before
+  // doubling up; a partial tail wave costs its fractional share (the
+  // scheduler rebalances in practice).
+  int ctas_per_sm = launch.ctas_per_sm;
+  if (launch.smem_bytes_per_cta > 0.0) {
+    const int fit = static_cast<int>(config_.smem_capacity_bytes /
+                                     launch.smem_bytes_per_cta);
+    M3XU_CHECK(fit >= 1);  // one CTA must fit
+    ctas_per_sm = std::min(ctas_per_sm, fit);
+  }
+  const long resident_capacity =
+      static_cast<long>(config_.num_sms) * ctas_per_sm;
+  const double waves = std::max(
+      1.0, static_cast<double>(launch.grid_ctas) / resident_capacity);
+  const int active_sms = static_cast<int>(
+      std::min<long>(config_.num_sms, launch.grid_ctas));
+  const int resident = static_cast<int>(std::min<long>(
+      ctas_per_sm,
+      (launch.grid_ctas + active_sms - 1) / active_sms));
+
+  const long iters = launch.program.iterations;
+  double wave_cycles = 0.0;
+  SmResult full;
+  if (iters > kSimIterations) {
+    // Simulate a truncated mainloop twice and extrapolate the slope.
+    full = simulate_sm(config_, launch.program, resident,
+                       launch.l2_hit_fraction, active_sms, kSimIterations);
+    const SmResult half =
+        simulate_sm(config_, launch.program, resident,
+                    launch.l2_hit_fraction, active_sms, kSimIterations / 2);
+    const double slope = (full.cycles - half.cycles) /
+                         static_cast<double>(kSimIterations / 2);
+    wave_cycles = full.cycles +
+                  slope * static_cast<double>(iters - kSimIterations);
+    // Scale the per-CTA byte/op counts from the truncated run.
+    const double scale =
+        static_cast<double>(iters) / static_cast<double>(kSimIterations);
+    // ldg/smem traffic is dominated by the mainloop; prologue traffic
+    // is (stages-1) iterations' worth and scales along with it.
+    full.ldg_bytes *= scale;
+    full.smem_bytes *= scale;
+    full.mma_count = static_cast<long>(full.mma_count * scale);
+    full.ffma_count = static_cast<long>(full.ffma_count * scale);
+    full.dfma_count = static_cast<long>(full.dfma_count * scale);
+    full.alu_count = static_cast<long>(full.alu_count * scale);
+  } else {
+    full = simulate_sm(config_, launch.program, resident,
+                       launch.l2_hit_fraction, active_sms,
+                       std::max<long>(iters, 0));
+    wave_cycles = full.cycles;
+  }
+  M3XU_CHECK(!full.hit_cycle_cap);
+
+  KernelTiming t;
+  t.cycles = wave_cycles * waves;
+  const double clock_hz = config_.clock_ghz * 1e9 * launch.clock_scale;
+  t.seconds = t.cycles / clock_hz;
+
+  const double grid = static_cast<double>(launch.grid_ctas);
+  const double global_bytes = (full.ldg_bytes + full.stg_bytes) * grid;
+  t.l2_bytes = global_bytes;
+  t.dram_bytes = full.ldg_bytes * (1.0 - launch.l2_hit_fraction) * grid +
+                 full.stg_bytes * grid;  // writes drain to DRAM
+  t.smem_bytes = full.smem_bytes * grid;
+  t.mma_instructions = static_cast<long>(full.mma_count * grid);
+  t.ffma_instructions =
+      static_cast<long>((full.ffma_count + full.dfma_count) * grid);
+  t.alu_instructions = static_cast<long>(full.alu_count * grid);
+  t.achieved_flops = t.seconds > 0.0 ? launch.flops / t.seconds : 0.0;
+
+  // Energy: per-op + per-byte + static power over occupied SM-cycles.
+  t.energy = static_cast<double>(t.mma_instructions) * launch.energy_per_mma +
+             full.ffma_count * grid * launch.energy_per_ffma_warp +
+             full.dfma_count * grid * launch.energy_per_dfma_warp +
+             full.alu_count * grid * launch.energy_per_alu_warp +
+             t.dram_bytes * energy_.per_dram_byte +
+             t.l2_bytes * energy_.per_l2_byte +
+             t.smem_bytes * energy_.per_smem_byte +
+             t.cycles * active_sms * energy_.static_per_sm_cycle;
+  return t;
+}
+
+KernelTiming operator+(const KernelTiming& a, const KernelTiming& b) {
+  KernelTiming t;
+  t.cycles = a.cycles + b.cycles;
+  t.seconds = a.seconds + b.seconds;
+  t.dram_bytes = a.dram_bytes + b.dram_bytes;
+  t.l2_bytes = a.l2_bytes + b.l2_bytes;
+  t.smem_bytes = a.smem_bytes + b.smem_bytes;
+  t.mma_instructions = a.mma_instructions + b.mma_instructions;
+  t.ffma_instructions = a.ffma_instructions + b.ffma_instructions;
+  t.alu_instructions = a.alu_instructions + b.alu_instructions;
+  t.energy = a.energy + b.energy;
+  t.achieved_flops = 0.0;  // callers recompute from their own flops
+  return t;
+}
+
+}  // namespace m3xu::sim

@@ -1,0 +1,75 @@
+// Whole-kernel timing on top of the cycle-level SM model.
+//
+// A kernel launch = grid of identical CTAs. One SM's resident set is
+// cycle-simulated (with the mainloop truncated and extrapolated from
+// its steady-state slope); the kernel time is the CTA-wave count times
+// the per-wave time, with the DRAM/L2 bandwidth share of an SM set by
+// how many SMs the wave occupies. This mirrors how the paper's own
+// framework extrapolates from emulated instruction streams rather than
+// executing every instruction (SV-B).
+#pragma once
+
+#include "sim/gpu_config.hpp"
+#include "sim/instruction.hpp"
+
+namespace m3xu::sim {
+
+struct KernelLaunch {
+  CtaProgram program;
+  long grid_ctas = 1;
+  int ctas_per_sm = 2;            // requested occupancy
+  double smem_bytes_per_cta = 0;  // staged buffers; 0 = no smem limit
+  double l2_hit_fraction = 0.0;
+  double flops = 0.0;        // useful flops for achieved-throughput
+  double clock_scale = 1.0;  // e.g. non-pipelined M3XU runs at 1/1.21
+
+  // Energy accounting inputs (relative energy units per event); filled
+  // by the kernel builders from the hwmodel.
+  double energy_per_mma = 0.0;
+  double energy_per_ffma_warp = 1.0;
+  double energy_per_dfma_warp = 2.0;
+  double energy_per_alu_warp = 0.25;
+};
+
+struct KernelTiming {
+  double cycles = 0.0;          // SM cycles at the kernel's clock
+  double seconds = 0.0;
+  double dram_bytes = 0.0;      // total, post-L2
+  double l2_bytes = 0.0;        // total at L2
+  double smem_bytes = 0.0;
+  long mma_instructions = 0;    // total
+  long ffma_instructions = 0;
+  long alu_instructions = 0;
+  double achieved_flops = 0.0;  // flops / seconds
+  double energy = 0.0;          // relative units
+};
+
+/// Per-byte / static energy constants (relative units, shared by every
+/// kernel so Fig-5-style ratios are meaningful).
+struct EnergyConstants {
+  double per_dram_byte = 20.0;
+  double per_l2_byte = 4.0;
+  double per_smem_byte = 1.0;
+  double static_per_sm_cycle = 2.0;
+};
+
+class GpuSim {
+ public:
+  explicit GpuSim(const GpuConfig& config,
+                  const EnergyConstants& energy = {})
+      : config_(config), energy_(energy) {}
+
+  const GpuConfig& config() const { return config_; }
+  const EnergyConstants& energy_constants() const { return energy_; }
+
+  KernelTiming run(const KernelLaunch& launch) const;
+
+ private:
+  GpuConfig config_;
+  EnergyConstants energy_;
+};
+
+/// Adds component timings (sequential kernel passes).
+KernelTiming operator+(const KernelTiming& a, const KernelTiming& b);
+
+}  // namespace m3xu::sim

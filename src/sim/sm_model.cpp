@@ -1,0 +1,355 @@
+#include "sim/sm_model.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace m3xu::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kCycleCap = 20e6;
+
+struct BandwidthQueue {
+  double bytes_per_cycle = 1.0;
+  double next_free = 0.0;
+
+  /// Serves `bytes` starting no earlier than `now`; returns drain time.
+  double serve(double now, double bytes) {
+    const double start = std::max(now, next_free);
+    next_free = start + bytes / bytes_per_cycle;
+    return next_free;
+  }
+};
+
+struct Pipe {
+  double next_free = 0.0;
+};
+
+enum class Phase { kPrologue, kBody, kEpilogue, kDone };
+
+struct WarpState {
+  int cta = 0;
+  Phase phase = Phase::kPrologue;
+  std::size_t idx = 0;
+  long iter = 0;
+  double prev_complete = 0.0;
+  bool bar_arrived = false;  // arrival registered for the pending kBar
+  long bar_epoch = 0;
+  std::vector<double> group_complete;  // abs ldg group -> drain cycle
+};
+
+struct CtaState {
+  std::vector<int> bar_arrivals;      // per epoch
+  std::vector<double> bar_release;    // per epoch, -1 = not yet
+};
+
+const Instr* current_instr(const CtaProgram& p, const WarpState& w,
+                           long iters) {
+  switch (w.phase) {
+    case Phase::kPrologue:
+      return &p.prologue[w.idx];
+    case Phase::kBody:
+      (void)iters;
+      return &p.body[w.idx];
+    case Phase::kEpilogue:
+      return &p.epilogue[w.idx];
+    case Phase::kDone:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void advance(const CtaProgram& p, WarpState& w, long iters) {
+  ++w.idx;
+  switch (w.phase) {
+    case Phase::kPrologue:
+      if (w.idx >= p.prologue.size()) {
+        w.idx = 0;
+        w.phase = (iters > 0 && !p.body.empty()) ? Phase::kBody
+                                                 : Phase::kEpilogue;
+        if (w.phase == Phase::kEpilogue && p.epilogue.empty()) {
+          w.phase = Phase::kDone;
+        }
+      }
+      break;
+    case Phase::kBody:
+      if (w.idx >= p.body.size()) {
+        w.idx = 0;
+        ++w.iter;
+        if (w.iter >= iters) {
+          w.phase = p.epilogue.empty() ? Phase::kDone : Phase::kEpilogue;
+        }
+      }
+      break;
+    case Phase::kEpilogue:
+      if (w.idx >= p.epilogue.size()) w.phase = Phase::kDone;
+      break;
+    case Phase::kDone:
+      break;
+  }
+}
+
+}  // namespace
+
+SmResult simulate_sm(const GpuConfig& config, const CtaProgram& program,
+                     int ctas_resident, double l2_hit_fraction,
+                     int active_sms, long max_iterations) {
+  M3XU_CHECK(ctas_resident >= 1);
+  M3XU_CHECK(l2_hit_fraction >= 0.0 && l2_hit_fraction <= 1.0);
+  M3XU_CHECK(active_sms >= 1);
+
+  const long iters = std::min<long>(program.iterations, max_iterations);
+  const int sched_count = config.schedulers_per_sm;
+  const int warps_per_cta = program.warps;
+  const int total_warps = ctas_resident * warps_per_cta;
+
+  // Pipes. FP32: 64 lanes / 4 schedulers = 16 -> a 32-lane warp FFMA
+  // occupies its quadrant for 2 cycles; FP64 half that rate.
+  const int ffma_ii =
+      std::max(1, 32 * sched_count / config.fp32_lanes_per_sm);
+  const int dfma_ii =
+      std::max(1, 32 * sched_count / config.fp64_lanes_per_sm);
+  std::vector<Pipe> tc(sched_count), fp32(sched_count), fp64(sched_count),
+      alu(sched_count), lsu(sched_count);
+
+  BandwidthQueue smem{config.smem_bytes_per_sm_cycle};
+  BandwidthQueue l2{config.l2_bandwidth_bytes_per_sm_cycle};
+  BandwidthQueue dram{config.dram_bandwidth_gbs * 1e9 /
+                      (config.clock_ghz * 1e9) / active_sms};
+
+  std::vector<WarpState> warps(static_cast<std::size_t>(total_warps));
+  std::vector<CtaState> ctas(static_cast<std::size_t>(ctas_resident));
+  const std::size_t group_span = static_cast<std::size_t>(iters) + 8;
+  for (int wi = 0; wi < total_warps; ++wi) {
+    warps[wi].cta = wi / warps_per_cta;
+    warps[wi].group_complete.assign(group_span, -1.0);
+    if (program.prologue.empty()) {
+      warps[wi].phase = (iters > 0 && !program.body.empty())
+                            ? Phase::kBody
+                            : (program.epilogue.empty() ? Phase::kDone
+                                                        : Phase::kEpilogue);
+    }
+  }
+
+  SmResult result;
+  double now = 0.0;
+  std::vector<int> rr(static_cast<std::size_t>(sched_count), 0);
+  int done_warps = 0;
+  for (const auto& w : warps) {
+    if (w.phase == Phase::kDone) ++done_warps;
+  }
+
+  while (done_warps < total_warps) {
+    if (now > kCycleCap) {
+      result.hit_cycle_cap = true;
+      break;
+    }
+    bool issued_any = false;
+    double next_event = kInf;
+    for (int s = 0; s < sched_count; ++s) {
+      // One issue slot per scheduler per cycle; round-robin over the
+      // scheduler's warps (warp w belongs to scheduler w % sched_count).
+      const int warps_here = (total_warps - s + sched_count - 1) / sched_count;
+      bool issued = false;
+      for (int t = 0; t < warps_here && !issued; ++t) {
+        const int slot = (rr[s] + t) % warps_here;
+        const int wi = s + slot * sched_count;
+        WarpState& w = warps[static_cast<std::size_t>(wi)];
+        const Instr* instr = current_instr(program, w, iters);
+        if (instr == nullptr) continue;
+        // Dependency on the previous instruction's completion.
+        if (instr->dep_on_prev && now < w.prev_complete) {
+          next_event = std::min(next_event, w.prev_complete);
+          continue;
+        }
+        CtaState& cta = ctas[static_cast<std::size_t>(w.cta)];
+        double complete = now;
+        switch (instr->op) {
+          case Op::kWaitGroup: {
+            const long target = (w.phase == Phase::kBody)
+                                    ? w.iter - instr->group
+                                    : instr->group;
+            if (target >= 0) {
+              const double ready =
+                  target < static_cast<long>(group_span)
+                      ? w.group_complete[static_cast<std::size_t>(target)]
+                      : -1.0;
+              if (ready < 0.0) continue;  // not even issued yet
+              if (now < ready) {
+                next_event = std::min(next_event, ready);
+                continue;
+              }
+            }
+            break;
+          }
+          case Op::kBar: {
+            const std::size_t epoch = static_cast<std::size_t>(w.bar_epoch);
+            if (cta.bar_arrivals.size() <= epoch) {
+              cta.bar_arrivals.resize(epoch + 1, 0);
+              cta.bar_release.resize(epoch + 1, -1.0);
+            }
+            if (!w.bar_arrived) {
+              w.bar_arrived = true;
+              ++cta.bar_arrivals[epoch];
+              if (cta.bar_arrivals[epoch] == warps_per_cta) {
+                cta.bar_release[epoch] = now + 1;
+              }
+            }
+            if (cta.bar_release[epoch] < 0.0 ||
+                now < cta.bar_release[epoch]) {
+              if (cta.bar_release[epoch] >= 0.0) {
+                next_event = std::min(next_event, cta.bar_release[epoch]);
+              }
+              continue;
+            }
+            w.bar_arrived = false;
+            ++w.bar_epoch;
+            break;
+          }
+          case Op::kLdgAsync: {
+            if (lsu[s].next_free > now) {
+              next_event = std::min(next_event, lsu[s].next_free);
+              continue;
+            }
+            lsu[s].next_free = now + instr->pipe_cycles;
+            const double miss_bytes = instr->bytes * (1.0 - l2_hit_fraction);
+            const double l2_done = l2.serve(now, instr->bytes);
+            double done = l2_done + config.l2_latency_cycles;
+            if (miss_bytes > 0.0) {
+              const double dram_done = dram.serve(now, miss_bytes);
+              done = std::max(done, dram_done + config.dram_latency_cycles);
+            }
+            const long abs_group = (w.phase == Phase::kBody)
+                                       ? w.iter + instr->group
+                                       : instr->group;
+            if (abs_group >= 0 &&
+                abs_group < static_cast<long>(group_span)) {
+              auto& slot_time =
+                  w.group_complete[static_cast<std::size_t>(abs_group)];
+              slot_time = std::max(slot_time, done);
+            }
+            result.ldg_bytes += instr->bytes;
+            complete = done;
+            break;
+          }
+          case Op::kStg: {
+            if (lsu[s].next_free > now) {
+              next_event = std::min(next_event, lsu[s].next_free);
+              continue;
+            }
+            lsu[s].next_free = now + instr->pipe_cycles;
+            l2.serve(now, instr->bytes);
+            dram.serve(now, instr->bytes * (1.0 - l2_hit_fraction));
+            result.stg_bytes += instr->bytes;
+            complete = now + 1;
+            break;
+          }
+          case Op::kLds:
+          case Op::kSts: {
+            if (lsu[s].next_free > now) {
+              next_event = std::min(next_event, lsu[s].next_free);
+              continue;
+            }
+            lsu[s].next_free = now + instr->pipe_cycles;
+            const double done = smem.serve(now, instr->bytes);
+            complete = done + config.smem_latency_cycles;
+            result.smem_bytes += instr->bytes;
+            break;
+          }
+          case Op::kMma: {
+            if (tc[s].next_free > now) {
+              next_event = std::min(next_event, tc[s].next_free);
+              continue;
+            }
+            tc[s].next_free = now + instr->pipe_cycles;
+            result.tc_busy_cycles += instr->pipe_cycles;
+            ++result.mma_count;
+            complete = now + config.mma_latency;
+            break;
+          }
+          case Op::kFfma: {
+            const double occupancy =
+                static_cast<double>(instr->pipe_cycles) * ffma_ii;
+            if (fp32[s].next_free > now) {
+              next_event = std::min(next_event, fp32[s].next_free);
+              continue;
+            }
+            fp32[s].next_free = now + occupancy;
+            result.ffma_count += instr->pipe_cycles;
+            complete = now + occupancy + 4;
+            break;
+          }
+          case Op::kDfma: {
+            const double occupancy =
+                static_cast<double>(instr->pipe_cycles) * dfma_ii;
+            if (fp64[s].next_free > now) {
+              next_event = std::min(next_event, fp64[s].next_free);
+              continue;
+            }
+            fp64[s].next_free = now + occupancy;
+            result.dfma_count += instr->pipe_cycles;
+            complete = now + occupancy + 4;
+            break;
+          }
+          case Op::kAlu: {
+            const double occupancy = static_cast<double>(instr->pipe_cycles);
+            if (alu[s].next_free > now) {
+              next_event = std::min(next_event, alu[s].next_free);
+              continue;
+            }
+            alu[s].next_free = now + occupancy;
+            result.alu_count += instr->pipe_cycles;
+            complete = now + occupancy + 2;
+            break;
+          }
+        }
+        // Issued.
+        result.cycles = std::max(result.cycles, complete);
+        w.prev_complete = complete;
+        advance(program, w, iters);
+        if (w.phase == Phase::kDone) ++done_warps;
+        rr[s] = (slot + 1) % warps_here;
+        issued = true;
+        issued_any = true;
+      }
+    }
+    if (issued_any) {
+      now += 1.0;
+    } else if (next_event < kInf) {
+      now = std::max(now + 1.0, next_event);
+    } else {
+      // All remaining warps are blocked with no future event: only
+      // possible via a barrier nobody else will reach - a program bug.
+      M3XU_CHECK(false && "SM model deadlock");
+    }
+  }
+
+  // The kernel is finished when the last instruction completes and all
+  // pending memory traffic (stores included) has drained.
+  result.cycles = std::max({result.cycles, now, l2.next_free,
+                            dram.next_free, smem.next_free});
+  for (const Pipe& pipe : tc) {
+    result.cycles = std::max(result.cycles, pipe.next_free);
+  }
+  for (const Pipe& pipe : fp32) {
+    result.cycles = std::max(result.cycles, pipe.next_free);
+  }
+  for (const Pipe& pipe : fp64) {
+    result.cycles = std::max(result.cycles, pipe.next_free);
+  }
+  const double ctas_d = static_cast<double>(ctas_resident);
+  result.mma_count = static_cast<long>(result.mma_count / ctas_d);
+  result.ffma_count = static_cast<long>(result.ffma_count / ctas_d);
+  result.dfma_count = static_cast<long>(result.dfma_count / ctas_d);
+  result.alu_count = static_cast<long>(result.alu_count / ctas_d);
+  result.ldg_bytes /= ctas_d;
+  result.stg_bytes /= ctas_d;
+  result.smem_bytes /= ctas_d;
+  return result;
+}
+
+}  // namespace m3xu::sim

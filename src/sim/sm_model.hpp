@@ -1,0 +1,37 @@
+// Cycle-level SM model: resident CTAs' warps issue their instruction
+// streams in order through per-scheduler pipes (tensor core, FP32,
+// FP64, ALU, LSU) with cp.async commit-group dependencies, CTA
+// barriers, shared-memory bandwidth, and an L2/DRAM bandwidth+latency
+// channel whose per-SM share reflects the number of SMs running the
+// kernel.
+#pragma once
+
+#include "sim/gpu_config.hpp"
+#include "sim/instruction.hpp"
+
+namespace m3xu::sim {
+
+/// Per-CTA execution statistics (cycles are for the whole resident set;
+/// op counts and bytes are per single CTA).
+struct SmResult {
+  double cycles = 0.0;          // until every resident CTA finished
+  long mma_count = 0;           // per CTA
+  long ffma_count = 0;          // per CTA (warp instructions)
+  long dfma_count = 0;
+  long alu_count = 0;
+  double tc_busy_cycles = 0.0;  // summed over the SM's tensor cores
+  double ldg_bytes = 0.0;       // per CTA, global reads
+  double stg_bytes = 0.0;       // per CTA, global writes
+  double smem_bytes = 0.0;      // per CTA
+  bool hit_cycle_cap = false;
+};
+
+/// Simulates `ctas_resident` copies of `program` on one SM.
+/// `l2_hit_fraction` of global bytes are served by L2; the rest go to
+/// DRAM whose bandwidth is shared by `active_sms` SMs. `max_iterations`
+/// truncates the mainloop (callers extrapolate steady state).
+SmResult simulate_sm(const GpuConfig& config, const CtaProgram& program,
+                     int ctas_resident, double l2_hit_fraction,
+                     int active_sms, long max_iterations);
+
+}  // namespace m3xu::sim

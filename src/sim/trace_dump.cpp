@@ -1,0 +1,124 @@
+#include "sim/trace_dump.hpp"
+
+#include <cstdio>
+
+namespace m3xu::sim {
+
+ProgramCensus census(const std::vector<Instr>& section) {
+  ProgramCensus c;
+  for (const Instr& instr : section) {
+    switch (instr.op) {
+      case Op::kLdgAsync:
+        ++c.ldg;
+        c.ldg_bytes += instr.bytes;
+        break;
+      case Op::kStg:
+        ++c.stg;
+        c.stg_bytes += instr.bytes;
+        break;
+      case Op::kLds:
+      case Op::kSts:
+        ++c.lds_sts;
+        c.smem_bytes += instr.bytes;
+        break;
+      case Op::kMma:
+        ++c.mma;
+        break;
+      case Op::kFfma:
+        c.ffma_warp += instr.pipe_cycles;
+        break;
+      case Op::kDfma:
+        c.dfma_warp += instr.pipe_cycles;
+        break;
+      case Op::kAlu:
+        c.alu_warp += instr.pipe_cycles;
+        break;
+      case Op::kBar:
+        ++c.barriers;
+        break;
+      case Op::kWaitGroup:
+        ++c.waits;
+        break;
+    }
+  }
+  return c;
+}
+
+namespace {
+
+void scale_into(ProgramCensus& total, const ProgramCensus& part,
+                double factor) {
+  total.ldg += static_cast<long>(part.ldg * factor);
+  total.stg += static_cast<long>(part.stg * factor);
+  total.lds_sts += static_cast<long>(part.lds_sts * factor);
+  total.mma += static_cast<long>(part.mma * factor);
+  total.ffma_warp += static_cast<long>(part.ffma_warp * factor);
+  total.dfma_warp += static_cast<long>(part.dfma_warp * factor);
+  total.alu_warp += static_cast<long>(part.alu_warp * factor);
+  total.barriers += static_cast<long>(part.barriers * factor);
+  total.waits += static_cast<long>(part.waits * factor);
+  total.ldg_bytes += part.ldg_bytes * factor;
+  total.stg_bytes += part.stg_bytes * factor;
+  total.smem_bytes += part.smem_bytes * factor;
+}
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kLdgAsync:
+      return "ldg";
+    case Op::kWaitGroup:
+      return "wait";
+    case Op::kBar:
+      return "bar";
+    case Op::kLds:
+      return "lds";
+    case Op::kSts:
+      return "sts";
+    case Op::kMma:
+      return "mma";
+    case Op::kFfma:
+      return "ffma";
+    case Op::kDfma:
+      return "dfma";
+    case Op::kStg:
+      return "stg";
+    case Op::kAlu:
+      return "alu";
+  }
+  return "?";
+}
+
+void dump_section(std::string& out, const char* name,
+                  const std::vector<Instr>& section) {
+  out += name;
+  out += ":\n";
+  for (const Instr& instr : section) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "  %-5s ii=%-4d bytes=%-8.0f g=%d%s\n",
+                  op_name(instr.op), instr.pipe_cycles, instr.bytes,
+                  instr.group, instr.dep_on_prev ? " dep" : "");
+    out += line;
+  }
+}
+
+}  // namespace
+
+ProgramCensus census(const CtaProgram& program) {
+  ProgramCensus total = census(program.prologue);
+  scale_into(total, census(program.body),
+             static_cast<double>(program.iterations));
+  scale_into(total, census(program.epilogue), 1.0);
+  return total;
+}
+
+std::string dump(const CtaProgram& program) {
+  std::string out;
+  dump_section(out, "prologue", program.prologue);
+  char hdr[48];
+  std::snprintf(hdr, sizeof(hdr), "body (x%ld)", program.iterations);
+  dump_section(out, hdr, program.body);
+  dump_section(out, "epilogue", program.epilogue);
+  return out;
+}
+
+}  // namespace m3xu::sim

@@ -1,0 +1,37 @@
+// Program inspection tooling: census and text rendering of CTA
+// programs, for debugging kernel builders and asserting their traffic
+// contracts in tests.
+#pragma once
+
+#include <string>
+
+#include "sim/instruction.hpp"
+
+namespace m3xu::sim {
+
+struct ProgramCensus {
+  long ldg = 0;
+  long stg = 0;
+  long lds_sts = 0;
+  long mma = 0;
+  long ffma_warp = 0;  // folded warp-instruction counts
+  long dfma_warp = 0;
+  long alu_warp = 0;
+  long barriers = 0;
+  long waits = 0;
+  double ldg_bytes = 0.0;   // per warp, per pass through the section
+  double stg_bytes = 0.0;
+  double smem_bytes = 0.0;
+};
+
+/// Counts one pass through a section (prologue, body, or epilogue).
+ProgramCensus census(const std::vector<Instr>& section);
+
+/// Whole-program census for one warp: prologue + iterations * body +
+/// epilogue.
+ProgramCensus census(const CtaProgram& program);
+
+/// Human-readable listing ("ldg 1024B g2 / wait g0 / bar / ...").
+std::string dump(const CtaProgram& program);
+
+}  // namespace m3xu::sim

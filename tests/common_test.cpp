@@ -1,0 +1,176 @@
+// Tests for the shared utility layer: thread pool, RNG determinism,
+// statistics, and table formatting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/cli.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace m3xu {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(12), 0xfffu);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, HighestBit) {
+  EXPECT_EQ(highest_bit(0), -1);
+  EXPECT_EQ(highest_bit(1), 0);
+  EXPECT_EQ(highest_bit(0x800), 11);
+  EXPECT_EQ(highest_bit(~std::uint64_t{0}), 63);
+}
+
+TEST(Bits, CeilDivRoundUp) {
+  EXPECT_EQ(ceil_div(7, 4), 2u);
+  EXPECT_EQ(ceil_div(8, 4), 2u);
+  EXPECT_EQ(round_up(7, 4), 8u);
+  EXPECT_EQ(round_up(8, 4), 8u);
+}
+
+TEST(Bits, FloatPunning) {
+  EXPECT_EQ(bits_of(1.0f), 0x3f800000u);
+  EXPECT_EQ(float_from_bits(0x40000000u), 2.0f);
+  EXPECT_EQ(bits_of(1.0), 0x3ff0000000000000ull);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPool, HandlesEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+  int count = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, SingleThreadDegeneratesToSerial) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(64, [&](std::size_t i) { order.push_back(i); });
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const float v = rng.uniform(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, AnyFiniteFloatIsFinite) {
+  Rng rng(8);
+  for (int i = 0; i < 100'000; ++i) {
+    const float f = rng.any_finite_float();
+    EXPECT_FALSE(std::isnan(f));
+    EXPECT_FALSE(std::isinf(f));
+  }
+}
+
+TEST(Rng, NormalHasPlausibleMoments) {
+  Rng rng(9);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Stats, Summary) {
+  const Summary s = summarize({1.0, 2.0, 4.0});
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.mean, 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(s.geomean, 2.0, 1e-12);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(Stats, EmptyAndZero) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  EXPECT_EQ(summarize({0.0, 1.0}).geomean, 0.0);
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  const char* argv[] = {"prog", "--size=4096", "--verbose",
+                        "--ratio=2.5", "--name=abc"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.has("size"));
+  EXPECT_EQ(cli.get_int("size", 0), 4096);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("quiet", false));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(cli.get("name", ""), "abc");
+  EXPECT_EQ(cli.get("other", "fallback"), "fallback");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=1", "--c=yes", "--d=false"};
+  Cli cli(5, const_cast<char**>(argv));
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_TRUE(cli.get_bool("b", false));
+  EXPECT_TRUE(cli.get_bool("c", false));
+  EXPECT_FALSE(cli.get_bool("d", true));
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::speedup(3.638), "3.64x");
+  EXPECT_EQ(Table::pct(0.47), "47.0%");
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "23456"});
+  // Just exercise the path; visual alignment checked by eye in benches.
+  t.print(stderr);
+}
+
+}  // namespace
+}  // namespace m3xu

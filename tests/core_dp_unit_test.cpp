@@ -1,0 +1,228 @@
+// Tests for the dot-product unit model and lane-operand conversions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "core/dp_unit.hpp"
+#include "core/lane_operand.hpp"
+#include "fp/split.hpp"
+
+namespace m3xu::core {
+namespace {
+
+using fp::ExactAccumulator;
+
+LaneOperand finite_op(bool sign, std::uint64_t sig, int exp2) {
+  LaneOperand op;
+  op.cls = LaneOperand::Cls::kFinite;
+  op.sign = sign;
+  op.sig = sig;
+  op.exp2 = exp2;
+  return op;
+}
+
+LaneOperand special_op(LaneOperand::Cls cls, bool sign = false) {
+  LaneOperand op;
+  op.cls = cls;
+  op.sign = sign;
+  if (cls == LaneOperand::Cls::kFinite) op.sig = 1;
+  return op;
+}
+
+TEST(DpUnit, SingleProductExact) {
+  DpUnit unit({/*mult_bits=*/12});
+  // 3 * 5 * 2^(2 + 3) = 480
+  const LaneOperand a[] = {finite_op(false, 3, 2)};
+  const LaneOperand b[] = {finite_op(false, 5, 3)};
+  ExactAccumulator sum;
+  unit.accumulate_dot(a, b, sum);
+  EXPECT_EQ(sum.to_double(), 480.0);
+}
+
+TEST(DpUnit, SignHandling) {
+  DpUnit unit({12});
+  const LaneOperand a[] = {finite_op(true, 7, 0), finite_op(false, 7, 0)};
+  const LaneOperand b[] = {finite_op(false, 2, 0), finite_op(true, 2, 0)};
+  ExactAccumulator sum;
+  unit.accumulate_dot(a, b, sum);
+  EXPECT_EQ(sum.to_double(), -28.0);
+}
+
+TEST(DpUnit, FourLaneDotMatchesDouble) {
+  DpUnit unit({12});
+  Rng rng(31);
+  for (int trial = 0; trial < 100'000; ++trial) {
+    std::vector<LaneOperand> a, b;
+    // Products span up to ~104 significant bits across the exponent
+    // range below, so the reference needs __float128 (113-bit) to stay
+    // exact; plain double would round.
+    __float128 ref = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      const std::uint64_t sa = rng.next_below(1 << 12);
+      const std::uint64_t sb = rng.next_below(1 << 12);
+      const int ea = static_cast<int>(rng.next_below(40)) - 20;
+      const int eb = static_cast<int>(rng.next_below(40)) - 20;
+      const bool na = rng.next_below(2) != 0;
+      const bool nb = rng.next_below(2) != 0;
+      a.push_back(sa == 0 ? special_op(LaneOperand::Cls::kZero)
+                          : finite_op(na, sa, ea));
+      b.push_back(sb == 0 ? special_op(LaneOperand::Cls::kZero)
+                          : finite_op(nb, sb, eb));
+      ref += static_cast<__float128>((na == nb ? 1.0 : -1.0)) *
+             static_cast<__float128>(sa) * static_cast<__float128>(sb) *
+             static_cast<__float128>(std::ldexp(1.0, ea + eb));
+    }
+    ExactAccumulator sum;
+    unit.accumulate_dot(a, b, sum);
+    EXPECT_EQ(sum.to_double(), static_cast<double>(ref));
+  }
+}
+
+TEST(DpUnit, NanPoisons) {
+  DpUnit unit({12});
+  const LaneOperand a[] = {special_op(LaneOperand::Cls::kNaN),
+                           finite_op(false, 5, 0)};
+  const LaneOperand b[] = {finite_op(false, 3, 0), finite_op(false, 2, 0)};
+  ExactAccumulator sum;
+  unit.accumulate_dot(a, b, sum);
+  EXPECT_TRUE(std::isnan(sum.to_double()));
+}
+
+TEST(DpUnit, InfTimesZeroIsNan) {
+  DpUnit unit({12});
+  const LaneOperand a[] = {special_op(LaneOperand::Cls::kInf)};
+  const LaneOperand b[] = {special_op(LaneOperand::Cls::kZero)};
+  ExactAccumulator sum;
+  unit.accumulate_dot(a, b, sum);
+  EXPECT_TRUE(std::isnan(sum.to_double()));
+}
+
+TEST(DpUnit, InfTimesFiniteIsSignedInf) {
+  DpUnit unit({12});
+  const LaneOperand a[] = {special_op(LaneOperand::Cls::kInf, true)};
+  const LaneOperand b[] = {finite_op(false, 3, 0)};
+  ExactAccumulator sum;
+  unit.accumulate_dot(a, b, sum);
+  EXPECT_TRUE(std::isinf(sum.to_double()));
+  EXPECT_LT(sum.to_double(), 0.0);
+}
+
+TEST(DpUnit, InfTimesInfIsInf) {
+  DpUnit unit({12});
+  const LaneOperand a[] = {special_op(LaneOperand::Cls::kInf, true)};
+  const LaneOperand b[] = {special_op(LaneOperand::Cls::kInf, true)};
+  ExactAccumulator sum;
+  unit.accumulate_dot(a, b, sum);
+  EXPECT_TRUE(std::isinf(sum.to_double()));
+  EXPECT_GT(sum.to_double(), 0.0);  // (-Inf)*(-Inf) = +Inf
+}
+
+TEST(DpUnit, OpposingInfinitiesAreNan) {
+  DpUnit unit({12});
+  const LaneOperand a[] = {special_op(LaneOperand::Cls::kInf),
+                           special_op(LaneOperand::Cls::kInf, true)};
+  const LaneOperand b[] = {finite_op(false, 1, 0), finite_op(false, 1, 0)};
+  ExactAccumulator sum;
+  unit.accumulate_dot(a, b, sum);
+  EXPECT_TRUE(std::isnan(sum.to_double()));
+}
+
+TEST(DpUnit, FastPathBitIdenticalToDirectPath) {
+  // The 192-bit local window is an exact re-association: results must
+  // match the direct per-product accumulation bit for bit, including
+  // mixed signs, wide exponent spreads (fallback), and specials.
+  DpUnit fast({/*mult_bits=*/12, /*enable_fast_path=*/true});
+  DpUnit direct({/*mult_bits=*/12, /*enable_fast_path=*/false});
+  Rng rng(33);
+  for (int trial = 0; trial < 200'000; ++trial) {
+    const int lanes = 1 + static_cast<int>(rng.next_below(16));
+    std::vector<LaneOperand> a, b;
+    for (int lane = 0; lane < lanes; ++lane) {
+      const std::uint64_t sa = rng.next_below(1 << 12);
+      const std::uint64_t sb = rng.next_below(1 << 12);
+      // Mix narrow and wide exponent spreads to hit both paths.
+      const int spread = (trial % 2) ? 30 : 200;
+      const int ea = static_cast<int>(rng.next_below(spread)) - spread / 2;
+      const int eb = static_cast<int>(rng.next_below(spread)) - spread / 2;
+      a.push_back(sa == 0 ? special_op(LaneOperand::Cls::kZero)
+                          : finite_op(rng.next_below(2), sa, ea));
+      b.push_back(sb == 0 ? special_op(LaneOperand::Cls::kZero)
+                          : finite_op(rng.next_below(2), sb, eb));
+    }
+    ExactAccumulator s1, s2;
+    fast.accumulate_dot(a, b, s1);
+    direct.accumulate_dot(a, b, s2);
+    EXPECT_EQ(bits_of(s1.to_double()), bits_of(s2.to_double())) << trial;
+  }
+}
+
+TEST(DpUnit, FastPathWithSpecialsMatches) {
+  DpUnit fast({12, true});
+  DpUnit direct({12, false});
+  const LaneOperand a[] = {finite_op(false, 100, 0),
+                           special_op(LaneOperand::Cls::kInf),
+                           finite_op(true, 200, -3)};
+  const LaneOperand b[] = {finite_op(false, 3, 1), finite_op(false, 2, 0),
+                           finite_op(false, 5, 2)};
+  ExactAccumulator s1, s2;
+  fast.accumulate_dot(a, b, s1);
+  direct.accumulate_dot(a, b, s2);
+  EXPECT_EQ(bits_of(s1.to_double()), bits_of(s2.to_double()));
+  EXPECT_TRUE(std::isinf(s1.to_double()));
+}
+
+TEST(LaneOperand, FromHwPartRoundTripsValue) {
+  Rng rng(32);
+  for (int i = 0; i < 200'000; ++i) {
+    const float a = rng.scaled_float();
+    if (a == 0.0f) continue;
+    const fp::HwSplit s = fp::split_fp32_hw(a);
+    const LaneOperand hi = from_hw_part(s.hi);
+    const LaneOperand lo = from_hw_part(s.lo);
+    auto value = [](const LaneOperand& op) {
+      if (op.cls != LaneOperand::Cls::kFinite) return 0.0;
+      const double mag =
+          std::ldexp(static_cast<double>(op.sig), op.exp2);
+      return op.sign ? -mag : mag;
+    };
+    EXPECT_EQ(value(hi), fp::hw_part_value(s.hi));
+    EXPECT_EQ(value(lo), fp::hw_part_value(s.lo));
+    EXPECT_EQ(value(hi) + value(lo), static_cast<double>(a));
+  }
+}
+
+TEST(LaneOperand, NegatedFlipsSignOnly) {
+  const LaneOperand op = finite_op(false, 123, -4);
+  const LaneOperand neg = op.negated();
+  EXPECT_TRUE(neg.sign);
+  EXPECT_EQ(neg.sig, op.sig);
+  EXPECT_EQ(neg.exp2, op.exp2);
+  EXPECT_FALSE(neg.negated().sign);
+}
+
+TEST(LaneOperand, FromUnpackedExactValues) {
+  // 1.5 in 11 bits: sig = 0b11 << 9.
+  const LaneOperand op = from_unpacked(fp::unpack(1.5f), 11);
+  EXPECT_EQ(op.cls, LaneOperand::Cls::kFinite);
+  EXPECT_EQ(op.sig, 0b11u << 9);
+  EXPECT_EQ(std::ldexp(static_cast<double>(op.sig), op.exp2), 1.5);
+}
+
+TEST(LaneOperand, FromUnpackedSpecials) {
+  EXPECT_EQ(from_unpacked(fp::unpack(0.0f), 11).cls, LaneOperand::Cls::kZero);
+  EXPECT_EQ(
+      from_unpacked(fp::unpack(std::numeric_limits<float>::infinity()), 11)
+          .cls,
+      LaneOperand::Cls::kInf);
+  EXPECT_EQ(
+      from_unpacked(fp::unpack(std::numeric_limits<float>::quiet_NaN()), 11)
+          .cls,
+      LaneOperand::Cls::kNaN);
+}
+
+}  // namespace
+}  // namespace m3xu::core

@@ -1,0 +1,149 @@
+// Tests for the FP128 composition mode (SIV-C's far design point):
+// correctly rounded products against the host's binary128 soft-float,
+// across part widths.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/fp128_mode.hpp"
+
+namespace m3xu::core {
+namespace {
+
+bool q_equal(__float128 a, __float128 b) {
+  return std::memcmp(&a, &b, 16) == 0;
+}
+
+__float128 scale_by_pow2(__float128 v, int e) {
+  // Scale by 2^e without libquadmath.
+  __float128 s = 1;
+  const __float128 two = e >= 0 ? 2 : 0.5;
+  int n = e >= 0 ? e : -e;
+  while (n--) s *= two;
+  return v * s;
+}
+
+__float128 random_q(Rng& rng) {
+  // Full 113-bit significands, exponents within the supported range.
+  const __float128 hi = static_cast<__float128>(rng.next_double() * 2 - 1);
+  const __float128 lo =
+      static_cast<__float128>(rng.next_double() * 2 - 1) * 1e-17;
+  const int e = static_cast<int>(rng.next_below(40)) - 20;
+  return scale_by_pow2(hi + lo, e);
+}
+
+class PartWidths : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartWidths, SingleProductsAreCorrectlyRounded) {
+  const Fp128Engine engine(GetParam());
+  Rng rng(901);
+  for (int i = 0; i < 5'000; ++i) {
+    const __float128 a = random_q(rng);
+    const __float128 b = random_q(rng);
+    const __float128 av[] = {a};
+    const __float128 bv[] = {b};
+    const __float128 got = engine.dot(av, bv, 0);
+    // The host's __float128 multiply is correctly rounded binary128.
+    EXPECT_TRUE(q_equal(got, a * b))
+        << static_cast<double>(a) << " * " << static_cast<double>(b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PartWidths,
+                         ::testing::Values(4, 8, 13, 16, 23, 28),
+                         [](const auto& info) {
+                           return "p" + std::to_string(info.param);
+                         });
+
+TEST(Fp128Mode, PartAndStepCounts) {
+  EXPECT_EQ(Fp128Engine(28).parts(), 5);
+  EXPECT_EQ(Fp128Engine(28).steps(), 25);
+  EXPECT_EQ(Fp128Engine(16).parts(), 8);
+  EXPECT_EQ(Fp128Engine(16).steps(), 64);
+  EXPECT_EQ(Fp128Engine(4).parts(), 29);
+}
+
+TEST(Fp128Mode, DotWithAccumulateSingleRounding) {
+  // The dot's single rounding is at least as accurate as the host's
+  // sequential FMA-free evaluation; on exactly representable data it
+  // is exact.
+  const Fp128Engine engine(28);
+  Rng rng(902);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    std::vector<__float128> a(6), b(6);
+    __float128 seq = 0;
+    for (int i = 0; i < 6; ++i) {
+      // Small integers: all arithmetic exact.
+      a[i] = static_cast<__float128>(
+          static_cast<double>(rng.next_below(2001)) - 1000.0);
+      b[i] = static_cast<__float128>(
+          static_cast<double>(rng.next_below(2001)) - 1000.0);
+      seq += a[i] * b[i];
+    }
+    const __float128 c = static_cast<__float128>(
+        static_cast<double>(rng.next_below(2001)) - 1000.0);
+    seq += c;
+    EXPECT_TRUE(q_equal(engine.dot({a.data(), a.size()},
+                                   {b.data(), b.size()}, c),
+                        seq));
+  }
+}
+
+TEST(Fp128Mode, ResolvesBeyondDoublePrecision) {
+  // (1 + 2^-100) * 1 must keep the 2^-100 term - far beyond FP64.
+  __float128 tiny = 1;
+  for (int i = 0; i < 100; ++i) tiny *= 0.5;
+  const __float128 a = 1 + tiny;
+  const Fp128Engine engine(28);
+  const __float128 av[] = {a};
+  const __float128 bv[] = {1};
+  const __float128 got = engine.dot(av, bv, 0);
+  EXPECT_TRUE(q_equal(got, a));
+  EXPECT_FALSE(q_equal(got, __float128(1)));
+}
+
+TEST(Fp128Mode, Specials) {
+  const Fp128Engine engine(28);
+  const __float128 inf = __builtin_huge_valq();
+  const __float128 one = 1;
+  const __float128 zero = 0;
+  {
+    const __float128 av[] = {inf};
+    const __float128 bv[] = {one};
+    const __float128 r = engine.dot(av, bv, 0);
+    EXPECT_TRUE(q_equal(r, inf));
+  }
+  {
+    const __float128 av[] = {inf};
+    const __float128 bv[] = {zero};
+    const __float128 r = engine.dot(av, bv, 0);
+    EXPECT_TRUE(r != r);  // NaN
+  }
+  {
+    const __float128 av[] = {inf, inf};
+    const __float128 bv[] = {one, -one};
+    const __float128 r = engine.dot(av, bv, 0);
+    EXPECT_TRUE(r != r);  // +Inf + -Inf
+  }
+}
+
+TEST(Fp128Mode, WidthsAgreeWithEachOther) {
+  Rng rng(903);
+  const Fp128Engine e1(28), e2(8);
+  for (int i = 0; i < 2'000; ++i) {
+    std::vector<__float128> a(4), b(4);
+    for (int k = 0; k < 4; ++k) {
+      a[k] = random_q(rng);
+      b[k] = random_q(rng);
+    }
+    const __float128 r1 = e1.dot({a.data(), 4}, {b.data(), 4}, 0);
+    const __float128 r2 = e2.dot({a.data(), 4}, {b.data(), 4}, 0);
+    EXPECT_TRUE(q_equal(r1, r2));  // both are the single-rounded sum
+  }
+}
+
+}  // namespace
+}  // namespace m3xu::core

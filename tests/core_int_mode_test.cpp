@@ -1,0 +1,105 @@
+// Tests for the integer-semiring modes: exactness of the int8 baseline
+// and the two-step int32-on-16-bit-multipliers composition (the
+// integer instance of Observation 1).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/int_mode.hpp"
+
+namespace m3xu::core {
+namespace {
+
+TEST(IntMode, Int8GemmIsExact) {
+  Rng rng(701);
+  const int m = 7, n = 6, k = 40;
+  std::vector<std::int8_t> a(m * k), b(k * n);
+  std::vector<std::int32_t> c(m * n, 3);
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.next_below(256) - 128);
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.next_below(256) - 128);
+  IntEngine::gemm_s8(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int64_t ref = 3;
+      for (int kk = 0; kk < k; ++kk) {
+        ref += static_cast<std::int64_t>(a[i * k + kk]) * b[kk * n + j];
+      }
+      EXPECT_EQ(c[i * n + j], ref);
+    }
+  }
+}
+
+TEST(IntMode, MultistepDotMatchesDirectInt64) {
+  Rng rng(702);
+  for (int trial = 0; trial < 200'000; ++trial) {
+    const int k = 1 + static_cast<int>(rng.next_below(8));
+    std::vector<std::int32_t> a(k), b(k);
+    std::int64_t ref = 0;
+    for (int i = 0; i < k; ++i) {
+      // Bounded magnitudes keep the k-sum inside int64.
+      a[i] = static_cast<std::int32_t>(rng.next_below(1u << 30)) -
+             (1 << 29);
+      b[i] = static_cast<std::int32_t>(rng.next_below(1u << 30)) -
+             (1 << 29);
+      ref += static_cast<std::int64_t>(a[i]) * b[i];
+    }
+    EXPECT_EQ(IntEngine::dot_s32_multistep(
+                  {a.data(), a.size()}, {b.data(), b.size()}),
+              ref);
+  }
+}
+
+TEST(IntMode, MultistepHandlesSignBoundaries) {
+  // The split's asymmetry (signed high half, unsigned low half) is the
+  // subtle part: exercise INT32_MIN/MAX and sign flips exhaustively in
+  // pairs.
+  const std::int32_t cases[] = {0,
+                                1,
+                                -1,
+                                0xffff,
+                                0x10000,
+                                -0x10000,
+                                -0xffff,
+                                std::numeric_limits<std::int32_t>::max(),
+                                std::numeric_limits<std::int32_t>::min(),
+                                0x7fff8000,
+                                static_cast<std::int32_t>(0x80007fff)};
+  for (std::int32_t x : cases) {
+    for (std::int32_t y : cases) {
+      const std::int32_t xv[] = {x};
+      const std::int32_t yv[] = {y};
+      EXPECT_EQ(IntEngine::dot_s32_multistep(xv, yv),
+                static_cast<std::int64_t>(x) * y)
+          << x << " * " << y;
+    }
+  }
+}
+
+TEST(IntMode, Int32GemmMatchesReference) {
+  Rng rng(703);
+  const int m = 5, n = 4, k = 16;
+  std::vector<std::int32_t> a(m * k), b(k * n);
+  std::vector<std::int64_t> c(m * n, -7);
+  for (auto& v : a) {
+    v = static_cast<std::int32_t>(rng.next_below(1u << 24)) - (1 << 23);
+  }
+  for (auto& v : b) {
+    v = static_cast<std::int32_t>(rng.next_below(1u << 24)) - (1 << 23);
+  }
+  IntEngine::gemm_s32(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::int64_t ref = -7;
+      for (int kk = 0; kk < k; ++kk) {
+        ref += static_cast<std::int64_t>(a[i * k + kk]) * b[kk * n + j];
+      }
+      EXPECT_EQ(c[i * n + j], ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m3xu::core

@@ -1,0 +1,545 @@
+// Tests for the M3XU engine: bit-exactness of the multi-step FP32 and
+// FP32C modes, passthrough-mode semantics, FP64 mode, accumulation-
+// register behaviour, GEMM chunking, and IEEE special handling.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "core/mxu.hpp"
+#include "fp/exact_accumulator.hpp"
+
+namespace m3xu::core {
+namespace {
+
+
+// std::span cannot bind to braced lists in C++20; tiny helpers for
+// single- and dual-lane dot calls.
+float dot1(const M3xuEngine& e, float a, float b, float c) {
+  const float av[] = {a};
+  const float bv[] = {b};
+  return e.mma_dot_fp32(av, bv, c);
+}
+
+float dot2(const M3xuEngine& e, float a0, float a1, float b0, float b1,
+           float c) {
+  const float av[] = {a0, a1};
+  const float bv[] = {b0, b1};
+  return e.mma_dot_fp32(av, bv, c);
+}
+
+float pass1(const M3xuEngine& e, float a, float b, float c,
+            const fp::FloatFormat& fmt) {
+  const float av[] = {a};
+  const float bv[] = {b};
+  return e.mma_dot_passthrough(av, bv, c, fmt);
+}
+
+std::complex<float> cdot1(const M3xuEngine& e, std::complex<float> a,
+                          std::complex<float> b, std::complex<float> c) {
+  const std::complex<float> av[] = {a};
+  const std::complex<float> bv[] = {b};
+  return e.mma_dot_fp32c(av, bv, c);
+}
+
+double ddot1(const M3xuEngine& e, double a, double b, double c) {
+  const double av[] = {a};
+  const double bv[] = {b};
+  return e.mma_dot_fp64(av, bv, c);
+}
+
+M3xuConfig per_instruction_config() {
+  M3xuConfig c;
+  c.per_step_rounding = false;
+  return c;
+}
+
+// ---------------------------------------------------------------------
+// FP32 mode
+// ---------------------------------------------------------------------
+
+class Fp32ExactProduct : public ::testing::TestWithParam<bool> {};
+
+TEST_P(Fp32ExactProduct, SingleProductIsCorrectlyRounded) {
+  // K=1, C=0: both rounding configs must return the correctly rounded
+  // FP32 product (the split covers all 48 product bits; see DESIGN.md).
+  M3xuConfig cfg;
+  cfg.per_step_rounding = GetParam();
+  const M3xuEngine engine(cfg);
+  Rng rng(41);
+  for (int i = 0; i < 300'000; ++i) {
+    const float a = rng.scaled_float();
+    const float b = rng.scaled_float();
+    const float got = dot1(engine, a, b, 0.0f);
+    const float expected =
+        static_cast<float>(static_cast<double>(a) * static_cast<double>(b));
+    EXPECT_EQ(bits_of(got), bits_of(expected)) << a << " * " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RoundingConfigs, Fp32ExactProduct,
+                         ::testing::Bool(), [](const auto& info) {
+                           return info.param ? "per_step" : "per_instruction";
+                         });
+
+TEST(M3xuFp32, FullExponentRangeProducts) {
+  // Exercise extreme (but in-range, non-overflowing) exponents.
+  const M3xuEngine engine;
+  Rng rng(42);
+  for (int i = 0; i < 300'000; ++i) {
+    const float a = rng.any_finite_float();
+    const float b = rng.any_finite_float();
+    if (std::fpclassify(a) != FP_NORMAL || std::fpclassify(b) != FP_NORMAL) {
+      continue;
+    }
+    const double prod = static_cast<double>(a) * static_cast<double>(b);
+    // Skip products that overflow/underflow FP32 (writeback clamps
+    // differently than the host's double intermediate would).
+    if (std::fabs(prod) > 1e38 || std::fabs(prod) < 1e-37) continue;
+    const float got = dot1(engine, a, b, 0.0f);
+    EXPECT_EQ(bits_of(got), bits_of(static_cast<float>(prod))) << a << " " << b;
+  }
+}
+
+TEST(M3xuFp32, DotWithAccumulateMatchesExactOracle) {
+  // Per-instruction config: result must equal the single-rounded exact
+  // dot product including C.
+  const M3xuEngine engine(per_instruction_config());
+  Rng rng(43);
+  for (int trial = 0; trial < 50'000; ++trial) {
+    std::array<float, 8> a{}, b{};
+    for (auto& v : a) v = rng.scaled_float();
+    for (auto& v : b) v = rng.scaled_float();
+    const float c = rng.scaled_float();
+    fp::ExactAccumulator oracle;
+    for (int k = 0; k < 8; ++k) {
+      oracle.add_product(fp::unpack(a[k]), fp::unpack(b[k]));
+    }
+    oracle.add_double(c);
+    const float got = engine.mma_dot_fp32(a, b, c);
+    EXPECT_EQ(bits_of(got), bits_of(oracle.to_float()));
+  }
+}
+
+TEST(M3xuFp32, PerStepRoundingStaysWithinOneUlpOfExact) {
+  const M3xuEngine engine;  // default: per-step, 48-bit registers
+  Rng rng(44);
+  for (int trial = 0; trial < 50'000; ++trial) {
+    std::array<float, 8> a{}, b{};
+    for (auto& v : a) v = rng.scaled_float();
+    for (auto& v : b) v = rng.scaled_float();
+    const float c = rng.scaled_float();
+    fp::ExactAccumulator oracle;
+    for (int k = 0; k < 8; ++k) {
+      oracle.add_product(fp::unpack(a[k]), fp::unpack(b[k]));
+    }
+    oracle.add_double(c);
+    const double exact = oracle.to_double();
+    const float got = engine.mma_dot_fp32(a, b, c);
+    // 48-bit intermediate registers: the final FP32 value differs from
+    // the correctly rounded one by at most 1 ulp.
+    const float rounded = static_cast<float>(exact);
+    const float next = std::nextafterf(rounded, got);
+    EXPECT_TRUE(got == rounded || got == next)
+        << got << " vs " << rounded << " (exact " << exact << ")";
+  }
+}
+
+TEST(M3xuFp32, GemmEqualsPerElementDots) {
+  const M3xuEngine engine;
+  Rng rng(45);
+  const int m = 7, n = 5, k = 19;  // deliberately awkward sizes
+  std::vector<float> a(m * k), b(k * n), c(m * n), c2(m * n);
+  for (auto& v : a) v = rng.scaled_float();
+  for (auto& v : b) v = rng.scaled_float();
+  for (auto& v : c) v = rng.scaled_float();
+  c2 = c;
+  engine.gemm_fp32(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  // Reference: chunked dots exactly as the contract specifies.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = c2[i * n + j];
+      for (int k0 = 0; k0 < k; k0 += 8) {
+        const int kc = std::min(8, k - k0);
+        std::vector<float> av(kc), bv(kc);
+        for (int kk = 0; kk < kc; ++kk) {
+          av[kk] = a[i * k + k0 + kk];
+          bv[kk] = b[(k0 + kk) * n + j];
+        }
+        acc = engine.mma_dot_fp32({av.data(), av.size()},
+                                  {bv.data(), bv.size()}, acc);
+      }
+      EXPECT_EQ(bits_of(c[i * n + j]), bits_of(acc)) << i << "," << j;
+    }
+  }
+}
+
+TEST(M3xuFp32, SmallIntegerGemmIsExact) {
+  // Integer-valued inputs: every product and partial sum is exactly
+  // representable, so the result must equal exact integer GEMM in both
+  // rounding configs.
+  for (bool per_step : {false, true}) {
+    M3xuConfig cfg;
+    cfg.per_step_rounding = per_step;
+    const M3xuEngine engine(cfg);
+    Rng rng(46);
+    const int m = 9, n = 8, k = 33;
+    std::vector<float> a(m * k), b(k * n), c(m * n, 0.0f);
+    std::vector<long> ref(m * n, 0);
+    for (auto& v : a) v = static_cast<float>(rng.next_below(17)) - 8.0f;
+    for (auto& v : b) v = static_cast<float>(rng.next_below(17)) - 8.0f;
+    engine.gemm_fp32(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        long s = 0;
+        for (int kk = 0; kk < k; ++kk) {
+          s += static_cast<long>(a[i * k + kk]) *
+               static_cast<long>(b[kk * n + j]);
+        }
+        EXPECT_EQ(c[i * n + j], static_cast<float>(s));
+      }
+    }
+  }
+}
+
+TEST(M3xuFp32, SubnormalInputsFlushToZero) {
+  const M3xuEngine engine;
+  const float sub = float_from_bits(0x00400000);  // large subnormal
+  EXPECT_EQ(dot1(engine, sub, 2.0f, 0.0f), 0.0f);
+  EXPECT_EQ(dot1(engine, sub, 2.0f, 3.0f), 3.0f);
+}
+
+TEST(M3xuFp32, SubnormalOutputsAreGradual) {
+  // Normal inputs whose product underflows into FP32's subnormal range
+  // must round gradually (not flush) on writeback - matching host
+  // float multiplication.
+  const M3xuEngine engine;
+  Rng rng(58);
+  int subnormal_seen = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    const float a = std::ldexp(rng.uniform(0.5f, 1.0f),
+                               -static_cast<int>(rng.next_below(60)) - 40);
+    const float b = std::ldexp(rng.uniform(0.5f, 1.0f),
+                               -static_cast<int>(rng.next_below(60)) - 40);
+    if (std::fpclassify(a) != FP_NORMAL || std::fpclassify(b) != FP_NORMAL) {
+      continue;
+    }
+    const float expected = a * b;  // host RNE incl. gradual underflow
+    const float got = dot1(engine, a, b, 0.0f);
+    EXPECT_EQ(bits_of(got), bits_of(expected)) << a << " * " << b;
+    if (std::fpclassify(expected) == FP_SUBNORMAL) ++subnormal_seen;
+  }
+  EXPECT_GT(subnormal_seen, 1000);  // the sweep actually hit the range
+}
+
+TEST(M3xuFp32, OverflowSaturatesToInfinity) {
+  const M3xuEngine engine;
+  const float big = 3e38f;
+  EXPECT_TRUE(std::isinf(dot1(engine, big, big, 0.0f)));
+  EXPECT_LT(dot1(engine, big, -big, 0.0f), 0.0f);
+  EXPECT_TRUE(std::isinf(dot1(engine, big, -big, 0.0f)));
+}
+
+TEST(M3xuFp32, IeeeSpecials) {
+  const M3xuEngine engine;
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(dot1(engine, nan, 1.0f, 0.0f)));
+  EXPECT_TRUE(std::isnan(dot1(engine, inf, 0.0f, 0.0f)));
+  EXPECT_EQ(dot1(engine, inf, 2.0f, 0.0f), inf);
+  EXPECT_EQ(dot1(engine, inf, -2.0f, 0.0f), -inf);
+  EXPECT_EQ(dot1(engine, inf, inf, 0.0f), inf);
+  EXPECT_EQ(dot1(engine, -inf, inf, 0.0f), -inf);
+  // +Inf + -Inf across lanes -> NaN.
+  EXPECT_TRUE(std::isnan(
+      dot2(engine, inf, inf, 1.0f, -1.0f, 0.0f)));
+  // Inf in C propagates.
+  EXPECT_EQ(dot1(engine, 1.0f, 1.0f, inf), inf);
+}
+
+// ---------------------------------------------------------------------
+// Passthrough modes
+// ---------------------------------------------------------------------
+
+TEST(M3xuPassthrough, Fp16SmallIntegerDotIsExact) {
+  const M3xuEngine engine;
+  Rng rng(47);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::array<float, 16> a{}, b{};
+    double ref = 0.0;
+    for (int k = 0; k < 16; ++k) {
+      a[k] = static_cast<float>(rng.next_below(33)) - 16.0f;
+      b[k] = static_cast<float>(rng.next_below(33)) - 16.0f;
+      ref += static_cast<double>(a[k]) * b[k];
+    }
+    EXPECT_EQ(engine.mma_dot_passthrough(a, b, 0.0f, fp::kFp16),
+              static_cast<float>(ref));
+  }
+}
+
+TEST(M3xuPassthrough, InputsAreRoundedToFormat) {
+  const M3xuEngine engine;
+  const float v = 1.0f + std::ldexp(1.0f, -12);  // below TF32 precision
+  // TF32 mode loses the low bit...
+  EXPECT_EQ(pass1(engine, v, 1.0f, 0.0f, fp::kTf32),
+            1.0f);
+  // ...the FP32 multi-step mode does not (the paper's headline point).
+  EXPECT_EQ(dot1(engine, v, 1.0f, 0.0f), v);
+  // BF16 is coarser still.
+  EXPECT_EQ(
+      pass1(engine, 1.0f + std::ldexp(1.0f, -9), 1.0f, 0.0f, fp::kBf16),
+      1.0f);
+}
+
+TEST(M3xuPassthrough, MatchesExactOracleAfterRounding) {
+  const M3xuEngine engine;
+  Rng rng(48);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::array<float, 16> a{}, b{};
+    for (auto& v : a) v = rng.scaled_float();
+    for (auto& v : b) v = rng.scaled_float();
+    const float c = rng.scaled_float();
+    fp::ExactAccumulator oracle;
+    for (int k = 0; k < 16; ++k) {
+      oracle.add_product(fp::unpack(fp::round_to_format(a[k], fp::kFp16)),
+                         fp::unpack(fp::round_to_format(b[k], fp::kFp16)));
+    }
+    oracle.add_double(c);
+    EXPECT_EQ(bits_of(engine.mma_dot_passthrough(a, b, c, fp::kFp16)),
+              bits_of(oracle.to_float()));
+  }
+}
+
+// ---------------------------------------------------------------------
+// FP32C mode
+// ---------------------------------------------------------------------
+
+TEST(M3xuFp32c, SingleComplexProductMatchesExactOracle) {
+  const M3xuEngine engine(per_instruction_config());
+  Rng rng(49);
+  using C = std::complex<float>;
+  for (int trial = 0; trial < 100'000; ++trial) {
+    const C a(rng.scaled_float(), rng.scaled_float());
+    const C b(rng.scaled_float(), rng.scaled_float());
+    const C got = cdot1(engine, a, b, C{0.0f, 0.0f});
+    fp::ExactAccumulator re, im;
+    re.add_product(fp::unpack(a.real()), fp::unpack(b.real()));
+    re.add_product(fp::unpack(-a.imag()), fp::unpack(b.imag()));
+    im.add_product(fp::unpack(a.real()), fp::unpack(b.imag()));
+    im.add_product(fp::unpack(a.imag()), fp::unpack(b.real()));
+    EXPECT_EQ(bits_of(got.real()), bits_of(re.to_float()));
+    EXPECT_EQ(bits_of(got.imag()), bits_of(im.to_float()));
+  }
+}
+
+TEST(M3xuFp32c, PurelyImaginarySquareIsNegativeReal) {
+  const M3xuEngine engine;
+  Rng rng(50);
+  using C = std::complex<float>;
+  for (int i = 0; i < 50'000; ++i) {
+    const float x = rng.scaled_float();
+    const float y = rng.scaled_float();
+    // (xi)(yi) = -xy exactly.
+    const C got = cdot1(engine, C(0.0f, x), C(0.0f, y), C{0.0f, 0.0f});
+    const float expected =
+        -static_cast<float>(static_cast<double>(x) * static_cast<double>(y));
+    EXPECT_EQ(bits_of(got.real()), bits_of(expected));
+    EXPECT_EQ(got.imag(), 0.0f);
+  }
+}
+
+TEST(M3xuFp32c, DotWithAccumulate) {
+  const M3xuEngine engine(per_instruction_config());
+  Rng rng(51);
+  using C = std::complex<float>;
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::array<C, 4> a{}, b{};
+    for (auto& v : a) v = C(rng.scaled_float(), rng.scaled_float());
+    for (auto& v : b) v = C(rng.scaled_float(), rng.scaled_float());
+    const C c(rng.scaled_float(), rng.scaled_float());
+    fp::ExactAccumulator re, im;
+    for (int k = 0; k < 4; ++k) {
+      re.add_product(fp::unpack(a[k].real()), fp::unpack(b[k].real()));
+      re.add_product(fp::unpack(-a[k].imag()), fp::unpack(b[k].imag()));
+      im.add_product(fp::unpack(a[k].real()), fp::unpack(b[k].imag()));
+      im.add_product(fp::unpack(a[k].imag()), fp::unpack(b[k].real()));
+    }
+    re.add_double(c.real());
+    im.add_double(c.imag());
+    const C got = engine.mma_dot_fp32c(a, b, c);
+    EXPECT_EQ(bits_of(got.real()), bits_of(re.to_float()));
+    EXPECT_EQ(bits_of(got.imag()), bits_of(im.to_float()));
+  }
+}
+
+TEST(M3xuFp32c, GemmMatchesDoubleReferenceClosely) {
+  const M3xuEngine engine;  // per-step (faithful hardware)
+  Rng rng(52);
+  using C = std::complex<float>;
+  const int m = 6, n = 6, k = 17;
+  std::vector<C> a(m * k), b(k * n), c(m * n, C{});
+  for (auto& v : a) v = C(rng.scaled_float(), rng.scaled_float());
+  for (auto& v : b) v = C(rng.scaled_float(), rng.scaled_float());
+  engine.gemm_fp32c(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      std::complex<double> ref{};
+      for (int kk = 0; kk < k; ++kk) {
+        ref += std::complex<double>(a[i * k + kk]) *
+               std::complex<double>(b[kk * n + j]);
+      }
+      const double scale = std::abs(ref) + 1.0;
+      EXPECT_NEAR(c[i * n + j].real(), ref.real(), 1e-5 * scale);
+      EXPECT_NEAR(c[i * n + j].imag(), ref.imag(), 1e-5 * scale);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// FP64 mode
+// ---------------------------------------------------------------------
+
+TEST(M3xuFp64, SingleProductIsCorrectlyRounded) {
+  const M3xuEngine engine(per_instruction_config());
+  Rng rng(53);
+  for (int i = 0; i < 200'000; ++i) {
+    const double a = std::ldexp(rng.next_double() * 2.0 - 1.0,
+                                static_cast<int>(rng.next_below(40)) - 20);
+    const double b = std::ldexp(rng.next_double() * 2.0 - 1.0,
+                                static_cast<int>(rng.next_below(40)) - 20);
+    const double got = ddot1(engine, a, b, 0.0);
+    EXPECT_EQ(bits_of(got), bits_of(a * b)) << a << " * " << b;
+  }
+}
+
+TEST(M3xuFp64, PerStepRoundingBoundedError) {
+  const M3xuEngine engine;
+  Rng rng(54);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::array<double, 4> a{}, b{};
+    __float128 exact = 0;
+    for (int k = 0; k < 4; ++k) {
+      a[k] = rng.next_double() * 2.0 - 1.0;
+      b[k] = rng.next_double() * 2.0 - 1.0;
+      exact += static_cast<__float128>(a[k]) * b[k];
+    }
+    const double got = engine.mma_dot_fp64(a, b, 0.0);
+    const double ref = static_cast<double>(exact);
+    EXPECT_NEAR(got, ref, std::fabs(ref) * 1e-14 + 1e-300);
+  }
+}
+
+TEST(M3xuFp64, GemmSmallIntegersExact) {
+  const M3xuEngine engine;
+  Rng rng(55);
+  const int m = 5, n = 4, k = 13;
+  std::vector<double> a(m * k), b(k * n), c(m * n, 0.0);
+  for (auto& v : a) v = static_cast<double>(rng.next_below(201)) - 100.0;
+  for (auto& v : b) v = static_cast<double>(rng.next_below(201)) - 100.0;
+  engine.gemm_fp64(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += a[i * k + kk] * b[kk * n + j];
+      EXPECT_EQ(c[i * n + j], s);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// FP64 complex mode (SIV-C extension)
+// ---------------------------------------------------------------------
+
+TEST(M3xuFp64c, SingleComplexProductMatchesQuadOracle) {
+  const M3xuEngine engine(per_instruction_config());
+  Rng rng(56);
+  using C = std::complex<double>;
+  for (int trial = 0; trial < 50'000; ++trial) {
+    const C a(rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0);
+    const C b(rng.next_double() * 2.0 - 1.0, rng.next_double() * 2.0 - 1.0);
+    const C av[] = {a};
+    const C bv[] = {b};
+    const C got = engine.mma_dot_fp64c(av, bv, C{});
+    // Components are correctly rounded sums of two exact products:
+    // compute the oracle in __float128 (exact here).
+    const __float128 re = static_cast<__float128>(a.real()) * b.real() -
+                          static_cast<__float128>(a.imag()) * b.imag();
+    const __float128 im = static_cast<__float128>(a.real()) * b.imag() +
+                          static_cast<__float128>(a.imag()) * b.real();
+    EXPECT_EQ(bits_of(got.real()), bits_of(static_cast<double>(re)));
+    EXPECT_EQ(bits_of(got.imag()), bits_of(static_cast<double>(im)));
+  }
+}
+
+TEST(M3xuFp64c, PurelyImaginarySquare) {
+  const M3xuEngine engine;
+  using C = std::complex<double>;
+  const C av[] = {C(0.0, 3.0)};
+  const C bv[] = {C(0.0, 5.0)};
+  const C got = engine.mma_dot_fp64c(av, bv, C{});
+  EXPECT_EQ(got.real(), -15.0);
+  EXPECT_EQ(got.imag(), 0.0);
+}
+
+TEST(M3xuFp64c, GemmSmallIntegersExact) {
+  const M3xuEngine engine;
+  Rng rng(57);
+  using C = std::complex<double>;
+  const int m = 4, n = 3, k = 9;
+  std::vector<C> a(m * k), b(k * n), c(m * n, C{});
+  auto randint = [&] {
+    return static_cast<double>(rng.next_below(41)) - 20.0;
+  };
+  for (auto& v : a) v = {randint(), randint()};
+  for (auto& v : b) v = {randint(), randint()};
+  engine.gemm_fp64c(m, n, k, a.data(), k, b.data(), n, c.data(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      C ref{};
+      for (int kk = 0; kk < k; ++kk) ref += a[i * k + kk] * b[kk * n + j];
+      EXPECT_EQ(c[i * n + j], ref);
+    }
+  }
+}
+
+TEST(M3xuFp64c, SpecialsPropagate) {
+  const M3xuEngine engine;
+  using C = std::complex<double>;
+  const double inf = std::numeric_limits<double>::infinity();
+  const C av[] = {C(inf, 0.0)};
+  const C bv[] = {C(2.0, 0.0)};
+  const C got = engine.mma_dot_fp64c(av, bv, C{});
+  EXPECT_EQ(got.real(), inf);
+  const C av2[] = {C(std::numeric_limits<double>::quiet_NaN(), 0.0)};
+  const C got2 = engine.mma_dot_fp64c(av2, bv, C{});
+  EXPECT_TRUE(std::isnan(got2.real()));
+}
+
+// ---------------------------------------------------------------------
+// Shapes & metadata
+// ---------------------------------------------------------------------
+
+TEST(MxuShapes, MatchPaperContracts) {
+  // FP32 halves the FP16 instruction's K; FP32C/FP64 quarter it.
+  EXPECT_EQ(shape_for(MxuMode::kFp16).k, 16);
+  EXPECT_EQ(shape_for(MxuMode::kFp32).k, 8);
+  EXPECT_EQ(shape_for(MxuMode::kFp32Complex).k, 4);
+  EXPECT_EQ(shape_for(MxuMode::kFp64).k, 4);
+  EXPECT_EQ(shape_for(MxuMode::kTf32).k, 8);
+  EXPECT_EQ(steps_for(MxuMode::kFp16), 1);
+  EXPECT_EQ(steps_for(MxuMode::kFp32), 2);
+  EXPECT_EQ(steps_for(MxuMode::kFp32Complex), 4);
+  EXPECT_EQ(steps_for(MxuMode::kFp64), 4);
+  EXPECT_EQ(steps_for(MxuMode::kFp64Complex), 8);
+  EXPECT_EQ(shape_for(MxuMode::kFp64Complex).k, 2);
+  EXPECT_STREQ(mode_name(MxuMode::kFp32Complex), "fp32c");
+  EXPECT_STREQ(mode_name(MxuMode::kFp64Complex), "fp64c");
+}
+
+}  // namespace
+}  // namespace m3xu::core

@@ -1,0 +1,184 @@
+// Tests for the outer-product-dataflow M3XU and API-misuse death
+// checks across the core module (the "can apply to any MXU
+// architecture" claim, SII-A, plus failure injection).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "core/multi_part.hpp"
+#include "core/mxu.hpp"
+#include "core/outer_product.hpp"
+#include "core/systolic.hpp"
+#include "fp/unpacked.hpp"
+
+namespace m3xu::core {
+namespace {
+
+struct Tile {
+  int m = 16, n = 8, k = 8;
+  std::vector<float> a, b, c, d;
+
+  explicit Tile(std::uint64_t seed) {
+    Rng rng(seed);
+    a.resize(static_cast<std::size_t>(m) * k);
+    b.resize(static_cast<std::size_t>(k) * n);
+    c.resize(static_cast<std::size_t>(m) * n);
+    d.resize(static_cast<std::size_t>(m) * n);
+    for (auto& v : a) v = rng.scaled_float();
+    for (auto& v : b) v = rng.scaled_float();
+    for (auto& v : c) v = rng.scaled_float();
+  }
+};
+
+TEST(OuterProduct, PerInstructionBitIdenticalToDotProductDataflow) {
+  // Exact accumulation is commutative: the dataflow cannot matter.
+  M3xuConfig cfg;
+  cfg.per_step_rounding = false;
+  const OuterProductEngine outer(cfg);
+  const M3xuEngine dp(cfg);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Tile t(1000 + seed);
+    outer.mma_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n,
+                   t.c.data(), t.n, t.d.data(), t.n);
+    std::vector<float> ref = t.c;
+    dp.gemm_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n, ref.data(),
+                 t.n);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(bits_of(t.d[i]), bits_of(ref[i])) << seed << " @" << i;
+    }
+  }
+}
+
+TEST(OuterProduct, PerElementRoundingStaysWithinRegisterQuantum) {
+  // The natural outer-product register behavior rounds k times at 48
+  // bits: vs the single-rounded result the drift is far below FP32
+  // resolution.
+  const OuterProductEngine outer;  // per-step default
+  M3xuConfig exact_cfg;
+  exact_cfg.per_step_rounding = false;
+  const M3xuEngine dp(exact_cfg);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Tile t(2000 + seed);
+    outer.mma_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n,
+                   t.c.data(), t.n, t.d.data(), t.n);
+    std::vector<float> ref = t.c;
+    dp.gemm_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n, ref.data(),
+                 t.n);
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      const float next_up = std::nextafterf(ref[i], 1e30f);
+      const float next_dn = std::nextafterf(ref[i], -1e30f);
+      EXPECT_TRUE(t.d[i] == ref[i] || t.d[i] == next_up || t.d[i] == next_dn)
+          << seed << " @" << i;
+    }
+  }
+}
+
+TEST(OuterProduct, IntegerTilesAreExact) {
+  const OuterProductEngine outer;
+  Rng rng(3000);
+  Tile t(0);
+  for (auto& v : t.a) v = static_cast<float>(rng.next_below(17)) - 8.0f;
+  for (auto& v : t.b) v = static_cast<float>(rng.next_below(17)) - 8.0f;
+  for (auto& v : t.c) v = 0.0f;
+  outer.mma_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n,
+                 t.c.data(), t.n, t.d.data(), t.n);
+  for (int i = 0; i < t.m; ++i) {
+    for (int j = 0; j < t.n; ++j) {
+      long s = 0;
+      for (int kk = 0; kk < t.k; ++kk) {
+        s += static_cast<long>(t.a[i * t.k + kk]) *
+             static_cast<long>(t.b[kk * t.n + j]);
+      }
+      EXPECT_EQ(t.d[i * t.n + j], static_cast<float>(s));
+    }
+  }
+}
+
+TEST(Systolic, PerInstructionBitIdenticalToOtherDataflows) {
+  // All three SII-A dataflows share the exact-accumulation semantics:
+  // under per-instruction rounding they are indistinguishable.
+  M3xuConfig cfg;
+  cfg.per_step_rounding = false;
+  const SystolicEngine systolic(cfg);
+  const OuterProductEngine outer(cfg);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Tile t(4000 + seed);
+    std::vector<float> d_sys(t.d.size()), d_out(t.d.size());
+    systolic.mma_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n,
+                      t.c.data(), t.n, d_sys.data(), t.n);
+    outer.mma_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n,
+                   t.c.data(), t.n, d_out.data(), t.n);
+    for (std::size_t i = 0; i < d_sys.size(); ++i) {
+      ASSERT_EQ(bits_of(d_sys[i]), bits_of(d_out[i])) << seed << "@" << i;
+    }
+  }
+}
+
+TEST(Systolic, PerHopRoundingStaysWithinUlp) {
+  const SystolicEngine systolic;  // per-hop 48-bit partial sums
+  M3xuConfig exact_cfg;
+  exact_cfg.per_step_rounding = false;
+  const SystolicEngine exact(exact_cfg);
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Tile t(5000 + seed);
+    std::vector<float> hops(t.d.size()), once(t.d.size());
+    systolic.mma_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n,
+                      t.c.data(), t.n, hops.data(), t.n);
+    exact.mma_fp32(t.m, t.n, t.k, t.a.data(), t.k, t.b.data(), t.n,
+                   t.c.data(), t.n, once.data(), t.n);
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      const float up = std::nextafterf(once[i], 1e30f);
+      const float dn = std::nextafterf(once[i], -1e30f);
+      EXPECT_TRUE(hops[i] == once[i] || hops[i] == up || hops[i] == dn)
+          << seed << "@" << i;
+    }
+  }
+}
+
+// --- Failure injection: API misuse must trip checks, not corrupt ------
+
+using CoreDeathTest = ::testing::Test;
+
+TEST(CoreDeathTest, OversizedInstructionKRejected) {
+  const M3xuEngine engine;
+  std::vector<float> a(9, 1.0f), b(9, 1.0f);
+  EXPECT_DEATH(
+      (void)engine.mma_dot_fp32({a.data(), 9}, {b.data(), 9}, 0.0f), "");
+}
+
+TEST(CoreDeathTest, MismatchedSpansRejected) {
+  const M3xuEngine engine;
+  std::vector<float> a(4, 1.0f), b(3, 1.0f);
+  EXPECT_DEATH(
+      (void)engine.mma_dot_fp32({a.data(), 4}, {b.data(), 3}, 0.0f), "");
+}
+
+TEST(CoreDeathTest, InvalidAccumPrecisionRejected) {
+  M3xuConfig cfg;
+  cfg.accum_prec = 8;  // below the FP32 output width
+  EXPECT_DEATH(M3xuEngine{cfg}, "");
+  cfg.accum_prec = 80;  // beyond the register model
+  EXPECT_DEATH(M3xuEngine{cfg}, "");
+}
+
+TEST(CoreDeathTest, InvalidMultiPartWidthRejected) {
+  MultiPartConfig cfg;
+  cfg.part_bits = 1;
+  EXPECT_DEATH(MultiPartEngine{cfg}, "");
+  cfg.part_bits = 40;
+  EXPECT_DEATH(MultiPartEngine{cfg}, "");
+}
+
+TEST(CoreDeathTest, OuterProductOversizedK) {
+  const OuterProductEngine outer;
+  std::vector<float> a(16 * 9, 1.0f), b(9 * 8, 1.0f), c(16 * 8, 0.0f),
+      d(16 * 8);
+  EXPECT_DEATH(outer.mma_fp32(16, 8, 9, a.data(), 9, b.data(), 8, c.data(),
+                              8, d.data(), 8),
+               "");
+}
+
+}  // namespace
+}  // namespace m3xu::core

@@ -1,0 +1,265 @@
+// Second-tier property tests for the M3XU engine: K-length sweeps,
+// cross-mode consistency, accumulator-width monotonicity, schedule
+// structure invariants, and leading-dimension (submatrix) handling.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "core/data_assignment.hpp"
+#include "core/mxu.hpp"
+#include "fp/exact_accumulator.hpp"
+
+namespace m3xu::core {
+namespace {
+
+// --- Schedule structure invariants -------------------------------------
+
+TEST(ScheduleStructure, Fp32LaneCounts) {
+  Rng rng(301);
+  std::vector<float> a(8), b(8);
+  for (auto& v : a) v = rng.scaled_float();
+  for (auto& v : b) v = rng.scaled_float();
+  const auto steps = DataAssignmentStage::schedule_fp32(a, b);
+  // Two lanes per element per step; a and b streams stay paired.
+  EXPECT_EQ(steps[0].a.size(), 16u);
+  EXPECT_EQ(steps[1].a.size(), 16u);
+  EXPECT_EQ(steps[0].a.size(), steps[0].b.size());
+}
+
+TEST(ScheduleStructure, Fp32StepOneIsBSwappedStepZero) {
+  // Eq. 8: step 1 uses the same A operands with the B high/low roles
+  // exchanged - per element, step0 pairs (H,H),(L,L) and step1 pairs
+  // (H,L),(L,H).
+  Rng rng(302);
+  std::vector<float> a(4), b(4);
+  for (auto& v : a) v = rng.scaled_float();
+  for (auto& v : b) v = rng.scaled_float();
+  const auto steps = DataAssignmentStage::schedule_fp32(a, b);
+  for (std::size_t e = 0; e < 4; ++e) {
+    // A-side operands identical across steps.
+    EXPECT_EQ(steps[0].a[2 * e].sig, steps[1].a[2 * e].sig);
+    EXPECT_EQ(steps[0].a[2 * e + 1].sig, steps[1].a[2 * e + 1].sig);
+    // B-side swapped.
+    EXPECT_EQ(steps[0].b[2 * e].sig, steps[1].b[2 * e + 1].sig);
+    EXPECT_EQ(steps[0].b[2 * e + 1].sig, steps[1].b[2 * e].sig);
+  }
+}
+
+TEST(ScheduleStructure, Fp32cSignFlipsOnlyImaginaryImaginary) {
+  using C = std::complex<float>;
+  const C a[] = {C(1.5f, 2.5f)};
+  const C b[] = {C(3.5f, 4.5f)};
+  const auto sched = DataAssignmentStage::schedule_fp32c(a, b);
+  // Real part, step 0: lanes 0-1 are aR*bR (positive), lanes 2-3 are
+  // aI*bI with the A-side sign flipped.
+  ASSERT_EQ(sched.real[0].a.size(), 4u);
+  EXPECT_FALSE(sched.real[0].a[0].sign);
+  EXPECT_FALSE(sched.real[0].a[1].sign);
+  EXPECT_TRUE(sched.real[0].a[2].sign);  // flipped imag*imag high lane
+  EXPECT_TRUE(sched.real[0].a[3].sign);
+  // Imaginary part: no flips (all inputs positive here).
+  for (const LaneOperand& op : sched.imag[0].a) EXPECT_FALSE(op.sign);
+}
+
+TEST(ScheduleStructure, PassthroughLaneValuesRoundTrip) {
+  Rng rng(303);
+  std::vector<float> a(16), b(16);
+  for (auto& v : a) v = rng.scaled_float();
+  for (auto& v : b) v = rng.scaled_float();
+  const StepOperands step =
+      DataAssignmentStage::schedule_passthrough(a, b, fp::kFp16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    if (step.a[i].cls != LaneOperand::Cls::kFinite) continue;
+    const double lane =
+        (step.a[i].sign ? -1.0 : 1.0) *
+        std::ldexp(static_cast<double>(step.a[i].sig), step.a[i].exp2);
+    EXPECT_EQ(lane, static_cast<double>(fp::round_to_format(a[i], fp::kFp16)));
+  }
+}
+
+TEST(ScheduleStructure, Fp8PassthroughFeedsTheSameMultipliers) {
+  // FP8 inputs ride the existing passthrough path (4-bit significands
+  // fit the 12-bit multipliers with room to spare).
+  const M3xuEngine engine;
+  const float av[] = {1.125f};
+  const float bv[] = {2.0f};
+  EXPECT_EQ(engine.mma_dot_passthrough(av, bv, 0.0f, fp::kFp8E4M3), 2.25f);
+  // Values below FP8 precision collapse on ingest.
+  const float cv[] = {1.0625f};
+  EXPECT_EQ(engine.mma_dot_passthrough(cv, bv, 0.0f, fp::kFp8E4M3), 2.0f);
+}
+
+// --- K-length sweeps ----------------------------------------------------
+
+class KSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(KSweep, DotMatchesOracleAtEveryLength) {
+  const int k = GetParam();
+  M3xuConfig cfg;
+  cfg.per_step_rounding = false;
+  const M3xuEngine engine(cfg);
+  Rng rng(304 + k);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    std::vector<float> a(k), b(k);
+    for (auto& v : a) v = rng.scaled_float();
+    for (auto& v : b) v = rng.scaled_float();
+    fp::ExactAccumulator oracle;
+    for (int i = 0; i < k; ++i) {
+      oracle.add_product(fp::unpack(a[i]), fp::unpack(b[i]));
+    }
+    const float got =
+        engine.mma_dot_fp32({a.data(), a.size()}, {b.data(), b.size()}, 0.0f);
+    EXPECT_EQ(bits_of(got), bits_of(oracle.to_float()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, KSweep, ::testing::Values(1, 2, 3, 5, 8),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+// --- Cross-mode consistency ----------------------------------------------
+
+TEST(CrossMode, ComplexWithZeroImaginaryEqualsRealMode) {
+  const M3xuEngine engine;
+  Rng rng(305);
+  using C = std::complex<float>;
+  for (int trial = 0; trial < 50'000; ++trial) {
+    std::array<float, 4> ar{}, br{};
+    std::array<C, 4> ac{}, bc{};
+    for (int i = 0; i < 4; ++i) {
+      ar[i] = rng.scaled_float();
+      br[i] = rng.scaled_float();
+      ac[i] = C(ar[i], 0.0f);
+      bc[i] = C(br[i], 0.0f);
+    }
+    const float cr = rng.scaled_float();
+    const C got = engine.mma_dot_fp32c(ac, bc, C(cr, 0.0f));
+    const float real_mode = engine.mma_dot_fp32(
+        {ar.data(), ar.size()}, {br.data(), br.size()}, cr);
+    EXPECT_EQ(bits_of(got.real()), bits_of(real_mode));
+    EXPECT_EQ(got.imag(), 0.0f);
+  }
+}
+
+TEST(CrossMode, Fp64ModeOnFp32ValuesMatchesFp32Mode) {
+  // FP32 values widen exactly to FP64; per-instruction rounding of the
+  // same K=1 product must agree after narrowing.
+  M3xuConfig cfg;
+  cfg.per_step_rounding = false;
+  const M3xuEngine engine(cfg);
+  Rng rng(306);
+  for (int trial = 0; trial < 100'000; ++trial) {
+    const float a = rng.scaled_float();
+    const float b = rng.scaled_float();
+    const float av[] = {a};
+    const float bv[] = {b};
+    const double ad[] = {a};
+    const double bd[] = {b};
+    const float via32 = engine.mma_dot_fp32(av, bv, 0.0f);
+    const double via64 = engine.mma_dot_fp64(ad, bd, 0.0);
+    EXPECT_EQ(bits_of(via32), bits_of(static_cast<float>(via64)));
+  }
+}
+
+TEST(CrossMode, ConjugateSymmetryOfComplexDot) {
+  // conj(a) . conj(b) == conj(a . b) for the engine's complex mode
+  // (sign flips commute with the exact product datapath).
+  const M3xuEngine engine;
+  Rng rng(307);
+  using C = std::complex<float>;
+  for (int trial = 0; trial < 50'000; ++trial) {
+    std::array<C, 4> a{}, b{}, ac{}, bc{};
+    for (int i = 0; i < 4; ++i) {
+      a[i] = C(rng.scaled_float(), rng.scaled_float());
+      b[i] = C(rng.scaled_float(), rng.scaled_float());
+      ac[i] = std::conj(a[i]);
+      bc[i] = std::conj(b[i]);
+    }
+    const C plain = engine.mma_dot_fp32c(a, b, C{});
+    const C conj = engine.mma_dot_fp32c(ac, bc, C{});
+    EXPECT_EQ(bits_of(plain.real()), bits_of(conj.real()));
+    EXPECT_EQ(bits_of(plain.imag()), bits_of(-conj.imag()));
+  }
+}
+
+// --- Accumulator-width monotonicity --------------------------------------
+
+TEST(AccumWidth, LongReductionErrorShrinksWithRegisterWidth) {
+  Rng rng(308);
+  const int k = 8;
+  const int chunks = 512;
+  double prev_err = HUGE_VAL;
+  for (int prec : {24, 32, 48}) {
+    M3xuConfig cfg;
+    cfg.accum_prec = prec;
+    const M3xuEngine engine(cfg);
+    Rng local(309);
+    double err_total = 0.0;
+    for (int rep = 0; rep < 50; ++rep) {
+      float acc = 0.0f;
+      fp::ExactAccumulator oracle;
+      for (int c = 0; c < chunks; ++c) {
+        std::array<float, k> a{}, b{};
+        for (int i = 0; i < k; ++i) {
+          a[i] = std::fabs(local.scaled_float());
+          b[i] = std::fabs(local.scaled_float());
+          oracle.add_product(fp::unpack(a[i]), fp::unpack(b[i]));
+        }
+        acc = engine.mma_dot_fp32(a, b, acc);
+      }
+      err_total += std::fabs(acc - oracle.to_double());
+    }
+    // Chunk-boundary FP32 roundings dominate, so widths beyond 24 bits
+    // can only tie or improve.
+    EXPECT_LE(err_total, prev_err * 1.0001) << prec;
+    prev_err = err_total;
+  }
+}
+
+// --- Leading-dimension (submatrix) handling ------------------------------
+
+TEST(LeadingDimension, GemmOnSubmatrixMatchesDenseCopy) {
+  const M3xuEngine engine;
+  Rng rng(310);
+  const int m = 6, n = 5, k = 12;
+  const int lda = k + 3, ldb = n + 2, ldc = n + 4;
+  std::vector<float> a(m * lda), b(k * ldb), c(m * ldc, 0.0f);
+  for (auto& v : a) v = rng.scaled_float();
+  for (auto& v : b) v = rng.scaled_float();
+  engine.gemm_fp32(m, n, k, a.data(), lda, b.data(), ldb, c.data(), ldc);
+  // Dense copies.
+  std::vector<float> ad(m * k), bd(k * n), cd(m * n, 0.0f);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) ad[i * k + j] = a[i * lda + j];
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) bd[i * n + j] = b[i * ldb + j];
+  }
+  engine.gemm_fp32(m, n, k, ad.data(), k, bd.data(), n, cd.data(), n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ(bits_of(c[i * ldc + j]), bits_of(cd[i * n + j]));
+    }
+  }
+}
+
+TEST(LeadingDimension, PaddingIsNeverTouched) {
+  const M3xuEngine engine;
+  const int m = 3, n = 3, k = 4, ldc = 6;
+  std::vector<float> a(m * k, 1.0f), b(k * n, 1.0f);
+  std::vector<float> c(m * ldc, -7.0f);
+  engine.gemm_fp32(m, n, k, a.data(), k, b.data(), n, c.data(), ldc);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) EXPECT_EQ(c[i * ldc + j], -7.0f + 4.0f);
+    for (int j = n; j < ldc; ++j) EXPECT_EQ(c[i * ldc + j], -7.0f);
+  }
+}
+
+}  // namespace
+}  // namespace m3xu::core

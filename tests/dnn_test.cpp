@@ -1,0 +1,243 @@
+// Tests for the DNN training case study: layer tables, conv -> GEMM
+// lowering identities, and Fig-7 timing bands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "dnn/conv.hpp"
+#include "dnn/network.hpp"
+#include "dnn/training_time.hpp"
+
+namespace m3xu::dnn {
+namespace {
+
+Tensor4 random_tensor(int n, int c, int h, int w, std::uint64_t seed) {
+  Tensor4 t(n, c, h, w);
+  Rng rng(seed);
+  for (auto& v : t.data) v = rng.uniform(-1.0f, 1.0f);
+  return t;
+}
+
+WeightMatrix random_weights(const ConvLayer& conv, std::uint64_t seed) {
+  WeightMatrix w(conv.c_out, conv.c_in * conv.kh * conv.kw);
+  Rng rng(seed);
+  for (int i = 0; i < w.rows(); ++i) {
+    for (int j = 0; j < w.cols(); ++j) w(i, j) = rng.uniform(-0.5f, 0.5f);
+  }
+  return w;
+}
+
+TEST(ConvFunctional, Im2colShapesMatchLowering) {
+  const ConvLayer conv{3, 8, 10, 12, 3, 3, 1, 1};
+  const Tensor4 x = random_tensor(2, 3, 10, 12, 401);
+  const gemm::Matrix<float> cols = im2col(x, conv);
+  const GemmShape shape = forward_gemm(conv, 2);
+  EXPECT_EQ(cols.rows(), shape.m);
+  EXPECT_EQ(cols.cols(), shape.k);
+}
+
+TEST(ConvFunctional, GemmConvMatchesDirectReference) {
+  const core::M3xuEngine engine;
+  for (const ConvLayer conv :
+       {ConvLayer{3, 6, 9, 9, 3, 3, 1, 1}, ConvLayer{4, 8, 12, 8, 5, 5, 2, 2},
+        ConvLayer{2, 4, 7, 7, 1, 1, 1, 0}}) {
+    const Tensor4 x = random_tensor(2, conv.c_in, conv.h, conv.w, 402);
+    const WeightMatrix w = random_weights(conv, 403);
+    const Tensor4 ref = conv2d_reference(x, w, conv);
+    const Tensor4 got =
+        conv2d_gemm(x, w, conv, ConvMath::kM3xuFp32, engine);
+    ASSERT_EQ(got.data.size(), ref.data.size());
+    for (std::size_t i = 0; i < ref.data.size(); ++i) {
+      EXPECT_NEAR(got.data[i], ref.data[i], 2e-5) << i;
+    }
+  }
+}
+
+TEST(ConvFunctional, Fp16ForwardLosesPrecisionM3xuDoesNot) {
+  const core::M3xuEngine engine;
+  const ConvLayer conv{8, 8, 8, 8, 3, 3, 1, 1};
+  const Tensor4 x = random_tensor(1, 8, 8, 8, 404);
+  const WeightMatrix w = random_weights(conv, 405);
+  const Tensor4 ref = conv2d_reference(x, w, conv);
+  const Tensor4 m3 = conv2d_gemm(x, w, conv, ConvMath::kM3xuFp32, engine);
+  const Tensor4 h16 = conv2d_gemm(x, w, conv, ConvMath::kTensorFp16, engine);
+  double err_m3 = 0.0, err_h16 = 0.0;
+  for (std::size_t i = 0; i < ref.data.size(); ++i) {
+    err_m3 += std::fabs(m3.data[i] - ref.data[i]);
+    err_h16 += std::fabs(h16.data[i] - ref.data[i]);
+  }
+  EXPECT_LT(err_m3, err_h16 / 50.0);  // FP16 inputs lose mantissa bits
+}
+
+TEST(ConvFunctional, StridedConvOutputDims) {
+  const ConvLayer conv{1, 1, 11, 11, 3, 3, 2, 0};
+  const Tensor4 x = random_tensor(1, 1, 11, 11, 406);
+  WeightMatrix w(1, 9);
+  w.fill(1.0f);
+  const Tensor4 out = conv2d_reference(x, w, conv);
+  EXPECT_EQ(out.h, 5);
+  EXPECT_EQ(out.w, 5);
+  // A sum-filter at (0,0) equals the top-left 3x3 window sum.
+  float expect = 0.0f;
+  for (int y = 0; y < 3; ++y) {
+    for (int xx = 0; xx < 3; ++xx) expect += x.at(0, 0, y, xx);
+  }
+  EXPECT_NEAR(out.at(0, 0, 0, 0), expect, 1e-6);
+}
+
+TEST(ConvLowering, OutputDims) {
+  const ConvLayer c{3, 64, 224, 224, 11, 11, 4, 2};
+  EXPECT_EQ(c.out_h(), 55);
+  EXPECT_EQ(c.out_w(), 55);
+  const ConvLayer same{64, 64, 56, 56, 3, 3, 1, 1};
+  EXPECT_EQ(same.out_h(), 56);
+}
+
+TEST(ConvLowering, GemmShapes) {
+  const ConvLayer c{64, 128, 56, 56, 3, 3, 1, 1};
+  const int batch = 8;
+  const GemmShape f = forward_gemm(c, batch);
+  EXPECT_EQ(f.m, 8L * 56 * 56);
+  EXPECT_EQ(f.n, 128);
+  EXPECT_EQ(f.k, 64L * 9);
+  // dgrad and wgrad move the same MACs as forward (same tensor sizes).
+  const GemmShape d = dgrad_gemm(c, batch);
+  const GemmShape w = wgrad_gemm(c, batch);
+  EXPECT_EQ(d.m, 8L * 56 * 56);
+  EXPECT_EQ(d.n, 64);
+  EXPECT_EQ(w.m, 128);
+  EXPECT_EQ(w.n, 64L * 9);
+  EXPECT_EQ(w.k, 8L * 56 * 56);
+  EXPECT_DOUBLE_EQ(f.flops(), w.flops());
+}
+
+TEST(ConvLowering, FcShapes) {
+  const FcLayer f{4096, 1000};
+  EXPECT_EQ(forward_gemm(f, 32).m, 32);
+  EXPECT_EQ(forward_gemm(f, 32).n, 1000);
+  EXPECT_EQ(dgrad_gemm(f, 32).n, 4096);
+  EXPECT_EQ(wgrad_gemm(f, 32).k, 32);
+}
+
+TEST(Networks, LayerInventories) {
+  const Network a = alexnet(32);
+  const Network v = vgg16(32);
+  const Network r = resnet18(32);
+  int a_convs = 0, v_convs = 0, r_convs = 0;
+  for (const auto& l : a.layers) a_convs += l.kind == Layer::Kind::kConv;
+  for (const auto& l : v.layers) v_convs += l.kind == Layer::Kind::kConv;
+  for (const auto& l : r.layers) r_convs += l.kind == Layer::Kind::kConv;
+  EXPECT_EQ(a_convs, 5);
+  EXPECT_EQ(v_convs, 13);
+  EXPECT_EQ(r_convs, 17);  // stem + 8 blocks x 2
+}
+
+TEST(Networks, VggForwardFlopsInKnownRange) {
+  // VGG-16 forward is ~15.5 GMACs = ~31 GFLOPs per image.
+  const Network v = vgg16(1);
+  double flops = 0.0;
+  for (const auto& l : v.layers) {
+    if (l.kind == Layer::Kind::kConv) flops += forward_gemm(l.conv, 1).flops();
+    if (l.kind == Layer::Kind::kFc) flops += forward_gemm(l.fc, 1).flops();
+  }
+  EXPECT_GT(flops, 28e9);
+  EXPECT_LT(flops, 34e9);
+}
+
+TEST(Networks, ResNet50Census) {
+  const Network r50 = resnet50(1);
+  int convs = 0;
+  for (const auto& l : r50.layers) convs += l.kind == Layer::Kind::kConv;
+  EXPECT_EQ(convs, 1 + 3 * (3 + 4 + 6 + 3));  // stem + bottlenecks
+  const FlopCensus c = count_flops(r50);
+  // ~3.5 GMACs forward per image (projection shortcuts not modeled).
+  EXPECT_GT(c.forward, 6.5e9);
+  EXPECT_LT(c.forward, 9.5e9);
+  // Backward moves ~2x the forward MACs (slightly more: the dgrad of a
+  // strided conv spans the larger input resolution).
+  EXPECT_GT(c.backward / c.forward, 2.0);
+  EXPECT_LT(c.backward / c.forward, 2.3);
+  // ~23M learnable parameters without the shortcut projections.
+  EXPECT_GT(c.parameters, 20'000'000);
+  EXPECT_LT(c.parameters, 27'000'000);
+}
+
+TEST(Networks, CensusScalesWithBatch) {
+  const FlopCensus b1 = count_flops(resnet18(1));
+  const FlopCensus b8 = count_flops(resnet18(8));
+  EXPECT_NEAR(b8.forward / b1.forward, 8.0, 0.01);
+  EXPECT_EQ(b1.parameters, b8.parameters);  // weights don't scale
+}
+
+TEST(Networks, AlexNetParameterCount) {
+  // AlexNet: ~61M parameters, dominated by the FC layers.
+  const FlopCensus c = count_flops(alexnet(1));
+  EXPECT_GT(c.parameters, 55'000'000);
+  EXPECT_LT(c.parameters, 65'000'000);
+}
+
+TEST(Fig7Extended, ResNet50BackwardSpeedupHolds) {
+  // The paper's Fig 7 uses ResNet-18-class models; the mechanism must
+  // hold unchanged on the deeper bottleneck network.
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  const Network net = resnet50(16);
+  const IterationTime base =
+      time_iteration(gpu, net, TrainingMode::kMixedPrecision, 0.40);
+  const IterationTime m3 =
+      time_iteration(gpu, net, TrainingMode::kM3xu, 0.40);
+  const double bwd = base.backward_seconds / m3.backward_seconds;
+  EXPECT_GT(bwd, 2.5);
+  EXPECT_LT(bwd, 4.0);
+}
+
+TEST(Fig7, BackwardSpeedupNear3p6) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  for (const Network& net : {alexnet(32), vgg16(32), resnet18(32)}) {
+    const double share = paper_backward_share(net.name);
+    const IterationTime base =
+        time_iteration(gpu, net, TrainingMode::kMixedPrecision, share);
+    const IterationTime m3 =
+        time_iteration(gpu, net, TrainingMode::kM3xu, share);
+    const double bwd = base.backward_seconds / m3.backward_seconds;
+    EXPECT_GT(bwd, 2.8) << net.name;  // paper: 3.6x
+    EXPECT_LT(bwd, 4.0) << net.name;
+    // Calibration holds: the baseline backward share matches the paper.
+    EXPECT_NEAR(base.backward_share(), share, 1e-6) << net.name;
+    // Forward and framework time are identical across modes.
+    EXPECT_DOUBLE_EQ(base.forward_seconds, m3.forward_seconds);
+    EXPECT_DOUBLE_EQ(base.framework_seconds, m3.framework_seconds);
+  }
+}
+
+TEST(Fig7, EndToEndSpeedupBand) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  double product = 1.0;
+  int count = 0;
+  for (const Network& net : {alexnet(32), vgg16(32), resnet18(32)}) {
+    const double share = paper_backward_share(net.name);
+    const double base =
+        time_iteration(gpu, net, TrainingMode::kMixedPrecision, share)
+            .total();
+    const double m3 =
+        time_iteration(gpu, net, TrainingMode::kM3xu, share).total();
+    product *= base / m3;
+    ++count;
+    EXPECT_GT(base / m3, 1.2) << net.name;
+    EXPECT_LT(base / m3, 1.8) << net.name;
+  }
+  const double geomean = std::pow(product, 1.0 / count);
+  EXPECT_GT(geomean, 1.3);  // paper: 1.65x (see EXPERIMENTS.md)
+}
+
+TEST(Fig7, M3xuNeverSlower) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  const Network net = resnet18(16);
+  const double share = paper_backward_share(net.name);
+  EXPECT_LE(time_iteration(gpu, net, TrainingMode::kM3xu, share).total(),
+            time_iteration(gpu, net, TrainingMode::kMixedPrecision, share)
+                .total());
+}
+
+}  // namespace
+}  // namespace m3xu::dnn

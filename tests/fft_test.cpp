@@ -1,0 +1,424 @@
+// Tests for the GEMM-based FFT: functional correctness against the
+// reference FFT and analytic DFT identities, plus Fig-6 timing bands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fft/fft_timing.hpp"
+#include "fft/fft_conv.hpp"
+#include "fft/gemm_fft.hpp"
+#include "fft/poly.hpp"
+
+namespace m3xu::fft {
+namespace {
+
+std::vector<std::complex<float>> random_signal(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::complex<float>> x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f)};
+  return x;
+}
+
+double max_err_vs_reference(std::vector<std::complex<float>> x,
+                            const core::M3xuEngine& engine, int radix) {
+  const int n = static_cast<int>(x.size());
+  std::vector<std::complex<double>> ref(x.begin(), x.end());
+  reference_fft(ref, /*inverse=*/false);
+  GemmFft fft(n, radix, &engine);
+  fft.forward(x.data());
+  double max_err = 0.0;
+  double scale = 0.0;
+  for (int i = 0; i < n; ++i) {
+    max_err = std::max(max_err,
+                       std::abs(std::complex<double>(x[i]) - ref[i]));
+    scale = std::max(scale, std::abs(ref[i]));
+  }
+  return max_err / scale;
+}
+
+TEST(ReferenceFft, DeltaGivesFlatSpectrum) {
+  std::vector<std::complex<double>> x(16, {0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  reference_fft(x, false);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(ReferenceFft, RoundTrip) {
+  Rng rng(91);
+  std::vector<std::complex<double>> x(256);
+  for (auto& v : x) v = {rng.normal(), rng.normal()};
+  const auto orig = x;
+  reference_fft(x, false);
+  reference_fft(x, true);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i] - orig[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(ReferenceFft, SingleToneLandsInOneBin) {
+  const int n = 64, tone = 5;
+  std::vector<std::complex<double>> x(n);
+  for (int i = 0; i < n; ++i) {
+    const double ang = 2.0 * M_PI * tone * i / n;
+    x[i] = {std::cos(ang), std::sin(ang)};
+  }
+  reference_fft(x, false);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(std::abs(x[k]), k == tone ? n : 0.0, 1e-9) << k;
+  }
+}
+
+class GemmFftSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmFftSizes, MatchesReferenceWithinFp32Accuracy) {
+  const core::M3xuEngine engine;
+  const double rel =
+      max_err_vs_reference(random_signal(GetParam(), 92), engine, 16);
+  EXPECT_LT(rel, 2e-5) << "n=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GemmFftSizes,
+                         ::testing::Values(2, 4, 16, 64, 128, 256, 1024,
+                                           4096),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+class GemmFftRadix : public ::testing::TestWithParam<int> {};
+
+TEST_P(GemmFftRadix, RadixChoiceDoesNotChangeResultMaterially) {
+  const core::M3xuEngine engine;
+  const double rel =
+      max_err_vs_reference(random_signal(512, 93), engine, GetParam());
+  EXPECT_LT(rel, 2e-5) << "radix=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, GemmFftRadix, ::testing::Values(2, 4, 8, 16),
+                         [](const auto& info) {
+                           return "r" + std::to_string(info.param);
+                         });
+
+TEST(GemmFft, LinearityProperty) {
+  const core::M3xuEngine engine;
+  const int n = 256;
+  GemmFft fft(n, 16, &engine);
+  auto a = random_signal(n, 94);
+  auto b = random_signal(n, 95);
+  std::vector<std::complex<float>> sum(n);
+  for (int i = 0; i < n; ++i) sum[i] = a[i] + b[i];
+  fft.forward(a.data());
+  fft.forward(b.data());
+  fft.forward(sum.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + b[i])), 0.0, 1e-3) << i;
+  }
+}
+
+TEST(GemmFft, ParsevalEnergyConservation) {
+  const core::M3xuEngine engine;
+  const int n = 1024;
+  auto x = random_signal(n, 96);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  GemmFft fft(n, 16, &engine);
+  fft.forward(x.data());
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / (n * time_energy), 1.0, 1e-4);
+}
+
+TEST(GemmFft, OpCensus) {
+  const core::M3xuEngine engine;
+  const GemmFft fft(4096, 16, &engine);
+  EXPECT_EQ(fft.stage_count(), 3);  // 4096 = 16 * 16 * 16
+  // Two radix-16 levels at 16*n cmacs plus the base level: 3 * 16 * n.
+  EXPECT_DOUBLE_EQ(fft.cgemm_cmacs(), 3.0 * 16.0 * 4096.0);
+}
+
+TEST(GemmFft, InverseRoundTrips) {
+  const core::M3xuEngine engine;
+  const int n = 512;
+  GemmFft f(n, 16, &engine);
+  auto x = random_signal(n, 97);
+  const auto orig = x;
+  f.forward(x.data());
+  f.inverse(x.data());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(std::abs(std::complex<double>(x[i]) -
+                         std::complex<double>(orig[i])),
+                0.0, 1e-4)
+        << i;
+  }
+}
+
+TEST(GemmFft, InverseOfDeltaSpectrumIsTone) {
+  const core::M3xuEngine engine;
+  const int n = 256, bin = 17;
+  GemmFft f(n, 16, &engine);
+  std::vector<std::complex<float>> x(n, {0.0f, 0.0f});
+  x[bin] = {static_cast<float>(n), 0.0f};
+  f.inverse(x.data());
+  for (int i = 0; i < n; ++i) {
+    const double ang = 2.0 * M_PI * bin * i / n;
+    EXPECT_NEAR(x[i].real(), std::cos(ang), 1e-4);
+    EXPECT_NEAR(x[i].imag(), std::sin(ang), 1e-4);
+  }
+}
+
+TEST(GemmFft2d, MatchesSeparableReference) {
+  const core::M3xuEngine engine;
+  const int rows = 16, cols = 32;
+  GemmFft2d f(rows, cols, 16, &engine);
+  Rng rng(98);
+  std::vector<std::complex<float>> img(rows * cols);
+  for (auto& v : img) {
+    v = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f)};
+  }
+  // Reference: double-precision row FFTs then column FFTs.
+  std::vector<std::vector<std::complex<double>>> ref(rows);
+  for (int r = 0; r < rows; ++r) {
+    ref[r].assign(img.begin() + r * cols, img.begin() + (r + 1) * cols);
+    reference_fft(ref[r], false);
+  }
+  for (int c = 0; c < cols; ++c) {
+    std::vector<std::complex<double>> col(rows);
+    for (int r = 0; r < rows; ++r) col[r] = ref[r][c];
+    reference_fft(col, false);
+    for (int r = 0; r < rows; ++r) ref[r][c] = col[r];
+  }
+  f.forward(img.data());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      EXPECT_NEAR(std::abs(std::complex<double>(img[r * cols + c]) -
+                           ref[r][c]),
+                  0.0, 1e-3)
+          << r << "," << c;
+    }
+  }
+}
+
+TEST(GemmFft2d, RoundTrip) {
+  const core::M3xuEngine engine;
+  const int rows = 32, cols = 16;
+  GemmFft2d f(rows, cols, 8, &engine);
+  Rng rng(99);
+  std::vector<std::complex<float>> img(rows * cols);
+  for (auto& v : img) {
+    v = {rng.uniform(-1.0f, 1.0f), rng.uniform(-1.0f, 1.0f)};
+  }
+  const auto orig = img;
+  f.forward(img.data());
+  f.inverse(img.data());
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_NEAR(std::abs(std::complex<double>(img[i]) -
+                         std::complex<double>(orig[i])),
+                0.0, 1e-4);
+  }
+}
+
+TEST(RealFft, MatchesComplexReferenceSpectrum) {
+  const core::M3xuEngine engine;
+  const int n = 512;
+  RealFft rf(n, 16, &engine);
+  Rng rng(88);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<std::complex<float>> spec(n / 2 + 1);
+  rf.forward(x.data(), spec.data());
+  std::vector<std::complex<double>> ref(x.begin(), x.end());
+  reference_fft(ref, false);
+  for (int k = 0; k <= n / 2; ++k) {
+    EXPECT_NEAR(std::abs(std::complex<double>(spec[k]) - ref[k]), 0.0, 1e-3)
+        << k;
+  }
+}
+
+TEST(RealFft, DcBinIsSignalSum) {
+  const core::M3xuEngine engine;
+  const int n = 64;
+  RealFft rf(n, 8, &engine);
+  std::vector<float> x(n, 0.5f);
+  std::vector<std::complex<float>> spec(n / 2 + 1);
+  rf.forward(x.data(), spec.data());
+  EXPECT_NEAR(spec[0].real(), 32.0, 1e-4);
+  EXPECT_NEAR(spec[0].imag(), 0.0, 1e-4);
+  for (int k = 1; k <= n / 2; ++k) {
+    EXPECT_NEAR(std::abs(std::complex<double>(spec[k])), 0.0, 1e-4);
+  }
+}
+
+TEST(RealFft, NyquistAndDcBinsAreReal) {
+  const core::M3xuEngine engine;
+  const int n = 128;
+  RealFft rf(n, 16, &engine);
+  Rng rng(89);
+  std::vector<float> x(n);
+  for (auto& v : x) v = rng.uniform(-1.0f, 1.0f);
+  std::vector<std::complex<float>> spec(n / 2 + 1);
+  rf.forward(x.data(), spec.data());
+  EXPECT_NEAR(spec[0].imag(), 0.0, 1e-4);
+  EXPECT_NEAR(spec[n / 2].imag(), 0.0, 1e-4);
+}
+
+TEST(GemmFft2d, DcComponentIsImageSum) {
+  const core::M3xuEngine engine;
+  const int rows = 8, cols = 8;
+  GemmFft2d f(rows, cols, 4, &engine);
+  std::vector<std::complex<float>> img(rows * cols, {0.25f, 0.0f});
+  f.forward(img.data());
+  EXPECT_NEAR(img[0].real(), 0.25 * rows * cols, 1e-4);
+  for (std::size_t i = 1; i < img.size(); ++i) {
+    EXPECT_NEAR(std::abs(std::complex<double>(img[i])), 0.0, 1e-4);
+  }
+}
+
+TEST(FftConv, MatchesDirectCircularConvolution) {
+  const core::M3xuEngine engine;
+  Rng rng(86);
+  const int rows = 32, cols = 32, kh = 5, kw = 3;
+  std::vector<float> img(rows * cols), ker(kh * kw);
+  for (auto& v : img) v = rng.uniform(-1.0f, 1.0f);
+  for (auto& v : ker) v = rng.uniform(-1.0f, 1.0f);
+  const auto ref = conv2d_circular_reference(img, rows, cols, ker, kh, kw);
+  const auto got = fft_conv2d_circular(img, rows, cols, ker, kh, kw, engine);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(got[i], ref[i], 2e-4) << i;
+  }
+}
+
+TEST(FftConv, DeltaKernelIsIdentity) {
+  const core::M3xuEngine engine;
+  Rng rng(87);
+  const int rows = 16, cols = 16;
+  std::vector<float> img(rows * cols);
+  for (auto& v : img) v = rng.uniform(-1.0f, 1.0f);
+  const std::vector<float> delta = {1.0f};
+  const auto got = fft_conv2d_circular(img, rows, cols, delta, 1, 1, engine);
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_NEAR(got[i], img[i], 1e-5);
+  }
+}
+
+TEST(FftConv, BoxKernelAveragesAndShifts) {
+  // A shifted delta kernel must rotate the image circularly.
+  const core::M3xuEngine engine;
+  const int rows = 8, cols = 8;
+  std::vector<float> img(rows * cols, 0.0f);
+  img[0] = 1.0f;
+  std::vector<float> ker(2 * 2, 0.0f);
+  ker[3] = 1.0f;  // delta at (1,1)
+  const auto got = fft_conv2d_circular(img, rows, cols, ker, 2, 2, engine);
+  EXPECT_NEAR(got[1 * cols + 1], 1.0f, 1e-5);
+  double rest = 0.0;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (i != 1 * cols + 1) rest += std::fabs(got[i]);
+  }
+  EXPECT_NEAR(rest, 0.0, 1e-3);
+}
+
+TEST(Poly, MultiplicationMatchesSchoolbook) {
+  const core::M3xuEngine engine;
+  Rng rng(84);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int dp = 1 + static_cast<int>(rng.next_below(60));
+    const int dq = 1 + static_cast<int>(rng.next_below(60));
+    std::vector<std::int64_t> p(dp), q(dq);
+    for (auto& v : p) v = static_cast<std::int64_t>(rng.next_below(201)) - 100;
+    for (auto& v : q) v = static_cast<std::int64_t>(rng.next_below(201)) - 100;
+    EXPECT_EQ(poly_multiply(p, q, engine), poly_multiply_reference(p, q))
+        << trial;
+  }
+}
+
+TEST(Poly, KnownProduct) {
+  const core::M3xuEngine engine;
+  // (1 + 2x)(3 + x + x^2) = 3 + 7x + 3x^2 + 2x^3
+  const std::vector<std::int64_t> got =
+      poly_multiply({1, 2}, {3, 1, 1}, engine);
+  EXPECT_EQ(got, (std::vector<std::int64_t>{3, 7, 3, 2}));
+}
+
+TEST(Poly, NegacyclicWrapsWithSignFlip) {
+  const core::M3xuEngine engine;
+  // In Z[x]/(x^4+1): x^3 * x = x^4 = -1.
+  const std::vector<std::int64_t> p = {0, 0, 0, 1};
+  const std::vector<std::int64_t> q = {0, 1, 0, 0};
+  const auto got = poly_multiply_negacyclic(p, q, engine);
+  EXPECT_EQ(got, (std::vector<std::int64_t>{-1, 0, 0, 0}));
+}
+
+TEST(Poly, NegacyclicMatchesDirectReduction) {
+  const core::M3xuEngine engine;
+  Rng rng(85);
+  const std::size_t n = 32;
+  std::vector<std::int64_t> p(n), q(n);
+  for (auto& v : p) v = static_cast<std::int64_t>(rng.next_below(41)) - 20;
+  for (auto& v : q) v = static_cast<std::int64_t>(rng.next_below(41)) - 20;
+  const auto full = poly_multiply_reference(p, q);
+  std::vector<std::int64_t> ref(n, 0);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (i < n) {
+      ref[i] += full[i];
+    } else {
+      ref[i - n] -= full[i];  // x^n = -1
+    }
+  }
+  EXPECT_EQ(poly_multiply_negacyclic(p, q, engine), ref);
+}
+
+TEST(Poly, CoefficientCeilingIsDocumentedByTest) {
+  // FP32C keeps products exact but the FFT accumulates rounding: with
+  // n=64 and coefficients up to B the result magnitudes reach ~n*B^2.
+  // B = 1000 (result ~6.4e7, needs 26 bits) still round-trips; this
+  // pins the usable envelope the header documents.
+  const core::M3xuEngine engine;
+  Rng rng(86);
+  std::vector<std::int64_t> p(64), q(64);
+  for (auto& v : p) v = static_cast<std::int64_t>(rng.next_below(2001)) - 1000;
+  for (auto& v : q) v = static_cast<std::int64_t>(rng.next_below(2001)) - 1000;
+  EXPECT_EQ(poly_multiply(p, q, engine), poly_multiply_reference(p, q));
+}
+
+// --- Fig 6 timing bands ------------------------------------------------
+
+TEST(Fig6, M3xuBeatsCuFftEverywhere) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  for (int l = 12; l <= 24; l += 4) {
+    const long n = 1L << l;
+    const long batch = std::max<long>(1, (1L << 26) / n);
+    const double cufft = time_fft(gpu, FftImpl::kCuFft, n, batch).seconds;
+    const double m3xu = time_fft(gpu, FftImpl::kM3xu, n, batch).seconds;
+    const double sp = cufft / m3xu;
+    EXPECT_GT(sp, 1.1) << l;
+    EXPECT_LT(sp, 2.1) << l;  // paper: up to 1.99x
+  }
+}
+
+TEST(Fig6, TcFftDoesNotImprove) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  double total_cufft = 0.0, total_tc = 0.0;
+  for (int l = 12; l <= 24; l += 4) {
+    const long n = 1L << l;
+    const long batch = std::max<long>(1, (1L << 26) / n);
+    total_cufft += time_fft(gpu, FftImpl::kCuFft, n, batch).seconds;
+    total_tc += time_fft(gpu, FftImpl::kTcFftTf32, n, batch).seconds;
+  }
+  EXPECT_GT(total_tc, total_cufft * 0.85);  // "no improvement over cuFFT"
+}
+
+TEST(Fig6, StageCountsFollowRadix) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  const FftTime cufft = time_fft(gpu, FftImpl::kCuFft, 1 << 16, 64);
+  const FftTime m3xu = time_fft(gpu, FftImpl::kM3xu, 1 << 16, 64);
+  EXPECT_EQ(cufft.stages, 6);  // radix-8 on 2^16
+  EXPECT_EQ(m3xu.stages, 4);   // radix-16
+}
+
+}  // namespace
+}  // namespace m3xu::fft

@@ -1,0 +1,241 @@
+// Tests for the exact fixed-point accumulator (the idealized dot-
+// product adder tree / exact oracle) and the ExtFloat accumulator-
+// register model (48-bit M3XU registers, 24-bit FP32 accumulate).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "fp/exact_accumulator.hpp"
+#include "fp/ext_float.hpp"
+
+namespace m3xu::fp {
+namespace {
+
+TEST(ExactAccumulator, StartsAtZero) {
+  ExactAccumulator acc;
+  EXPECT_TRUE(acc.is_zero());
+  EXPECT_EQ(acc.to_double(), 0.0);
+}
+
+TEST(ExactAccumulator, SingleValueRoundTrips) {
+  Rng rng(11);
+  for (int i = 0; i < 200'000; ++i) {
+    const double d = double_from_bits(rng.next_u64());
+    if (std::isnan(d)) continue;
+    ExactAccumulator acc;
+    acc.add_double(d);
+    EXPECT_EQ(bits_of(acc.to_double()), bits_of(d)) << d;
+  }
+}
+
+TEST(ExactAccumulator, ExactCancellation) {
+  Rng rng(12);
+  for (int i = 0; i < 50'000; ++i) {
+    const float a = rng.any_finite_float();
+    ExactAccumulator acc;
+    acc.add_double(a);
+    acc.add_double(-static_cast<double>(a));
+    EXPECT_TRUE(acc.is_zero()) << a;
+  }
+}
+
+TEST(ExactAccumulator, SumOfManySmallAndOneLarge) {
+  // 2^60 + 2^-60 * 2^60 times... classic catastrophic case for naive
+  // float summation: the exact accumulator must keep every bit.
+  ExactAccumulator acc;
+  acc.add_double(std::ldexp(1.0, 60));
+  const int n = 1 << 12;
+  for (int i = 0; i < n; ++i) acc.add_double(std::ldexp(1.0, -40));
+  acc.add_double(-std::ldexp(1.0, 60));
+  EXPECT_EQ(acc.to_double(), std::ldexp(1.0, -40) * n);
+}
+
+TEST(ExactAccumulator, ProductsAreExact) {
+  // double(a) * double(b) is exact for FP32 a,b (24+24 <= 53 bits), so
+  // the accumulator's product must match the host exactly.
+  Rng rng(13);
+  for (int i = 0; i < 500'000; ++i) {
+    const float a = rng.any_finite_float();
+    const float b = rng.any_finite_float();
+    ExactAccumulator acc;
+    acc.add_product(unpack(a), unpack(b));
+    const double expected = static_cast<double>(a) * static_cast<double>(b);
+    EXPECT_EQ(bits_of(acc.to_double()), bits_of(expected)) << a << " * " << b;
+  }
+}
+
+TEST(ExactAccumulator, DotProductMatchesQuadForBenignRange) {
+  Rng rng(14);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    ExactAccumulator acc;
+    __float128 ref = 0;
+    for (int k = 0; k < 64; ++k) {
+      const float a = rng.scaled_float();
+      const float b = rng.scaled_float();
+      acc.add_product(unpack(a), unpack(b));
+      ref += static_cast<__float128>(a) * b;
+    }
+    // __float128 has a 113-bit significand; in this benign exponent
+    // range a 64-term sum of 48-bit products is exact there.
+    EXPECT_EQ(acc.to_double(), static_cast<double>(ref));
+  }
+}
+
+TEST(ExactAccumulator, InfAndNanSemantics) {
+  const double inf = std::numeric_limits<double>::infinity();
+  {
+    ExactAccumulator acc;
+    acc.add_double(inf);
+    acc.add_double(1.0);
+    EXPECT_TRUE(std::isinf(acc.to_double()));
+    EXPECT_GT(acc.to_double(), 0.0);
+  }
+  {
+    ExactAccumulator acc;
+    acc.add_double(inf);
+    acc.add_double(-inf);
+    EXPECT_TRUE(std::isnan(acc.to_double()));
+  }
+  {
+    ExactAccumulator acc;  // Inf * 0 -> NaN
+    acc.add_product(unpack(inf), unpack(0.0));
+    EXPECT_TRUE(std::isnan(acc.to_double()));
+  }
+  {
+    ExactAccumulator acc;  // Inf * finite -> signed Inf
+    acc.add_product(unpack(-inf), unpack(2.0f));
+    EXPECT_TRUE(std::isinf(acc.to_double()));
+    EXPECT_LT(acc.to_double(), 0.0);
+  }
+  {
+    ExactAccumulator acc;
+    acc.add_double(std::numeric_limits<double>::quiet_NaN());
+    EXPECT_TRUE(std::isnan(acc.to_double()));
+  }
+}
+
+TEST(ExactAccumulator, RoundToFloatMatchesHostNarrowing) {
+  Rng rng(15);
+  for (int i = 0; i < 500'000; ++i) {
+    const double d = double_from_bits(rng.next_u64());
+    if (std::isnan(d)) continue;
+    ExactAccumulator acc;
+    acc.add_double(d);
+    EXPECT_EQ(bits_of(acc.to_float()), bits_of(static_cast<float>(d))) << d;
+  }
+}
+
+TEST(ExactAccumulator, RoundToPrecisionTies) {
+  // 1 + 2^-24 is exactly halfway between FP32 neighbours 1 and 1+2^-23:
+  // RNE at 24 bits picks the even one (1.0).
+  {
+    ExactAccumulator acc;
+    acc.add_double(1.0);
+    acc.add_double(std::ldexp(1.0, -24));
+    EXPECT_EQ(acc.to_float(), 1.0f);
+  }
+  // Adding any dust below the tie must round up instead.
+  {
+    ExactAccumulator acc;
+    acc.add_double(1.0);
+    acc.add_double(std::ldexp(1.0, -24));
+    acc.add_double(std::ldexp(1.0, -80));
+    EXPECT_EQ(acc.to_float(), 1.0f + std::ldexp(1.0f, -23));
+  }
+  // 1 + 3*2^-25: above the halfway point -> rounds up.
+  {
+    ExactAccumulator acc;
+    acc.add_double(1.0);
+    acc.add_double(3 * std::ldexp(1.0, -25));
+    EXPECT_EQ(acc.to_float(), 1.0f + std::ldexp(1.0f, -23));
+  }
+}
+
+TEST(ExactAccumulator, NegativeSumsRoundCorrectly) {
+  Rng rng(16);
+  for (int i = 0; i < 100'000; ++i) {
+    const double d = -std::fabs(double_from_bits(rng.next_u64()));
+    if (std::isnan(d) || d == 0.0) continue;
+    ExactAccumulator acc;
+    acc.add_double(d);
+    EXPECT_EQ(bits_of(acc.to_double()), bits_of(d));
+    EXPECT_TRUE(acc.is_negative());
+  }
+}
+
+TEST(ExtFloat, RoundTripAtFloatPrecision) {
+  Rng rng(17);
+  for (int i = 0; i < 200'000; ++i) {
+    const float f = rng.any_finite_float();
+    EXPECT_EQ(bits_of(ExtFloat::from_float(f, 24).to_float()), bits_of(f));
+  }
+}
+
+TEST(ExtFloat, Prec24AdditionMatchesHostFloat) {
+  // A 24-bit ExtFloat accumulator must reproduce host float addition
+  // bit-for-bit in the normal range (it has no exponent clamp, so avoid
+  // overflow/underflow in the inputs).
+  Rng rng(18);
+  for (int trial = 0; trial < 5'000; ++trial) {
+    ExtFloat acc(24);
+    float host = 0.0f;
+    for (int k = 0; k < 32; ++k) {
+      const float v = rng.scaled_float();
+      acc = acc.plus(unpack(v));
+      host += v;
+    }
+    EXPECT_EQ(bits_of(acc.to_float()), bits_of(host));
+  }
+}
+
+TEST(ExtFloat, WiderAccumulatorIsMoreAccurate) {
+  // Summing many same-sign values: the 48-bit register (M3XU) must be
+  // at least as accurate as the 24-bit one against the exact sum, and
+  // strictly better on average.
+  Rng rng(19);
+  double err24_total = 0.0;
+  double err48_total = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    ExtFloat a24(24);
+    ExtFloat a48(48);
+    ExactAccumulator exact;
+    for (int k = 0; k < 4096; ++k) {
+      const float v = std::fabs(rng.scaled_float());
+      a24 = a24.plus(unpack(v));
+      a48 = a48.plus(unpack(v));
+      exact.add_double(v);
+    }
+    const double ref = exact.to_double();
+    err24_total += std::fabs(a24.to_double() - ref) / ref;
+    err48_total += std::fabs(a48.to_double() - ref) / ref;
+  }
+  EXPECT_LT(err48_total, err24_total * 1e-3);
+}
+
+TEST(ExtFloat, PlusExactMatchesSeparateRounding) {
+  // plus_exact(acc_sum) == round(value + exact_sum): spot-check against
+  // composing through doubles when everything is exactly representable.
+  ExtFloat acc = ExtFloat::from_double(3.0, 48);
+  ExactAccumulator step;
+  step.add_double(0.25);
+  step.add_double(0.125);
+  acc = acc.plus_exact(step);
+  EXPECT_EQ(acc.to_double(), 3.375);
+}
+
+TEST(RoundUnpackedToPrecision, CarryOutRenormalizes) {
+  // 1.111...1 (25 ones) rounds at 24 bits to 10.00...0 -> exponent +1.
+  Unpacked u = unpack(1.0);
+  u.sig = low_mask(25) << (Unpacked::kSigTop - 24);
+  u.exp = 0;
+  const Unpacked r = round_unpacked_to_precision(u, 24);
+  EXPECT_EQ(r.exp, 1);
+  EXPECT_EQ(r.sig, std::uint64_t{1} << Unpacked::kSigTop);
+}
+
+}  // namespace
+}  // namespace m3xu::fp

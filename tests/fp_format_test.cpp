@@ -1,0 +1,246 @@
+// Unit + property tests for the soft-float format layer: exact decode,
+// RNE encode, exhaustive round-trips for the 16-bit formats, and
+// correct-rounding cross-checks against the host FPU.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "fp/format.hpp"
+#include "fp/types.hpp"
+#include "fp/unpacked.hpp"
+
+namespace m3xu::fp {
+namespace {
+
+bool is_nan_payload(std::uint64_t payload, const FloatFormat& fmt) {
+  const std::uint64_t e = (payload >> fmt.mant_bits) & low_mask(fmt.exp_bits);
+  const std::uint64_t m = payload & low_mask(fmt.mant_bits);
+  return e == static_cast<std::uint64_t>(fmt.exp_special()) && m != 0;
+}
+
+class Exhaustive16BitRoundTrip : public ::testing::TestWithParam<FloatFormat> {
+};
+
+TEST_P(Exhaustive16BitRoundTrip, UnpackPackIsIdentity) {
+  const FloatFormat fmt = GetParam();
+  ASSERT_LE(fmt.total_bits(), 16);
+  const std::uint64_t count = std::uint64_t{1} << fmt.total_bits();
+  for (std::uint64_t payload = 0; payload < count; ++payload) {
+    const Unpacked u = unpack(payload, fmt);
+    const std::uint64_t back = pack(u, fmt);
+    if (is_nan_payload(payload, fmt)) {
+      EXPECT_TRUE(is_nan_payload(back, fmt)) << payload;
+    } else {
+      EXPECT_EQ(back, payload) << "payload " << payload;
+    }
+  }
+}
+
+TEST_P(Exhaustive16BitRoundTrip, ViaHostFloatIsIdentity) {
+  const FloatFormat fmt = GetParam();
+  const std::uint64_t count = std::uint64_t{1} << fmt.total_bits();
+  for (std::uint64_t payload = 0; payload < count; ++payload) {
+    if (is_nan_payload(payload, fmt)) continue;
+    // Widening to FP32 is exact for both 16-bit formats, so the
+    // round-trip through a host float must be the identity.
+    const float f = pack_to_float(unpack(payload, fmt));
+    const std::uint64_t back = pack(unpack(f), fmt);
+    EXPECT_EQ(back, payload);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, Exhaustive16BitRoundTrip,
+                         ::testing::Values(kFp16, kBf16),
+                         [](const auto& info) {
+                           return info.param == kFp16 ? "fp16" : "bf16";
+                         });
+
+TEST(UnpackFloat, NormalValues) {
+  const Unpacked u = unpack(1.5f);
+  EXPECT_EQ(u.cls, FpClass::kNormal);
+  EXPECT_FALSE(u.sign);
+  EXPECT_EQ(u.exp, 0);
+  // 1.5 = binary 1.1 -> top two bits set.
+  EXPECT_EQ(u.sig >> (Unpacked::kSigTop - 1), 0b11u);
+}
+
+TEST(UnpackFloat, SubnormalNormalizes) {
+  const float tiny = float_from_bits(0x00000001);  // 2^-149
+  const Unpacked u = unpack(tiny);
+  EXPECT_EQ(u.cls, FpClass::kNormal);
+  EXPECT_EQ(u.exp, -149);
+  EXPECT_EQ(u.sig, std::uint64_t{1} << Unpacked::kSigTop);
+}
+
+TEST(UnpackFloat, Specials) {
+  EXPECT_EQ(unpack(0.0f).cls, FpClass::kZero);
+  EXPECT_TRUE(unpack(-0.0f).sign);
+  EXPECT_EQ(unpack(std::numeric_limits<float>::infinity()).cls, FpClass::kInf);
+  EXPECT_EQ(unpack(std::numeric_limits<float>::quiet_NaN()).cls,
+            FpClass::kNaN);
+}
+
+TEST(PackFloat, RoundTripRandomBits) {
+  Rng rng(1);
+  for (int i = 0; i < 2'000'000; ++i) {
+    const std::uint32_t bits = rng.next_u32();
+    const float f = float_from_bits(bits);
+    if (std::isnan(f)) continue;
+    EXPECT_EQ(bits_of(pack_to_float(unpack(f))), bits);
+  }
+}
+
+TEST(PackDouble, RoundTripRandomBits) {
+  Rng rng(2);
+  for (int i = 0; i < 1'000'000; ++i) {
+    const std::uint64_t bits = rng.next_u64();
+    const double d = double_from_bits(bits);
+    if (std::isnan(d)) continue;
+    EXPECT_EQ(bits_of(pack_to_double(unpack(d))), bits);
+  }
+}
+
+TEST(PackFloat, DoubleToFloatMatchesHostRounding) {
+  // pack(unpack(double), fp32) must agree with the host's
+  // double->float conversion, which is RNE per IEEE 754.
+  Rng rng(3);
+  for (int i = 0; i < 1'000'000; ++i) {
+    const double d = double_from_bits(rng.next_u64());
+    if (std::isnan(d)) continue;
+    const float expected = static_cast<float>(d);
+    const float actual = pack_to_float(unpack(d));
+    EXPECT_EQ(bits_of(expected), bits_of(actual)) << d;
+  }
+}
+
+TEST(RneShiftRight, Basics) {
+  EXPECT_EQ(rne_shift_right(0b1000, 2), 0b10u);   // exact
+  EXPECT_EQ(rne_shift_right(0b1010, 2), 0b10u);   // tie to even (down)
+  EXPECT_EQ(rne_shift_right(0b1010, 1), 0b101u);  // exact
+  EXPECT_EQ(rne_shift_right(0b1001, 1), 0b100u);  // tie to even (down)
+  EXPECT_EQ(rne_shift_right(0b1011, 1), 0b110u);  // tie to even (up)
+  EXPECT_EQ(rne_shift_right(0b1101, 2), 0b11u);   // below half: down
+  EXPECT_EQ(rne_shift_right(5, 0), 5u);
+  EXPECT_EQ(rne_shift_right(5, -2), 20u);
+  EXPECT_EQ(rne_shift_right(~std::uint64_t{0} >> 1, 64), 0u);
+  EXPECT_EQ(rne_shift_right(std::uint64_t{1} << 62, 63), 0u);  // tie to 0
+  EXPECT_EQ((rne_shift_right((std::uint64_t{1} << 62) | 1, 63)), 1u);
+}
+
+TEST(RoundToFormat, Tf32KeepsTopTenMantissaBits) {
+  Rng rng(4);
+  for (int i = 0; i < 100'000; ++i) {
+    const float f = rng.scaled_float();
+    const float t = round_to_format(f, kTf32);
+    // TF32 has FP32's exponent range, so conversion only trims mantissa:
+    // relative error is at most 2^-11.
+    if (f != 0.0f) {
+      EXPECT_LE(std::fabs((t - f) / f), std::ldexp(1.0, -11));
+    }
+    // Idempotence.
+    EXPECT_EQ(bits_of(round_to_format(t, kTf32)), bits_of(t));
+  }
+}
+
+TEST(RoundToFormat, Fp16MatchesBruteForceNearest) {
+  // For random floats in FP16 range, the RNE result must be one of the
+  // two closest FP16 values, and the closest one when not a tie.
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const float f = rng.uniform(-60000.0f, 60000.0f);
+    const float got = round_to_format(f, kFp16);
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t p = 0; p < (1u << 16); ++p) {
+      const Unpacked u = unpack(p, kFp16);
+      if (u.is_nan()) continue;
+      const double cand = pack_to_double(u);
+      best = std::min(best, std::fabs(cand - static_cast<double>(f)));
+    }
+    EXPECT_LE(std::fabs(static_cast<double>(got) - static_cast<double>(f)),
+              best + 0.0)
+        << f;
+  }
+}
+
+TEST(RoundToFormat, OverflowGoesToInfinity) {
+  EXPECT_TRUE(std::isinf(round_to_format(1e30f, kFp16)));
+  EXPECT_TRUE(std::isinf(round_to_format(-1e30f, kFp16)));
+  EXPECT_LT(round_to_format(-1e30f, kFp16), 0.0f);
+  // BF16/TF32 share FP32's exponent range: no overflow possible.
+  EXPECT_FALSE(std::isinf(round_to_format(3e38f, kBf16)));
+}
+
+TEST(RoundToFormat, UnderflowIsGradual) {
+  // 2^-25 rounds to the nearest FP16 subnormal quantum (2^-24): tie
+  // between 0 and 2^-24 -> even -> 0.
+  EXPECT_EQ(round_to_format(std::ldexp(1.0f, -25), kFp16), 0.0f);
+  // Slightly above the tie rounds up to the smallest subnormal.
+  EXPECT_EQ(round_to_format(std::ldexp(1.1f, -25), kFp16),
+            std::ldexp(1.0f, -24));
+}
+
+TEST(StorageTypes, HalfBf16Tf32Basics) {
+  EXPECT_EQ(Half::from_float(1.0f).to_float(), 1.0f);
+  EXPECT_EQ(Half::from_float(-2.5f).to_float(), -2.5f);
+  EXPECT_EQ(Bf16::from_float(1.0f).to_float(), 1.0f);
+  EXPECT_EQ(Tf32::from_float(1.0f).to_float(), 1.0f);
+  // BF16 keeps only 8 mantissa bits: 1 + 2^-9 collapses to 1.
+  EXPECT_EQ(Bf16::from_float(1.0f + std::ldexp(1.0f, -9)).to_float(), 1.0f);
+  // TF32 keeps 11: 1 + 2^-10 survives, 1 + 2^-12 collapses.
+  EXPECT_NE(Tf32::from_float(1.0f + std::ldexp(1.0f, -10)).to_float(), 1.0f);
+  EXPECT_EQ(Tf32::from_float(1.0f + std::ldexp(1.0f, -12)).to_float(), 1.0f);
+}
+
+class Fp8Exhaustive : public ::testing::TestWithParam<FloatFormat> {};
+
+TEST_P(Fp8Exhaustive, AllPayloadsRoundTripAndOrder) {
+  const FloatFormat fmt = GetParam();
+  const std::uint64_t count = std::uint64_t{1} << fmt.total_bits();
+  double prev = -std::numeric_limits<double>::infinity();
+  for (std::uint64_t p = 0; p < count; ++p) {
+    const Unpacked u = unpack(p, fmt);
+    if (u.is_nan()) continue;
+    EXPECT_EQ(pack(u, fmt), p);
+    // Positive payloads (sign bit clear) decode in increasing order.
+    if ((p >> (fmt.total_bits() - 1)) == 0) {
+      const double v = pack_to_double(u);
+      EXPECT_GE(v, prev) << p;
+      prev = v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fp8, Fp8Exhaustive,
+                         ::testing::Values(kFp8E4M3, kFp8E5M2),
+                         [](const auto& info) {
+                           return info.param == kFp8E4M3 ? "e4m3" : "e5m2";
+                         });
+
+TEST(Fp8, DynamicRangeAndPrecision) {
+  // e4m3: max normal 1.875 * 2^7 = 240 in the IEEE-special encoding;
+  // e5m2: max normal 1.75 * 2^15 = 57344.
+  EXPECT_EQ(round_to_format(200.0f, kFp8E4M3), 192.0f);
+  EXPECT_TRUE(std::isinf(round_to_format(300.0f, kFp8E4M3)));
+  EXPECT_EQ(round_to_format(50000.0f, kFp8E5M2), 49152.0f);
+  // 3 mantissa bits: 1 + 1/16 collapses, 1 + 1/8 survives.
+  EXPECT_EQ(round_to_format(1.0625f, kFp8E4M3), 1.0f);
+  EXPECT_EQ(round_to_format(1.125f, kFp8E4M3), 1.125f);
+}
+
+TEST(FloatFormatDescriptors, DerivedFields) {
+  EXPECT_EQ(kFp32.bias(), 127);
+  EXPECT_EQ(kFp32.sig_bits(), 24);
+  EXPECT_EQ(kFp32.min_normal_exp(), -126);
+  EXPECT_EQ(kFp32.max_normal_exp(), 127);
+  EXPECT_EQ(kFp16.bias(), 15);
+  EXPECT_EQ(kFp64.bias(), 1023);
+  EXPECT_EQ(kTf32.total_bits(), 19);
+  EXPECT_EQ(kBf16.total_bits(), 16);
+}
+
+}  // namespace
+}  // namespace m3xu::fp

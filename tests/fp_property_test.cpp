@@ -1,0 +1,209 @@
+// Second-tier property tests for the soft-float layer: exhaustive TF32
+// round-trips, RNE fuzzing against a wide-integer oracle, accumulator
+// fuzzing against __float128, and format-conversion monotonicity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "fp/exact_accumulator.hpp"
+#include "fp/ext_float.hpp"
+#include "fp/format.hpp"
+#include "fp/unpacked.hpp"
+
+namespace m3xu::fp {
+namespace {
+
+TEST(Tf32Exhaustive, AllPayloadsRoundTrip) {
+  // TF32 has 2^19 payloads: cheap to sweep completely.
+  const std::uint64_t count = std::uint64_t{1} << kTf32.total_bits();
+  for (std::uint64_t payload = 0; payload < count; ++payload) {
+    const Unpacked u = unpack(payload, kTf32);
+    if (u.is_nan()) continue;
+    EXPECT_EQ(pack(u, kTf32), payload);
+    // Widening to FP32 and re-rounding is the identity.
+    const float f = pack_to_float(u);
+    EXPECT_EQ(pack(unpack(f), kTf32), payload);
+  }
+}
+
+TEST(RneShiftFuzz, MatchesWideIntegerOracle) {
+  // Oracle: compute round-to-nearest-even of (sig / 2^r) using 128-bit
+  // arithmetic: floor plus the tie/round-up rule spelled out directly.
+  Rng rng(201);
+  for (int trial = 0; trial < 2'000'000; ++trial) {
+    const std::uint64_t sig = rng.next_u64() >> 1;  // keep bit63 clear
+    const int r = static_cast<int>(rng.next_below(66));
+    std::uint64_t expected;
+    if (r == 0) {
+      expected = sig;
+    } else if (r > 64) {
+      expected = 0;
+    } else {
+      const unsigned __int128 wide = sig;
+      const unsigned __int128 half = static_cast<unsigned __int128>(1)
+                                     << (r - 1);
+      const unsigned __int128 rem =
+          wide & (((static_cast<unsigned __int128>(1) << r)) - 1);
+      std::uint64_t floor_val =
+          static_cast<std::uint64_t>(r >= 64 ? 0 : (sig >> r));
+      if (rem > half || (rem == half && (floor_val & 1))) ++floor_val;
+      expected = floor_val;
+    }
+    EXPECT_EQ(rne_shift_right(sig, r), expected) << sig << " >> " << r;
+  }
+}
+
+TEST(PackMonotonicity, ConversionPreservesOrder) {
+  // Rounding to a coarser format is monotone: a <= b implies
+  // round(a) <= round(b). Check across random pairs for FP16 and BF16.
+  Rng rng(202);
+  for (const FloatFormat& fmt : {kFp16, kBf16, kTf32}) {
+    for (int i = 0; i < 200'000; ++i) {
+      float a = rng.any_finite_float();
+      float b = rng.any_finite_float();
+      if (a > b) std::swap(a, b);
+      const float ra = round_to_format(a, fmt);
+      const float rb = round_to_format(b, fmt);
+      EXPECT_LE(ra, rb) << a << " " << b;
+    }
+  }
+}
+
+TEST(PackSignSymmetry, NegationCommutesWithRounding) {
+  Rng rng(203);
+  for (int i = 0; i < 200'000; ++i) {
+    const float f = rng.any_finite_float();
+    for (const FloatFormat& fmt : {kFp16, kBf16, kTf32}) {
+      EXPECT_EQ(bits_of(round_to_format(-f, fmt)),
+                bits_of(-round_to_format(f, fmt)));
+    }
+  }
+}
+
+TEST(AccumulatorFuzz, RandomSumsMatchQuadWhereExact) {
+  // Sum 32 values whose exponents stay within a 100-bit window: exact
+  // in __float128, so the accumulator must agree after rounding.
+  Rng rng(204);
+  for (int trial = 0; trial < 20'000; ++trial) {
+    ExactAccumulator acc;
+    __float128 ref = 0;
+    for (int i = 0; i < 32; ++i) {
+      const int e = static_cast<int>(rng.next_below(40)) - 20;
+      const float v = std::ldexp(rng.uniform(-1.0f, 1.0f), e);
+      acc.add_double(v);
+      ref += static_cast<__float128>(v);
+    }
+    EXPECT_EQ(acc.to_double(), static_cast<double>(ref));
+  }
+}
+
+TEST(AccumulatorFuzz, ShuffledAdditionOrderIsIrrelevant) {
+  // The exact accumulator is a commutative monoid: any permutation of
+  // additions yields bit-identical state.
+  Rng rng(205);
+  for (int trial = 0; trial < 5'000; ++trial) {
+    std::vector<float> values(24);
+    for (auto& v : values) v = rng.any_finite_float();
+    ExactAccumulator fwd, rev;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      fwd.add_double(values[i]);
+      rev.add_double(values[values.size() - 1 - i]);
+    }
+    EXPECT_EQ(bits_of(fwd.to_double()), bits_of(rev.to_double()));
+    EXPECT_EQ(bits_of(fwd.to_float()), bits_of(rev.to_float()));
+  }
+}
+
+TEST(AccumulatorPayloads, Fp16AndBf16RoundingsAreCorrect) {
+  // round_to_payload must deliver single-rounded results for narrow
+  // formats too (used as conversion oracles elsewhere). Brute-force
+  // check against scanning all format values.
+  Rng rng(206);
+  for (int trial = 0; trial < 300; ++trial) {
+    const double d = std::ldexp(rng.next_double() * 2.0 - 1.0,
+                                static_cast<int>(rng.next_below(36)) - 20);
+    ExactAccumulator acc;
+    acc.add_double(d);
+    const std::uint64_t got = acc.round_to_payload(kFp16);
+    // Oracle: nearest fp16 by scanning (ties -> even payload).
+    std::uint64_t best = 0;
+    double best_err = HUGE_VAL;
+    for (std::uint64_t p = 0; p < (1u << 16); ++p) {
+      const Unpacked u = unpack(p, kFp16);
+      if (u.is_nan() || u.is_inf()) continue;
+      const double err = std::fabs(pack_to_double(u) - d);
+      if (err < best_err ||
+          (err == best_err && (p & 1) == 0 &&
+           pack_to_double(u) == pack_to_double(unpack(best, kFp16)))) {
+        best_err = err;
+        best = p;
+      }
+    }
+    const double got_val = pack_to_double(unpack(got, kFp16));
+    EXPECT_LE(std::fabs(got_val - d), best_err + 0.0) << d;
+  }
+}
+
+TEST(AccumulatorPayloads, AllFormatsMatchRoundToFormat) {
+  // For values already representable as floats, round_to_payload must
+  // agree with the pack()-based conversion for every format.
+  Rng rng(210);
+  for (int i = 0; i < 100'000; ++i) {
+    const float f = rng.any_finite_float();
+    ExactAccumulator acc;
+    acc.add_double(f);
+    for (const FloatFormat& fmt : {kFp16, kBf16, kTf32, kFp8E4M3,
+                                   kFp8E5M2}) {
+      EXPECT_EQ(acc.round_to_payload(fmt), pack(unpack(f), fmt))
+          << f << " fmt(" << fmt.exp_bits << "," << fmt.mant_bits << ")";
+    }
+  }
+}
+
+TEST(ExtFloatProperties, PlusIsCommutative) {
+  Rng rng(207);
+  for (int trial = 0; trial < 100'000; ++trial) {
+    const float a = rng.scaled_float();
+    const float b = rng.scaled_float();
+    for (int prec : {24, 37, 48}) {
+      const ExtFloat x = ExtFloat::from_float(a, prec).plus(unpack(b));
+      const ExtFloat y = ExtFloat::from_float(b, prec).plus(unpack(a));
+      EXPECT_EQ(bits_of(x.to_double()), bits_of(y.to_double()));
+    }
+  }
+}
+
+TEST(ExtFloatProperties, RoundingIsIdempotent) {
+  Rng rng(208);
+  for (int trial = 0; trial < 100'000; ++trial) {
+    const Unpacked u = unpack(rng.any_finite_float());
+    for (int prec : {11, 24, 48}) {
+      const Unpacked once = round_unpacked_to_precision(u, prec);
+      const Unpacked twice = round_unpacked_to_precision(once, prec);
+      EXPECT_EQ(once.sig, twice.sig);
+      EXPECT_EQ(once.exp, twice.exp);
+    }
+  }
+}
+
+TEST(ExtFloatProperties, WiderPrecisionNeverFurtherFromExact) {
+  Rng rng(209);
+  for (int trial = 0; trial < 50'000; ++trial) {
+    const double exact = rng.next_double() * 100.0 - 50.0;
+    const Unpacked u = unpack(exact);
+    double prev_err = HUGE_VAL;
+    for (int prec : {8, 16, 24, 32, 48}) {
+      const double rounded =
+          pack_to_double(round_unpacked_to_precision(u, prec));
+      const double err = std::fabs(rounded - exact);
+      EXPECT_LE(err, prev_err);
+      prev_err = err;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m3xu::fp

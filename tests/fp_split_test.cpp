@@ -1,0 +1,148 @@
+// Tests for the M3XU hardware input split (Observation 1 of the paper:
+// an FP32 significand divides exactly into two 12-bit parts) and the
+// lossy software splits used by the 3-GEMM emulation baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "fp/split.hpp"
+#include "fp/unpacked.hpp"
+
+namespace m3xu::fp {
+namespace {
+
+TEST(HwSplit, PartsSumToOriginalValue) {
+  Rng rng(21);
+  for (int i = 0; i < 1'000'000; ++i) {
+    const float a = rng.any_finite_float();
+    if (std::fpclassify(a) == FP_SUBNORMAL || a == 0.0f) continue;
+    const HwSplit s = split_fp32_hw(a);
+    // hi is a 12-bit value, lo a 12-bit value scaled 2^-12 below it;
+    // their double sum is exact (24 <= 53 bits).
+    EXPECT_EQ(hw_part_value(s.hi) + hw_part_value(s.lo),
+              static_cast<double>(a))
+        << a;
+  }
+}
+
+TEST(HwSplit, HighPartHasHiddenOne) {
+  Rng rng(22);
+  for (int i = 0; i < 100'000; ++i) {
+    const float a = rng.scaled_float();
+    if (a == 0.0f) continue;
+    const HwSplit s = split_fp32_hw(a);
+    EXPECT_EQ(s.hi.sig >> 11, 1u) << a;       // hidden 1 at bit 11
+    EXPECT_LT(s.lo.sig, 1u << 12);            // 12-bit field
+    EXPECT_EQ(s.hi.exp_biased, s.lo.exp_biased);  // shared exponent wire
+    EXPECT_EQ(s.hi.sign, s.lo.sign);              // shared sign wire
+    EXPECT_FALSE(s.hi.low_part);
+    EXPECT_TRUE(s.lo.low_part);
+  }
+}
+
+TEST(HwSplit, SubnormalInputsFlushToZero) {
+  const float sub = float_from_bits(0x0000ffff);
+  ASSERT_EQ(std::fpclassify(sub), FP_SUBNORMAL);
+  const HwSplit s = split_fp32_hw(sub);
+  EXPECT_EQ(s.hi.sig, 0);
+  EXPECT_EQ(s.lo.sig, 0);
+  EXPECT_EQ(hw_part_value(s.hi), 0.0);
+}
+
+TEST(HwSplit, ZeroKeepsSign) {
+  EXPECT_FALSE(split_fp32_hw(0.0f).hi.sign);
+  EXPECT_TRUE(split_fp32_hw(-0.0f).hi.sign);
+  EXPECT_EQ(split_fp32_hw(-0.0f).hi.sig, 0);
+}
+
+TEST(HwSplit, SpecialsAreFlagged) {
+  const HwSplit inf = split_fp32_hw(std::numeric_limits<float>::infinity());
+  EXPECT_FALSE(inf.hi.finite);
+  EXPECT_FALSE(inf.hi.nan);
+  const HwSplit nan = split_fp32_hw(std::numeric_limits<float>::quiet_NaN());
+  EXPECT_FALSE(nan.hi.finite);
+  EXPECT_TRUE(nan.hi.nan);
+}
+
+TEST(HwSplit, FourPartialProductsReconstructExactProduct) {
+  // The algebra behind Observation 1/2: the four cross products of the
+  // 12-bit parts, summed (each partial sum stays within 53 bits, so
+  // double arithmetic is exact), equal the exact FP32 x FP32 product.
+  Rng rng(23);
+  for (int i = 0; i < 500'000; ++i) {
+    const float a = rng.scaled_float();
+    const float b = rng.scaled_float();
+    if (a == 0.0f || b == 0.0f) continue;
+    const HwSplit sa = split_fp32_hw(a);
+    const HwSplit sb = split_fp32_hw(b);
+    const double hh = hw_part_value(sa.hi) * hw_part_value(sb.hi);
+    const double hl = hw_part_value(sa.hi) * hw_part_value(sb.lo);
+    const double lh = hw_part_value(sa.lo) * hw_part_value(sb.hi);
+    const double ll = hw_part_value(sa.lo) * hw_part_value(sb.lo);
+    const double exact = static_cast<double>(a) * static_cast<double>(b);
+    EXPECT_EQ(hh + hl + lh + ll, exact) << a << " * " << b;
+  }
+}
+
+TEST(HwSplit, StepGroupingMatchesEquations6And8) {
+  // Step 1 computes AH*BH + AL*BL (Eq. 6); step 2 swaps the B parts and
+  // computes AH*BL + AL*BH (Eq. 8). Together they cover all four
+  // partial products exactly once.
+  Rng rng(24);
+  for (int i = 0; i < 100'000; ++i) {
+    const float a = rng.scaled_float();
+    const float b = rng.scaled_float();
+    const HwSplit sa = split_fp32_hw(a);
+    const HwSplit sb = split_fp32_hw(b);
+    const double step1 = hw_part_value(sa.hi) * hw_part_value(sb.hi) +
+                         hw_part_value(sa.lo) * hw_part_value(sb.lo);
+    const double step2 = hw_part_value(sa.hi) * hw_part_value(sb.lo) +
+                         hw_part_value(sa.lo) * hw_part_value(sb.hi);
+    EXPECT_EQ(step1 + step2, static_cast<double>(a) * static_cast<double>(b));
+  }
+}
+
+TEST(SwSplit, TwoWayTf32SplitIsLossyOnFullMantissas) {
+  // A full 24-bit mantissa cannot be captured by two 11-bit-significand
+  // TF32 values (22 bits): the reconstruction must drop bits. This is
+  // exactly the error source of cutlass_tensorop_sgemm (3xTF32).
+  // 1 + 0xFFF * 2^-23: the residual after the TF32 high part has 12
+  // significant bits, one more than TF32's 11-bit significand keeps.
+  const float a = float_from_bits(0x3f800fff);
+  const SwSplit2 s = split_float_sw(a, kTf32);
+  const double recon =
+      static_cast<double>(s.hi) + static_cast<double>(s.lo);
+  EXPECT_NE(recon, static_cast<double>(a));
+}
+
+TEST(SwSplit, ResidualBoundedByFormatUlp) {
+  Rng rng(25);
+  int lossy = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    const float a = rng.scaled_float();
+    if (a == 0.0f) continue;
+    const SwSplit2 s = split_float_sw(a, kTf32);
+    const double recon = static_cast<double>(s.hi) + static_cast<double>(s.lo);
+    // Two TF32 values capture >= 22 leading bits: relative residual
+    // below 2^-21.
+    EXPECT_LE(std::fabs(recon - a) / std::fabs(a), std::ldexp(1.0, -21));
+    if (recon != static_cast<double>(a)) ++lossy;
+  }
+  // The loss is the common case for random 24-bit mantissas.
+  EXPECT_GT(lossy, 0);
+}
+
+TEST(SwSplit, HiIsRoundOfInput) {
+  Rng rng(26);
+  for (int i = 0; i < 50'000; ++i) {
+    const float a = rng.scaled_float();
+    const SwSplit2 s = split_float_sw(a, kBf16);
+    EXPECT_EQ(bits_of(s.hi), bits_of(round_to_format(a, kBf16)));
+  }
+}
+
+}  // namespace
+}  // namespace m3xu::fp

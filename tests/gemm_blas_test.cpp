@@ -1,0 +1,261 @@
+// Tests for the BLAS-style entry points (op(A), op(B), alpha/beta).
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "common/rng.hpp"
+#include "gemm/blas.hpp"
+#include "gemm/reference.hpp"
+
+namespace m3xu::gemm {
+namespace {
+
+Matrix<float> random_matrix(int r, int c, std::uint64_t seed) {
+  Matrix<float> m(r, c);
+  Rng rng(seed);
+  fill_random(m, rng);
+  return m;
+}
+
+TEST(BlasSgemm, PlainMatchesRunSgemm) {
+  const core::M3xuEngine engine;
+  const auto a = random_matrix(24, 40, 801);
+  const auto b = random_matrix(40, 16, 802);
+  Matrix<float> c1(24, 16), c2(24, 16);
+  c1.fill(0.0f);
+  c2.fill(0.0f);
+  blas_sgemm({}, SgemmKernel::kM3xu, engine, a, b, c1);
+  run_sgemm(SgemmKernel::kM3xu, engine, a, b, c2);
+  for (int i = 0; i < 24; ++i) {
+    for (int j = 0; j < 16; ++j) {
+      EXPECT_EQ(bits_of(c1(i, j)), bits_of(c2(i, j)));
+    }
+  }
+}
+
+TEST(BlasSgemm, TransposedOperands) {
+  const core::M3xuEngine engine;
+  // op(A) = A^T: store A as k x m.
+  const auto at = random_matrix(40, 24, 803);
+  const auto b = random_matrix(40, 16, 804);
+  Matrix<float> c(24, 16);
+  c.fill(0.0f);
+  BlasParams p;
+  p.transa = Trans::kT;
+  p.beta = 0.0f;
+  blas_sgemm(p, SgemmKernel::kM3xu, engine, at, b, c);
+  // Reference with the explicit transpose.
+  Matrix<double> ref(24, 16);
+  ref.fill(0.0);
+  Matrix<double> a(24, 40);
+  for (int i = 0; i < 24; ++i) {
+    for (int j = 0; j < 40; ++j) a(i, j) = at(j, i);
+  }
+  ref_dgemm(a, widen(b), ref);
+  EXPECT_LT(compare(c, ref).mean_rel, 1e-5);
+}
+
+TEST(BlasSgemm, AlphaBetaEpilogue) {
+  const core::M3xuEngine engine;
+  const auto a = random_matrix(8, 8, 805);
+  const auto b = random_matrix(8, 8, 806);
+  Matrix<float> c(8, 8);
+  c.fill(2.0f);
+  BlasParams p;
+  p.alpha = 0.5f;
+  p.beta = -1.0f;
+  blas_sgemm(p, SgemmKernel::kM3xu, engine, a, b, c);
+  // Cross-check one element against the exact product.
+  Matrix<double> exact(8, 8);
+  exact.fill(0.0);
+  exact_gemm(a, b, exact);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      const double expected = 0.5 * exact(i, j) - 2.0;
+      EXPECT_NEAR(c(i, j), expected, 1e-6 * std::fabs(expected) + 1e-5);
+    }
+  }
+}
+
+TEST(BlasSgemm, BetaZeroIgnoresGarbageC) {
+  const core::M3xuEngine engine;
+  const auto a = random_matrix(6, 6, 807);
+  const auto b = random_matrix(6, 6, 808);
+  Matrix<float> c(6, 6);
+  c.fill(std::numeric_limits<float>::quiet_NaN());  // garbage C
+  BlasParams p;
+  p.beta = 0.0f;
+  blas_sgemm(p, SgemmKernel::kSimt, engine, a, b, c);
+  Matrix<double> ref(6, 6);
+  ref.fill(0.0);
+  ref_dgemm(widen(a), widen(b), ref);
+  EXPECT_LT(compare(c, ref).mean_rel, 1e-5);
+}
+
+TEST(BlasCgemm, ConjugateTranspose) {
+  const core::M3xuEngine engine;
+  Rng rng(809);
+  const int m = 10, n = 8, k = 12;
+  Matrix<std::complex<float>> ah(k, m), b(k, n), c(m, n);
+  fill_random(ah, rng);
+  fill_random(b, rng);
+  c.fill({});
+  BlasParamsC p;
+  p.transa = Trans::kC;
+  p.beta = {0.0f, 0.0f};
+  blas_cgemm(p, CgemmKernel::kM3xu, engine, ah, b, c);
+  Matrix<std::complex<double>> ref(m, n);
+  ref.fill({});
+  Matrix<std::complex<double>> a(m, k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      a(i, j) = std::conj(std::complex<double>(ah(j, i)));
+    }
+  }
+  ref_zgemm(a, widen(b), ref);
+  EXPECT_LT(compare(c, ref).max_abs, 1e-3);
+}
+
+TEST(BlasCgemm, ComplexAlphaRotates) {
+  const core::M3xuEngine engine;
+  Matrix<std::complex<float>> a(1, 1), b(1, 1), c(1, 1);
+  a(0, 0) = {2.0f, 0.0f};
+  b(0, 0) = {3.0f, 0.0f};
+  c(0, 0) = {0.0f, 0.0f};
+  BlasParamsC p;
+  p.alpha = {0.0f, 1.0f};  // multiply by i
+  blas_cgemm(p, CgemmKernel::kM3xu, engine, a, b, c);
+  EXPECT_NEAR(c(0, 0).real(), 0.0, 1e-6);
+  EXPECT_NEAR(c(0, 0).imag(), 6.0, 1e-6);
+}
+
+TEST(BlasBatched, StridedBatchesMatchIndividualGemms) {
+  const core::M3xuEngine engine;
+  Rng rng(816);
+  const int m = 12, n = 10, k = 14, batches = 5;
+  std::vector<float> a(batches * m * k), b(batches * k * n),
+      c(batches * m * n), ref(batches * m * n);
+  for (auto& v : a) v = rng.scaled_float();
+  for (auto& v : b) v = rng.scaled_float();
+  for (auto& v : c) v = rng.scaled_float();
+  ref = c;
+  blas_sgemm_strided_batched(SgemmKernel::kM3xu, engine, m, n, k, a.data(),
+                             m * k, b.data(), k * n, c.data(), m * n,
+                             batches);
+  for (int i = 0; i < batches; ++i) {
+    engine.gemm_fp32(m, n, k, a.data() + i * m * k, k, b.data() + i * k * n,
+                     n, ref.data() + i * m * n, n);
+  }
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_EQ(bits_of(c[i]), bits_of(ref[i])) << i;
+  }
+}
+
+TEST(BlasBatched, ComplexBatchesAndOverlapFreeStrides) {
+  const core::M3xuEngine engine;
+  Rng rng(817);
+  using C = std::complex<float>;
+  const int m = 4, n = 4, k = 6, batches = 3;
+  // Strides larger than the matrix sizes leave gaps that must stay
+  // untouched.
+  const long sa = m * k + 5, sb = k * n + 3, sc = m * n + 7;
+  std::vector<C> a(batches * sa, C(-9.0f, -9.0f)),
+      b(batches * sb, C(-9.0f, -9.0f)), c(batches * sc, C(-9.0f, -9.0f));
+  for (int i = 0; i < batches; ++i) {
+    for (int j = 0; j < m * k; ++j) {
+      a[i * sa + j] = C(rng.scaled_float(), rng.scaled_float());
+    }
+    for (int j = 0; j < k * n; ++j) {
+      b[i * sb + j] = C(rng.scaled_float(), rng.scaled_float());
+    }
+    for (int j = 0; j < m * n; ++j) c[i * sc + j] = C{};
+  }
+  blas_cgemm_strided_batched(CgemmKernel::kM3xu, engine, m, n, k, a.data(),
+                             sa, b.data(), sb, c.data(), sc, batches);
+  for (int i = 0; i < batches; ++i) {
+    // Gap elements untouched.
+    for (long g = m * n; g < sc; ++g) {
+      EXPECT_EQ(c[i * sc + g], C(-9.0f, -9.0f));
+    }
+    // Values match a direct per-batch product.
+    std::vector<C> ref(m * n, C{});
+    engine.gemm_fp32c(m, n, k, a.data() + i * sa, k, b.data() + i * sb, n,
+                      ref.data(), n);
+    for (int j = 0; j < m * n; ++j) {
+      EXPECT_EQ(c[i * sc + j], ref[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(BlasBatched, NonNativeKernelsWork) {
+  const core::M3xuEngine engine;
+  Rng rng(818);
+  const int m = 8, n = 8, k = 8, batches = 2;
+  std::vector<float> a(batches * m * k), b(batches * k * n),
+      c(batches * m * n, 0.0f);
+  for (auto& v : a) v = rng.uniform(0.25f, 1.0f);
+  for (auto& v : b) v = rng.uniform(0.25f, 1.0f);
+  blas_sgemm_strided_batched(SgemmKernel::kSimt, engine, m, n, k, a.data(),
+                             m * k, b.data(), k * n, c.data(), m * n,
+                             batches);
+  // Spot check one element per batch against a double dot.
+  for (int i = 0; i < batches; ++i) {
+    double ref = 0.0;
+    for (int kk = 0; kk < k; ++kk) {
+      ref += static_cast<double>(a[i * m * k + kk]) * b[i * k * n + kk * n];
+    }
+    EXPECT_NEAR(c[i * m * n], ref, 1e-5);
+  }
+}
+
+TEST(BlasDeathTest, ShapeMismatchesAreRejected) {
+  const core::M3xuEngine engine;
+  const auto a = random_matrix(4, 8, 810);
+  const auto b = random_matrix(9, 4, 811);  // inner dims disagree
+  Matrix<float> c(4, 4);
+  c.fill(0.0f);
+  EXPECT_DEATH(blas_sgemm({}, SgemmKernel::kM3xu, engine, a, b, c), "");
+  // Transposing B fixes the inner dim but breaks the output shape.
+  BlasParams p;
+  p.transb = Trans::kT;
+  Matrix<float> bad_c(4, 5);
+  bad_c.fill(0.0f);
+  EXPECT_DEATH(blas_sgemm(p, SgemmKernel::kM3xu, engine, a, b, bad_c), "");
+}
+
+TEST(BlasDeathTest, RealEntryPointRejectsConjugate) {
+  const core::M3xuEngine engine;
+  const auto a = random_matrix(4, 4, 812);
+  const auto b = random_matrix(4, 4, 813);
+  Matrix<float> c(4, 4);
+  c.fill(0.0f);
+  BlasParams p;
+  p.transa = Trans::kC;
+  EXPECT_DEATH(blas_sgemm(p, SgemmKernel::kSimt, engine, a, b, c), "");
+}
+
+TEST(BlasSgemm, DoubleTransposeIsPlain) {
+  const core::M3xuEngine engine;
+  const auto a = random_matrix(12, 20, 814);
+  const auto b = random_matrix(20, 8, 815);
+  Matrix<float> plain(12, 8), twisted(12, 8);
+  plain.fill(0.0f);
+  twisted.fill(0.0f);
+  blas_sgemm({}, SgemmKernel::kM3xu, engine, a, b, plain);
+  // op(A^T) with transa=T == A.
+  Matrix<float> at(20, 12);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 20; ++j) at(j, i) = a(i, j);
+  }
+  BlasParams p;
+  p.transa = Trans::kT;
+  blas_sgemm(p, SgemmKernel::kM3xu, engine, at, b, twisted);
+  for (int i = 0; i < 12; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_EQ(bits_of(plain(i, j)), bits_of(twisted(i, j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m3xu::gemm

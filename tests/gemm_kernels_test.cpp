@@ -1,0 +1,302 @@
+// Tests for the GEMM kernel inventory: functional correctness of every
+// kernel against the double reference, and the precision ordering the
+// paper's argument rests on (M3XU ~= FP32 SIMT; 3xTF32 and 3xBF16
+// software emulations strictly lossier).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gemm/kernels.hpp"
+#include "gemm/reference.hpp"
+
+namespace m3xu::gemm {
+namespace {
+
+struct Problem {
+  Matrix<float> a, b, c0;
+  Matrix<double> exact;
+};
+
+void fill_positive(Matrix<float>& m, Rng& rng) {
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) m(i, j) = rng.uniform(0.25f, 1.0f);
+  }
+}
+
+Problem make_problem(int m, int n, int k, std::uint64_t seed,
+                     bool positive = false) {
+  Problem p{Matrix<float>(m, k), Matrix<float>(k, n), Matrix<float>(m, n),
+            Matrix<double>(m, n)};
+  Rng rng(seed);
+  if (positive) {
+    // Well-conditioned (no cancellation): relative error bounds are
+    // meaningful and tight.
+    fill_positive(p.a, rng);
+    fill_positive(p.b, rng);
+  } else {
+    fill_random(p.a, rng);
+    fill_random(p.b, rng);
+  }
+  p.c0.fill(0.0f);
+  p.exact.fill(0.0);
+  exact_gemm(p.a, p.b, p.exact);
+  return p;
+}
+
+ErrorStats kernel_error(SgemmKernel kernel, const Problem& p) {
+  const core::M3xuEngine engine;
+  Matrix<float> c = p.c0;
+  run_sgemm(kernel, engine, p.a, p.b, c);
+  return compare(c, p.exact);
+}
+
+class AllSgemmKernels : public ::testing::TestWithParam<SgemmKernel> {};
+
+TEST_P(AllSgemmKernels, CloseToExactReference) {
+  const Problem p = make_problem(48, 40, 96, 71, /*positive=*/true);
+  const ErrorStats e = kernel_error(GetParam(), p);
+  // Even the lossiest kernel (3xBF16) recovers ~16 mantissa bits; with
+  // well-conditioned inputs every kernel stays within 1e-4 relative.
+  EXPECT_LT(e.max_rel, 1e-4) << kernel_name(GetParam());
+}
+
+TEST_P(AllSgemmKernels, BoundedOnCancellationHeavyData) {
+  // Signed wide-dynamic-range inputs: absolute error stays bounded by
+  // the problem scale even where relative error blows up.
+  const Problem p = make_problem(32, 32, 64, 79);
+  const ErrorStats e = kernel_error(GetParam(), p);
+  EXPECT_LT(e.max_abs, 1.0) << kernel_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, AllSgemmKernels,
+    ::testing::Values(SgemmKernel::kSimt, SgemmKernel::kTensorOp3xTf32,
+                      SgemmKernel::kTensorOp4xTf32, SgemmKernel::kEehc3xBf16,
+                      SgemmKernel::kM3xu),
+    [](const auto& info) { return kernel_name(info.param); });
+
+TEST(SgemmPrecisionOrdering, PerProductExactness) {
+  // K=1 isolates product precision from accumulation effects: M3XU's
+  // split products are exact (correctly rounded FP32, error <= 2^-25
+  // relative); the software emulations drop bits per product. This is
+  // the bit-level claim of SV-B ("no additional error compared to
+  // conventional FP32 ALUs"; prior software approaches lose 1+ bits).
+  const Problem p = make_problem(64, 64, 1, 72);
+  const double simt = kernel_error(SgemmKernel::kSimt, p).max_rel;
+  const double m3xu = kernel_error(SgemmKernel::kM3xu, p).max_rel;
+  const double tf32x3 = kernel_error(SgemmKernel::kTensorOp3xTf32, p).max_rel;
+  const double tf32x4 = kernel_error(SgemmKernel::kTensorOp4xTf32, p).max_rel;
+  const double bf16x3 = kernel_error(SgemmKernel::kEehc3xBf16, p).max_rel;
+  EXPECT_LE(m3xu, std::ldexp(1.0, -24));   // correctly rounded
+  EXPECT_LE(simt, std::ldexp(1.0, -24));   // FMA, single rounding
+  EXPECT_GT(tf32x3, std::ldexp(1.0, -24));  // dropped lo*lo term
+  EXPECT_GT(bf16x3, tf32x3);                // BF16 splits are coarser
+  EXPECT_LE(tf32x4, tf32x3);                // the 4th GEMM recovers bits
+}
+
+TEST(SgemmPrecisionOrdering, AccumulationOnWellConditionedData) {
+  // With no cancellation, M3XU (one rounding per 8-wide chunk, 48-bit
+  // registers) accumulates at least as accurately as the per-element
+  // FP32 FMA chain, and the lossy-product emulations sit above both.
+  const Problem p = make_problem(48, 48, 256, 73, /*positive=*/true);
+  const double simt = kernel_error(SgemmKernel::kSimt, p).mean_rel;
+  const double m3xu = kernel_error(SgemmKernel::kM3xu, p).mean_rel;
+  const double bf16x3 = kernel_error(SgemmKernel::kEehc3xBf16, p).mean_rel;
+  EXPECT_LE(m3xu, simt * 1.05);
+  EXPECT_GT(bf16x3, m3xu);
+}
+
+TEST(SgemmKernels, AccumulateIntoNonZeroC) {
+  const core::M3xuEngine engine;
+  Rng rng(73);
+  Matrix<float> a(8, 16), b(16, 8), c(8, 8);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(c, rng);
+  Matrix<double> ref = widen(c);
+  ref_dgemm(widen(a), widen(b), ref);
+  Matrix<float> c_m3xu = c;
+  run_sgemm(SgemmKernel::kM3xu, engine, a, b, c_m3xu);
+  const ErrorStats e = compare(c_m3xu, ref);
+  EXPECT_LT(e.max_rel, 1e-5);
+}
+
+TEST(SgemmKernels, DeterministicAcrossRuns) {
+  const core::M3xuEngine engine;
+  const Problem p = make_problem(70, 33, 50, 74);
+  Matrix<float> c1 = p.c0, c2 = p.c0;
+  run_sgemm(SgemmKernel::kM3xu, engine, p.a, p.b, c1);
+  run_sgemm(SgemmKernel::kM3xu, engine, p.a, p.b, c2);
+  for (int i = 0; i < c1.rows(); ++i) {
+    for (int j = 0; j < c1.cols(); ++j) {
+      EXPECT_EQ(bits_of(c1(i, j)), bits_of(c2(i, j)));
+    }
+  }
+}
+
+TEST(SplitMatrix, HiPlusLoApproximatesInput) {
+  Rng rng(75);
+  Matrix<float> m(13, 17);
+  fill_random(m, rng);
+  const SplitMatrices s = split_matrix(m, fp::kTf32);
+  for (int i = 0; i < m.rows(); ++i) {
+    for (int j = 0; j < m.cols(); ++j) {
+      const double recon = static_cast<double>(s.hi(i, j)) + s.lo(i, j);
+      if (m(i, j) != 0.0f) {
+        EXPECT_LE(std::fabs(recon - m(i, j)) / std::fabs(m(i, j)),
+                  std::ldexp(1.0, -21));
+      }
+    }
+  }
+}
+
+// Complex matrices with a dominant real part on B so neither output
+// component suffers catastrophic cancellation (relative bounds stay
+// meaningful).
+void fill_conditioned_complex(Matrix<std::complex<float>>& a,
+                              Matrix<std::complex<float>>& b, Rng& rng) {
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      a(i, j) = {rng.uniform(0.25f, 1.0f), rng.uniform(0.25f, 1.0f)};
+    }
+  }
+  for (int i = 0; i < b.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      b(i, j) = {rng.uniform(0.5f, 1.0f), rng.uniform(0.0f, 0.2f)};
+    }
+  }
+}
+
+class AllCgemmKernels : public ::testing::TestWithParam<CgemmKernel> {};
+
+TEST_P(AllCgemmKernels, CloseToDoubleReference) {
+  Rng rng(76);
+  const int m = 24, n = 20, k = 48;
+  Matrix<std::complex<float>> a(m, k), b(k, n), c(m, n);
+  fill_conditioned_complex(a, b, rng);
+  c.fill({});
+  Matrix<std::complex<double>> ref(m, n);
+  ref.fill({});
+  ref_zgemm(widen(a), widen(b), ref);
+  const core::M3xuEngine engine;
+  run_cgemm(GetParam(), engine, a, b, c);
+  EXPECT_LT(compare(c, ref).max_rel, 1e-4) << kernel_name(GetParam());
+}
+
+TEST_P(AllCgemmKernels, BoundedOnCancellationHeavyData) {
+  Rng rng(176);
+  const int m = 16, n = 16, k = 32;
+  Matrix<std::complex<float>> a(m, k), b(k, n), c(m, n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  c.fill({});
+  Matrix<std::complex<double>> ref(m, n);
+  ref.fill({});
+  ref_zgemm(widen(a), widen(b), ref);
+  const core::M3xuEngine engine;
+  run_cgemm(GetParam(), engine, a, b, c);
+  EXPECT_LT(compare(c, ref).max_abs, 1.0) << kernel_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, AllCgemmKernels,
+                         ::testing::Values(CgemmKernel::kSimt,
+                                           CgemmKernel::kTensorOp3xTf32,
+                                           CgemmKernel::kM3xu),
+                         [](const auto& info) {
+                           return kernel_name(info.param);
+                         });
+
+TEST(CgemmPrecisionOrdering, M3xuBeatsTf32Emulation) {
+  Rng rng(77);
+  const int m = 32, n = 32, k = 128;
+  Matrix<std::complex<float>> a(m, k), b(k, n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  Matrix<std::complex<double>> ref(m, n);
+  ref.fill({});
+  ref_zgemm(widen(a), widen(b), ref);
+  const core::M3xuEngine engine;
+  auto err = [&](CgemmKernel kk) {
+    Matrix<std::complex<float>> c(m, n);
+    c.fill({});
+    run_cgemm(kk, engine, a, b, c);
+    return compare(c, ref).mean_rel;
+  };
+  const double simt = err(CgemmKernel::kSimt);
+  const double m3xu = err(CgemmKernel::kM3xu);
+  EXPECT_LE(m3xu, simt * 1.05);
+}
+
+TEST(CgemmPrecisionOrdering, PerProductExactness) {
+  // K=1 complex outer product with O(1) magnitudes: the error is pure
+  // product precision. M3XU components round once at FP32 (abs error
+  // <= ~2^-24); the TF32 emulation's dropped lo*lo terms sit near
+  // 2^-21.
+  Rng rng(78);
+  const int m = 48, n = 48, k = 1;
+  Matrix<std::complex<float>> a(m, k), b(k, n);
+  for (int i = 0; i < m; ++i) {
+    a(i, 0) = {rng.uniform(0.25f, 1.0f), rng.uniform(0.25f, 1.0f)};
+  }
+  for (int j = 0; j < n; ++j) {
+    b(0, j) = {rng.uniform(0.25f, 1.0f), rng.uniform(0.25f, 1.0f)};
+  }
+  Matrix<std::complex<double>> ref(m, n);
+  ref.fill({});
+  ref_zgemm(widen(a), widen(b), ref);
+  const core::M3xuEngine engine;
+  auto err = [&](CgemmKernel kk) {
+    Matrix<std::complex<float>> c(m, n);
+    c.fill({});
+    run_cgemm(kk, engine, a, b, c);
+    return compare(c, ref).max_abs;  // absolute: components may cancel
+  };
+  // Scale-normalized absolute error comparison (observed ratio ~4x;
+  // assert a conservative margin).
+  EXPECT_GT(err(CgemmKernel::kTensorOp3xTf32), err(CgemmKernel::kM3xu) * 2.5);
+}
+
+TEST(Hgemm, Fp16ForwardPassSemantics) {
+  // Small-integer inputs are FP16-exact: the mixed-precision forward
+  // GEMM must be exact; larger mantissas must show FP16 loss.
+  const core::M3xuEngine engine;
+  Rng rng(78);
+  Matrix<float> a(8, 32), b(32, 8), c(8, 8);
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int j = 0; j < a.cols(); ++j) {
+      a(i, j) = static_cast<float>(rng.next_below(9)) - 4.0f;
+    }
+  }
+  for (int i = 0; i < b.rows(); ++i) {
+    for (int j = 0; j < b.cols(); ++j) {
+      b(i, j) = static_cast<float>(rng.next_below(9)) - 4.0f;
+    }
+  }
+  c.fill(0.0f);
+  tensorop_hgemm(engine, a, b, c);
+  Matrix<double> ref(8, 8);
+  ref.fill(0.0);
+  ref_dgemm(widen(a), widen(b), ref);
+  EXPECT_EQ(compare(c, ref).max_abs, 0.0);
+  // Now with full mantissas (well-conditioned): FP16 loss appears.
+  fill_positive(a, rng);
+  fill_positive(b, rng);
+  c.fill(0.0f);
+  tensorop_hgemm(engine, a, b, c);
+  ref.fill(0.0);
+  ref_dgemm(widen(a), widen(b), ref);
+  EXPECT_GT(compare(c, ref).mean_rel, 1e-7);
+  EXPECT_LT(compare(c, ref).max_rel, 1e-2);
+}
+
+TEST(KernelNames, MatchTableIV) {
+  EXPECT_STREQ(kernel_name(SgemmKernel::kSimt), "cutlass_simt_sgemm");
+  EXPECT_STREQ(kernel_name(SgemmKernel::kTensorOp3xTf32),
+               "cutlass_tensorop_sgemm");
+  EXPECT_STREQ(kernel_name(SgemmKernel::kEehc3xBf16), "EEHC_sgemm_fp32B");
+  EXPECT_STREQ(kernel_name(CgemmKernel::kM3xu), "m3xu_cgemm");
+}
+
+}  // namespace
+}  // namespace m3xu::gemm

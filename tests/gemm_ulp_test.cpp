@@ -1,0 +1,81 @@
+// Tests for the ULP error-analysis utilities.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "gemm/ulp.hpp"
+
+namespace m3xu::gemm {
+namespace {
+
+TEST(UlpDistance, ZeroForCorrectlyRounded) {
+  Rng rng(601);
+  for (int i = 0; i < 200'000; ++i) {
+    const double d = rng.next_double() * 200.0 - 100.0;
+    EXPECT_EQ(ulp_distance(static_cast<float>(d), d), 0);
+  }
+}
+
+TEST(UlpDistance, CountsNeighborSteps) {
+  const float x = 1.0f;
+  EXPECT_EQ(ulp_distance(std::nextafterf(x, 2.0f), 1.0), 1);
+  EXPECT_EQ(ulp_distance(std::nextafterf(std::nextafterf(x, 2.0f), 2.0f),
+                         1.0),
+            2);
+  EXPECT_EQ(ulp_distance(std::nextafterf(x, 0.0f), 1.0), 1);
+}
+
+TEST(UlpDistance, CrossesZeroContinuously) {
+  // The ordered mapping makes -0/+0 adjacent-or-equal, so tiny sign
+  // flips around zero count a handful of ULPs, not 2^31.
+  const float tiny = std::numeric_limits<float>::denorm_min();
+  EXPECT_EQ(ulp_distance(tiny, 0.0), 1);
+  EXPECT_EQ(ulp_distance(-tiny, 0.0), 1);
+  EXPECT_EQ(ulp_distance(tiny, -static_cast<double>(tiny)), 2);
+}
+
+TEST(UlpDistance, SpecialsMatchOrBlowUp) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ulp_distance(std::numeric_limits<float>::infinity(), inf), 0);
+  EXPECT_GT(ulp_distance(1.0f, inf), 1'000'000);
+  EXPECT_EQ(ulp_distance(std::numeric_limits<float>::quiet_NaN(),
+                         std::nan("")),
+            0);
+  EXPECT_GT(ulp_distance(std::numeric_limits<float>::quiet_NaN(), 1.0),
+            1'000'000);
+}
+
+TEST(UlpDistance, OverflowingReferenceRoundsToInf) {
+  // 1e39 rounds to +inf in FP32; a float +inf is then exact.
+  EXPECT_EQ(ulp_distance(std::numeric_limits<float>::infinity(), 1e39), 0);
+  EXPECT_GT(ulp_distance(3e38f, 1e39), 1'000'000);
+}
+
+TEST(UlpHistogram, FractionsAndMax) {
+  UlpHistogram h;
+  h.add(1.0f, 1.0);                              // exact
+  h.add(std::nextafterf(1.0f, 2.0f), 1.0);       // 1 ulp
+  h.add(1.0f + 8 * std::ldexp(1.0f, -23), 1.0);  // 8 ulps
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_NEAR(h.exact_fraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.faithful_fraction(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(h.max_ulps(), 8);
+  EXPECT_FALSE(h.summary().empty());
+}
+
+TEST(UlpHistogram, MatrixIngest) {
+  Matrix<float> x(2, 2);
+  Matrix<double> ref(2, 2);
+  x.fill(2.0f);
+  ref.fill(2.0);
+  x(1, 1) = std::nextafterf(2.0f, 3.0f);
+  UlpHistogram h;
+  h.add_matrix(x, ref);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.exact_fraction(), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace m3xu::gemm

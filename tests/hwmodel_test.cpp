@@ -1,0 +1,144 @@
+// Tests for the synthesis-substitute cost model: Table III agreement
+// and scaling-law sanity properties.
+#include <gtest/gtest.h>
+
+#include "hwmodel/cost_model.hpp"
+
+namespace m3xu::hw {
+namespace {
+
+TEST(CostModel, BaselineIsUnity) {
+  const TechnologyConstants tech;
+  const CostResult r = evaluate(table3_designs()[0], tech);
+  EXPECT_NEAR(r.area, 1.0, 1e-9);
+  EXPECT_NEAR(r.cycle_time, 1.0, 1e-9);
+  EXPECT_NEAR(r.power, 1.0, 1e-9);
+}
+
+TEST(CostModel, Table3AreasWithinTolerance) {
+  const TechnologyConstants tech;
+  const auto designs = table3_designs();
+  const auto paper = table3_paper_rows();
+  ASSERT_EQ(designs.size(), paper.size());
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const CostResult r = evaluate(designs[i], tech);
+    EXPECT_NEAR(r.area / paper[i].area, 1.0, 0.05) << designs[i].name;
+  }
+}
+
+TEST(CostModel, Table3CycleTimesExact) {
+  const TechnologyConstants tech;
+  const auto designs = table3_designs();
+  const auto paper = table3_paper_rows();
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    EXPECT_NEAR(evaluate(designs[i], tech).cycle_time, paper[i].cycle_time,
+                1e-9)
+        << designs[i].name;
+  }
+}
+
+TEST(CostModel, Table3PowersWithinTolerance) {
+  const TechnologyConstants tech;
+  const auto designs = table3_designs();
+  const auto paper = table3_paper_rows();
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const CostResult r = evaluate(designs[i], tech);
+    EXPECT_NEAR(r.power / paper[i].power, 1.0, 0.08) << designs[i].name;
+  }
+}
+
+TEST(CostModel, AreaMonotoneInMultiplierWidth) {
+  const TechnologyConstants tech;
+  MxuDesign d{.name = "sweep"};
+  double prev = 0.0;
+  for (int w = 8; w <= 32; w += 2) {
+    d.mult_bits = w;
+    const double area = evaluate(d, tech).area;
+    EXPECT_GT(area, prev);
+    prev = area;
+  }
+}
+
+TEST(CostModel, MultiplierAreaIsSuperlinear) {
+  const TechnologyConstants tech;
+  MxuDesign d{.name = "sweep"};
+  d.mult_bits = 11;
+  const double a11 = evaluate(d, tech).area;
+  d.mult_bits = 22;
+  const double a22 = evaluate(d, tech).area;
+  // Doubling the width must grow the *multiplier* 4x: total area grows
+  // by 3 * mult_share.
+  EXPECT_NEAR(a22 - a11, 3.0 * tech.mult_area_weight, 1e-9);
+}
+
+TEST(CostModel, GatingSavesPower) {
+  const TechnologyConstants tech;
+  MxuDesign gated{.name = "g",
+                  .mult_bits = 24,
+                  .accum_bits = 48,
+                  .input_gated = true};
+  MxuDesign ungated = gated;
+  ungated.name = "u";
+  ungated.input_gated = false;
+  EXPECT_LT(evaluate(gated, tech).power, evaluate(ungated, tech).power);
+}
+
+TEST(CostModel, PipeliningTradesAreaForFrequency) {
+  const TechnologyConstants tech;
+  const auto designs = table3_designs();
+  const CostResult non_piped = evaluate(designs[3], tech);
+  const CostResult piped = evaluate(designs[4], tech);
+  EXPECT_GT(piped.area, non_piped.area);
+  EXPECT_LT(piped.cycle_time, non_piped.cycle_time);
+  EXPECT_GT(piped.power, non_piped.power);  // higher clock
+}
+
+TEST(CostModel, SmAreaRollUp) {
+  // Paper: 47% MXU overhead -> ~4% SM area increase.
+  EXPECT_NEAR(sm_area_increase(1.47), 0.04, 0.005);
+  EXPECT_EQ(sm_area_increase(1.0), 0.0);
+}
+
+TEST(CostModel, ActiveEnergyByMode) {
+  const TechnologyConstants tech;
+  const auto designs = table3_designs();
+  const MxuDesign& m3xu = designs[4];  // pipelined m3xu
+  const double fp16_mode = active_energy_per_cycle(m3xu, tech, 11, 24);
+  const double fp32_mode = active_energy_per_cycle(m3xu, tech, 12, 48);
+  EXPECT_GT(fp32_mode, fp16_mode);  // the wide datapath toggles
+  // The naive FP32-MXU burns its full array in every mode.
+  const MxuDesign& fp32_mxu = designs[1];
+  EXPECT_GT(active_energy_per_cycle(fp32_mxu, tech, 11, 24),
+            fp32_mode * 2.0);
+}
+
+TEST(CostModel, ComposedDesignsScaleWithPartCount) {
+  const TechnologyConstants tech;
+  // More, narrower multipliers: smaller array, more assignment steps.
+  const double a8 = evaluate(composed_design(8, 24, 48), tech).area;
+  const double a12 = evaluate(composed_design(12, 24, 48), tech).area;
+  const double a24 = evaluate(composed_design(24, 24, 48), tech).area;
+  EXPECT_LT(a8, a12);
+  EXPECT_LT(a12, a24);
+  // Step counts follow ceil(sig/w)^2.
+  EXPECT_EQ(composed_design(8, 24, 48).assign_steps, 9);
+  EXPECT_EQ(composed_design(12, 24, 48).assign_steps, 4);
+}
+
+TEST(CostModel, Fp64DesignPrediction) {
+  const TechnologyConstants tech;
+  const CostResult r = evaluate(m3xu_fp64_design(), tech);
+  // 27-bit multipliers quadratically dominate: well above the FP32
+  // M3XU but still cheaper than a monolithic 53-bit FP64 array.
+  const CostResult m3xu = evaluate(table3_designs()[4], tech);
+  MxuDesign full_fp64{.name = "fp64_mxu",
+                      .mult_bits = 53,
+                      .accum_bits = 106,
+                      .input_gated = false};
+  const CostResult full = evaluate(full_fp64, tech);
+  EXPECT_GT(r.area, m3xu.area);
+  EXPECT_LT(r.area, full.area * 0.5);
+}
+
+}  // namespace
+}  // namespace m3xu::hw

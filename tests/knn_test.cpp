@@ -1,0 +1,169 @@
+// Tests for the KNN case study: GEMM-based search vs brute force, the
+// precision argument (FP16 products corrupt neighbors where M3XU FP32
+// does not), and Fig-9 timing bands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "knn/knn.hpp"
+#include "knn/knn_timing.hpp"
+
+namespace m3xu::knn {
+namespace {
+
+gemm::Matrix<float> random_points(int n, int d, std::uint64_t seed,
+                                  float scale = 1.0f) {
+  Rng rng(seed);
+  gemm::Matrix<float> m(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      m(i, j) = static_cast<float>(rng.normal()) * scale;
+    }
+  }
+  return m;
+}
+
+TEST(KnnSearch, MatchesBruteForceReference) {
+  const core::M3xuEngine engine;
+  const auto q = random_points(40, 24, 101);
+  const auto r = random_points(200, 24, 102);
+  const KnnResult got =
+      knn_search(q, r, 5, gemm::SgemmKernel::kM3xu, engine);
+  const KnnResult ref = knn_reference(q, r, 5);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(got.indices[i], ref.indices[i]) << "query " << i;
+  }
+}
+
+TEST(KnnSearch, DistancesAreSortedAndNonNegativeish) {
+  const core::M3xuEngine engine;
+  const auto q = random_points(20, 16, 103);
+  const auto r = random_points(100, 16, 104);
+  const KnnResult got =
+      knn_search(q, r, 8, gemm::SgemmKernel::kM3xu, engine);
+  for (const auto& row : got.distances) {
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      EXPECT_LE(row[j - 1], row[j]);
+    }
+    // Squared distances may go slightly negative from cancellation in
+    // the norm trick, but only at rounding scale.
+    EXPECT_GT(row.front(), -1e-3f);
+  }
+}
+
+TEST(KnnSearch, SelfIsOwnNearestNeighbor) {
+  const core::M3xuEngine engine;
+  const auto pts = random_points(64, 32, 105);
+  const KnnResult got =
+      knn_search(pts, pts, 1, gemm::SgemmKernel::kM3xu, engine);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(got.indices[i][0], i);
+  }
+}
+
+TEST(KnnSearch, SimtAndM3xuAgree) {
+  const core::M3xuEngine engine;
+  const auto q = random_points(30, 64, 106);
+  const auto r = random_points(300, 64, 107);
+  const KnnResult a = knn_search(q, r, 4, gemm::SgemmKernel::kSimt, engine);
+  const KnnResult b = knn_search(q, r, 4, gemm::SgemmKernel::kM3xu, engine);
+  for (int i = 0; i < 30; ++i) EXPECT_EQ(a.indices[i], b.indices[i]);
+}
+
+TEST(KnnSearch, ChunkedEqualsUnchunked) {
+  const core::M3xuEngine engine;
+  const auto q = random_points(57, 20, 110);
+  const auto r = random_points(190, 20, 111);
+  const KnnResult whole =
+      knn_search(q, r, 6, gemm::SgemmKernel::kM3xu, engine);
+  // Force several uneven chunks (190 * 13 elements max -> chunk 13).
+  const KnnResult chunked = knn_search_chunked(
+      q, r, 6, gemm::SgemmKernel::kM3xu, engine, 190L * 13);
+  for (int i = 0; i < 57; ++i) {
+    EXPECT_EQ(chunked.indices[i], whole.indices[i]) << i;
+    EXPECT_EQ(chunked.distances[i], whole.distances[i]) << i;
+  }
+}
+
+TEST(KnnPrecision, SmallMagnitudeDataNeedsFp32) {
+  // The paper's SVI-C4 argument: with extremely small input values the
+  // reduced-precision path corrupts results while M3XU's exact FP32
+  // keeps them. Emulate the FP16 path by rounding inputs to FP16
+  // before the search (products then lose the discriminating bits).
+  const core::M3xuEngine engine;
+  // 1e-6-scale values sit deep in FP16's subnormal range (~4 effective
+  // bits) while FP32 keeps full precision.
+  auto q = random_points(24, 48, 108, /*scale=*/1e-6f);
+  auto r = random_points(160, 48, 109, /*scale=*/1e-6f);
+  const KnnResult ref = knn_reference(q, r, 3);
+  const KnnResult m3xu =
+      knn_search(q, r, 3, gemm::SgemmKernel::kM3xu, engine);
+  int m3xu_wrong = 0;
+  for (int i = 0; i < 24; ++i) {
+    if (m3xu.indices[i] != ref.indices[i]) ++m3xu_wrong;
+  }
+  EXPECT_EQ(m3xu_wrong, 0);
+  // FP16-rounded inputs: values near 1e-5 collapse in precision (FP16
+  // subnormal quantum is ~6e-8, leaving ~7 significant bits).
+  gemm::Matrix<float> qh = q, rh = r;
+  for (int i = 0; i < qh.rows(); ++i) {
+    for (int j = 0; j < qh.cols(); ++j) {
+      qh(i, j) = fp::Half::from_float(qh(i, j)).to_float();
+    }
+  }
+  for (int i = 0; i < rh.rows(); ++i) {
+    for (int j = 0; j < rh.cols(); ++j) {
+      rh(i, j) = fp::Half::from_float(rh(i, j)).to_float();
+    }
+  }
+  const KnnResult fp16 =
+      knn_search(qh, rh, 3, gemm::SgemmKernel::kSimt, engine);
+  int fp16_wrong = 0;
+  for (int i = 0; i < 24; ++i) {
+    if (fp16.indices[i] != ref.indices[i]) ++fp16_wrong;
+  }
+  EXPECT_GT(fp16_wrong, 0);
+}
+
+TEST(Fig9, SpeedupGrowsWithDimensionAndTopsNear1p8) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  auto speedup = [&](long size, long d) {
+    return time_knn(gpu, size, size, d, 16, false).seconds /
+           time_knn(gpu, size, size, d, 16, true).seconds;
+  };
+  const double low = speedup(8192, 512);
+  const double high = speedup(65536, 4096);
+  EXPECT_GT(low, 1.0);
+  EXPECT_LT(low, high);
+  EXPECT_GT(high, 1.6);
+  EXPECT_LT(high, 2.0);  // paper: tops at ~1.8x
+}
+
+TEST(Fig9, GemmFractionDrivesTheGradient) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  const double f_low = time_knn(gpu, 8192, 8192, 512, 16, false)
+                           .gemm_fraction();
+  const double f_high = time_knn(gpu, 65536, 65536, 4096, 16, false)
+                            .gemm_fraction();
+  EXPECT_LT(f_low, f_high);
+  EXPECT_GT(f_high, 0.5);
+}
+
+TEST(Fig9, LargerKCostsMoreSelectionTime) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  const double k8 = time_knn(gpu, 16384, 16384, 1024, 8, false).seconds;
+  const double k16 = time_knn(gpu, 16384, 16384, 1024, 16, false).seconds;
+  const double k64 = time_knn(gpu, 16384, 16384, 1024, 64, false).seconds;
+  EXPECT_LT(k8, k16);
+  EXPECT_LT(k16, k64);
+  // GEMM time is k-independent, so the speedup shrinks as k grows.
+  auto speedup = [&](int k) {
+    return time_knn(gpu, 16384, 16384, 1024, k, false).seconds /
+           time_knn(gpu, 16384, 16384, 1024, k, true).seconds;
+  };
+  EXPECT_GT(speedup(8), speedup(64));
+}
+
+}  // namespace
+}  // namespace m3xu::knn

@@ -1,0 +1,149 @@
+// Tests for the MRF case study: signal-model physics, dictionary
+// matching correctness through the M3XU CGEMM path, and Fig-8 timing
+// bands.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mrf/dictionary.hpp"
+#include "mrf/mrf_timing.hpp"
+
+namespace m3xu::mrf {
+namespace {
+
+TEST(SignalModel, NormalizedAndFinite) {
+  const MrfConfig cfg = MrfConfig::small_grid();
+  const auto sig = simulate_signal(800.0, 80.0, cfg);
+  double energy = 0.0;
+  for (const auto& v : sig) {
+    EXPECT_TRUE(std::isfinite(v.real()) && std::isfinite(v.imag()));
+    energy += std::norm(v);
+  }
+  EXPECT_NEAR(energy, 1.0, 1e-9);
+}
+
+TEST(SignalModel, DistinguishesTissues) {
+  const MrfConfig cfg = MrfConfig::small_grid();
+  const auto a = simulate_signal(800.0, 80.0, cfg);
+  const auto b = simulate_signal(1500.0, 40.0, cfg);
+  std::complex<double> corr{};
+  for (std::size_t t = 0; t < a.size(); ++t) corr += a[t] * std::conj(b[t]);
+  // Different (T1,T2) must be separable (correlation well below 1).
+  EXPECT_LT(std::abs(corr), 0.995);
+}
+
+TEST(SignalModel, DiscriminabilityGrowsWithParameterDistance) {
+  // Fingerprints of nearby (T1,T2) pairs correlate more strongly than
+  // distant ones - the property dictionary matching relies on.
+  const MrfConfig cfg = MrfConfig::small_grid();
+  auto corr = [&](double t2a, double t2b) {
+    const auto a = simulate_signal(1000.0, t2a, cfg);
+    const auto b = simulate_signal(1000.0, t2b, cfg);
+    std::complex<double> c{};
+    for (std::size_t t = 0; t < a.size(); ++t) c += a[t] * std::conj(b[t]);
+    return std::abs(c);
+  };
+  EXPECT_GT(corr(40.0, 45.0), corr(40.0, 300.0));
+  EXPECT_GT(corr(40.0, 45.0), 0.9);
+}
+
+TEST(Dictionary, CoversPhysicalGrid) {
+  const MrfConfig cfg = MrfConfig::small_grid();
+  const Dictionary dict = generate_dictionary(cfg);
+  EXPECT_GT(dict.atoms(), 20);
+  for (const auto& [t1, t2] : dict.params) EXPECT_LT(t2, t1);
+}
+
+TEST(Matching, RecoversKnownAtomThroughM3xuCgemm) {
+  const MrfConfig cfg = MrfConfig::small_grid();
+  const Dictionary dict = generate_dictionary(cfg);
+  const core::M3xuEngine engine;
+  const int rank = 96;
+  const auto basis = compression_basis(rank, cfg.timepoints);
+  const auto compressed =
+      compress(dict, basis, gemm::CgemmKernel::kM3xu, engine);
+  // Probe several atoms: the acquisition model (double precision) must
+  // match back to the generating atom, or - for near-degenerate
+  // neighbors on the 1.35x-spaced grid - to one within a single grid
+  // step in both parameters.
+  for (int a = 0; a < dict.atoms(); a += 7) {
+    const auto sig = simulate_signal(dict.params[a].first,
+                                     dict.params[a].second, cfg);
+    const int found =
+        match(compressed, basis, sig, gemm::CgemmKernel::kM3xu, engine);
+    const double t1_ratio = dict.params[found].first / dict.params[a].first;
+    const double t2_ratio =
+        dict.params[found].second / dict.params[a].second;
+    EXPECT_LT(std::max(t1_ratio, 1.0 / t1_ratio), 1.36) << a;
+    EXPECT_LT(std::max(t2_ratio, 1.0 / t2_ratio), 1.36) << a;
+  }
+}
+
+TEST(Matching, M3xuAndSimtKernelsAgree) {
+  const MrfConfig cfg = MrfConfig::small_grid();
+  const Dictionary dict = generate_dictionary(cfg);
+  const core::M3xuEngine engine;
+  const auto basis = compression_basis(32, cfg.timepoints);
+  const auto c_m3xu =
+      compress(dict, basis, gemm::CgemmKernel::kM3xu, engine);
+  const auto c_simt =
+      compress(dict, basis, gemm::CgemmKernel::kSimt, engine);
+  const auto sig = simulate_signal(600.0, 60.0, cfg);
+  EXPECT_EQ(match(c_m3xu, basis, sig, gemm::CgemmKernel::kM3xu, engine),
+            match(c_simt, basis, sig, gemm::CgemmKernel::kSimt, engine));
+}
+
+TEST(CompressionBasis, RowsAreOrthonormal) {
+  const auto basis = compression_basis(16, 128);
+  for (int i = 0; i < basis.rows(); ++i) {
+    for (int j = i; j < basis.rows(); ++j) {
+      std::complex<double> dot{};
+      for (int t = 0; t < basis.cols(); ++t) {
+        dot += std::complex<double>(basis(i, t)) *
+               std::conj(std::complex<double>(basis(j, t)));
+      }
+      EXPECT_NEAR(std::abs(dot), i == j ? 1.0 : 0.0, 1e-5) << i << "," << j;
+    }
+  }
+}
+
+TEST(Fig8, SpeedupBandsAndAmdahl) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  const DictGenTime base =
+      time_dictionary_generation(gpu, 1'000'000, 512, 64, false);
+  const DictGenTime m3 =
+      time_dictionary_generation(gpu, 1'000'000, 512, 64, true);
+  const double speedup = base.seconds / m3.seconds;
+  EXPECT_GT(speedup, 1.05);
+  EXPECT_LT(speedup, 1.35);  // paper: up to 1.26x
+  EXPECT_NEAR(base.cgemm_fraction(), 0.22, 0.06);  // paper: ~22%
+  // Amdahl consistency: the non-CGEMM part is unchanged.
+  EXPECT_NEAR(base.seconds - base.cgemm_seconds,
+              m3.seconds - m3.cgemm_seconds,
+              0.02 * base.seconds);
+}
+
+TEST(PatternMatching, M3xuAcceleratesTheCorrelationCgemm) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  const DictGenTime base = time_pattern_matching(gpu, 100'000, 4096, 64,
+                                                 false);
+  const DictGenTime m3 = time_pattern_matching(gpu, 100'000, 4096, 64,
+                                               true);
+  EXPECT_LT(m3.cgemm_seconds, base.cgemm_seconds / 2.5);
+  EXPECT_LT(m3.seconds, base.seconds);
+  // The argmax pass is unchanged between variants.
+  EXPECT_NEAR(base.seconds - base.cgemm_seconds,
+              m3.seconds - m3.cgemm_seconds, 1e-9);
+}
+
+TEST(Fig8, SpeedupGrowsWithDictionarySize) {
+  const sim::GpuSim gpu(sim::GpuConfig::a100());
+  auto speedup = [&](long atoms) {
+    return time_dictionary_generation(gpu, atoms, 512, 64, false).seconds /
+           time_dictionary_generation(gpu, atoms, 512, 64, true).seconds;
+  };
+  EXPECT_LT(speedup(10'000), speedup(1'000'000));
+}
+
+}  // namespace
+}  // namespace m3xu::mrf

@@ -1,0 +1,127 @@
+// Tests for the quantum state-vector simulator on the FP32C engine:
+// gate algebra, entanglement, unitarity, and the QFT.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mxu.hpp"
+#include "qsim/state_vector.hpp"
+
+namespace m3xu::qsim {
+namespace {
+
+const core::M3xuEngine& engine() {
+  static const core::M3xuEngine e;
+  return e;
+}
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3, &engine());
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(sv.probability(0), 1.0, 1e-12);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, PauliXFlipsEachQubit) {
+  for (int t = 0; t < 4; ++t) {
+    StateVector sv(4, &engine());
+    sv.apply(Gate::pauli_x(), t);
+    EXPECT_NEAR(sv.probability(std::size_t{1} << t), 1.0, 1e-10) << t;
+  }
+}
+
+TEST(StateVector, HadamardIsSelfInverse) {
+  StateVector sv(5, &engine());
+  sv.apply(Gate::hadamard(), 2);
+  EXPECT_NEAR(sv.probability(0), 0.5, 1e-6);
+  EXPECT_NEAR(sv.probability(4), 0.5, 1e-6);
+  sv.apply(Gate::hadamard(), 2);
+  EXPECT_NEAR(sv.probability(0), 1.0, 1e-6);
+}
+
+TEST(StateVector, GatesPreserveNorm) {
+  StateVector sv(6, &engine());
+  for (int q = 0; q < 6; ++q) sv.apply(Gate::hadamard(), q);
+  for (int q = 0; q < 5; ++q) {
+    sv.apply_controlled(Gate::phase(0.7 + q), q, q + 1);
+  }
+  for (int q = 0; q < 6; q += 2) sv.apply(Gate::pauli_z(), q);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-5);
+}
+
+TEST(StateVector, GhzStateViaCnotChain) {
+  const int n = 8;
+  StateVector sv(n, &engine());
+  sv.apply(Gate::hadamard(), 0);
+  for (int q = 0; q + 1 < n; ++q) {
+    sv.apply_controlled(Gate::pauli_x(), q, q + 1);  // CNOT
+  }
+  EXPECT_NEAR(sv.probability(0), 0.5, 1e-5);
+  EXPECT_NEAR(sv.probability((std::size_t{1} << n) - 1), 0.5, 1e-5);
+  double leakage = 0.0;
+  for (std::size_t b = 1; b + 1 < sv.dim(); ++b) leakage += sv.probability(b);
+  EXPECT_NEAR(leakage, 0.0, 1e-8);
+}
+
+TEST(StateVector, ControlledGateIsIdentityWhenControlIsZero) {
+  StateVector sv(3, &engine());
+  sv.reset(0b001);  // control qubit 1 is |0>
+  sv.apply_controlled(Gate::pauli_x(), 1, 2);
+  EXPECT_NEAR(sv.probability(0b001), 1.0, 1e-10);
+  sv.reset(0b010);  // control set
+  sv.apply_controlled(Gate::pauli_x(), 1, 2);
+  EXPECT_NEAR(sv.probability(0b110), 1.0, 1e-10);
+}
+
+TEST(StateVector, QftOfBasisStateIsUniform) {
+  const int n = 6;
+  StateVector sv(n, &engine());
+  sv.reset(13);
+  sv.apply_qft();
+  const double expect = 1.0 / (1 << n);
+  for (std::size_t b = 0; b < sv.dim(); ++b) {
+    EXPECT_NEAR(sv.probability(b), expect, 1e-5) << b;
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-5);
+}
+
+TEST(StateVector, QftPhasesMatchDft) {
+  // QFT(|x>) amplitudes are w^(x*y)/sqrt(N) up to the QFT's
+  // bit-reversed output ordering: check against the DFT with the
+  // output index bit-reversed.
+  const int n = 4;
+  const int dim = 1 << n;
+  const int x = 5;
+  StateVector sv(n, &engine());
+  sv.reset(x);
+  sv.apply_qft();
+  auto bitrev = [&](int v) {
+    int r = 0;
+    for (int i = 0; i < n; ++i) r |= ((v >> i) & 1) << (n - 1 - i);
+    return r;
+  };
+  for (int y = 0; y < dim; ++y) {
+    const double ang = 2.0 * M_PI * x * y / dim;
+    const std::complex<double> expect(std::cos(ang) / std::sqrt(dim),
+                                      std::sin(ang) / std::sqrt(dim));
+    const std::complex<double> got(sv.amplitude(bitrev(y)));
+    EXPECT_NEAR(std::abs(got - expect), 0.0, 1e-5) << y;
+  }
+}
+
+TEST(StateVector, PhaseGateComposition) {
+  // phase(a) then phase(b) == phase(a+b) on the |1> component.
+  StateVector sv(1, &engine());
+  sv.apply(Gate::hadamard(), 0);
+  sv.apply(Gate::phase(0.4), 0);
+  sv.apply(Gate::phase(0.9), 0);
+  StateVector ref(1, &engine());
+  ref.apply(Gate::hadamard(), 0);
+  ref.apply(Gate::phase(1.3), 0);
+  EXPECT_NEAR(std::abs(std::complex<double>(sv.amplitude(1)) -
+                       std::complex<double>(ref.amplitude(1))),
+              0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace m3xu::qsim

@@ -1,0 +1,258 @@
+// Unit tests for the cycle-level SM model: pipe throughput, memory
+// latency/bandwidth, cp.async group dependencies, and barriers.
+#include <gtest/gtest.h>
+
+#include "sim/gpu_config.hpp"
+#include "sim/instruction.hpp"
+#include "sim/sm_model.hpp"
+
+namespace m3xu::sim {
+namespace {
+
+GpuConfig cfg() { return GpuConfig::a100(); }
+
+TEST(SmModel, EmptyProgramFinishesImmediately) {
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 0;
+  const SmResult r = simulate_sm(cfg(), p, 1, 0.0, 108, 0);
+  EXPECT_LT(r.cycles, 4.0);
+}
+
+TEST(SmModel, FfmaThroughputMatchesPipeWidth) {
+  // One warp issuing 1000 FFMAs: the FP32 quadrant (16 lanes) retires
+  // one warp instruction every 2 cycles.
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 1;
+  for (int i = 0; i < 10; ++i) p.body.push_back(Instr::ffma(100));
+  const SmResult r = simulate_sm(cfg(), p, 1, 0.0, 108, 1);
+  EXPECT_NEAR(r.cycles, 2000.0, 60.0);
+  EXPECT_EQ(r.ffma_count, 1000);
+}
+
+TEST(SmModel, FourWarpsSaturateFourQuadrants) {
+  // Four warps land on four schedulers: 4x the FFMA throughput.
+  CtaProgram p;
+  p.warps = 4;
+  p.iterations = 1;
+  for (int i = 0; i < 10; ++i) p.body.push_back(Instr::ffma(100));
+  const SmResult r = simulate_sm(cfg(), p, 1, 0.0, 108, 1);
+  EXPECT_NEAR(r.cycles, 2000.0, 60.0);  // same wall time, 4x work
+  EXPECT_EQ(r.ffma_count, 4000);
+}
+
+TEST(SmModel, MmaOccupiesTensorPipe) {
+  // 100 MMAs of II 8 from one warp: ~800 cycles on its tensor core.
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 1;
+  for (int i = 0; i < 100; ++i) p.body.push_back(Instr::mma(8));
+  const SmResult r = simulate_sm(cfg(), p, 1, 0.0, 108, 1);
+  EXPECT_NEAR(r.cycles, 800.0, 80.0);
+  EXPECT_EQ(r.mma_count, 100);
+  EXPECT_NEAR(r.tc_busy_cycles, 800.0, 1.0);
+}
+
+TEST(SmModel, TwoStepMmaDoublesTensorTime) {
+  CtaProgram p1, p2;
+  p1.warps = p2.warps = 1;
+  p1.iterations = p2.iterations = 1;
+  for (int i = 0; i < 100; ++i) p1.body.push_back(Instr::mma(8));
+  for (int i = 0; i < 100; ++i) p2.body.push_back(Instr::mma(16));
+  const double c1 = simulate_sm(cfg(), p1, 1, 0.0, 108, 1).cycles;
+  const double c2 = simulate_sm(cfg(), p2, 1, 0.0, 108, 1).cycles;
+  EXPECT_NEAR(c2 / c1, 2.0, 0.1);
+}
+
+TEST(SmModel, LoadLatencyIsVisibleToDependents) {
+  // ldg -> wait -> done: at least the DRAM latency.
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 1;
+  p.body.push_back(Instr::ldg(128.0, 0));
+  p.body.push_back(Instr::wait_group(0));
+  const GpuConfig c = cfg();
+  const SmResult r = simulate_sm(c, p, 1, 0.0, 108, 1);
+  EXPECT_GE(r.cycles, c.dram_latency_cycles);
+  EXPECT_LT(r.cycles, c.dram_latency_cycles + c.l2_latency_cycles + 100);
+}
+
+TEST(SmModel, L2HitsSkipDramLatency) {
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 1;
+  p.body.push_back(Instr::ldg(128.0, 0));
+  p.body.push_back(Instr::wait_group(0));
+  const GpuConfig c = cfg();
+  const double miss = simulate_sm(c, p, 1, 0.0, 108, 1).cycles;
+  const double hit = simulate_sm(c, p, 1, 1.0, 108, 1).cycles;
+  EXPECT_LT(hit, miss);
+  EXPECT_GE(hit, c.l2_latency_cycles);
+}
+
+TEST(SmModel, DramBandwidthSharedAcrossSms) {
+  // Streaming a large block: fewer active SMs means a bigger share and
+  // a faster drain.
+  CtaProgram p;
+  p.warps = 8;
+  p.iterations = 1;
+  p.body.push_back(Instr::ldg(1 << 18, 0));  // 256 KiB per warp
+  p.body.push_back(Instr::wait_group(0));
+  const double all_sms = simulate_sm(cfg(), p, 1, 0.0, 108, 1).cycles;
+  const double one_sm = simulate_sm(cfg(), p, 1, 0.0, 1, 1).cycles;
+  // A lone SM still can't use the whole DRAM: its L2 port bandwidth
+  // (40 B/cycle) becomes the limit, so the gain saturates around 4x.
+  EXPECT_GT(all_sms, one_sm * 3.0);
+}
+
+TEST(SmModel, BarrierSynchronizesWarps) {
+  // Warp 0 has heavy pre-barrier work; all warps' post-barrier work
+  // starts after it, so total >= warp0 work + post work.
+  CtaProgram p;
+  p.warps = 4;
+  p.iterations = 1;
+  p.body.push_back(Instr::ffma(200));  // 400 cycles on each quadrant
+  p.body.push_back(Instr::bar());
+  p.body.push_back(Instr::ffma(100));
+  const SmResult r = simulate_sm(cfg(), p, 1, 0.0, 108, 1);
+  EXPECT_GE(r.cycles, 400.0 + 200.0);
+  EXPECT_LT(r.cycles, 900.0);
+}
+
+TEST(SmModel, CpAsyncPrefetchOverlapsCompute) {
+  // A well-pipelined loop: loads for iteration i+2 issue while i
+  // computes; steady state is compute-bound, not latency-bound.
+  const GpuConfig c = cfg();
+  CtaProgram p;
+  p.warps = 4;
+  p.iterations = 40;
+  p.prologue.push_back(Instr::ldg(512.0, 0));
+  p.prologue.push_back(Instr::ldg(512.0, 1));
+  p.body.push_back(Instr::ldg(512.0, 2));
+  p.body.push_back(Instr::wait_group(0));
+  p.body.push_back(Instr::bar());
+  // 100 MMA x 8 cycles = 800 cycles/iteration: a 2-deep prefetch
+  // (1600-cycle lookahead) fully hides the ~650-cycle load latency.
+  for (int i = 0; i < 100; ++i) p.body.push_back(Instr::mma(8));
+  const SmResult r = simulate_sm(c, p, 1, 0.0, 108, 40);
+  EXPECT_NEAR(r.cycles, 100.0 * 8 * 40, 1600.0);
+}
+
+TEST(SmModel, StatsAreDividedPerCta) {
+  CtaProgram p;
+  p.warps = 2;
+  p.iterations = 1;
+  p.body.push_back(Instr::ldg(100.0, 0));
+  p.body.push_back(Instr::ffma(10));
+  const SmResult one = simulate_sm(cfg(), p, 1, 0.0, 108, 1);
+  const SmResult two = simulate_sm(cfg(), p, 2, 0.0, 108, 1);
+  EXPECT_EQ(one.ffma_count, two.ffma_count);
+  EXPECT_DOUBLE_EQ(one.ldg_bytes, two.ldg_bytes);
+}
+
+TEST(SmModel, MoreResidentCtasShareThePipes) {
+  CtaProgram p;
+  p.warps = 4;
+  p.iterations = 1;
+  for (int i = 0; i < 50; ++i) p.body.push_back(Instr::mma(8));
+  const double c1 = simulate_sm(cfg(), p, 1, 0.0, 108, 1).cycles;
+  const double c2 = simulate_sm(cfg(), p, 2, 0.0, 108, 1).cycles;
+  EXPECT_NEAR(c2 / c1, 2.0, 0.2);
+}
+
+TEST(SmModel, SharedMemoryBandwidthBindsLdsHeavyPrograms) {
+  // 128 B/cycle of smem: a warp pulling 1 MiB through LDS needs at
+  // least 8192 cycles no matter how idle the math pipes are.
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 1;
+  for (int i = 0; i < 64; ++i) p.body.push_back(Instr::lds(16384.0));
+  const SmResult r = simulate_sm(cfg(), p, 1, 0.0, 108, 1);
+  EXPECT_GE(r.cycles, 64.0 * 16384.0 / cfg().smem_bytes_per_sm_cycle);
+  EXPECT_LT(r.cycles, 64.0 * 16384.0 / cfg().smem_bytes_per_sm_cycle * 1.2);
+  EXPECT_DOUBLE_EQ(r.smem_bytes, 64.0 * 16384.0);
+}
+
+TEST(SmModel, AluPipeHasUnitInitiationInterval) {
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 1;
+  for (int i = 0; i < 10; ++i) p.body.push_back(Instr::alu(100));
+  const SmResult r = simulate_sm(cfg(), p, 1, 0.0, 108, 1);
+  EXPECT_NEAR(r.cycles, 1000.0, 40.0);
+  EXPECT_EQ(r.alu_count, 1000);
+}
+
+TEST(SmModel, DeeperPrefetchHidesMoreLatency) {
+  // Same work, prefetch depth 1 vs 3: the deeper pipeline is faster
+  // when per-iteration compute is short relative to load latency.
+  auto build = [](int stages) {
+    CtaProgram p;
+    p.warps = 4;
+    p.iterations = 30;
+    for (int s = 0; s < stages - 1; ++s) {
+      p.prologue.push_back(Instr::ldg(256.0, s));
+    }
+    p.body.push_back(Instr::ldg(256.0, stages - 1));
+    p.body.push_back(Instr::wait_group(0));
+    p.body.push_back(Instr::bar());
+    for (int i = 0; i < 20; ++i) p.body.push_back(Instr::mma(8));
+    return p;
+  };
+  const double shallow = simulate_sm(cfg(), build(2), 1, 0.0, 108, 30).cycles;
+  const double deep = simulate_sm(cfg(), build(4), 1, 0.0, 108, 30).cycles;
+  EXPECT_LT(deep, shallow * 0.8);
+}
+
+TEST(SmModel, BarriersAreCtaLocal) {
+  // Two resident CTAs: each synchronizes internally, neither waits on
+  // the other. If barriers leaked across CTAs the staggered loads
+  // would serialize and blow past the single-CTA bound.
+  CtaProgram p;
+  p.warps = 2;
+  p.iterations = 4;
+  p.body.push_back(Instr::ldg(512.0, 2));
+  p.body.push_back(Instr::wait_group(0));
+  p.body.push_back(Instr::bar());
+  for (int i = 0; i < 50; ++i) p.body.push_back(Instr::mma(8));
+  p.prologue.push_back(Instr::ldg(512.0, 0));
+  p.prologue.push_back(Instr::ldg(512.0, 1));
+  const double one = simulate_sm(cfg(), p, 1, 0.0, 108, 4).cycles;
+  const double two = simulate_sm(cfg(), p, 2, 0.0, 108, 4).cycles;
+  // Two CTAs (4 warps on 4 schedulers/TCs) should overlap almost
+  // perfectly, not serialize to 2x.
+  EXPECT_LT(two, one * 1.5);
+}
+
+TEST(SmModel, LsuSerializesIssueNotCompletion) {
+  // Many small non-blocking loads issue back to back (II=1) and their
+  // latencies overlap: total time is ~latency + issue count, far below
+  // count x latency.
+  const GpuConfig c = cfg();
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 1;
+  for (int i = 0; i < 32; ++i) p.body.push_back(Instr::ldg(32.0, 0));
+  p.body.push_back(Instr::wait_group(0));
+  const SmResult r = simulate_sm(c, p, 1, 0.0, 108, 1);
+  EXPECT_LT(r.cycles, c.dram_latency_cycles + c.l2_latency_cycles + 200.0);
+}
+
+TEST(SmModel, CycleCapFlagsRunawayPrograms) {
+  // A single warp grinding an enormous serial ALU chain trips the cap
+  // instead of hanging.
+  CtaProgram p;
+  p.warps = 1;
+  p.iterations = 1;
+  Instr big = Instr::alu(1 << 30);
+  p.body.push_back(big);
+  Instr dep = Instr::alu(1 << 30);
+  dep.dep_on_prev = true;
+  p.body.push_back(dep);
+  const SmResult r = simulate_sm(cfg(), p, 1, 0.0, 108, 1);
+  EXPECT_TRUE(r.hit_cycle_cap);
+}
+
+}  // namespace
+}  // namespace m3xu::sim

@@ -1,0 +1,108 @@
+// Tests for the kernel-builder traffic contracts via the program
+// census, and for the trace-dump tooling itself.
+#include <gtest/gtest.h>
+
+#include "sim/eval_kernels.hpp"
+#include "sim/trace_dump.hpp"
+
+namespace m3xu::sim {
+namespace {
+
+GpuConfig cfg() { return GpuConfig::a100(); }
+
+TEST(Census, CountsSections) {
+  CtaProgram p;
+  p.warps = 4;
+  p.iterations = 10;
+  p.prologue.push_back(Instr::ldg(100.0, 0));
+  p.body.push_back(Instr::ldg(50.0, 1));
+  p.body.push_back(Instr::wait_group(0));
+  p.body.push_back(Instr::bar());
+  p.body.push_back(Instr::mma(8));
+  p.body.push_back(Instr::ffma(32));
+  p.epilogue.push_back(Instr::stg(200.0));
+  const ProgramCensus c = census(p);
+  EXPECT_EQ(c.ldg, 1 + 10);
+  EXPECT_EQ(c.mma, 10);
+  EXPECT_EQ(c.ffma_warp, 320);
+  EXPECT_EQ(c.barriers, 10);
+  EXPECT_EQ(c.stg, 1);
+  EXPECT_DOUBLE_EQ(c.ldg_bytes, 100.0 + 10 * 50.0);
+  EXPECT_DOUBLE_EQ(c.stg_bytes, 200.0);
+}
+
+TEST(Census, TensorGemmTrafficContract) {
+  // Per-warp traffic of the M3XU FP32 kernel: A and B panels of the
+  // CTA tile, every mainloop iteration, split across 8 warps; FP32
+  // elements are 4 bytes.
+  TensorGemmParams p{kind_m3xu_fp32(cfg()), 1, 0, false, 1.0};
+  const KernelLaunch launch = build_tensor_gemm(cfg(), 8192, 8192, 8192, p);
+  const ProgramCensus c = census(launch.program);
+  // 256x128 tile, cta_k = 16, 512 iterations.
+  const double expected_per_warp =
+      (256.0 + 128.0) * 16.0 * 4.0 / 8.0 * (8192.0 / 16.0);
+  // The prologue preloads (stages-1) iterations that the body also
+  // counts at the tail; allow that small excess.
+  EXPECT_NEAR(c.ldg_bytes, expected_per_warp, expected_per_warp * 0.01);
+  // MMA instructions per warp: warp tile 64x64, inst 16x8x8, k=8192.
+  EXPECT_EQ(c.mma, (64 / 16) * (64 / 8) * (8192 / 8));
+}
+
+TEST(Census, Fp16VsM3xuInstructionRatio) {
+  TensorGemmParams h{kind_fp16(cfg()), 1, 0, false, 1.0};
+  TensorGemmParams m{kind_m3xu_fp32(cfg()), 1, 0, false, 1.0};
+  const ProgramCensus ch =
+      census(build_tensor_gemm(cfg(), 4096, 4096, 4096, h).program);
+  const ProgramCensus cm =
+      census(build_tensor_gemm(cfg(), 4096, 4096, 4096, m).program);
+  // SV-B contract at trace level: 2x instructions, 2x bytes.
+  EXPECT_EQ(cm.mma, 2 * ch.mma);
+  EXPECT_NEAR(cm.ldg_bytes / ch.ldg_bytes, 2.0, 0.02);  // prologue preload skew
+}
+
+TEST(Census, EmulationKernelsCarryDecoupleWork) {
+  TensorGemmParams p{kind_tf32(cfg()), 3, 96, false, 1.0};
+  const ProgramCensus c =
+      census(build_tensor_gemm(cfg(), 4096, 4096, 4096, p).program);
+  EXPECT_GT(c.alu_warp, 0);
+  TensorGemmParams m{kind_m3xu_fp32(cfg()), 1, 0, false, 1.0};
+  const ProgramCensus cm =
+      census(build_tensor_gemm(cfg(), 4096, 4096, 4096, m).program);
+  EXPECT_EQ(cm.alu_warp, 0);  // native FP32 needs no decoupling
+}
+
+TEST(Dump, RendersEverySection) {
+  TensorGemmParams p{kind_m3xu_fp32(cfg()), 1, 0, true, 1.0};
+  const KernelLaunch launch = build_tensor_gemm(cfg(), 1024, 1024, 1024, p);
+  const std::string text = dump(launch.program);
+  EXPECT_NE(text.find("prologue"), std::string::npos);
+  EXPECT_NE(text.find("body"), std::string::npos);
+  EXPECT_NE(text.find("epilogue"), std::string::npos);
+  EXPECT_NE(text.find("mma"), std::string::npos);
+  EXPECT_NE(text.find("ldg"), std::string::npos);
+  EXPECT_NE(text.find("bar"), std::string::npos);
+}
+
+TEST(Census, SimtGemmIsFfmaDominated) {
+  const KernelLaunch launch =
+      build_simt_gemm(cfg(), 4096, 4096, 4096, SimtMath::kFp32);
+  const ProgramCensus c = census(launch.program);
+  EXPECT_EQ(c.mma, 0);
+  // Total FMA warp-instructions across the CTA: per warp count x 8
+  // warps must equal tile MACs / 32 lanes.
+  const double tile_macs = 128.0 * 128.0 * 4096.0;
+  EXPECT_NEAR(c.ffma_warp * 8.0, tile_macs / 32.0, tile_macs / 32.0 * 0.01);
+}
+
+TEST(Census, StreamingKernelBytesMatchRequest) {
+  const KernelLaunch launch =
+      build_streaming_kernel(cfg(), 1e8, 5e7, 0.0);
+  const ProgramCensus c = census(launch.program);
+  EXPECT_NEAR(c.ldg_bytes * launch.program.warps * launch.grid_ctas, 1e8,
+              1e8 * 0.01);
+  EXPECT_NEAR(c.stg_bytes * launch.program.warps * launch.grid_ctas, 5e7,
+              5e7 * 0.01);
+}
+
+}  // namespace
+}  // namespace m3xu::sim
