@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multipart.dir/bench_ablation_multipart.cpp.o"
+  "CMakeFiles/bench_ablation_multipart.dir/bench_ablation_multipart.cpp.o.d"
+  "bench_ablation_multipart"
+  "bench_ablation_multipart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multipart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

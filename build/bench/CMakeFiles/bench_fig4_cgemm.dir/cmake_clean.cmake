@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cgemm.dir/bench_fig4_cgemm.cpp.o"
+  "CMakeFiles/bench_fig4_cgemm.dir/bench_fig4_cgemm.cpp.o.d"
+  "bench_fig4_cgemm"
+  "bench_fig4_cgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

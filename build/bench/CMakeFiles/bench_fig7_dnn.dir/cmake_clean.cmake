@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_dnn.dir/bench_fig7_dnn.cpp.o"
+  "CMakeFiles/bench_fig7_dnn.dir/bench_fig7_dnn.cpp.o.d"
+  "bench_fig7_dnn"
+  "bench_fig7_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

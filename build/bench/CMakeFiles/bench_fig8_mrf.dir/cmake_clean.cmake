@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mrf.dir/bench_fig8_mrf.cpp.o"
+  "CMakeFiles/bench_fig8_mrf.dir/bench_fig8_mrf.cpp.o.d"
+  "bench_fig8_mrf"
+  "bench_fig8_mrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_knn.dir/bench_fig9_knn.cpp.o"
+  "CMakeFiles/bench_fig9_knn.dir/bench_fig9_knn.cpp.o.d"
+  "bench_fig9_knn"
+  "bench_fig9_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_precision_table.dir/bench_precision_table.cpp.o"
+  "CMakeFiles/bench_precision_table.dir/bench_precision_table.cpp.o.d"
+  "bench_precision_table"
+  "bench_precision_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_precision_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec3c_projection.dir/bench_sec3c_projection.cpp.o"
+  "CMakeFiles/bench_sec3c_projection.dir/bench_sec3c_projection.cpp.o.d"
+  "bench_sec3c_projection"
+  "bench_sec3c_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec3c_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

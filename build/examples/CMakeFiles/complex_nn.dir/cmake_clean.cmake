@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/complex_nn.dir/complex_nn.cpp.o"
+  "CMakeFiles/complex_nn.dir/complex_nn.cpp.o.d"
+  "complex_nn"
+  "complex_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complex_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

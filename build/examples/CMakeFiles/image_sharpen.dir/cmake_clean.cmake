@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_sharpen.dir/image_sharpen.cpp.o"
+  "CMakeFiles/image_sharpen.dir/image_sharpen.cpp.o.d"
+  "image_sharpen"
+  "image_sharpen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_sharpen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

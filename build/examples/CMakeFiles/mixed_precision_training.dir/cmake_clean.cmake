@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_precision_training.dir/mixed_precision_training.cpp.o"
+  "CMakeFiles/mixed_precision_training.dir/mixed_precision_training.cpp.o.d"
+  "mixed_precision_training"
+  "mixed_precision_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_precision_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mixed_precision_training.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrf_fingerprint.dir/mrf_fingerprint.cpp.o"
+  "CMakeFiles/mrf_fingerprint.dir/mrf_fingerprint.cpp.o.d"
+  "mrf_fingerprint"
+  "mrf_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrf_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

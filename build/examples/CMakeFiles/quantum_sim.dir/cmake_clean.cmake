@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quantum_sim.dir/quantum_sim.cpp.o"
+  "CMakeFiles/quantum_sim.dir/quantum_sim.cpp.o.d"
+  "quantum_sim"
+  "quantum_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quantum_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

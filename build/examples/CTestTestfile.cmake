@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;m3xu_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_spectral_filter "/root/repo/build/examples/spectral_filter")
+set_tests_properties(example_spectral_filter PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;m3xu_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quantum_sim "/root/repo/build/examples/quantum_sim")
+set_tests_properties(example_quantum_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;m3xu_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_knn_classify "/root/repo/build/examples/knn_classify")
+set_tests_properties(example_knn_classify PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;m3xu_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mixed_precision_training "/root/repo/build/examples/mixed_precision_training")
+set_tests_properties(example_mixed_precision_training PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;m3xu_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_image_sharpen "/root/repo/build/examples/image_sharpen")
+set_tests_properties(example_image_sharpen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;m3xu_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mrf_fingerprint "/root/repo/build/examples/mrf_fingerprint")
+set_tests_properties(example_mrf_fingerprint PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;m3xu_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_complex_nn "/root/repo/build/examples/complex_nn")
+set_tests_properties(example_complex_nn PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;17;m3xu_add_example;/root/repo/examples/CMakeLists.txt;0;")

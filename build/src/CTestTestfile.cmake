@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("fp")
+subdirs("core")
+subdirs("gemm")
+subdirs("hwmodel")
+subdirs("sim")
+subdirs("fft")
+subdirs("dnn")
+subdirs("mrf")
+subdirs("knn")
+subdirs("qsim")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_common.dir/cli.cpp.o"
+  "CMakeFiles/m3xu_common.dir/cli.cpp.o.d"
+  "CMakeFiles/m3xu_common.dir/stats.cpp.o"
+  "CMakeFiles/m3xu_common.dir/stats.cpp.o.d"
+  "CMakeFiles/m3xu_common.dir/table.cpp.o"
+  "CMakeFiles/m3xu_common.dir/table.cpp.o.d"
+  "CMakeFiles/m3xu_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/m3xu_common.dir/thread_pool.cpp.o.d"
+  "libm3xu_common.a"
+  "libm3xu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

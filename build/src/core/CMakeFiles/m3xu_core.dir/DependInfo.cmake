@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/data_assignment.cpp" "src/core/CMakeFiles/m3xu_core.dir/data_assignment.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/data_assignment.cpp.o.d"
+  "/root/repo/src/core/dp_unit.cpp" "src/core/CMakeFiles/m3xu_core.dir/dp_unit.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/dp_unit.cpp.o.d"
+  "/root/repo/src/core/fp128_mode.cpp" "src/core/CMakeFiles/m3xu_core.dir/fp128_mode.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/fp128_mode.cpp.o.d"
+  "/root/repo/src/core/int_mode.cpp" "src/core/CMakeFiles/m3xu_core.dir/int_mode.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/int_mode.cpp.o.d"
+  "/root/repo/src/core/lane_operand.cpp" "src/core/CMakeFiles/m3xu_core.dir/lane_operand.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/lane_operand.cpp.o.d"
+  "/root/repo/src/core/multi_part.cpp" "src/core/CMakeFiles/m3xu_core.dir/multi_part.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/multi_part.cpp.o.d"
+  "/root/repo/src/core/mxu.cpp" "src/core/CMakeFiles/m3xu_core.dir/mxu.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/mxu.cpp.o.d"
+  "/root/repo/src/core/outer_product.cpp" "src/core/CMakeFiles/m3xu_core.dir/outer_product.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/outer_product.cpp.o.d"
+  "/root/repo/src/core/systolic.cpp" "src/core/CMakeFiles/m3xu_core.dir/systolic.cpp.o" "gcc" "src/core/CMakeFiles/m3xu_core.dir/systolic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fp/CMakeFiles/m3xu_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/m3xu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

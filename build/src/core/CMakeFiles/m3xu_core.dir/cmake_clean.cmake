@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_core.dir/data_assignment.cpp.o"
+  "CMakeFiles/m3xu_core.dir/data_assignment.cpp.o.d"
+  "CMakeFiles/m3xu_core.dir/dp_unit.cpp.o"
+  "CMakeFiles/m3xu_core.dir/dp_unit.cpp.o.d"
+  "CMakeFiles/m3xu_core.dir/fp128_mode.cpp.o"
+  "CMakeFiles/m3xu_core.dir/fp128_mode.cpp.o.d"
+  "CMakeFiles/m3xu_core.dir/int_mode.cpp.o"
+  "CMakeFiles/m3xu_core.dir/int_mode.cpp.o.d"
+  "CMakeFiles/m3xu_core.dir/lane_operand.cpp.o"
+  "CMakeFiles/m3xu_core.dir/lane_operand.cpp.o.d"
+  "CMakeFiles/m3xu_core.dir/multi_part.cpp.o"
+  "CMakeFiles/m3xu_core.dir/multi_part.cpp.o.d"
+  "CMakeFiles/m3xu_core.dir/mxu.cpp.o"
+  "CMakeFiles/m3xu_core.dir/mxu.cpp.o.d"
+  "CMakeFiles/m3xu_core.dir/outer_product.cpp.o"
+  "CMakeFiles/m3xu_core.dir/outer_product.cpp.o.d"
+  "CMakeFiles/m3xu_core.dir/systolic.cpp.o"
+  "CMakeFiles/m3xu_core.dir/systolic.cpp.o.d"
+  "libm3xu_core.a"
+  "libm3xu_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

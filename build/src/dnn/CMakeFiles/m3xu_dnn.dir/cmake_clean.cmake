@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_dnn.dir/conv.cpp.o"
+  "CMakeFiles/m3xu_dnn.dir/conv.cpp.o.d"
+  "CMakeFiles/m3xu_dnn.dir/network.cpp.o"
+  "CMakeFiles/m3xu_dnn.dir/network.cpp.o.d"
+  "CMakeFiles/m3xu_dnn.dir/training_time.cpp.o"
+  "CMakeFiles/m3xu_dnn.dir/training_time.cpp.o.d"
+  "libm3xu_dnn.a"
+  "libm3xu_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fft/fft_conv.cpp" "src/fft/CMakeFiles/m3xu_fft.dir/fft_conv.cpp.o" "gcc" "src/fft/CMakeFiles/m3xu_fft.dir/fft_conv.cpp.o.d"
+  "/root/repo/src/fft/fft_timing.cpp" "src/fft/CMakeFiles/m3xu_fft.dir/fft_timing.cpp.o" "gcc" "src/fft/CMakeFiles/m3xu_fft.dir/fft_timing.cpp.o.d"
+  "/root/repo/src/fft/gemm_fft.cpp" "src/fft/CMakeFiles/m3xu_fft.dir/gemm_fft.cpp.o" "gcc" "src/fft/CMakeFiles/m3xu_fft.dir/gemm_fft.cpp.o.d"
+  "/root/repo/src/fft/poly.cpp" "src/fft/CMakeFiles/m3xu_fft.dir/poly.cpp.o" "gcc" "src/fft/CMakeFiles/m3xu_fft.dir/poly.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/m3xu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m3xu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/m3xu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/m3xu_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/m3xu_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

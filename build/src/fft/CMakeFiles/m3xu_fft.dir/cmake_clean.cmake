@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_fft.dir/fft_conv.cpp.o"
+  "CMakeFiles/m3xu_fft.dir/fft_conv.cpp.o.d"
+  "CMakeFiles/m3xu_fft.dir/fft_timing.cpp.o"
+  "CMakeFiles/m3xu_fft.dir/fft_timing.cpp.o.d"
+  "CMakeFiles/m3xu_fft.dir/gemm_fft.cpp.o"
+  "CMakeFiles/m3xu_fft.dir/gemm_fft.cpp.o.d"
+  "CMakeFiles/m3xu_fft.dir/poly.cpp.o"
+  "CMakeFiles/m3xu_fft.dir/poly.cpp.o.d"
+  "libm3xu_fft.a"
+  "libm3xu_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

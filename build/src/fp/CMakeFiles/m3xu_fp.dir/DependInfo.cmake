@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fp/exact_accumulator.cpp" "src/fp/CMakeFiles/m3xu_fp.dir/exact_accumulator.cpp.o" "gcc" "src/fp/CMakeFiles/m3xu_fp.dir/exact_accumulator.cpp.o.d"
+  "/root/repo/src/fp/ext_float.cpp" "src/fp/CMakeFiles/m3xu_fp.dir/ext_float.cpp.o" "gcc" "src/fp/CMakeFiles/m3xu_fp.dir/ext_float.cpp.o.d"
+  "/root/repo/src/fp/split.cpp" "src/fp/CMakeFiles/m3xu_fp.dir/split.cpp.o" "gcc" "src/fp/CMakeFiles/m3xu_fp.dir/split.cpp.o.d"
+  "/root/repo/src/fp/unpacked.cpp" "src/fp/CMakeFiles/m3xu_fp.dir/unpacked.cpp.o" "gcc" "src/fp/CMakeFiles/m3xu_fp.dir/unpacked.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/m3xu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

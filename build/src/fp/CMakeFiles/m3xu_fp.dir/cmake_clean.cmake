@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_fp.dir/exact_accumulator.cpp.o"
+  "CMakeFiles/m3xu_fp.dir/exact_accumulator.cpp.o.d"
+  "CMakeFiles/m3xu_fp.dir/ext_float.cpp.o"
+  "CMakeFiles/m3xu_fp.dir/ext_float.cpp.o.d"
+  "CMakeFiles/m3xu_fp.dir/split.cpp.o"
+  "CMakeFiles/m3xu_fp.dir/split.cpp.o.d"
+  "CMakeFiles/m3xu_fp.dir/unpacked.cpp.o"
+  "CMakeFiles/m3xu_fp.dir/unpacked.cpp.o.d"
+  "libm3xu_fp.a"
+  "libm3xu_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

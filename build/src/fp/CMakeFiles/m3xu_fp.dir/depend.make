@@ -1,0 +1,2 @@
+# Empty dependencies file for m3xu_fp.
+# This may be replaced when dependencies are built.

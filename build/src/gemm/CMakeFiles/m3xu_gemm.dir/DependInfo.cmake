@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gemm/blas.cpp" "src/gemm/CMakeFiles/m3xu_gemm.dir/blas.cpp.o" "gcc" "src/gemm/CMakeFiles/m3xu_gemm.dir/blas.cpp.o.d"
+  "/root/repo/src/gemm/kernels.cpp" "src/gemm/CMakeFiles/m3xu_gemm.dir/kernels.cpp.o" "gcc" "src/gemm/CMakeFiles/m3xu_gemm.dir/kernels.cpp.o.d"
+  "/root/repo/src/gemm/matrix.cpp" "src/gemm/CMakeFiles/m3xu_gemm.dir/matrix.cpp.o" "gcc" "src/gemm/CMakeFiles/m3xu_gemm.dir/matrix.cpp.o.d"
+  "/root/repo/src/gemm/reference.cpp" "src/gemm/CMakeFiles/m3xu_gemm.dir/reference.cpp.o" "gcc" "src/gemm/CMakeFiles/m3xu_gemm.dir/reference.cpp.o.d"
+  "/root/repo/src/gemm/tiled_driver.cpp" "src/gemm/CMakeFiles/m3xu_gemm.dir/tiled_driver.cpp.o" "gcc" "src/gemm/CMakeFiles/m3xu_gemm.dir/tiled_driver.cpp.o.d"
+  "/root/repo/src/gemm/ulp.cpp" "src/gemm/CMakeFiles/m3xu_gemm.dir/ulp.cpp.o" "gcc" "src/gemm/CMakeFiles/m3xu_gemm.dir/ulp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/m3xu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/m3xu_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/m3xu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

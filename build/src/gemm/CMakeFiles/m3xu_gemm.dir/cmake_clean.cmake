@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_gemm.dir/blas.cpp.o"
+  "CMakeFiles/m3xu_gemm.dir/blas.cpp.o.d"
+  "CMakeFiles/m3xu_gemm.dir/kernels.cpp.o"
+  "CMakeFiles/m3xu_gemm.dir/kernels.cpp.o.d"
+  "CMakeFiles/m3xu_gemm.dir/matrix.cpp.o"
+  "CMakeFiles/m3xu_gemm.dir/matrix.cpp.o.d"
+  "CMakeFiles/m3xu_gemm.dir/reference.cpp.o"
+  "CMakeFiles/m3xu_gemm.dir/reference.cpp.o.d"
+  "CMakeFiles/m3xu_gemm.dir/tiled_driver.cpp.o"
+  "CMakeFiles/m3xu_gemm.dir/tiled_driver.cpp.o.d"
+  "CMakeFiles/m3xu_gemm.dir/ulp.cpp.o"
+  "CMakeFiles/m3xu_gemm.dir/ulp.cpp.o.d"
+  "libm3xu_gemm.a"
+  "libm3xu_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_hw.dir/cost_model.cpp.o"
+  "CMakeFiles/m3xu_hw.dir/cost_model.cpp.o.d"
+  "libm3xu_hw.a"
+  "libm3xu_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_knn.dir/knn.cpp.o"
+  "CMakeFiles/m3xu_knn.dir/knn.cpp.o.d"
+  "CMakeFiles/m3xu_knn.dir/knn_timing.cpp.o"
+  "CMakeFiles/m3xu_knn.dir/knn_timing.cpp.o.d"
+  "libm3xu_knn.a"
+  "libm3xu_knn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_knn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

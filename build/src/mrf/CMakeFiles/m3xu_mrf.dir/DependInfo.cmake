@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mrf/dictionary.cpp" "src/mrf/CMakeFiles/m3xu_mrf.dir/dictionary.cpp.o" "gcc" "src/mrf/CMakeFiles/m3xu_mrf.dir/dictionary.cpp.o.d"
+  "/root/repo/src/mrf/mrf_timing.cpp" "src/mrf/CMakeFiles/m3xu_mrf.dir/mrf_timing.cpp.o" "gcc" "src/mrf/CMakeFiles/m3xu_mrf.dir/mrf_timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gemm/CMakeFiles/m3xu_gemm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/m3xu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/m3xu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/m3xu_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/m3xu_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwmodel/CMakeFiles/m3xu_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

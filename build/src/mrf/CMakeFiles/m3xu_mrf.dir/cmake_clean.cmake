@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_mrf.dir/dictionary.cpp.o"
+  "CMakeFiles/m3xu_mrf.dir/dictionary.cpp.o.d"
+  "CMakeFiles/m3xu_mrf.dir/mrf_timing.cpp.o"
+  "CMakeFiles/m3xu_mrf.dir/mrf_timing.cpp.o.d"
+  "libm3xu_mrf.a"
+  "libm3xu_mrf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_mrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

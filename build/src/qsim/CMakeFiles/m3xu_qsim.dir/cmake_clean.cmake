@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_qsim.dir/state_vector.cpp.o"
+  "CMakeFiles/m3xu_qsim.dir/state_vector.cpp.o.d"
+  "libm3xu_qsim.a"
+  "libm3xu_qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

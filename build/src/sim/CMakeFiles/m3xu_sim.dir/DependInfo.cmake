@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/eval_kernels.cpp" "src/sim/CMakeFiles/m3xu_sim.dir/eval_kernels.cpp.o" "gcc" "src/sim/CMakeFiles/m3xu_sim.dir/eval_kernels.cpp.o.d"
+  "/root/repo/src/sim/kernel_sim.cpp" "src/sim/CMakeFiles/m3xu_sim.dir/kernel_sim.cpp.o" "gcc" "src/sim/CMakeFiles/m3xu_sim.dir/kernel_sim.cpp.o.d"
+  "/root/repo/src/sim/sm_model.cpp" "src/sim/CMakeFiles/m3xu_sim.dir/sm_model.cpp.o" "gcc" "src/sim/CMakeFiles/m3xu_sim.dir/sm_model.cpp.o.d"
+  "/root/repo/src/sim/trace_dump.cpp" "src/sim/CMakeFiles/m3xu_sim.dir/trace_dump.cpp.o" "gcc" "src/sim/CMakeFiles/m3xu_sim.dir/trace_dump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hwmodel/CMakeFiles/m3xu_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/m3xu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/m3xu_sim.dir/eval_kernels.cpp.o"
+  "CMakeFiles/m3xu_sim.dir/eval_kernels.cpp.o.d"
+  "CMakeFiles/m3xu_sim.dir/kernel_sim.cpp.o"
+  "CMakeFiles/m3xu_sim.dir/kernel_sim.cpp.o.d"
+  "CMakeFiles/m3xu_sim.dir/sm_model.cpp.o"
+  "CMakeFiles/m3xu_sim.dir/sm_model.cpp.o.d"
+  "CMakeFiles/m3xu_sim.dir/trace_dump.cpp.o"
+  "CMakeFiles/m3xu_sim.dir/trace_dump.cpp.o.d"
+  "libm3xu_sim.a"
+  "libm3xu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/m3xu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

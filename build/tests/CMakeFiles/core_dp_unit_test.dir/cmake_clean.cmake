@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dp_unit_test.dir/core_dp_unit_test.cpp.o"
+  "CMakeFiles/core_dp_unit_test.dir/core_dp_unit_test.cpp.o.d"
+  "core_dp_unit_test"
+  "core_dp_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dp_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fp128_test.dir/core_fp128_test.cpp.o"
+  "CMakeFiles/core_fp128_test.dir/core_fp128_test.cpp.o.d"
+  "core_fp128_test"
+  "core_fp128_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fp128_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

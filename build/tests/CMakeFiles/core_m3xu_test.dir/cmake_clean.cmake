@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_m3xu_test.dir/core_m3xu_test.cpp.o"
+  "CMakeFiles/core_m3xu_test.dir/core_m3xu_test.cpp.o.d"
+  "core_m3xu_test"
+  "core_m3xu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_m3xu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multipart_test.dir/core_multipart_test.cpp.o"
+  "CMakeFiles/core_multipart_test.dir/core_multipart_test.cpp.o.d"
+  "core_multipart_test"
+  "core_multipart_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multipart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_outer_product_test.dir/core_outer_product_test.cpp.o"
+  "CMakeFiles/core_outer_product_test.dir/core_outer_product_test.cpp.o.d"
+  "core_outer_product_test"
+  "core_outer_product_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_outer_product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_accumulator_test.dir/fp_accumulator_test.cpp.o"
+  "CMakeFiles/fp_accumulator_test.dir/fp_accumulator_test.cpp.o.d"
+  "fp_accumulator_test"
+  "fp_accumulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_accumulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_format_test.dir/fp_format_test.cpp.o"
+  "CMakeFiles/fp_format_test.dir/fp_format_test.cpp.o.d"
+  "fp_format_test"
+  "fp_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_property_test.dir/fp_property_test.cpp.o"
+  "CMakeFiles/fp_property_test.dir/fp_property_test.cpp.o.d"
+  "fp_property_test"
+  "fp_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fp_split_test.dir/fp_split_test.cpp.o"
+  "CMakeFiles/fp_split_test.dir/fp_split_test.cpp.o.d"
+  "fp_split_test"
+  "fp_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fp_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_kernels_test.dir/gemm_kernels_test.cpp.o"
+  "CMakeFiles/gemm_kernels_test.dir/gemm_kernels_test.cpp.o.d"
+  "gemm_kernels_test"
+  "gemm_kernels_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemm_tiled_test.dir/gemm_tiled_test.cpp.o"
+  "CMakeFiles/gemm_tiled_test.dir/gemm_tiled_test.cpp.o.d"
+  "gemm_tiled_test"
+  "gemm_tiled_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemm_tiled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsim_test.dir/qsim_test.cpp.o"
+  "CMakeFiles/qsim_test.dir/qsim_test.cpp.o.d"
+  "qsim_test"
+  "qsim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

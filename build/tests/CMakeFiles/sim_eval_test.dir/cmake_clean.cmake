@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_eval_test.dir/sim_eval_test.cpp.o"
+  "CMakeFiles/sim_eval_test.dir/sim_eval_test.cpp.o.d"
+  "sim_eval_test"
+  "sim_eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
