@@ -1,25 +1,103 @@
 // Lightweight runtime assertions used across the library.
 //
 // M3XU_CHECK is always on (cheap invariants on public API boundaries);
-// M3XU_DCHECK compiles out in NDEBUG builds (hot inner loops).
+// M3XU_CHECK_MSG additionally carries a human-readable message for
+// public-entry-point validation; M3XU_DCHECK compiles out in NDEBUG
+// builds (hot inner loops).
+//
+// Failures route through an overridable process-wide handler so
+// library embedders (and the fault-injection campaign) can intercept
+// them - e.g. translate into exceptions - instead of the default
+// stderr + std::abort. A handler must not return; if it does, the
+// default abort path runs anyway.
 #pragma once
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace m3xu {
 
-[[noreturn]] inline void check_failed(const char* expr, const char* file,
-                                      int line) {
-  std::fprintf(stderr, "M3XU_CHECK failed: %s at %s:%d\n", expr, file, line);
+/// Called on check failure. `msg` is null for plain M3XU_CHECK. The
+/// handler must abort or throw; returning falls back to std::abort.
+using CheckFailureHandler = void (*)(const char* expr, const char* msg,
+                                     const char* file, int line);
+
+namespace detail {
+inline std::atomic<CheckFailureHandler> check_handler{nullptr};
+}  // namespace detail
+
+/// Installs `handler` (nullptr restores the default abort behaviour)
+/// and returns the previous one.
+inline CheckFailureHandler set_check_failure_handler(
+    CheckFailureHandler handler) {
+  return detail::check_handler.exchange(handler);
+}
+
+/// The exception thrown_check_failure_handler raises.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A ready-made handler that throws CheckError.
+[[noreturn]] inline void throwing_check_failure_handler(const char* expr,
+                                                        const char* msg,
+                                                        const char* file,
+                                                        int line) {
+  std::string what = "M3XU_CHECK failed: ";
+  what += expr;
+  if (msg != nullptr) {
+    what += " (";
+    what += msg;
+    what += ")";
+  }
+  what += " at ";
+  what += file;
+  what += ":" + std::to_string(line);
+  throw CheckError(what);
+}
+
+/// RAII install/restore of a failure handler (tests, campaign trials).
+class ScopedCheckHandler {
+ public:
+  explicit ScopedCheckHandler(CheckFailureHandler handler)
+      : previous_(set_check_failure_handler(handler)) {}
+  ~ScopedCheckHandler() { set_check_failure_handler(previous_); }
+  ScopedCheckHandler(const ScopedCheckHandler&) = delete;
+  ScopedCheckHandler& operator=(const ScopedCheckHandler&) = delete;
+
+ private:
+  CheckFailureHandler previous_;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* msg,
+                                      const char* file, int line) {
+  if (CheckFailureHandler handler = detail::check_handler.load()) {
+    handler(expr, msg, file, line);  // expected to throw or abort
+  }
+  if (msg != nullptr) {
+    std::fprintf(stderr, "M3XU_CHECK failed: %s (%s) at %s:%d\n", expr, msg,
+                 file, line);
+  } else {
+    std::fprintf(stderr, "M3XU_CHECK failed: %s at %s:%d\n", expr, file,
+                 line);
+  }
   std::abort();
 }
 
 }  // namespace m3xu
 
-#define M3XU_CHECK(expr)                                   \
-  do {                                                     \
-    if (!(expr)) ::m3xu::check_failed(#expr, __FILE__, __LINE__); \
+#define M3XU_CHECK(expr)                                               \
+  do {                                                                 \
+    if (!(expr)) ::m3xu::check_failed(#expr, nullptr, __FILE__, __LINE__); \
+  } while (0)
+
+#define M3XU_CHECK_MSG(expr, msg)                                   \
+  do {                                                              \
+    if (!(expr)) ::m3xu::check_failed(#expr, msg, __FILE__, __LINE__); \
   } while (0)
 
 #ifdef NDEBUG

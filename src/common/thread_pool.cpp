@@ -30,7 +30,22 @@ void ThreadPool::drain(Task& task) {
     std::size_t begin = task.next.fetch_add(task.chunk);
     if (begin >= task.end) break;
     std::size_t end = std::min(begin + task.chunk, task.end);
-    for (std::size_t i = begin; i < end; ++i) (*task.fn)(i);
+    if (!task.failed.load(std::memory_order_relaxed)) {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*task.fn)(i);
+        } catch (...) {
+          {
+            const std::lock_guard<std::mutex> lock(task.error_mu);
+            if (!task.error) task.error = std::current_exception();
+          }
+          task.failed.store(true, std::memory_order_relaxed);
+          break;  // skip the rest of this chunk
+        }
+      }
+    }
+    // Iterations skipped after a failure still count as done so the
+    // caller's completion wait terminates.
     task.done.fetch_add(end - begin);
   }
 }
@@ -83,6 +98,9 @@ void ThreadPool::parallel_for(std::size_t n,
     });
     current_ = nullptr;
   }
+  // All workers have quiesced: rethrow the first captured exception on
+  // the calling thread (no lock needed past the wait above).
+  if (task.error) std::rethrow_exception(task.error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -10,6 +10,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -29,7 +30,10 @@ class ThreadPool {
   std::size_t thread_count() const { return workers_.size() + 1; }
 
   /// Runs fn(i) for i in [0, n), partitioned into contiguous chunks.
-  /// Blocks until all iterations complete. Exceptions in `fn` abort.
+  /// Blocks until all iterations complete. If `fn` throws, the first
+  /// exception is captured, remaining iterations are skipped, and the
+  /// exception is rethrown on the calling thread once all workers have
+  /// quiesced (which iterations ran before the skip is unspecified).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide default pool (lazily constructed).
@@ -42,6 +46,11 @@ class ThreadPool {
     std::size_t end = 0;
     std::size_t chunk = 1;
     std::atomic<std::size_t> done{0};
+    // First exception thrown by fn; later ones are dropped. `failed`
+    // short-circuits the remaining iterations cheaply.
+    std::atomic<bool> failed{false};
+    std::mutex error_mu;
+    std::exception_ptr error;
   };
 
   void worker_loop();

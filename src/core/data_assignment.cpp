@@ -2,12 +2,16 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "fault/injector.hpp"
 #include "fp/split.hpp"
 #include "fp/unpacked.hpp"
 
 namespace m3xu::core {
 
 namespace {
+
+/// Width of the FP32 mode's 12-bit significand fields (Fig 3a).
+constexpr int kFp32PartBits = 12;
 
 struct Fp64Split {
   LaneOperand hi;
@@ -49,6 +53,35 @@ void push_pair(StepOperands& step, const LaneOperand& a,
                const LaneOperand& b) {
   step.a.push_back(a);
   step.b.push_back(b);
+}
+
+// --- Fault-injection hook ---------------------------------------------
+//
+// Each finite lane operand written into a step's buffers is one
+// injection opportunity on its side's site. A flip that clears the
+// whole significand field turns the operand into a zero lane (the
+// dp unit requires sig != 0 for finite operands); special-bypass lanes
+// keep their class placeholder untouched apart from the significand,
+// which is irrelevant to Inf/NaN propagation.
+
+void corrupt_lane(const fault::FaultInjector* injector, fault::Site site,
+                  LaneOperand& op, int width) {
+  if (op.cls != LaneOperand::Cls::kFinite) return;
+  const std::uint64_t flipped = injector->corrupt(site, op.sig, width);
+  if (flipped == op.sig) return;
+  op.sig = flipped;
+  if (op.sig == 0) op.cls = LaneOperand::Cls::kZero;
+}
+
+void corrupt_step(const fault::FaultInjector* injector, StepOperands& step,
+                  int width) {
+  if (injector == nullptr) return;
+  for (LaneOperand& op : step.a) {
+    corrupt_lane(injector, fault::Site::kOperandA, op, width);
+  }
+  for (LaneOperand& op : step.b) {
+    corrupt_lane(injector, fault::Site::kOperandB, op, width);
+  }
 }
 
 // --- Special-value handling -------------------------------------------
@@ -109,7 +142,7 @@ LaneOperand class_operand_f64(double v) {
 
 StepOperands DataAssignmentStage::schedule_passthrough(
     std::span<const float> a, std::span<const float> b,
-    const fp::FloatFormat& fmt) {
+    const fp::FloatFormat& fmt, const fault::FaultInjector* injector) {
   M3XU_CHECK(a.size() == b.size());
   StepOperands step;
   step.a.reserve(a.size());
@@ -120,11 +153,13 @@ StepOperands DataAssignmentStage::schedule_passthrough(
     step.a.push_back(from_unpacked(fp::unpack(fa), fmt.sig_bits()));
     step.b.push_back(from_unpacked(fp::unpack(fb), fmt.sig_bits()));
   }
+  corrupt_step(injector, step, fmt.sig_bits());
   return step;
 }
 
 std::array<StepOperands, 2> DataAssignmentStage::schedule_fp32(
-    std::span<const float> a, std::span<const float> b) {
+    std::span<const float> a, std::span<const float> b,
+    const fault::FaultInjector* injector) {
   M3XU_CHECK(a.size() == b.size());
   std::array<StepOperands, 2> steps;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -145,12 +180,14 @@ std::array<StepOperands, 2> DataAssignmentStage::schedule_fp32(
     push_pair(steps[1], ah, bl);
     push_pair(steps[1], al, bh);
   }
+  for (StepOperands& step : steps) corrupt_step(injector, step, kFp32PartBits);
   return steps;
 }
 
 DataAssignmentStage::ComplexSchedule DataAssignmentStage::schedule_fp32c(
     std::span<const std::complex<float>> a,
-    std::span<const std::complex<float>> b) {
+    std::span<const std::complex<float>> b,
+    const fault::FaultInjector* injector) {
   M3XU_CHECK(a.size() == b.size());
   ComplexSchedule sched;
   // Emits one scalar product term x*y (optionally sign-flipped on the
@@ -186,11 +223,18 @@ DataAssignmentStage::ComplexSchedule DataAssignmentStage::schedule_fp32c(
     emit_term(sched.imag[0], sched.imag[1], a[i].real(), b[i].imag(), false);
     emit_term(sched.imag[0], sched.imag[1], a[i].imag(), b[i].real(), false);
   }
+  for (StepOperands& step : sched.real) {
+    corrupt_step(injector, step, kFp32PartBits);
+  }
+  for (StepOperands& step : sched.imag) {
+    corrupt_step(injector, step, kFp32PartBits);
+  }
   return sched;
 }
 
 std::array<StepOperands, 4> DataAssignmentStage::schedule_fp64(
-    std::span<const double> a, std::span<const double> b) {
+    std::span<const double> a, std::span<const double> b,
+    const fault::FaultInjector* injector) {
   M3XU_CHECK(a.size() == b.size());
   std::array<StepOperands, 4> steps;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -206,12 +250,16 @@ std::array<StepOperands, 4> DataAssignmentStage::schedule_fp64(
     push_pair(steps[2], sa.hi, sb.lo);
     push_pair(steps[3], sa.lo, sb.hi);
   }
+  for (StepOperands& step : steps) {
+    corrupt_step(injector, step, DataAssignmentStage::kFp64PartBits);
+  }
   return steps;
 }
 
 DataAssignmentStage::Complex64Schedule DataAssignmentStage::schedule_fp64c(
     std::span<const std::complex<double>> a,
-    std::span<const std::complex<double>> b) {
+    std::span<const std::complex<double>> b,
+    const fault::FaultInjector* injector) {
   M3XU_CHECK(a.size() == b.size());
   Complex64Schedule sched;
   // One scalar product term x*y spread over the four HH/LL/HL/LH
@@ -240,6 +288,12 @@ DataAssignmentStage::Complex64Schedule DataAssignmentStage::schedule_fp64c(
     emit_term(sched.real, a[i].imag(), b[i].imag(), true);
     emit_term(sched.imag, a[i].real(), b[i].imag(), false);
     emit_term(sched.imag, a[i].imag(), b[i].real(), false);
+  }
+  for (StepOperands& step : sched.real) {
+    corrupt_step(injector, step, DataAssignmentStage::kFp64PartBits);
+  }
+  for (StepOperands& step : sched.imag) {
+    corrupt_step(injector, step, DataAssignmentStage::kFp64PartBits);
   }
   return sched;
 }

@@ -22,6 +22,10 @@
 #include "core/lane_operand.hpp"
 #include "fp/format.hpp"
 
+namespace m3xu::fault {
+class FaultInjector;
+}  // namespace m3xu::fault
+
 namespace m3xu::core {
 
 /// One step's lane streams for one output element's dot product.
@@ -32,15 +36,23 @@ struct StepOperands {
 
 class DataAssignmentStage {
  public:
+  // Every schedule function takes an optional fault injector; when
+  // non-null, each finite lane operand's significand field is an
+  // injection opportunity (sites kOperandA / kOperandB) after the
+  // split/routing - modeling transient flips in the operand buffers.
+  // The default null keeps the fault-free path untouched.
+
   /// FP16/BF16/TF32 passthrough: inputs are rounded to `fmt` (they
   /// arrive already in that format from registers) and fed directly.
-  static StepOperands schedule_passthrough(std::span<const float> a,
-                                           std::span<const float> b,
-                                           const fp::FloatFormat& fmt);
+  static StepOperands schedule_passthrough(
+      std::span<const float> a, std::span<const float> b,
+      const fp::FloatFormat& fmt,
+      const fault::FaultInjector* injector = nullptr);
 
   /// FP32 two-step schedule over k elements.
-  static std::array<StepOperands, 2> schedule_fp32(std::span<const float> a,
-                                                   std::span<const float> b);
+  static std::array<StepOperands, 2> schedule_fp32(
+      std::span<const float> a, std::span<const float> b,
+      const fault::FaultInjector* injector = nullptr);
 
   /// FP32C four-step schedule. real[0..1] accumulate into the real
   /// output, imag[0..1] into the imaginary output.
@@ -50,11 +62,13 @@ class DataAssignmentStage {
   };
   static ComplexSchedule schedule_fp32c(
       std::span<const std::complex<float>> a,
-      std::span<const std::complex<float>> b);
+      std::span<const std::complex<float>> b,
+      const fault::FaultInjector* injector = nullptr);
 
   /// FP64 four-step schedule (27-bit sub-multipliers).
-  static std::array<StepOperands, 4> schedule_fp64(std::span<const double> a,
-                                                   std::span<const double> b);
+  static std::array<StepOperands, 4> schedule_fp64(
+      std::span<const double> a, std::span<const double> b,
+      const fault::FaultInjector* injector = nullptr);
 
   /// FP64 complex eight-step schedule (SIV-C: "this analogous approach
   /// easily extends to ... their complex counterparts"): four product
@@ -66,7 +80,8 @@ class DataAssignmentStage {
   };
   static Complex64Schedule schedule_fp64c(
       std::span<const std::complex<double>> a,
-      std::span<const std::complex<double>> b);
+      std::span<const std::complex<double>> b,
+      const fault::FaultInjector* injector = nullptr);
 
   /// Width of the FP64 mode's significand parts (hidden 1 + 26 bits).
   static constexpr int kFp64PartBits = 27;

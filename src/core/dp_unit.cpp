@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "fault/injector.hpp"
 
 namespace m3xu::core {
 
@@ -85,7 +86,11 @@ void DpUnit::accumulate_dot(std::span<const LaneOperand> a,
         y.cls == LaneOperand::Cls::kFinite) {
       M3XU_DCHECK(x.sig != 0 && x.sig < (std::uint64_t{1} << config_.mult_bits));
       M3XU_DCHECK(y.sig != 0 && y.sig < (std::uint64_t{1} << config_.mult_bits));
-      const std::uint64_t p = x.sig * y.sig;  // mult_bits <= 31: fits
+      std::uint64_t p = x.sig * y.sig;  // mult_bits <= 31: fits
+      if (config_.injector != nullptr) {
+        p = config_.injector->corrupt(fault::Site::kPartialProduct, p,
+                                      2 * config_.mult_bits);
+      }
       const int e = x.exp2 + y.exp2;
       if (fast_ok) {
         if (count == 0) {

@@ -17,6 +17,10 @@
 #include "core/lane_operand.hpp"
 #include "fp/exact_accumulator.hpp"
 
+namespace m3xu::fault {
+class FaultInjector;
+}  // namespace m3xu::fault
+
 namespace m3xu::core {
 
 struct DpUnitConfig {
@@ -26,6 +30,10 @@ struct DpUnitConfig {
   // accumulator instead of one entry per product. Bit-identical to the
   // direct path (verified by tests); disable to force the direct path.
   bool enable_fast_path = true;
+  // When non-null, every finite partial product (2*mult_bits wide) is
+  // a single-bit-flip opportunity at Site::kPartialProduct before it
+  // enters the adder tree. Null keeps the hot path fault-free.
+  const fault::FaultInjector* injector = nullptr;
 };
 
 class DpUnit {

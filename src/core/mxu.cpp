@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "fault/injector.hpp"
 
 namespace m3xu::core {
 
@@ -65,8 +66,10 @@ const char* mode_name(MxuMode mode) {
 
 M3xuEngine::M3xuEngine(const M3xuConfig& config)
     : config_(config),
-      dp12_(DpUnitConfig{/*mult_bits=*/12}),
-      dp27_(DpUnitConfig{DataAssignmentStage::kFp64PartBits}) {
+      dp12_(DpUnitConfig{/*mult_bits=*/12, /*enable_fast_path=*/true,
+                         config.injector}),
+      dp27_(DpUnitConfig{DataAssignmentStage::kFp64PartBits,
+                         /*enable_fast_path=*/true, config.injector}) {
   M3XU_CHECK(config_.accum_prec >= 24 && config_.accum_prec <= 63);
   M3XU_CHECK(config_.fp64_accum_prec >= 53 && config_.fp64_accum_prec <= 63);
 }
@@ -83,6 +86,14 @@ fp::Unpacked M3xuEngine::run_steps(const std::array<StepOperands, kSteps>& steps
       fp::ExactAccumulator sum;
       unit.accumulate_dot(step.a, step.b, sum);
       reg = reg.plus_exact(sum);
+      if (config_.injector != nullptr) {
+        // Each step's register write-back is one flip opportunity on
+        // the architectural `prec`-bit significand.
+        reg = fp::ExtFloat::from_unpacked(
+            config_.injector->corrupt_unpacked(fault::Site::kAccumulator,
+                                               reg.value(), prec),
+            prec);
+      }
     }
     return reg.value();
   }
@@ -92,13 +103,18 @@ fp::Unpacked M3xuEngine::run_steps(const std::array<StepOperands, kSteps>& steps
     unit.accumulate_dot(step.a, step.b, sum);
   }
   sum.add_unpacked(c);
-  return sum.round_to_precision(prec);
+  fp::Unpacked r = sum.round_to_precision(prec);
+  if (config_.injector != nullptr) {
+    r = config_.injector->corrupt_unpacked(fault::Site::kAccumulator, r,
+                                           prec);
+  }
+  return r;
 }
 
 float M3xuEngine::mma_dot_fp32(std::span<const float> a,
                                std::span<const float> b, float c) const {
   M3XU_CHECK(static_cast<int>(a.size()) <= shape_for(MxuMode::kFp32).k);
-  const auto steps = DataAssignmentStage::schedule_fp32(a, b);
+  const auto steps = DataAssignmentStage::schedule_fp32(a, b, config_.injector);
   const fp::Unpacked r =
       run_steps<2>(steps, fp::unpack(c), dp12_, config_.accum_prec);
   return fp::pack_to_float(r);
@@ -108,7 +124,7 @@ float M3xuEngine::mma_dot_passthrough(std::span<const float> a,
                                       std::span<const float> b, float c,
                                       const fp::FloatFormat& fmt) const {
   const std::array<StepOperands, 1> steps = {
-      DataAssignmentStage::schedule_passthrough(a, b, fmt)};
+      DataAssignmentStage::schedule_passthrough(a, b, fmt, config_.injector)};
   // Stock Tensor-Core accumulation: FP32 registers.
   const fp::Unpacked r =
       run_steps<1>(steps, fp::unpack(c), dp12_, fp::ExtFloat::kFp32AccumPrec);
@@ -119,7 +135,7 @@ std::complex<float> M3xuEngine::mma_dot_fp32c(
     std::span<const std::complex<float>> a,
     std::span<const std::complex<float>> b, std::complex<float> c) const {
   M3XU_CHECK(static_cast<int>(a.size()) <= shape_for(MxuMode::kFp32Complex).k);
-  const auto sched = DataAssignmentStage::schedule_fp32c(a, b);
+  const auto sched = DataAssignmentStage::schedule_fp32c(a, b, config_.injector);
   const fp::Unpacked re = run_steps<2>(sched.real, fp::unpack(c.real()),
                                        dp12_, config_.accum_prec);
   const fp::Unpacked im = run_steps<2>(sched.imag, fp::unpack(c.imag()),
@@ -130,7 +146,7 @@ std::complex<float> M3xuEngine::mma_dot_fp32c(
 double M3xuEngine::mma_dot_fp64(std::span<const double> a,
                                 std::span<const double> b, double c) const {
   M3XU_CHECK(static_cast<int>(a.size()) <= shape_for(MxuMode::kFp64).k);
-  const auto steps = DataAssignmentStage::schedule_fp64(a, b);
+  const auto steps = DataAssignmentStage::schedule_fp64(a, b, config_.injector);
   const fp::Unpacked r =
       run_steps<4>(steps, fp::unpack(c), dp27_, config_.fp64_accum_prec);
   return fp::pack_to_double(r);
@@ -140,7 +156,7 @@ std::complex<double> M3xuEngine::mma_dot_fp64c(
     std::span<const std::complex<double>> a,
     std::span<const std::complex<double>> b, std::complex<double> c) const {
   M3XU_CHECK(static_cast<int>(a.size()) <= shape_for(MxuMode::kFp64Complex).k);
-  const auto sched = DataAssignmentStage::schedule_fp64c(a, b);
+  const auto sched = DataAssignmentStage::schedule_fp64c(a, b, config_.injector);
   const fp::Unpacked re = run_steps<4>(sched.real, fp::unpack(c.real()),
                                        dp27_, config_.fp64_accum_prec);
   const fp::Unpacked im = run_steps<4>(sched.imag, fp::unpack(c.imag()),

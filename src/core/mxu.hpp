@@ -67,6 +67,13 @@ struct M3xuConfig {
   int accum_prec = fp::ExtFloat::kM3xuAccumPrec;
   /// Accumulation-register width for the FP64 mode ("FP64 registers").
   int fp64_accum_prec = 53;
+  /// Optional transient-fault injector (non-owning; must outlive the
+  /// engine). Null - the default - keeps every datapath fault-free and
+  /// the hot path unchanged. When set, the engine threads it through
+  /// the data-assignment stage (operand sites), the dot-product units
+  /// (partial-product site) and the accumulation-register updates
+  /// (accumulator site). See docs/FAULT_INJECTION.md.
+  const fault::FaultInjector* injector = nullptr;
 };
 
 class M3xuEngine {

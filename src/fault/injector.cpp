@@ -1,0 +1,158 @@
+#include "fault/injector.hpp"
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+
+namespace m3xu::fault {
+
+namespace {
+
+/// splitmix64 finalizer: the per-opportunity decision hash.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Per-site salt so the four decision streams are independent.
+constexpr std::uint64_t kSiteSalt[kSiteCount] = {
+    0xa24baed4963ee407ull, 0x9fb21c651e98df25ull, 0xd6e8feb86659fd93ull,
+    0x2f2b9c1c3a9f8e15ull};
+
+}  // namespace
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kOperandA:
+      return "operand_a";
+    case Site::kOperandB:
+      return "operand_b";
+    case Site::kPartialProduct:
+      return "partial_product";
+    case Site::kAccumulator:
+      return "accumulator";
+  }
+  return "?";
+}
+
+double SiteRates::rate(Site site) const {
+  switch (site) {
+    case Site::kOperandA:
+      return operand_a;
+    case Site::kOperandB:
+      return operand_b;
+    case Site::kPartialProduct:
+      return partial_product;
+    case Site::kAccumulator:
+      return accumulator;
+  }
+  return 0.0;
+}
+
+SiteRates SiteRates::uniform(double rate) {
+  return SiteRates{rate, rate, rate, rate};
+}
+
+SiteRates SiteRates::only(Site site, double rate) {
+  SiteRates r;
+  switch (site) {
+    case Site::kOperandA:
+      r.operand_a = rate;
+      break;
+    case Site::kOperandB:
+      r.operand_b = rate;
+      break;
+    case Site::kPartialProduct:
+      r.partial_product = rate;
+      break;
+    case Site::kAccumulator:
+      r.accumulator = rate;
+      break;
+  }
+  return r;
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, const SiteRates& rates)
+    : seed_(seed), rates_(rates) {
+  for (auto& c : opportunities_) c.store(0, std::memory_order_relaxed);
+  for (auto& c : injected_) c.store(0, std::memory_order_relaxed);
+}
+
+int FaultInjector::sample(Site site, int width,
+                          std::uint64_t* event_out) const {
+  const int s = static_cast<int>(site);
+  const std::uint64_t n =
+      opportunities_[s].fetch_add(1, std::memory_order_relaxed);
+  *event_out = n;
+  const double rate = rates_.rate(site);
+  if (rate <= 0.0 || width <= 0) return -1;
+  const std::uint64_t h = mix(mix(seed_ ^ kSiteSalt[s]) + n);
+  if (static_cast<double>(h >> 11) * 0x1.0p-53 >= rate) return -1;
+  return static_cast<int>(mix(h) % static_cast<std::uint64_t>(width));
+}
+
+void FaultInjector::record(Site site, std::uint64_t event, int bit) const {
+  injected_[static_cast<int>(site)].fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(log_mu_);
+  if (log_.size() < kLogCap) log_.push_back({site, event, bit});
+}
+
+std::uint64_t FaultInjector::corrupt(Site site, std::uint64_t value,
+                                     int width) const {
+  std::uint64_t event = 0;
+  const int bit = sample(site, width, &event);
+  if (bit < 0) return value;
+  record(site, event, bit);
+  return value ^ (std::uint64_t{1} << bit);
+}
+
+fp::Unpacked FaultInjector::corrupt_unpacked(Site site,
+                                             const fp::Unpacked& value,
+                                             int prec) const {
+  std::uint64_t event = 0;
+  const int bit = sample(site, prec, &event);
+  if (bit < 0) return value;
+  if (value.cls != fp::FpClass::kNormal) return value;
+  record(site, event, bit);
+  // Bit 0 of the field is the window's LSB; bit prec-1 is the leading
+  // (hidden-1 position) bit at Unpacked::kSigTop.
+  const int pos = fp::Unpacked::kSigTop - (prec - 1) + bit;
+  fp::Unpacked r = value;
+  r.sig ^= std::uint64_t{1} << pos;
+  if (r.sig == 0) {
+    r.cls = fp::FpClass::kZero;
+    r.exp = 0;
+    return r;
+  }
+  const int lead = highest_bit(r.sig);
+  if (lead != fp::Unpacked::kSigTop) {
+    // Flipping the leading bit denormalizes the register; renormalize
+    // (the exponent field absorbs the shift).
+    r.sig <<= fp::Unpacked::kSigTop - lead;
+    r.exp -= fp::Unpacked::kSigTop - lead;
+  }
+  return r;
+}
+
+std::uint64_t FaultInjector::opportunities(Site site) const {
+  return opportunities_[static_cast<int>(site)].load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected(Site site) const {
+  return injected_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  std::uint64_t total = 0;
+  for (const auto& c : injected_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<FaultRecord> FaultInjector::log() const {
+  const std::lock_guard<std::mutex> lock(log_mu_);
+  return log_;
+}
+
+}  // namespace m3xu::fault

@@ -1,0 +1,114 @@
+// Deterministic single-bit fault injection for the M3XU datapath
+// model (see docs/FAULT_INJECTION.md).
+//
+// A FaultInjector decides, at each *opportunity* (one value passing
+// one injection site), whether to flip one bit. The decision for
+// opportunity n at a site is a pure function of (seed, site, n), so
+// two injectors constructed with the same seed and rates replay
+// identical fault sites over identical call sequences - the property
+// the campaign runner and the determinism tests rely on. Counters are
+// atomic, so injection is thread-safe; bit-exact replay additionally
+// requires a deterministic call order (serial execution or a
+// single-tile grid in the tiled driver).
+//
+// Sites (threaded through core/data_assignment, core/dp_unit and
+// core/mxu behind null-by-default pointers; the fault-free hot path
+// never sees the hooks):
+//   kOperandA / kOperandB - a lane operand's significand in the
+//     data-assignment buffers, after split/routing;
+//   kPartialProduct       - one 2*mult_bits-wide multiplier output
+//     inside the dot-product unit, before the adder tree;
+//   kAccumulator          - the accumulation register's significand
+//     after a step's register update.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "fp/unpacked.hpp"
+
+namespace m3xu::fault {
+
+enum class Site : int {
+  kOperandA = 0,
+  kOperandB = 1,
+  kPartialProduct = 2,
+  kAccumulator = 3,
+};
+
+inline constexpr int kSiteCount = 4;
+
+const char* site_name(Site site);
+
+/// Per-opportunity bit-flip probabilities, one per site.
+struct SiteRates {
+  double operand_a = 0.0;
+  double operand_b = 0.0;
+  double partial_product = 0.0;
+  double accumulator = 0.0;
+
+  double rate(Site site) const;
+  /// All four sites at the same rate.
+  static SiteRates uniform(double rate);
+  /// Only `site` active, the rest zero.
+  static SiteRates only(Site site, double rate);
+};
+
+/// One injected flip, for determinism tests and campaign reports.
+struct FaultRecord {
+  Site site;
+  std::uint64_t event;  // per-site opportunity index
+  int bit;              // flipped bit, LSB-relative within the field
+
+  friend bool operator==(const FaultRecord&, const FaultRecord&) = default;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, const SiteRates& rates);
+
+  /// Flips the sampled bit of `value` (a `width`-bit field); returns
+  /// `value` unchanged when this opportunity does not fault.
+  std::uint64_t corrupt(Site site, std::uint64_t value, int width) const;
+
+  /// Flips a bit among the top `prec` significand bits of a normalized
+  /// value (the accumulation register's architectural significand),
+  /// renormalizing afterwards; a flip that clears the whole significand
+  /// yields zero. Zero/Inf/NaN register contents pass through (no
+  /// significand datapath to corrupt) but still consume the
+  /// opportunity, keeping replay aligned.
+  fp::Unpacked corrupt_unpacked(Site site, const fp::Unpacked& value,
+                                int prec) const;
+
+  std::uint64_t seed() const { return seed_; }
+  const SiteRates& rates() const { return rates_; }
+
+  /// Opportunities seen / faults injected so far, per site and total.
+  std::uint64_t opportunities(Site site) const;
+  std::uint64_t injected(Site site) const;
+  std::uint64_t total_injected() const;
+
+  /// The first kLogCap injected flips, in injection order.
+  std::vector<FaultRecord> log() const;
+
+  static constexpr std::size_t kLogCap = 4096;
+
+ private:
+  /// Draws the decision for the next opportunity at `site`: the bit to
+  /// flip in [0, width), or -1 for no fault. `*event_out` receives the
+  /// opportunity index consumed.
+  int sample(Site site, int width, std::uint64_t* event_out) const;
+  void record(Site site, std::uint64_t event, int bit) const;
+
+  std::uint64_t seed_;
+  SiteRates rates_;
+  mutable std::array<std::atomic<std::uint64_t>, kSiteCount> opportunities_;
+  mutable std::array<std::atomic<std::uint64_t>, kSiteCount> injected_;
+  mutable std::mutex log_mu_;
+  mutable std::vector<FaultRecord> log_;
+};
+
+}  // namespace m3xu::fault

@@ -1,6 +1,9 @@
 #include "gemm/tiled_driver.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -28,19 +31,73 @@ long instr_count(int m_eff, int n_eff, int kc, int inst_m, int inst_n,
          ((n_eff + inst_n - 1) / inst_n) * ((kc + inst_k - 1) / inst_k);
 }
 
-/// Shared implementation over the element type and engine entry point.
-template <typename T, typename MmaFn>
-TiledGemmStats run_tiled(const TileConfig& cfg, const Matrix<T>& a,
-                         const Matrix<T>& b, Matrix<T>& c, int inst_k,
-                         int inst_m, int inst_n, MmaFn&& mma) {
-  M3XU_CHECK(cfg.valid());
+// --- ABFT support -----------------------------------------------------
+//
+// Checksums accumulate in double (complex<double> for the FP32C mode):
+// the 2^-53 checksum rounding is ~2^29 below the 2^-24 output-rounding
+// scale the tolerance must cover, so the check arithmetic itself never
+// trips the guard. See docs/FAULT_INJECTION.md for the derivation.
+
+/// FP32 pack roundings each output element undergoes across the
+/// mainloop (one per instruction K-chunk; the driver's block_k staging
+/// preserves the engine's chunk boundaries).
+long chunk_roundings(int k, int block_k, int inst_k) {
+  long chunks = 0;
+  for (int k0 = 0; k0 < k; k0 += block_k) {
+    const int kc = std::min(block_k, k - k0);
+    chunks += (kc + inst_k - 1) / inst_k;
+  }
+  return chunks;
+}
+
+/// Worst-case relative rounding error one K-chunk contributes to an
+/// output element: half an output-format ULP from the FP32 pack plus
+/// the per-step accumulation-register roundings (two steps at
+/// 2^(1-accum_prec) each, folded into one term with headroom).
+double eps_per_chunk(int accum_prec) {
+  return std::ldexp(1.0, -24) + std::ldexp(1.0, 2 - accum_prec);
+}
+
+template <typename T>
+struct ChecksumTraits;
+
+template <>
+struct ChecksumTraits<float> {
+  using Acc = double;
+  static Acc widen(float v) { return v; }
+  static double mag(float v) { return std::fabs(static_cast<double>(v)); }
+  static double residual(Acc v) { return std::fabs(v); }
+};
+
+template <>
+struct ChecksumTraits<std::complex<float>> {
+  using Acc = std::complex<double>;
+  static Acc widen(std::complex<float> v) {
+    return {static_cast<double>(v.real()), static_cast<double>(v.imag())};
+  }
+  static double mag(std::complex<float> v) { return std::abs(widen(v)); }
+  static double residual(Acc v) { return std::abs(v); }
+};
+
+template <typename T>
+using MmaCall = std::function<void(int, int, int, const T*, int, const T*,
+                                   int, T*, int)>;
+
+/// Shared implementation over the element type. `mma` runs the caller's
+/// (possibly fault-injected) engine; `mma_clean` the fault-free clone
+/// used for ABFT recompute.
+template <typename T>
+TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
+                         const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
+                         int inst_k, int inst_m, int inst_n, double eps_chunk,
+                         const MmaCall<T>& mma, const MmaCall<T>& mma_clean) {
+  using Traits = ChecksumTraits<T>;
+  using Acc = typename Traits::Acc;
   // K-chunk boundaries must coincide with the engine's instruction
   // chunking for bit-identical results vs the flat loop.
-  M3XU_CHECK(cfg.block_k % inst_k == 0);
-  M3XU_CHECK(a.cols() == b.rows());
-  M3XU_CHECK(a.rows() == c.rows() && b.cols() == c.cols());
   const int m = a.rows(), n = b.cols(), k = a.cols();
   const TileGrid grid = make_grid(cfg, m, n);
+  const long chunks = chunk_roundings(k, cfg.block_k, inst_k);
 
   std::mutex stats_mu;
   TiledGemmStats stats;
@@ -51,49 +108,143 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const Matrix<T>& a,
     const int bn = static_cast<int>(t % grid.grid_n) * cfg.block_n;
     const int m_eff = std::min(cfg.block_m, m - bm);
     const int n_eff = std::min(cfg.block_n, n - bn);
-    // Staging buffers (the shared-memory model) and the C fragment.
-    std::vector<T> a_stage(static_cast<std::size_t>(m_eff) * cfg.block_k);
-    std::vector<T> b_stage(static_cast<std::size_t>(cfg.block_k) * n_eff);
-    std::vector<T> c_frag(static_cast<std::size_t>(m_eff) * n_eff);
+    // The C fragment's initial contents (kept for ABFT recompute).
+    std::vector<T> c_in(static_cast<std::size_t>(m_eff) * n_eff);
     for (int i = 0; i < m_eff; ++i) {
       for (int j = 0; j < n_eff; ++j) {
-        c_frag[static_cast<std::size_t>(i) * n_eff + j] = c(bm + i, bn + j);
+        c_in[static_cast<std::size_t>(i) * n_eff + j] = c(bm + i, bn + j);
       }
     }
     TiledGemmStats local;
-    for (int k0 = 0; k0 < k; k0 += cfg.block_k) {
-      const int kc = std::min(cfg.block_k, k - k0);
-      // Stage the A and B panels (cp.async in the real kernel).
-      for (int i = 0; i < m_eff; ++i) {
+
+    // One pass of the tile mainloop into `frag` (which must hold the
+    // initial C fragment). Traffic counters accumulate into `counters`
+    // on the first pass only; ABFT recomputes are tracked separately.
+    const auto compute_tile = [&](const MmaCall<T>& mma_fn,
+                                  std::vector<T>& frag,
+                                  TiledGemmStats* counters) {
+      // Staging buffers (the shared-memory model).
+      std::vector<T> a_stage(static_cast<std::size_t>(m_eff) * cfg.block_k);
+      std::vector<T> b_stage(static_cast<std::size_t>(cfg.block_k) * n_eff);
+      for (int k0 = 0; k0 < k; k0 += cfg.block_k) {
+        const int kc = std::min(cfg.block_k, k - k0);
+        // Stage the A and B panels (cp.async in the real kernel).
+        for (int i = 0; i < m_eff; ++i) {
+          for (int kk = 0; kk < kc; ++kk) {
+            a_stage[static_cast<std::size_t>(i) * cfg.block_k + kk] =
+                a(bm + i, k0 + kk);
+          }
+        }
         for (int kk = 0; kk < kc; ++kk) {
-          a_stage[static_cast<std::size_t>(i) * cfg.block_k + kk] =
-              a(bm + i, k0 + kk);
+          for (int j = 0; j < n_eff; ++j) {
+            b_stage[static_cast<std::size_t>(kk) * n_eff + j] =
+                b(k0 + kk, bn + j);
+          }
+        }
+        if (counters != nullptr) {
+          counters->staged_bytes +=
+              static_cast<double>(m_eff + n_eff) * kc * sizeof(T);
+          ++counters->mainloop_iterations;
+        }
+        // Warp tiles over the block tile.
+        for (int wm = 0; wm < m_eff; wm += cfg.warp_m) {
+          const int wm_eff = std::min(cfg.warp_m, m_eff - wm);
+          for (int wn = 0; wn < n_eff; wn += cfg.warp_n) {
+            const int wn_eff = std::min(cfg.warp_n, n_eff - wn);
+            mma_fn(wm_eff, wn_eff, kc,
+                   a_stage.data() + static_cast<std::size_t>(wm) * cfg.block_k,
+                   cfg.block_k, b_stage.data() + wn, n_eff,
+                   frag.data() + static_cast<std::size_t>(wm) * n_eff + wn,
+                   n_eff);
+            if (counters != nullptr) {
+              counters->mma_instructions +=
+                  instr_count(wm_eff, wn_eff, kc, inst_m, inst_n, inst_k);
+            }
+          }
         }
       }
-      for (int kk = 0; kk < kc; ++kk) {
+    };
+
+    std::vector<T> c_frag = c_in;
+    compute_tile(mma, c_frag, &local);
+
+    if (abft.enable) {
+      ++local.abft_tile_checks;
+      // Column checksums over the tile: expected_j = sum_i C_in[i][j]
+      // + sum_k (sum_i A[i][k]) * B[k][j], and the magnitude sum that
+      // scales the rounding tolerance.
+      std::vector<Acc> asum(static_cast<std::size_t>(k), Acc{});
+      std::vector<double> amag(static_cast<std::size_t>(k), 0.0);
+      for (int i = 0; i < m_eff; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+          asum[kk] += Traits::widen(a(bm + i, kk));
+          amag[kk] += Traits::mag(a(bm + i, kk));
+        }
+      }
+      std::vector<Acc> expected(static_cast<std::size_t>(n_eff), Acc{});
+      std::vector<double> tol(static_cast<std::size_t>(n_eff), 0.0);
+      for (int j = 0; j < n_eff; ++j) {
+        Acc e{};
+        double mag = 0.0;
+        for (int i = 0; i < m_eff; ++i) {
+          e += Traits::widen(c_in[static_cast<std::size_t>(i) * n_eff + j]);
+          mag += Traits::mag(c_in[static_cast<std::size_t>(i) * n_eff + j]);
+        }
+        for (int kk = 0; kk < k; ++kk) {
+          e += asum[kk] * Traits::widen(b(kk, bn + j));
+          mag += amag[kk] * Traits::mag(b(kk, bn + j));
+        }
+        expected[j] = e;
+        tol[j] = abft.tolerance_scale * static_cast<double>(chunks) *
+                 eps_chunk * mag;
+      }
+      const auto verify = [&](const std::vector<T>& frag) {
         for (int j = 0; j < n_eff; ++j) {
-          b_stage[static_cast<std::size_t>(kk) * n_eff + j] =
-              b(k0 + kk, bn + j);
+          Acc actual{};
+          for (int i = 0; i < m_eff; ++i) {
+            actual += Traits::widen(frag[static_cast<std::size_t>(i) * n_eff + j]);
+          }
+          if (Traits::residual(actual - expected[j]) > tol[j]) return false;
         }
-      }
-      local.staged_bytes +=
-          static_cast<double>(m_eff + n_eff) * kc * sizeof(T);
-      ++local.mainloop_iterations;
-      // Warp tiles over the block tile.
-      for (int wm = 0; wm < m_eff; wm += cfg.warp_m) {
-        const int wm_eff = std::min(cfg.warp_m, m_eff - wm);
-        for (int wn = 0; wn < n_eff; wn += cfg.warp_n) {
-          const int wn_eff = std::min(cfg.warp_n, n_eff - wn);
-          mma(wm_eff, wn_eff, kc,
-              a_stage.data() + static_cast<std::size_t>(wm) * cfg.block_k,
-              cfg.block_k, b_stage.data() + wn, n_eff,
-              c_frag.data() + static_cast<std::size_t>(wm) * n_eff + wn,
-              n_eff);
-          local.mma_instructions +=
-              instr_count(wm_eff, wn_eff, kc, inst_m, inst_n, inst_k);
+        return true;
+      };
+      if (!verify(c_frag)) {
+        ++local.abft_detected;
+        bool resolved = false;
+        std::vector<T> prev = c_frag;
+        const int attempts = std::max(1, abft.max_recompute);
+        for (int attempt = 0; attempt < attempts && !resolved; ++attempt) {
+          std::vector<T> redo = c_in;
+          compute_tile(mma_clean, redo, nullptr);
+          ++local.abft_recomputed;
+          if (verify(redo)) {
+            c_frag = std::move(redo);
+            ++local.abft_recovered;
+            resolved = true;
+          } else if (std::memcmp(redo.data(), prev.data(),
+                                 redo.size() * sizeof(T)) == 0) {
+            // The deterministic fault-free engine reproduced the same
+            // bits: the residual is a tolerance artifact of this
+            // input, not a transient fault. Keep the reproduced
+            // result.
+            c_frag = std::move(redo);
+            ++local.abft_false_alarms;
+            resolved = true;
+          } else {
+            prev = std::move(redo);
+          }
+        }
+        if (!resolved) {
+          throw AbftFailure(
+              "ABFT: tile at (" + std::to_string(bm) + "," +
+              std::to_string(bn) + ") failed its column checksum after " +
+              std::to_string(attempts) +
+              " fault-free recomputes (tolerance_scale=" +
+              std::to_string(abft.tolerance_scale) + ")");
         }
       }
     }
+
     for (int i = 0; i < m_eff; ++i) {
       for (int j = 0; j < n_eff; ++j) {
         c(bm + i, bn + j) = c_frag[static_cast<std::size_t>(i) * n_eff + j];
@@ -103,8 +254,37 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const Matrix<T>& a,
     stats.mainloop_iterations += local.mainloop_iterations;
     stats.staged_bytes += local.staged_bytes;
     stats.mma_instructions += local.mma_instructions;
+    stats.abft_tile_checks += local.abft_tile_checks;
+    stats.abft_detected += local.abft_detected;
+    stats.abft_recomputed += local.abft_recomputed;
+    stats.abft_recovered += local.abft_recovered;
+    stats.abft_false_alarms += local.abft_false_alarms;
   });
   return stats;
+}
+
+/// Entry-point validation shared by the public drivers.
+template <typename T>
+void validate_entry(const TileConfig& cfg, int inst_k, const Matrix<T>& a,
+                    const Matrix<T>& b, const Matrix<T>& c) {
+  M3XU_CHECK_MSG(cfg.valid(),
+                 "TileConfig invalid: block_m/block_n/block_k must be "
+                 "positive and block_m/block_n divisible by warp_m/warp_n");
+  M3XU_CHECK_MSG(cfg.block_k % inst_k == 0,
+                 "TileConfig.block_k must be a multiple of the mode's MMA "
+                 "instruction K so chunk rounding boundaries line up");
+  M3XU_CHECK_MSG(a.cols() == b.rows(),
+                 "tiled GEMM shape mismatch: A columns != B rows");
+  M3XU_CHECK_MSG(a.rows() == c.rows() && b.cols() == c.cols(),
+                 "tiled GEMM shape mismatch: C must be A.rows x B.cols");
+}
+
+/// Fault-free clone of the caller's engine for ABFT recompute: same
+/// arithmetic configuration with the injector stripped.
+core::M3xuConfig clean_config(const core::M3xuEngine& engine) {
+  core::M3xuConfig cfg = engine.config();
+  cfg.injector = nullptr;
+  return cfg;
 }
 
 }  // namespace
@@ -112,13 +292,30 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const Matrix<T>& a,
 TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
                            const TileConfig& config, const Matrix<float>& a,
                            const Matrix<float>& b, Matrix<float>& c) {
+  return tiled_sgemm(engine, config, AbftConfig{}, a, b, c);
+}
+
+TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const AbftConfig& abft,
+                           const Matrix<float>& a, const Matrix<float>& b,
+                           Matrix<float>& c) {
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32);
-  return run_tiled<float>(
-      config, a, b, c, shape.k, shape.m, shape.n,
-      [&](int mm, int nn, int kk, const float* pa, int lda, const float* pb,
-          int ldb, float* pc, int ldc) {
-        engine.gemm_fp32(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
-      });
+  validate_entry(config, shape.k, a, b, c);
+  const core::M3xuEngine clean(clean_config(engine));
+  const MmaCall<float> mma = [&](int mm, int nn, int kk, const float* pa,
+                                 int lda, const float* pb, int ldb, float* pc,
+                                 int ldc) {
+    engine.gemm_fp32(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
+  };
+  const MmaCall<float> mma_clean = [&](int mm, int nn, int kk,
+                                       const float* pa, int lda,
+                                       const float* pb, int ldb, float* pc,
+                                       int ldc) {
+    clean.gemm_fp32(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
+  };
+  return run_tiled<float>(config, abft, a, b, c, shape.k, shape.m, shape.n,
+                          eps_per_chunk(engine.config().accum_prec), mma,
+                          mma_clean);
 }
 
 TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
@@ -126,14 +323,53 @@ TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
                            const Matrix<std::complex<float>>& a,
                            const Matrix<std::complex<float>>& b,
                            Matrix<std::complex<float>>& c) {
+  return tiled_cgemm(engine, config, AbftConfig{}, a, b, c);
+}
+
+TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const AbftConfig& abft,
+                           const Matrix<std::complex<float>>& a,
+                           const Matrix<std::complex<float>>& b,
+                           Matrix<std::complex<float>>& c) {
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32Complex);
-  return run_tiled<std::complex<float>>(
-      config, a, b, c, shape.k, shape.m, shape.n,
-      [&](int mm, int nn, int kk, const std::complex<float>* pa, int lda,
-          const std::complex<float>* pb, int ldb, std::complex<float>* pc,
-          int ldc) {
-        engine.gemm_fp32c(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
-      });
+  validate_entry(config, shape.k, a, b, c);
+  const core::M3xuEngine clean(clean_config(engine));
+  using C = std::complex<float>;
+  const MmaCall<C> mma = [&](int mm, int nn, int kk, const C* pa, int lda,
+                             const C* pb, int ldb, C* pc, int ldc) {
+    engine.gemm_fp32c(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
+  };
+  const MmaCall<C> mma_clean = [&](int mm, int nn, int kk, const C* pa,
+                                   int lda, const C* pb, int ldb, C* pc,
+                                   int ldc) {
+    clean.gemm_fp32c(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
+  };
+  return run_tiled<C>(config, abft, a, b, c, shape.k, shape.m, shape.n,
+                      eps_per_chunk(engine.config().accum_prec), mma,
+                      mma_clean);
+}
+
+double abft_column_tolerance(const core::M3xuEngine& engine,
+                             const TileConfig& config, const AbftConfig& abft,
+                             const Matrix<float>& a, const Matrix<float>& b,
+                             const Matrix<float>& c_in, int bm, int m_eff,
+                             int j) {
+  const int inst_k = core::shape_for(core::MxuMode::kFp32).k;
+  const int k = a.cols();
+  const long chunks = chunk_roundings(k, config.block_k, inst_k);
+  double mag = 0.0;
+  for (int i = 0; i < m_eff; ++i) {
+    mag += std::fabs(static_cast<double>(c_in(bm + i, j)));
+  }
+  for (int kk = 0; kk < k; ++kk) {
+    double acol = 0.0;
+    for (int i = 0; i < m_eff; ++i) {
+      acol += std::fabs(static_cast<double>(a(bm + i, kk)));
+    }
+    mag += acol * std::fabs(static_cast<double>(b(kk, j)));
+  }
+  return abft.tolerance_scale * static_cast<double>(chunks) *
+         eps_per_chunk(engine.config().accum_prec) * mag;
 }
 
 }  // namespace m3xu::gemm

@@ -6,9 +6,21 @@
 // the flat engine loop (same K-chunk rounding boundaries) - verified
 // by tests - while exhibiting the data movement the timing simulator
 // models.
+//
+// The driver can additionally run ABFT-guarded (algorithm-based fault
+// tolerance): per threadblock tile it maintains column-checksum
+// vectors in double precision, verifies the tile's output against a
+// mode-aware ULP tolerance after the mainloop, and on mismatch
+// recomputes the tile fault-free (bounded retries, then a structured
+// AbftFailure instead of an abort). With AbftConfig.enable == false
+// (the default) the driver is byte-for-byte the unguarded seed path.
+// See docs/FAULT_INJECTION.md for the tolerance derivation.
 #pragma once
 
 #include <complex>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "core/mxu.hpp"
 #include "gemm/matrix.hpp"
@@ -28,6 +40,28 @@ struct TileConfig {
   }
 };
 
+/// ABFT guard configuration for the tiled driver.
+struct AbftConfig {
+  /// Off by default: the guarded path is opt-in and the unguarded path
+  /// is bit-identical to the original driver.
+  bool enable = false;
+  /// Multiplier on the derived worst-case rounding bound. 1.0 already
+  /// covers the bound with 2x headroom; raise it to trade detection
+  /// sensitivity for fewer false alarms on adversarial inputs.
+  double tolerance_scale = 1.0;
+  /// Fault-free recompute attempts per detected tile before the driver
+  /// gives up with AbftFailure.
+  int max_recompute = 2;
+};
+
+/// Thrown when a tile keeps failing its checksum after the configured
+/// number of fault-free recomputes (i.e. the mismatch is not a
+/// transient fault the retry policy can absorb).
+class AbftFailure : public std::runtime_error {
+ public:
+  explicit AbftFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Counters the driver reports (cross-checked against the simulator's
 /// traffic model in tests).
 struct TiledGemmStats {
@@ -35,6 +69,14 @@ struct TiledGemmStats {
   long mainloop_iterations = 0;  // summed over tiles
   double staged_bytes = 0.0;  // global -> staging traffic
   long mma_instructions = 0;  // engine MMA-shape invocations
+  // ABFT counters; all zero when the guard is disabled or nothing
+  // trips the checksum.
+  long abft_tile_checks = 0;   // tiles verified
+  long abft_detected = 0;      // tiles whose checksum tripped
+  long abft_recomputed = 0;    // fault-free recomputes executed
+  long abft_recovered = 0;     // tiles recovered by a passing recompute
+  long abft_false_alarms = 0;  // deterministic reproduction => tolerance
+                               // artifact, original result kept
 };
 
 /// C <- A*B + C through the tile hierarchy on the M3XU FP32 mode.
@@ -43,11 +85,37 @@ TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
                            const TileConfig& config, const Matrix<float>& a,
                            const Matrix<float>& b, Matrix<float>& c);
 
+/// ABFT-guarded variant. With abft.enable the per-tile checksums are
+/// verified and failing tiles are recomputed on a fault-free clone of
+/// the engine (same arithmetic config, injector stripped).
+TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const AbftConfig& abft,
+                           const Matrix<float>& a, const Matrix<float>& b,
+                           Matrix<float>& c);
+
 /// Complex variant on the FP32C mode.
 TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
                            const TileConfig& config,
                            const Matrix<std::complex<float>>& a,
                            const Matrix<std::complex<float>>& b,
                            Matrix<std::complex<float>>& c);
+
+TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const AbftConfig& abft,
+                           const Matrix<std::complex<float>>& a,
+                           const Matrix<std::complex<float>>& b,
+                           Matrix<std::complex<float>>& c);
+
+/// The per-column ABFT detection tolerance the guarded FP32 driver
+/// uses for one threadblock tile spanning rows [bm, bm+m_eff) and all
+/// of K, evaluated for column `j` of C. Exposed so the fault campaign
+/// and the property tests can classify a deviation as
+/// guaranteed-detectable (> 2x tolerance) or sub-tolerance. For the
+/// campaign's single-tile geometry this is the whole-matrix column.
+double abft_column_tolerance(const core::M3xuEngine& engine,
+                             const TileConfig& config, const AbftConfig& abft,
+                             const Matrix<float>& a, const Matrix<float>& b,
+                             const Matrix<float>& c_in, int bm, int m_eff,
+                             int j);
 
 }  // namespace m3xu::gemm

@@ -5,9 +5,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/bits.hpp"
+#include "common/check.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -76,6 +79,83 @@ TEST(ThreadPool, SingleThreadDegeneratesToSerial) {
   std::vector<std::size_t> order;
   pool.parallel_for(64, [&](std::size_t i) { order.push_back(i); });
   for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WorkerExceptionRethrownOnCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1'000,
+                        [](std::size_t i) {
+                          if (i == 417) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndSkipsRemainingWork) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(100'000, [&](std::size_t) {
+      executed.fetch_add(1);
+      throw std::runtime_error("first");
+    });
+    FAIL() << "expected rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The failed flag short-circuits whole chunks; far fewer than all
+  // iterations should have run.
+  EXPECT_LT(executed.load(), 100'000);
+}
+
+TEST(ThreadPool, UsableAfterException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(
+                   10, [](std::size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPool, SerialPathPropagatesException) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   5, [](std::size_t i) {
+                     if (i == 3) throw std::out_of_range("serial");
+                   }),
+               std::out_of_range);
+}
+
+TEST(Check, ScopedHandlerTurnsFailureIntoException) {
+  const ScopedCheckHandler guard(&throwing_check_failure_handler);
+  try {
+    M3XU_CHECK_MSG(1 + 1 == 3, "arithmetic is broken");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 + 1 == 3"), std::string::npos);
+    EXPECT_NE(what.find("arithmetic is broken"), std::string::npos);
+  }
+}
+
+TEST(Check, PlainCheckOmitsMessage) {
+  const ScopedCheckHandler guard(&throwing_check_failure_handler);
+  try {
+    M3XU_CHECK(false);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(Check, HandlerRestoredOnScopeExit) {
+  {
+    const ScopedCheckHandler guard(&throwing_check_failure_handler);
+    EXPECT_THROW(M3XU_CHECK(false), CheckError);
+  }
+  // Back to the default abort handler.
+  EXPECT_DEATH(M3XU_CHECK_MSG(false, "default path"), "default path");
 }
 
 TEST(Rng, DeterministicAcrossInstances) {

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <string>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "gemm/matrix.hpp"
 #include "gemm/reference.hpp"
@@ -123,6 +125,88 @@ TEST(TiledGemm, RepeatedRunsAreDeterministic) {
     for (int j = 0; j < 130; ++j) {
       ASSERT_EQ(bits_of(c1(i, j)), bits_of(c2(i, j)));
     }
+  }
+}
+
+TEST(TiledGemm, AbftCleanPathBitIdenticalWithZeroCounters) {
+  // Enabling the guard on a fault-free engine must not change a single
+  // bit of the output, and no counter beyond tile_checks may move.
+  const core::M3xuEngine engine;
+  const Problem p = make(100, 90, 130, 507);
+  const TileConfig cfg{64, 64, 16, 32, 32};
+  Matrix<float> plain = p.c, guarded = p.c;
+  const TiledGemmStats s0 = tiled_sgemm(engine, cfg, p.a, p.b, plain);
+  const TiledGemmStats s1 =
+      tiled_sgemm(engine, cfg, AbftConfig{true, 1.0, 2}, p.a, p.b, guarded);
+  for (int i = 0; i < 100; ++i) {
+    for (int j = 0; j < 90; ++j) {
+      ASSERT_EQ(bits_of(guarded(i, j)), bits_of(plain(i, j))) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(s0.abft_tile_checks, 0);
+  EXPECT_EQ(s1.abft_tile_checks, s1.block_tiles);
+  EXPECT_EQ(s1.abft_detected, 0);
+  EXPECT_EQ(s1.abft_recomputed, 0);
+  EXPECT_EQ(s1.abft_recovered, 0);
+  EXPECT_EQ(s1.abft_false_alarms, 0);
+  // The traffic counters are unaffected by the guard.
+  EXPECT_EQ(s1.mainloop_iterations, s0.mainloop_iterations);
+  EXPECT_DOUBLE_EQ(s1.staged_bytes, s0.staged_bytes);
+  EXPECT_EQ(s1.mma_instructions, s0.mma_instructions);
+}
+
+TEST(TiledGemm, AbftCleanPathComplexBitIdentical) {
+  const core::M3xuEngine engine;
+  Rng rng(508);
+  const int m = 48, n = 40, k = 36;
+  Matrix<std::complex<float>> a(m, k), b(k, n), c(m, n);
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(c, rng);
+  Matrix<std::complex<float>> plain = c, guarded = c;
+  const TileConfig cfg{32, 32, 8, 16, 16};
+  tiled_cgemm(engine, cfg, a, b, plain);
+  const TiledGemmStats s =
+      tiled_cgemm(engine, cfg, AbftConfig{true, 1.0, 2}, a, b, guarded);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(bits_of(guarded(i, j).real()), bits_of(plain(i, j).real()));
+      ASSERT_EQ(bits_of(guarded(i, j).imag()), bits_of(plain(i, j).imag()));
+    }
+  }
+  EXPECT_EQ(s.abft_detected, 0);
+  EXPECT_EQ(s.abft_false_alarms, 0);
+}
+
+TEST(TiledGemm, InvalidTileConfigReportsClearMessage) {
+  const core::M3xuEngine engine;
+  const Problem p = make(32, 32, 32, 509);
+  Matrix<float> c = p.c;
+  const ScopedCheckHandler guard(&throwing_check_failure_handler);
+  try {
+    // warp_m does not divide block_m.
+    tiled_sgemm(engine, TileConfig{48, 32, 16, 32, 16}, p.a, p.b, c);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("TileConfig invalid"),
+              std::string::npos);
+  }
+}
+
+TEST(TiledGemm, ShapeMismatchReportsClearMessage) {
+  const core::M3xuEngine engine;
+  Rng rng(510);
+  Matrix<float> a(32, 16), b(24, 32), c(32, 32);  // A.cols != B.rows
+  fill_random(a, rng);
+  fill_random(b, rng);
+  fill_random(c, rng);
+  const ScopedCheckHandler guard(&throwing_check_failure_handler);
+  try {
+    tiled_sgemm(engine, TileConfig{32, 32, 16, 16, 16}, a, b, c);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("A columns != B rows"),
+              std::string::npos);
   }
 }
 
