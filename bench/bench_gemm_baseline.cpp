@@ -1,0 +1,194 @@
+// GEMM throughput baseline: the per-dot M3XU route (re-running the
+// data-assignment split inside the (i, j, k-chunk) loop, as the kM3xu
+// kernels did before the packed-operand fast path) vs the packed route
+// (split once per panel, stream lane operands). Emits BENCH_gemm.json
+// so later PRs have a perf trajectory to regress against; also verifies
+// the two routes produce bit-identical C before reporting.
+//
+// Flags: --m/--n/--k sgemm geometry (default 512^3), --cm/--cn/--ck
+// cgemm geometry (default 192^3, per-dot complex is ~4x the scalar
+// cost), --reps per timed case, --seed, --out=path (default
+// BENCH_gemm.json), --json-only to suppress the human-readable table.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/thread_pool.hpp"
+#include "core/mxu.hpp"
+#include "gemm/kernels.hpp"
+#include "gemm/matrix.hpp"
+
+using namespace m3xu;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The pre-packed-path kM3xu kernel route: fixed 32-row blocks on the
+/// global pool, each calling the per-dot engine GEMM.
+template <typename T, typename GemmFn>
+void per_dot_row_blocks(int m, const GemmFn& gemm) {
+  constexpr int kBlock = 32;
+  const int blocks = (m + kBlock - 1) / kBlock;
+  parallel_for(static_cast<std::size_t>(blocks), [&](std::size_t b) {
+    const int r0 = static_cast<int>(b) * kBlock;
+    gemm(r0, std::min(kBlock, m - r0));
+  });
+}
+
+struct Case {
+  std::string name;
+  int m, n, k;
+  double seconds;
+  double gflops;
+};
+
+template <typename Fn>
+Case time_case(const std::string& name, int m, int n, int k,
+               double flops_per_mnk, int reps, const Fn& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = now_seconds();
+    fn();
+    const double dt = now_seconds() - t0;
+    if (r == 0 || dt < best) best = dt;
+  }
+  const double flops =
+      flops_per_mnk * static_cast<double>(m) * n * k;
+  return {name, m, n, k, best, flops / best / 1e9};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int m = static_cast<int>(cli.get_int("m", 512));
+  const int n = static_cast<int>(cli.get_int("n", 512));
+  const int k = static_cast<int>(cli.get_int("k", 512));
+  const int cm = static_cast<int>(cli.get_int("cm", 192));
+  const int cn = static_cast<int>(cli.get_int("cn", 192));
+  const int ck = static_cast<int>(cli.get_int("ck", 192));
+  const int reps = static_cast<int>(cli.get_int("reps", 1));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 12345));
+  const std::string out = cli.get("out", "BENCH_gemm.json");
+
+  Rng rng(seed);
+  const core::M3xuEngine engine;
+  std::vector<Case> cases;
+  bool bit_identical = true;
+
+  {
+    gemm::Matrix<float> a(m, k), b(k, n), c_perdot(m, n), c_packed(m, n);
+    gemm::fill_random(a, rng);
+    gemm::fill_random(b, rng);
+    c_perdot.fill(0.0f);
+    c_packed.fill(0.0f);
+    cases.push_back(time_case(
+        "m3xu_sgemm_perdot", m, n, k, 2.0, reps, [&] {
+          c_perdot.fill(0.0f);
+          per_dot_row_blocks<float>(m, [&](int r0, int rc) {
+            engine.gemm_fp32(rc, n, k,
+                             a.data() + static_cast<std::size_t>(r0) * a.ld(),
+                             a.ld(), b.data(), b.ld(),
+                             c_perdot.data() +
+                                 static_cast<std::size_t>(r0) * c_perdot.ld(),
+                             c_perdot.ld());
+          });
+        }));
+    cases.push_back(time_case(
+        "m3xu_sgemm_packed", m, n, k, 2.0, reps, [&] {
+          c_packed.fill(0.0f);
+          gemm::run_sgemm(gemm::SgemmKernel::kM3xu, engine, a, b, c_packed);
+        }));
+    bit_identical = bit_identical &&
+                    std::memcmp(c_perdot.data(), c_packed.data(),
+                                c_perdot.size() * sizeof(float)) == 0;
+  }
+
+  {
+    gemm::Matrix<std::complex<float>> a(cm, ck), b(ck, cn);
+    gemm::Matrix<std::complex<float>> c_perdot(cm, cn), c_packed(cm, cn);
+    gemm::fill_random(a, rng);
+    gemm::fill_random(b, rng);
+    // 8 real flops per complex multiply-add.
+    cases.push_back(time_case(
+        "m3xu_cgemm_perdot", cm, cn, ck, 8.0, reps, [&] {
+          c_perdot.fill({});
+          per_dot_row_blocks<std::complex<float>>(cm, [&](int r0, int rc) {
+            engine.gemm_fp32c(
+                rc, cn, ck, a.data() + static_cast<std::size_t>(r0) * a.ld(),
+                a.ld(), b.data(), b.ld(),
+                c_perdot.data() + static_cast<std::size_t>(r0) * c_perdot.ld(),
+                c_perdot.ld());
+          });
+        }));
+    cases.push_back(time_case(
+        "m3xu_cgemm_packed", cm, cn, ck, 8.0, reps, [&] {
+          c_packed.fill({});
+          gemm::run_cgemm(gemm::CgemmKernel::kM3xu, engine, a, b, c_packed);
+        }));
+    bit_identical =
+        bit_identical &&
+        std::memcmp(c_perdot.data(), c_packed.data(),
+                    c_perdot.size() * sizeof(std::complex<float>)) == 0;
+  }
+
+  const double sgemm_speedup = cases[0].seconds / cases[1].seconds;
+  const double cgemm_speedup = cases[2].seconds / cases[3].seconds;
+
+  if (!cli.get_bool("json-only", false)) {
+    std::printf("== GEMM baseline: per-dot vs packed M3XU route ==\n");
+    std::printf("%-20s %6s %6s %6s %10s %10s\n", "case", "m", "n", "k",
+                "seconds", "GFLOP/s");
+    for (const Case& c : cases) {
+      std::printf("%-20s %6d %6d %6d %10.3f %10.3f\n", c.name.c_str(), c.m,
+                  c.n, c.k, c.seconds, c.gflops);
+    }
+    std::printf("\nsgemm packed speedup: %.2fx   cgemm packed speedup: %.2fx"
+                "   bit-identical: %s\n\n",
+                sgemm_speedup, cgemm_speedup, bit_identical ? "yes" : "NO");
+  }
+
+  std::string json = "{\n  \"benchmark\": \"gemm_baseline\",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"m\": %d, \"n\": %d, \"k\": %d, "
+                  "\"seconds\": %.6f, \"gflops\": %.6f}%s\n",
+                  cases[i].name.c_str(), cases[i].m, cases[i].n, cases[i].k,
+                  cases[i].seconds, cases[i].gflops,
+                  i + 1 < cases.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ],\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  \"sgemm_speedup_packed_vs_perdot\": %.3f,\n"
+                "  \"cgemm_speedup_packed_vs_perdot\": %.3f,\n"
+                "  \"bit_identical\": %s\n}\n",
+                sgemm_speedup, cgemm_speedup, bit_identical ? "true" : "false");
+  json += buf;
+
+  std::FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_gemm_baseline: cannot write %s\n",
+                 out.c_str());
+    return 2;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("%s", json.c_str());
+  return bit_identical ? 0 : 1;
+}

@@ -39,8 +39,21 @@ class Rng {
 
   std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
 
-  /// Uniform in [0, n).
-  std::uint64_t next_below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+  /// Uniform in [0, n), exactly (no modulo bias). Power-of-two ranges
+  /// mask the draw; other ranges reject draws from the incomplete final
+  /// wrap of [0, 2^64) so every residue keeps equal probability. Still
+  /// fully deterministic for a fixed seed: a rejection just consumes an
+  /// extra draw, and its probability is (2^64 mod n) / 2^64 - for the
+  /// small ranges tests use, effectively never.
+  std::uint64_t next_below(std::uint64_t n) {
+    if (n == 0) return 0;
+    if ((n & (n - 1)) == 0) return next_u64() & (n - 1);
+    const std::uint64_t min_valid = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= min_valid) return r % n;
+    }
+  }
 
   /// Uniform double in [0, 1).
   double next_double() {

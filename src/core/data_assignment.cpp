@@ -10,9 +10,6 @@ namespace m3xu::core {
 
 namespace {
 
-/// Width of the FP32 mode's 12-bit significand fields (Fig 3a).
-constexpr int kFp32PartBits = 12;
-
 struct Fp64Split {
   LaneOperand hi;
   LaneOperand lo;
@@ -73,17 +70,6 @@ void corrupt_lane(const fault::FaultInjector* injector, fault::Site site,
   if (op.sig == 0) op.cls = LaneOperand::Cls::kZero;
 }
 
-void corrupt_step(const fault::FaultInjector* injector, StepOperands& step,
-                  int width) {
-  if (injector == nullptr) return;
-  for (LaneOperand& op : step.a) {
-    corrupt_lane(injector, fault::Site::kOperandA, op, width);
-  }
-  for (LaneOperand& op : step.b) {
-    corrupt_lane(injector, fault::Site::kOperandB, op, width);
-  }
-}
-
 // --- Special-value handling -------------------------------------------
 //
 // A non-finite element cannot be decomposed into high/low parts (the
@@ -139,6 +125,23 @@ LaneOperand class_operand_f64(double v) {
 }
 
 }  // namespace
+
+bool DataAssignmentStage::is_special_fp32(float v) { return f32_is_special(v); }
+
+LaneOperand DataAssignmentStage::class_operand_fp32(float v) {
+  return class_operand_f32(v);
+}
+
+void DataAssignmentStage::corrupt_step(const fault::FaultInjector* injector,
+                                       StepOperands& step, int width) {
+  if (injector == nullptr) return;
+  for (LaneOperand& op : step.a) {
+    corrupt_lane(injector, fault::Site::kOperandA, op, width);
+  }
+  for (LaneOperand& op : step.b) {
+    corrupt_lane(injector, fault::Site::kOperandB, op, width);
+  }
+}
 
 StepOperands DataAssignmentStage::schedule_passthrough(
     std::span<const float> a, std::span<const float> b,

@@ -26,10 +26,20 @@
 
 #include "core/data_assignment.hpp"
 #include "core/dp_unit.hpp"
+#include "core/packed_panel.hpp"
 #include "fp/ext_float.hpp"
 #include "fp/types.hpp"
 
 namespace m3xu::core {
+
+/// Non-owning view of one step's operand-buffer lane streams. The
+/// per-dot path views the vectors a schedule_* call just built; the
+/// packed path views slices of a pre-split panel - both feed the same
+/// step/rounding pipeline, so they are bit-identical by construction.
+struct StepView {
+  std::span<const LaneOperand> a;
+  std::span<const LaneOperand> b;
+};
 
 enum class MxuMode {
   kFp16,
@@ -129,9 +139,31 @@ class M3xuEngine {
                   int lda, const std::complex<double>* b, int ldb,
                   std::complex<double>* c, int ldc) const;
 
+  // --- Packed-operand fast path (core/packed_panel.hpp) ---------------
+  // Bit-identical to gemm_fp32 / gemm_fp32c - same step schedule, same
+  // rounding points, same fault-opportunity order - but the hi/lo split
+  // runs once per operand panel instead of once per output dot, and the
+  // inner loop streams lanes with no per-call allocation or gather.
+
+  void gemm_fp32_packed(int m, int n, int k, const float* a, int lda,
+                        const float* b, int ldb, float* c, int ldc) const;
+  void gemm_fp32c_packed(int m, int n, int k, const std::complex<float>* a,
+                         int lda, const std::complex<float>* b, int ldb,
+                         std::complex<float>* c, int ldc) const;
+
+  /// GEMM over panels packed by the caller (the tiled driver packs at
+  /// stage time). Computes the [row0, row0+m) x [col0, col0+n) block of
+  /// A*B over the panels' full shared K, accumulating into C.
+  void gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
+                           const PackedPanelFp32B& b, int col0, int m, int n,
+                           float* c, int ldc) const;
+  void gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
+                            const PackedPanelFp32cB& b, int col0, int m,
+                            int n, std::complex<float>* c, int ldc) const;
+
  private:
   template <int kSteps>
-  fp::Unpacked run_steps(const std::array<StepOperands, kSteps>& steps,
+  fp::Unpacked run_steps(const std::array<StepView, kSteps>& steps,
                          const fp::Unpacked& c, const DpUnit& unit,
                          int prec) const;
 

@@ -1,0 +1,187 @@
+#include "core/packed_panel.hpp"
+
+#include "common/check.hpp"
+#include "core/data_assignment.hpp"
+#include "fp/split.hpp"
+
+namespace m3xu::core {
+
+namespace {
+
+struct SplitLanes {
+  LaneOperand hi;
+  LaneOperand lo;
+};
+
+SplitLanes split_lanes(float v) {
+  const fp::HwSplit s = fp::split_fp32_hw(v);
+  return {from_hw_part(s.hi), from_hw_part(s.lo)};
+}
+
+}  // namespace
+
+void pack_fp32_a(const float* a, int lda, int rows, int k,
+                 PackedPanelFp32A& out) {
+  M3XU_CHECK(rows >= 0 && k >= 0 && lda >= k);
+  out.rows = rows;
+  out.k = k;
+  out.has_special = false;
+  const std::size_t elems = static_cast<std::size_t>(rows) * k;
+  out.lanes.resize(elems * 2);
+  out.cls.resize(elems);
+  out.special.assign(elems, 0);
+  for (int r = 0; r < rows; ++r) {
+    const float* row = a + static_cast<std::size_t>(r) * lda;
+    for (int kk = 0; kk < k; ++kk) {
+      const float v = row[kk];
+      const std::size_t e = static_cast<std::size_t>(r) * k + kk;
+      if (DataAssignmentStage::is_special_fp32(v)) {
+        out.has_special = true;
+        out.special[e] = 1;
+        out.cls[e] = DataAssignmentStage::class_operand_fp32(v);
+        out.lanes[2 * e] = LaneOperand{};
+        out.lanes[2 * e + 1] = LaneOperand{};
+        continue;
+      }
+      out.cls[e] = DataAssignmentStage::class_operand_fp32(v);
+      const SplitLanes s = split_lanes(v);
+      out.lanes[2 * e] = s.hi;
+      out.lanes[2 * e + 1] = s.lo;
+    }
+  }
+}
+
+void pack_fp32_b(const float* b, int ldb, int k, int cols,
+                 PackedPanelFp32B& out) {
+  M3XU_CHECK(k >= 0 && cols >= 0 && ldb >= cols);
+  out.k = k;
+  out.cols = cols;
+  out.has_special = false;
+  const std::size_t elems = static_cast<std::size_t>(cols) * k;
+  out.like.resize(elems * 2);
+  out.swapped.resize(elems * 2);
+  out.cls.resize(elems);
+  out.special.assign(elems, 0);
+  for (int j = 0; j < cols; ++j) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float v = b[static_cast<std::size_t>(kk) * ldb + j];
+      const std::size_t e = static_cast<std::size_t>(j) * k + kk;
+      if (DataAssignmentStage::is_special_fp32(v)) {
+        out.has_special = true;
+        out.special[e] = 1;
+        out.cls[e] = DataAssignmentStage::class_operand_fp32(v);
+        out.like[2 * e] = LaneOperand{};
+        out.like[2 * e + 1] = LaneOperand{};
+        out.swapped[2 * e] = LaneOperand{};
+        out.swapped[2 * e + 1] = LaneOperand{};
+        continue;
+      }
+      out.cls[e] = DataAssignmentStage::class_operand_fp32(v);
+      const SplitLanes s = split_lanes(v);
+      out.like[2 * e] = s.hi;
+      out.like[2 * e + 1] = s.lo;
+      out.swapped[2 * e] = s.lo;
+      out.swapped[2 * e + 1] = s.hi;
+    }
+  }
+}
+
+void pack_fp32c_a(const std::complex<float>* a, int lda, int rows, int k,
+                  PackedPanelFp32cA& out) {
+  M3XU_CHECK(rows >= 0 && k >= 0 && lda >= k);
+  out.rows = rows;
+  out.k = k;
+  out.has_special = false;
+  const std::size_t elems = static_cast<std::size_t>(rows) * k;
+  out.real_lanes.assign(elems * 4, LaneOperand{});
+  out.imag_lanes.assign(elems * 4, LaneOperand{});
+  out.cls.resize(elems * 2);
+  out.special.assign(elems * 2, 0);
+  for (int r = 0; r < rows; ++r) {
+    const std::complex<float>* row = a + static_cast<std::size_t>(r) * lda;
+    for (int kk = 0; kk < k; ++kk) {
+      const float re = row[kk].real();
+      const float im = row[kk].imag();
+      const std::size_t e = static_cast<std::size_t>(r) * k + kk;
+      out.cls[2 * e] = DataAssignmentStage::class_operand_fp32(re);
+      out.cls[2 * e + 1] = DataAssignmentStage::class_operand_fp32(im);
+      if (DataAssignmentStage::is_special_fp32(re)) {
+        out.has_special = true;
+        out.special[2 * e] = 1;
+      } else {
+        const SplitLanes s = split_lanes(re);
+        out.real_lanes[4 * e] = s.hi;
+        out.real_lanes[4 * e + 1] = s.lo;
+        out.imag_lanes[4 * e] = s.hi;
+        out.imag_lanes[4 * e + 1] = s.lo;
+      }
+      if (DataAssignmentStage::is_special_fp32(im)) {
+        out.has_special = true;
+        out.special[2 * e + 1] = 1;
+      } else {
+        const SplitLanes s = split_lanes(im);
+        out.real_lanes[4 * e + 2] = s.hi.negated();
+        out.real_lanes[4 * e + 3] = s.lo.negated();
+        out.imag_lanes[4 * e + 2] = s.hi;
+        out.imag_lanes[4 * e + 3] = s.lo;
+      }
+    }
+  }
+}
+
+void pack_fp32c_b(const std::complex<float>* b, int ldb, int k, int cols,
+                  PackedPanelFp32cB& out) {
+  M3XU_CHECK(k >= 0 && cols >= 0 && ldb >= cols);
+  out.k = k;
+  out.cols = cols;
+  out.has_special = false;
+  const std::size_t elems = static_cast<std::size_t>(cols) * k;
+  out.real_like.assign(elems * 4, LaneOperand{});
+  out.real_swap.assign(elems * 4, LaneOperand{});
+  out.imag_like.assign(elems * 4, LaneOperand{});
+  out.imag_swap.assign(elems * 4, LaneOperand{});
+  out.cls.resize(elems * 2);
+  out.special.assign(elems * 2, 0);
+  for (int j = 0; j < cols; ++j) {
+    for (int kk = 0; kk < k; ++kk) {
+      const std::complex<float> v = b[static_cast<std::size_t>(kk) * ldb + j];
+      const std::size_t e = static_cast<std::size_t>(j) * k + kk;
+      out.cls[2 * e] = DataAssignmentStage::class_operand_fp32(v.real());
+      out.cls[2 * e + 1] = DataAssignmentStage::class_operand_fp32(v.imag());
+      SplitLanes sre{};
+      SplitLanes sim{};
+      if (DataAssignmentStage::is_special_fp32(v.real())) {
+        out.has_special = true;
+        out.special[2 * e] = 1;
+      } else {
+        sre = split_lanes(v.real());
+      }
+      if (DataAssignmentStage::is_special_fp32(v.imag())) {
+        out.has_special = true;
+        out.special[2 * e + 1] = 1;
+      } else {
+        sim = split_lanes(v.imag());
+      }
+      // Real part reads BR then BI, imag part BI then BR; the crossed
+      // step swaps hi/lo within each component pair.
+      out.real_like[4 * e] = sre.hi;
+      out.real_like[4 * e + 1] = sre.lo;
+      out.real_like[4 * e + 2] = sim.hi;
+      out.real_like[4 * e + 3] = sim.lo;
+      out.real_swap[4 * e] = sre.lo;
+      out.real_swap[4 * e + 1] = sre.hi;
+      out.real_swap[4 * e + 2] = sim.lo;
+      out.real_swap[4 * e + 3] = sim.hi;
+      out.imag_like[4 * e] = sim.hi;
+      out.imag_like[4 * e + 1] = sim.lo;
+      out.imag_like[4 * e + 2] = sre.hi;
+      out.imag_like[4 * e + 3] = sre.lo;
+      out.imag_swap[4 * e] = sim.lo;
+      out.imag_swap[4 * e + 1] = sim.hi;
+      out.imag_swap[4 * e + 2] = sre.lo;
+      out.imag_swap[4 * e + 3] = sre.hi;
+    }
+  }
+}
+
+}  // namespace m3xu::core

@@ -31,6 +31,27 @@ Matrix<std::complex<float>> apply_op(const Matrix<std::complex<float>>& m,
   return t;
 }
 
+/// Validates a strided-batched call against the packed-layout contract
+/// documented in blas.hpp: each batch matrix is read with lda=k, ldb=n,
+/// ldc=n, so consecutive batches must be at least one packed matrix
+/// apart (undersized or negative strides would silently alias them).
+/// Strides are unused when batch_count <= 1.
+void check_batched(int m, int n, int k, long stride_a, long stride_b,
+                   long stride_c, int batch_count) {
+  M3XU_CHECK_MSG(batch_count >= 0, "batch_count must be non-negative");
+  M3XU_CHECK_MSG(m >= 0 && n >= 0 && k >= 0,
+                 "strided-batched GEMM dims must be non-negative");
+  if (batch_count <= 1) return;
+  M3XU_CHECK_MSG(stride_a >= 0 && stride_b >= 0 && stride_c >= 0,
+                 "strided-batched GEMM strides must be non-negative");
+  M3XU_CHECK_MSG(stride_a >= static_cast<long>(m) * k,
+                 "stride_a must be >= m*k (packed row-major batches)");
+  M3XU_CHECK_MSG(stride_b >= static_cast<long>(k) * n,
+                 "stride_b must be >= k*n (packed row-major batches)");
+  M3XU_CHECK_MSG(stride_c >= static_cast<long>(m) * n,
+                 "stride_c must be >= m*n (packed row-major batches)");
+}
+
 }  // namespace
 
 void blas_sgemm(const BlasParams& params, SgemmKernel kernel,
@@ -82,13 +103,13 @@ void blas_sgemm_strided_batched(SgemmKernel kernel,
                                 int k, const float* a, long stride_a,
                                 const float* b, long stride_b, float* c,
                                 long stride_c, int batch_count) {
-  M3XU_CHECK(batch_count >= 0);
+  check_batched(m, n, k, stride_a, stride_b, stride_c, batch_count);
   if (kernel == SgemmKernel::kM3xu) {
     // Native mode: parallelize over batches (the per-batch engine call
-    // is serial).
+    // is serial); each batch packs its operands once and streams them.
     parallel_for(static_cast<std::size_t>(batch_count), [&](std::size_t i) {
-      engine.gemm_fp32(m, n, k, a + i * stride_a, k, b + i * stride_b, n,
-                       c + i * stride_c, n);
+      engine.gemm_fp32_packed(m, n, k, a + i * stride_a, k, b + i * stride_b,
+                              n, c + i * stride_c, n);
     });
     return;
   }
@@ -111,11 +132,11 @@ void blas_cgemm_strided_batched(CgemmKernel kernel,
                                 long stride_a, const std::complex<float>* b,
                                 long stride_b, std::complex<float>* c,
                                 long stride_c, int batch_count) {
-  M3XU_CHECK(batch_count >= 0);
+  check_batched(m, n, k, stride_a, stride_b, stride_c, batch_count);
   if (kernel == CgemmKernel::kM3xu) {
     parallel_for(static_cast<std::size_t>(batch_count), [&](std::size_t i) {
-      engine.gemm_fp32c(m, n, k, a + i * stride_a, k, b + i * stride_b, n,
-                        c + i * stride_c, n);
+      engine.gemm_fp32c_packed(m, n, k, a + i * stride_a, k,
+                               b + i * stride_b, n, c + i * stride_c, n);
     });
     return;
   }

@@ -50,6 +50,15 @@ void blas_cgemm(const BlasParamsC& params, CgemmKernel kernel,
 /// and attention-style workloads use): batch_count independent
 /// m x n x k products over flat buffers with per-matrix strides.
 /// C[i] = A[i] * B[i] + C[i]. Batches run on the global thread pool.
+///
+/// Packed-layout contract: batch i's matrices start at a + i*stride_a,
+/// b + i*stride_b, c + i*stride_c and are read/written *packed*
+/// row-major - lda = k, ldb = n, ldc = n. There is no per-matrix
+/// leading-dimension parameter (matching cublasGemmStridedBatched's
+/// common packed usage); strides only space the batches out. With
+/// batch_count > 1 the entry points enforce stride_a >= m*k,
+/// stride_b >= k*n, stride_c >= m*n and non-negative strides, so
+/// undersized strides cannot silently alias consecutive batches.
 void blas_sgemm_strided_batched(SgemmKernel kernel,
                                 const core::M3xuEngine& engine, int m, int n,
                                 int k, const float* a, long stride_a,

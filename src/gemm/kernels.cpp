@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/packed_panel.hpp"
 #include "fp/split.hpp"
 #include "gemm/reference.hpp"
 
@@ -140,13 +141,21 @@ void run_sgemm(SgemmKernel kernel, const core::M3xuEngine& engine,
       bf16_pass(engine, sa.hi, sb.hi, c);
       return;
     }
-    case SgemmKernel::kM3xu:
+    case SgemmKernel::kM3xu: {
+      // Packed fast path: B is split once and shared read-only across
+      // all row blocks; each block splits only its own A rows.
+      core::PackedPanelFp32B pb;
+      core::pack_fp32_b(b.data(), b.ld(), b.rows(), b.cols(), pb);
       over_row_blocks(a.rows(), [&](int r0, int rc) {
-        engine.gemm_fp32(rc, b.cols(), a.cols(), a.data() + r0 * a.ld(),
-                         a.ld(), b.data(), b.ld(), c.data() + r0 * c.ld(),
-                         c.ld());
+        core::PackedPanelFp32A pa;
+        core::pack_fp32_a(a.data() + static_cast<std::size_t>(r0) * a.ld(),
+                          a.ld(), rc, a.cols(), pa);
+        engine.gemm_fp32_prepacked(
+            pa, 0, pb, 0, rc, b.cols(),
+            c.data() + static_cast<std::size_t>(r0) * c.ld(), c.ld());
       });
       return;
+    }
   }
 }
 
@@ -180,13 +189,19 @@ void run_cgemm(CgemmKernel kernel, const core::M3xuEngine& engine,
       }
       return;
     }
-    case CgemmKernel::kM3xu:
+    case CgemmKernel::kM3xu: {
+      core::PackedPanelFp32cB pb;
+      core::pack_fp32c_b(b.data(), b.ld(), b.rows(), b.cols(), pb);
       over_row_blocks(a.rows(), [&](int r0, int rc) {
-        engine.gemm_fp32c(rc, b.cols(), a.cols(), a.data() + r0 * a.ld(),
-                          a.ld(), b.data(), b.ld(), c.data() + r0 * c.ld(),
-                          c.ld());
+        core::PackedPanelFp32cA pa;
+        core::pack_fp32c_a(a.data() + static_cast<std::size_t>(r0) * a.ld(),
+                           a.ld(), rc, a.cols(), pa);
+        engine.gemm_fp32c_prepacked(
+            pa, 0, pb, 0, rc, b.cols(),
+            c.data() + static_cast<std::size_t>(r0) * c.ld(), c.ld());
       });
       return;
+    }
   }
 }
 

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
-#include <functional>
 #include <mutex>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "core/packed_panel.hpp"
 
 namespace m3xu::gemm {
 
@@ -79,18 +79,58 @@ struct ChecksumTraits<std::complex<float>> {
   static double residual(Acc v) { return std::abs(v); }
 };
 
+/// Packed-path glue per element type: staged panels are split once per
+/// mainloop iteration (at the stage step, where the shared-memory model
+/// already touches every element) and every warp tile streams the
+/// packed fragments through the engine's prepacked GEMM.
 template <typename T>
-using MmaCall = std::function<void(int, int, int, const T*, int, const T*,
-                                   int, T*, int)>;
+struct PackedOps;
 
-/// Shared implementation over the element type. `mma` runs the caller's
-/// (possibly fault-injected) engine; `mma_clean` the fault-free clone
-/// used for ABFT recompute.
+template <>
+struct PackedOps<float> {
+  using PanelA = core::PackedPanelFp32A;
+  using PanelB = core::PackedPanelFp32B;
+  static void pack_a(const float* p, int ld, int rows, int k, PanelA& out) {
+    core::pack_fp32_a(p, ld, rows, k, out);
+  }
+  static void pack_b(const float* p, int ld, int k, int cols, PanelB& out) {
+    core::pack_fp32_b(p, ld, k, cols, out);
+  }
+  static void mma(const core::M3xuEngine& engine, const PanelA& a, int row0,
+                  const PanelB& b, int col0, int m, int n, float* c,
+                  int ldc) {
+    engine.gemm_fp32_prepacked(a, row0, b, col0, m, n, c, ldc);
+  }
+};
+
+template <>
+struct PackedOps<std::complex<float>> {
+  using PanelA = core::PackedPanelFp32cA;
+  using PanelB = core::PackedPanelFp32cB;
+  static void pack_a(const std::complex<float>* p, int ld, int rows, int k,
+                     PanelA& out) {
+    core::pack_fp32c_a(p, ld, rows, k, out);
+  }
+  static void pack_b(const std::complex<float>* p, int ld, int k, int cols,
+                     PanelB& out) {
+    core::pack_fp32c_b(p, ld, k, cols, out);
+  }
+  static void mma(const core::M3xuEngine& engine, const PanelA& a, int row0,
+                  const PanelB& b, int col0, int m, int n,
+                  std::complex<float>* c, int ldc) {
+    engine.gemm_fp32c_prepacked(a, row0, b, col0, m, n, c, ldc);
+  }
+};
+
+/// Shared implementation over the element type. `engine` is the
+/// caller's (possibly fault-injected) engine; `clean` the fault-free
+/// clone used for ABFT recompute.
 template <typename T>
 TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
                          const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
                          int inst_k, int inst_m, int inst_n, double eps_chunk,
-                         const MmaCall<T>& mma, const MmaCall<T>& mma_clean) {
+                         const core::M3xuEngine& engine,
+                         const core::M3xuEngine& clean) {
   using Traits = ChecksumTraits<T>;
   using Acc = typename Traits::Acc;
   // K-chunk boundaries must coincide with the engine's instruction
@@ -102,6 +142,32 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
   std::mutex stats_mu;
   TiledGemmStats stats;
   stats.block_tiles = grid.tiles();
+
+  // ABFT column-checksum ingredients: asum/amag depend only on a tile's
+  // block-row (sum over its A rows), so compute them once per block row
+  // instead of once per tile - an O(grid_n) saving on the O(m_eff * k)
+  // scan. Cached values are bit-identical to a per-tile recompute (same
+  // summation order), so detection behavior is unchanged.
+  std::vector<std::vector<Acc>> row_asum;
+  std::vector<std::vector<double>> row_amag;
+  if (abft.enable) {
+    row_asum.resize(static_cast<std::size_t>(grid.grid_m));
+    row_amag.resize(static_cast<std::size_t>(grid.grid_m));
+    parallel_for(static_cast<std::size_t>(grid.grid_m), [&](std::size_t r) {
+      const int bm = static_cast<int>(r) * cfg.block_m;
+      const int m_eff = std::min(cfg.block_m, m - bm);
+      std::vector<Acc>& asum = row_asum[r];
+      std::vector<double>& amag = row_amag[r];
+      asum.assign(static_cast<std::size_t>(k), Acc{});
+      amag.assign(static_cast<std::size_t>(k), 0.0);
+      for (int i = 0; i < m_eff; ++i) {
+        for (int kk = 0; kk < k; ++kk) {
+          asum[kk] += Traits::widen(a(bm + i, kk));
+          amag[kk] += Traits::mag(a(bm + i, kk));
+        }
+      }
+    });
+  }
 
   parallel_for(static_cast<std::size_t>(grid.tiles()), [&](std::size_t t) {
     const int bm = static_cast<int>(t / grid.grid_n) * cfg.block_m;
@@ -120,12 +186,15 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
     // One pass of the tile mainloop into `frag` (which must hold the
     // initial C fragment). Traffic counters accumulate into `counters`
     // on the first pass only; ABFT recomputes are tracked separately.
-    const auto compute_tile = [&](const MmaCall<T>& mma_fn,
+    const auto compute_tile = [&](const core::M3xuEngine& eng,
                                   std::vector<T>& frag,
                                   TiledGemmStats* counters) {
-      // Staging buffers (the shared-memory model).
+      // Staging buffers (the shared-memory model) and their packed
+      // lane-operand panels, split once per mainloop iteration.
       std::vector<T> a_stage(static_cast<std::size_t>(m_eff) * cfg.block_k);
       std::vector<T> b_stage(static_cast<std::size_t>(cfg.block_k) * n_eff);
+      typename PackedOps<T>::PanelA a_panel;
+      typename PackedOps<T>::PanelB b_panel;
       for (int k0 = 0; k0 < k; k0 += cfg.block_k) {
         const int kc = std::min(cfg.block_k, k - k0);
         // Stage the A and B panels (cp.async in the real kernel).
@@ -141,6 +210,8 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
                 b(k0 + kk, bn + j);
           }
         }
+        PackedOps<T>::pack_a(a_stage.data(), cfg.block_k, m_eff, kc, a_panel);
+        PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff, b_panel);
         if (counters != nullptr) {
           counters->staged_bytes +=
               static_cast<double>(m_eff + n_eff) * kc * sizeof(T);
@@ -151,11 +222,10 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
           const int wm_eff = std::min(cfg.warp_m, m_eff - wm);
           for (int wn = 0; wn < n_eff; wn += cfg.warp_n) {
             const int wn_eff = std::min(cfg.warp_n, n_eff - wn);
-            mma_fn(wm_eff, wn_eff, kc,
-                   a_stage.data() + static_cast<std::size_t>(wm) * cfg.block_k,
-                   cfg.block_k, b_stage.data() + wn, n_eff,
-                   frag.data() + static_cast<std::size_t>(wm) * n_eff + wn,
-                   n_eff);
+            PackedOps<T>::mma(
+                eng, a_panel, wm, b_panel, wn, wm_eff, wn_eff,
+                frag.data() + static_cast<std::size_t>(wm) * n_eff + wn,
+                n_eff);
             if (counters != nullptr) {
               counters->mma_instructions +=
                   instr_count(wm_eff, wn_eff, kc, inst_m, inst_n, inst_k);
@@ -166,21 +236,18 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
     };
 
     std::vector<T> c_frag = c_in;
-    compute_tile(mma, c_frag, &local);
+    compute_tile(engine, c_frag, &local);
 
     if (abft.enable) {
       ++local.abft_tile_checks;
       // Column checksums over the tile: expected_j = sum_i C_in[i][j]
       // + sum_k (sum_i A[i][k]) * B[k][j], and the magnitude sum that
-      // scales the rounding tolerance.
-      std::vector<Acc> asum(static_cast<std::size_t>(k), Acc{});
-      std::vector<double> amag(static_cast<std::size_t>(k), 0.0);
-      for (int i = 0; i < m_eff; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-          asum[kk] += Traits::widen(a(bm + i, kk));
-          amag[kk] += Traits::mag(a(bm + i, kk));
-        }
-      }
+      // scales the rounding tolerance. asum/amag come from the
+      // per-block-row cache computed above.
+      const std::vector<Acc>& asum =
+          row_asum[static_cast<std::size_t>(t / grid.grid_n)];
+      const std::vector<double>& amag =
+          row_amag[static_cast<std::size_t>(t / grid.grid_n)];
       std::vector<Acc> expected(static_cast<std::size_t>(n_eff), Acc{});
       std::vector<double> tol(static_cast<std::size_t>(n_eff), 0.0);
       for (int j = 0; j < n_eff; ++j) {
@@ -215,7 +282,7 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
         const int attempts = std::max(1, abft.max_recompute);
         for (int attempt = 0; attempt < attempts && !resolved; ++attempt) {
           std::vector<T> redo = c_in;
-          compute_tile(mma_clean, redo, nullptr);
+          compute_tile(clean, redo, nullptr);
           ++local.abft_recomputed;
           if (verify(redo)) {
             c_frag = std::move(redo);
@@ -302,20 +369,9 @@ TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32);
   validate_entry(config, shape.k, a, b, c);
   const core::M3xuEngine clean(clean_config(engine));
-  const MmaCall<float> mma = [&](int mm, int nn, int kk, const float* pa,
-                                 int lda, const float* pb, int ldb, float* pc,
-                                 int ldc) {
-    engine.gemm_fp32(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
-  };
-  const MmaCall<float> mma_clean = [&](int mm, int nn, int kk,
-                                       const float* pa, int lda,
-                                       const float* pb, int ldb, float* pc,
-                                       int ldc) {
-    clean.gemm_fp32(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
-  };
   return run_tiled<float>(config, abft, a, b, c, shape.k, shape.m, shape.n,
-                          eps_per_chunk(engine.config().accum_prec), mma,
-                          mma_clean);
+                          eps_per_chunk(engine.config().accum_prec), engine,
+                          clean);
 }
 
 TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
@@ -335,18 +391,9 @@ TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
   validate_entry(config, shape.k, a, b, c);
   const core::M3xuEngine clean(clean_config(engine));
   using C = std::complex<float>;
-  const MmaCall<C> mma = [&](int mm, int nn, int kk, const C* pa, int lda,
-                             const C* pb, int ldb, C* pc, int ldc) {
-    engine.gemm_fp32c(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
-  };
-  const MmaCall<C> mma_clean = [&](int mm, int nn, int kk, const C* pa,
-                                   int lda, const C* pb, int ldb, C* pc,
-                                   int ldc) {
-    clean.gemm_fp32c(mm, nn, kk, pa, lda, pb, ldb, pc, ldc);
-  };
   return run_tiled<C>(config, abft, a, b, c, shape.k, shape.m, shape.n,
-                      eps_per_chunk(engine.config().accum_prec), mma,
-                      mma_clean);
+                      eps_per_chunk(engine.config().accum_prec), engine,
+                      clean);
 }
 
 double abft_column_tolerance(const core::M3xuEngine& engine,

@@ -188,6 +188,46 @@ TEST(Rng, AnyFiniteFloatIsFinite) {
   }
 }
 
+TEST(Rng, NextBelowDeterministicAndInRange) {
+  Rng a(31), b(31);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t n = 1 + (i % 257);
+    const std::uint64_t v = a.next_below(n);
+    EXPECT_LT(v, n);
+    EXPECT_EQ(v, b.next_below(n));
+  }
+  EXPECT_EQ(a.next_below(0), 0u);
+  EXPECT_EQ(a.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowPowerOfTwoMatchesMaskedDraw) {
+  // Power-of-two ranges take the mask fast path: bitwise identical to
+  // masking the raw draw, so pre-existing fixed-seed sequences that
+  // used po2 ranges are unchanged by the rejection-sampling fix.
+  Rng a(77), b(77);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t n = std::uint64_t{1} << (i % 33);
+    EXPECT_EQ(a.next_below(n), b.next_u64() & (n - 1));
+  }
+}
+
+TEST(Rng, NextBelowHasNoModuloBias) {
+  // n = 3 * 2^62: plain `next_u64() % n` would map [0, 2^64) onto
+  // residues where values below 2^62 appear twice as often (the wrap
+  // [3*2^62, 2^64) covers only them), i.e. ~50% of draws instead of the
+  // uniform 1/3. Rejection sampling must restore ~1/3.
+  const std::uint64_t n = 3ull << 62;
+  const std::uint64_t third = 1ull << 62;
+  Rng rng(123);
+  int below = 0;
+  const int trials = 30'000;
+  for (int i = 0; i < trials; ++i) {
+    below += rng.next_below(n) < third ? 1 : 0;
+  }
+  const double frac = static_cast<double>(below) / trials;
+  EXPECT_NEAR(frac, 1.0 / 3.0, 0.02);  // biased modulo would give ~0.5
+}
+
 TEST(Rng, NormalHasPlausibleMoments) {
   Rng rng(9);
   double sum = 0.0, sum2 = 0.0;

@@ -234,6 +234,40 @@ TEST(BlasDeathTest, RealEntryPointRejectsConjugate) {
   EXPECT_DEATH(blas_sgemm(p, SgemmKernel::kSimt, engine, a, b, c), "");
 }
 
+TEST(BlasDeathTest, BatchedRejectsUndersizedOrNegativeStrides) {
+  // The packed-layout contract (blas.hpp): batches are dense m*k / k*n /
+  // m*n blocks, so with batch_count > 1 any stride below those floors
+  // (or negative) would read one batch's tail as the next batch's head.
+  const core::M3xuEngine engine;
+  const int m = 4, n = 5, k = 6, batches = 2;
+  std::vector<float> a(batches * m * k, 0.5f), b(batches * k * n, 0.25f);
+  std::vector<float> c(batches * m * n, 0.0f);
+  const auto run = [&](long sa, long sb, long sc) {
+    blas_sgemm_strided_batched(SgemmKernel::kM3xu, engine, m, n, k, a.data(),
+                               sa, b.data(), sb, c.data(), sc, batches);
+  };
+  EXPECT_DEATH(run(m * k - 1, k * n, m * n), "stride_a");
+  EXPECT_DEATH(run(m * k, k * n - 1, m * n), "stride_b");
+  EXPECT_DEATH(run(m * k, k * n, m * n - 1), "stride_c");
+  EXPECT_DEATH(run(-1, k * n, m * n), "non-negative");
+
+  using C = std::complex<float>;
+  std::vector<C> ca(batches * m * k), cb(batches * k * n), cc(batches * m * n);
+  EXPECT_DEATH(
+      blas_cgemm_strided_batched(CgemmKernel::kM3xu, engine, m, n, k,
+                                 ca.data(), m * k, cb.data(), -2, cc.data(),
+                                 m * n, batches),
+      "non-negative");
+  EXPECT_DEATH(
+      blas_cgemm_strided_batched(CgemmKernel::kM3xu, engine, m, n, k,
+                                 ca.data(), m * k, cb.data(), k * n,
+                                 cc.data(), m * n - 1, batches),
+      "stride_c");
+  // batch_count == 1 never strides, so the floors do not apply.
+  blas_sgemm_strided_batched(SgemmKernel::kM3xu, engine, m, n, k, a.data(),
+                             0, b.data(), 0, c.data(), 0, 1);
+}
+
 TEST(BlasSgemm, DoubleTransposeIsPlain) {
   const core::M3xuEngine engine;
   const auto a = random_matrix(12, 20, 814);

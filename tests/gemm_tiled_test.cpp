@@ -8,6 +8,7 @@
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
 #include "gemm/matrix.hpp"
 #include "gemm/reference.hpp"
 #include "gemm/tiled_driver.hpp"
@@ -176,6 +177,60 @@ TEST(TiledGemm, AbftCleanPathComplexBitIdentical) {
   }
   EXPECT_EQ(s.abft_detected, 0);
   EXPECT_EQ(s.abft_false_alarms, 0);
+}
+
+TEST(TiledGemm, AbftMultiColumnGridSharesRowChecksums) {
+  // A 2x3 block grid: each block row's A column-sum vector is computed
+  // once and reused across the three block columns. Detection behavior
+  // and output bits must be indistinguishable from recomputing it per
+  // tile.
+  const core::M3xuEngine engine;
+  const Problem p = make(96, 130, 72, 511);
+  const TileConfig cfg{48, 48, 24, 24, 24};
+  Matrix<float> flat = p.c;
+  engine.gemm_fp32(96, 130, 72, p.a.data(), p.a.ld(), p.b.data(), p.b.ld(),
+                   flat.data(), flat.ld());
+  Matrix<float> guarded = p.c;
+  const TiledGemmStats s =
+      tiled_sgemm(engine, cfg, AbftConfig{true, 1.0, 2}, p.a, p.b, guarded);
+  for (int i = 0; i < 96; ++i) {
+    for (int j = 0; j < 130; ++j) {
+      ASSERT_EQ(bits_of(guarded(i, j)), bits_of(flat(i, j))) << i << "," << j;
+    }
+  }
+  EXPECT_EQ(s.block_tiles, 2 * 3);
+  EXPECT_EQ(s.abft_tile_checks, s.block_tiles);
+  EXPECT_EQ(s.abft_detected, 0);
+  EXPECT_EQ(s.abft_recomputed, 0);
+  EXPECT_EQ(s.abft_recovered, 0);
+  EXPECT_EQ(s.abft_false_alarms, 0);
+}
+
+TEST(TiledGemm, AbftMultiTileRecoversUnderInjection) {
+  // Detection must keep firing on a multi-tile grid where the cached
+  // per-block-row checksums are shared across block columns.
+  const Problem p = make(96, 96, 48, 512);
+  const TileConfig cfg{48, 48, 24, 24, 24};
+  const core::M3xuEngine clean;
+  Matrix<float> ref = p.c;
+  tiled_sgemm(clean, cfg, p.a, p.b, ref);
+
+  const fault::FaultInjector inj(37, fault::SiteRates::uniform(1e-4));
+  core::M3xuConfig mcfg;
+  mcfg.injector = &inj;
+  const core::M3xuEngine faulty(mcfg);
+  Matrix<float> c = p.c;
+  const TiledGemmStats s =
+      tiled_sgemm(faulty, cfg, AbftConfig{true, 1.0, 4}, p.a, p.b, c);
+  EXPECT_EQ(s.block_tiles, 4);
+  ASSERT_GT(inj.total_injected(), 0u);
+  ASSERT_GT(s.abft_detected, 0);
+  EXPECT_EQ(s.abft_recovered, s.abft_detected);
+  for (int i = 0; i < 96; ++i) {
+    for (int j = 0; j < 96; ++j) {
+      ASSERT_EQ(bits_of(c(i, j)), bits_of(ref(i, j))) << i << "," << j;
+    }
+  }
 }
 
 TEST(TiledGemm, InvalidTileConfigReportsClearMessage) {
