@@ -1,14 +1,18 @@
-// GEMM throughput baseline: the per-dot M3XU route (re-running the
-// data-assignment split inside the (i, j, k-chunk) loop, as the kM3xu
-// kernels did before the packed-operand fast path) vs the packed route
-// (split once per panel, stream lane operands). Emits BENCH_gemm.json
-// so later PRs have a perf trajectory to regress against; also verifies
-// the two routes produce bit-identical C before reporting.
+// GEMM throughput baseline across the three M3XU routes: per-dot
+// (re-running the data-assignment split inside the (i, j, k-chunk)
+// loop), packed (split once per panel, stream lane operands, one
+// output element at a time), and the register-blocked microkernel
+// (packed panels + 4x4 output blocks with pack-time exponent prescan).
+// Emits BENCH_gemm.json so later PRs have a perf trajectory to regress
+// against; also verifies all routes produce bit-identical C before
+// reporting.
 //
 // Flags: --m/--n/--k sgemm geometry (default 512^3), --cm/--cn/--ck
 // cgemm geometry (default 192^3, per-dot complex is ~4x the scalar
-// cost), --reps per timed case, --seed, --out=path (default
+// cost), --reps timed repetitions per case (median reported),
+// --warmup untimed repetitions per case, --seed, --out=path (default
 // BENCH_gemm.json), --json-only to suppress the human-readable table.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -17,7 +21,9 @@
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/microkernel.hpp"
 #include "core/mxu.hpp"
 #include "gemm/kernels.hpp"
 #include "gemm/matrix.hpp"
@@ -47,23 +53,56 @@ void per_dot_row_blocks(int m, const GemmFn& gemm) {
 struct Case {
   std::string name;
   int m, n, k;
-  double seconds;
+  double seconds;  // median of reps
   double gflops;
 };
 
 template <typename Fn>
 Case time_case(const std::string& name, int m, int n, int k,
-               double flops_per_mnk, int reps, const Fn& fn) {
-  double best = 0.0;
+               double flops_per_mnk, int reps, int warmup, const Fn& fn) {
+  for (int r = 0; r < warmup; ++r) fn();
+  std::vector<double> times;
+  times.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
     const double t0 = now_seconds();
     fn();
-    const double dt = now_seconds() - t0;
-    if (r == 0 || dt < best) best = dt;
+    times.push_back(now_seconds() - t0);
   }
-  const double flops =
-      flops_per_mnk * static_cast<double>(m) * n * k;
-  return {name, m, n, k, best, flops / best / 1e9};
+  std::sort(times.begin(), times.end());
+  // Median: middle sample, or mean of the middle two for even reps.
+  const std::size_t h = times.size() / 2;
+  const double med = times.size() % 2 != 0
+                         ? times[h]
+                         : 0.5 * (times[h - 1] + times[h]);
+  const double flops = flops_per_mnk * static_cast<double>(m) * n * k;
+  return {name, m, n, k, med, flops / med / 1e9};
+}
+
+/// Short git revision of the working tree, or "unknown" outside a
+/// checkout (the bench usually runs from the build directory, still
+/// inside the repository).
+std::string git_revision() {
+  std::string rev = "unknown";
+  std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (p != nullptr) {
+    char buf[64];
+    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) rev = s;
+    }
+    ::pclose(p);
+  }
+  return rev;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
 }
 
 }  // namespace
@@ -77,23 +116,29 @@ int main(int argc, char** argv) {
   const int cn = static_cast<int>(cli.get_int("cn", 192));
   const int ck = static_cast<int>(cli.get_int("ck", 192));
   const int reps = static_cast<int>(cli.get_int("reps", 1));
+  const int warmup = static_cast<int>(cli.get_int("warmup", 0));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 12345));
   const std::string out = cli.get("out", "BENCH_gemm.json");
 
   Rng rng(seed);
+  // Per-dot and microkernel routes share the default engine (the
+  // per-dot entry points never reach the microkernel); the packed case
+  // pins the one-element-at-a-time packed path for comparison.
   const core::M3xuEngine engine;
+  core::M3xuConfig packed_cfg;
+  packed_cfg.enable_microkernel = false;
+  const core::M3xuEngine engine_packed(packed_cfg);
   std::vector<Case> cases;
   bool bit_identical = true;
 
   {
-    gemm::Matrix<float> a(m, k), b(k, n), c_perdot(m, n), c_packed(m, n);
+    gemm::Matrix<float> a(m, k), b(k, n);
+    gemm::Matrix<float> c_perdot(m, n), c_packed(m, n), c_micro(m, n);
     gemm::fill_random(a, rng);
     gemm::fill_random(b, rng);
-    c_perdot.fill(0.0f);
-    c_packed.fill(0.0f);
     cases.push_back(time_case(
-        "m3xu_sgemm_perdot", m, n, k, 2.0, reps, [&] {
+        "m3xu_sgemm_perdot", m, n, k, 2.0, reps, warmup, [&] {
           c_perdot.fill(0.0f);
           per_dot_row_blocks<float>(m, [&](int r0, int rc) {
             engine.gemm_fp32(rc, n, k,
@@ -105,23 +150,32 @@ int main(int argc, char** argv) {
           });
         }));
     cases.push_back(time_case(
-        "m3xu_sgemm_packed", m, n, k, 2.0, reps, [&] {
+        "m3xu_sgemm_packed", m, n, k, 2.0, reps, warmup, [&] {
           c_packed.fill(0.0f);
-          gemm::run_sgemm(gemm::SgemmKernel::kM3xu, engine, a, b, c_packed);
+          gemm::run_sgemm(gemm::SgemmKernel::kM3xu, engine_packed, a, b,
+                          c_packed);
+        }));
+    cases.push_back(time_case(
+        "m3xu_sgemm_microkernel", m, n, k, 2.0, reps, warmup, [&] {
+          c_micro.fill(0.0f);
+          gemm::run_sgemm(gemm::SgemmKernel::kM3xu, engine, a, b, c_micro);
         }));
     bit_identical = bit_identical &&
                     std::memcmp(c_perdot.data(), c_packed.data(),
+                                c_perdot.size() * sizeof(float)) == 0 &&
+                    std::memcmp(c_perdot.data(), c_micro.data(),
                                 c_perdot.size() * sizeof(float)) == 0;
   }
 
   {
     gemm::Matrix<std::complex<float>> a(cm, ck), b(ck, cn);
     gemm::Matrix<std::complex<float>> c_perdot(cm, cn), c_packed(cm, cn);
+    gemm::Matrix<std::complex<float>> c_micro(cm, cn);
     gemm::fill_random(a, rng);
     gemm::fill_random(b, rng);
     // 8 real flops per complex multiply-add.
     cases.push_back(time_case(
-        "m3xu_cgemm_perdot", cm, cn, ck, 8.0, reps, [&] {
+        "m3xu_cgemm_perdot", cm, cn, ck, 8.0, reps, warmup, [&] {
           c_perdot.fill({});
           per_dot_row_blocks<std::complex<float>>(cm, [&](int r0, int rc) {
             engine.gemm_fp32c(
@@ -132,35 +186,60 @@ int main(int argc, char** argv) {
           });
         }));
     cases.push_back(time_case(
-        "m3xu_cgemm_packed", cm, cn, ck, 8.0, reps, [&] {
+        "m3xu_cgemm_packed", cm, cn, ck, 8.0, reps, warmup, [&] {
           c_packed.fill({});
-          gemm::run_cgemm(gemm::CgemmKernel::kM3xu, engine, a, b, c_packed);
+          gemm::run_cgemm(gemm::CgemmKernel::kM3xu, engine_packed, a, b,
+                          c_packed);
+        }));
+    cases.push_back(time_case(
+        "m3xu_cgemm_microkernel", cm, cn, ck, 8.0, reps, warmup, [&] {
+          c_micro.fill({});
+          gemm::run_cgemm(gemm::CgemmKernel::kM3xu, engine, a, b, c_micro);
         }));
     bit_identical =
         bit_identical &&
         std::memcmp(c_perdot.data(), c_packed.data(),
+                    c_perdot.size() * sizeof(std::complex<float>)) == 0 &&
+        std::memcmp(c_perdot.data(), c_micro.data(),
                     c_perdot.size() * sizeof(std::complex<float>)) == 0;
   }
 
   const double sgemm_speedup = cases[0].seconds / cases[1].seconds;
-  const double cgemm_speedup = cases[2].seconds / cases[3].seconds;
+  const double sgemm_micro_speedup = cases[1].seconds / cases[2].seconds;
+  const double cgemm_speedup = cases[3].seconds / cases[4].seconds;
+  const double cgemm_micro_speedup = cases[4].seconds / cases[5].seconds;
+
+  const std::string rev = git_revision();
+  const std::size_t threads = ThreadPool::global().thread_count();
+  const bool simd = core::microkernel_simd_active();
 
   if (!cli.get_bool("json-only", false)) {
-    std::printf("== GEMM baseline: per-dot vs packed M3XU route ==\n");
-    std::printf("%-20s %6s %6s %6s %10s %10s\n", "case", "m", "n", "k",
+    std::printf("== GEMM baseline: per-dot vs packed vs microkernel ==\n");
+    std::printf("%-24s %6s %6s %6s %10s %10s\n", "case", "m", "n", "k",
                 "seconds", "GFLOP/s");
     for (const Case& c : cases) {
-      std::printf("%-20s %6d %6d %6d %10.3f %10.3f\n", c.name.c_str(), c.m,
+      std::printf("%-24s %6d %6d %6d %10.3f %10.3f\n", c.name.c_str(), c.m,
                   c.n, c.k, c.seconds, c.gflops);
     }
-    std::printf("\nsgemm packed speedup: %.2fx   cgemm packed speedup: %.2fx"
-                "   bit-identical: %s\n\n",
-                sgemm_speedup, cgemm_speedup, bit_identical ? "yes" : "NO");
+    std::printf("\nsgemm: packed %.2fx over per-dot, microkernel %.2fx over "
+                "packed\ncgemm: packed %.2fx over per-dot, microkernel %.2fx "
+                "over packed\nbit-identical: %s   simd: %s   threads: %zu\n\n",
+                sgemm_speedup, sgemm_micro_speedup, cgemm_speedup,
+                cgemm_micro_speedup, bit_identical ? "yes" : "NO",
+                simd ? "avx2" : "scalar", threads);
   }
 
   std::string json = "{\n  \"benchmark\": \"gemm_baseline\",\n";
   json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"warmup\": " + std::to_string(warmup) + ",\n";
   json += "  \"seed\": " + std::to_string(seed) + ",\n";
+  json += "  \"timing\": \"median_of_reps\",\n";
+  json += "  \"environment\": {\n";
+  json += "    \"threads\": " + std::to_string(threads) + ",\n";
+  json += "    \"compiler\": \"" + json_escape(__VERSION__) + "\",\n";
+  json += "    \"git_rev\": \"" + json_escape(rev) + "\",\n";
+  json += std::string("    \"microkernel_simd\": ") +
+          (simd ? "true" : "false") + "\n  },\n";
   json += "  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     char buf[256];
@@ -173,12 +252,15 @@ int main(int argc, char** argv) {
     json += buf;
   }
   json += "  ],\n";
-  char buf[160];
+  char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "  \"sgemm_speedup_packed_vs_perdot\": %.3f,\n"
+                "  \"sgemm_speedup_microkernel_vs_packed\": %.3f,\n"
                 "  \"cgemm_speedup_packed_vs_perdot\": %.3f,\n"
+                "  \"cgemm_speedup_microkernel_vs_packed\": %.3f,\n"
                 "  \"bit_identical\": %s\n}\n",
-                sgemm_speedup, cgemm_speedup, bit_identical ? "true" : "false");
+                sgemm_speedup, sgemm_micro_speedup, cgemm_speedup,
+                cgemm_micro_speedup, bit_identical ? "true" : "false");
   json += buf;
 
   std::FILE* f = std::fopen(out.c_str(), "w");

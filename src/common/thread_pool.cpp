@@ -71,6 +71,11 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, 0, fn);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
@@ -79,8 +84,11 @@ void ThreadPool::parallel_for(std::size_t n,
   Task task;
   task.fn = &fn;
   task.end = n;
-  // Aim for ~4 chunks per thread to balance load without excess atomics.
-  task.chunk = std::max<std::size_t>(1, n / (4 * thread_count()));
+  // Default grain aims for ~4 chunks per thread to balance load
+  // without excess atomics.
+  task.chunk = grain != 0
+                   ? grain
+                   : std::max<std::size_t>(1, n / (4 * thread_count()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     M3XU_CHECK(current_ == nullptr);  // no nested parallel_for
@@ -110,6 +118,11 @@ ThreadPool& ThreadPool::global() {
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   ThreadPool::global().parallel_for(n, fn);
+}
+
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool::global().parallel_for(n, grain, fn);
 }
 
 }  // namespace m3xu

@@ -1,0 +1,515 @@
+#include "core/microkernel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "common/bits.hpp"
+#include "common/check.hpp"
+#include "core/fused_round.hpp"
+#include "fp/exact_accumulator.hpp"
+#include "fp/ext_float.hpp"
+#include "fp/unpacked.hpp"
+
+#ifdef M3XU_ENABLE_SIMD
+#include <immintrin.h>
+#endif
+
+namespace m3xu::core {
+
+bool microkernel_simd_active() {
+#ifdef M3XU_ENABLE_SIMD
+  static const bool active = __builtin_cpu_supports("avx2");
+  return active;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+// --- Element-level operand compaction ---------------------------------
+//
+// The two 12-bit parts of one FP32 operand share a sign and differ by
+// exactly 2^12 in lsb weight (fp/split.hpp), so an element packs into
+// one 64-bit word ab = hi_sig * 2^32 + lo_sig. One 64x64->128 multiply
+// then yields ALL FOUR partial products of an operand pair at disjoint
+// bit ranges:
+//
+//   ab_a * ab_b = (ah*bh) * 2^64 + (ah*bl + al*bh) * 2^32 + (al*bl)
+//
+// (each product is below 2^24 and the crossed sum below 2^25, so the
+// fields cannot carry into each other). The like-parts step (step 0:
+// ah*bh + al*bl) is the top and bottom fields recombined at 24-bit
+// spacing; the crossed step (step 1: ah*bl + al*bh) is the middle
+// field. Both are the exact integers the per-lane path would feed the
+// ExactAccumulator, so the per-step sums - and hence the rounded
+// registers - are bit-for-bit identical.
+
+/// Operand slots per k-chunk: kPackChunkFp32 scalar elements, or
+/// 2 * kPackChunkFp32c component slots (re, im) per complex element.
+constexpr int kMaxSlots = 8;
+static_assert(kMaxSlots == kPackChunkFp32 &&
+              kMaxSlots == 2 * kPackChunkFp32c);
+
+/// One decoded operand stream, one slot per scalar (or complex
+/// component) element. Zero slots hold ab = 0 with exp = the chunk's
+/// min anchor + 12, which keeps every alignment shift in-window while
+/// the zero significand contributes nothing to any sum.
+struct ElemSoA {
+  alignas(32) std::uint64_t ab[kMaxSlots];  // hi_sig << 32 | lo_sig
+  alignas(32) std::int32_t exp[kMaxSlots];  // hi-part exp2
+  alignas(32) std::uint32_t neg[kMaxSlots];
+};
+
+/// One operand pair's partial products for both steps of a register
+/// stream: slot i contributes s0[i] * 2^sh[i] to the like-parts step
+/// and s1[i] * 2^(sh[i]+12) to the crossed step, both with sign
+/// neg[i]. sh is the lsb weight of the pair's combined 48-bit product.
+struct PairTerms {
+  alignas(32) std::uint64_t s0[kMaxSlots];  // ah*bh << 24 | al*bl, < 2^48
+  alignas(32) std::uint64_t s1[kMaxSlots];  // ah*bl + al*bh, < 2^25
+  alignas(32) std::int32_t sh[kMaxSlots];
+  alignas(32) std::uint32_t neg[kMaxSlots];
+};
+
+/// Exponent for zero/tail slots: min_exp is an element anchor (hi exp2
+/// minus 12) while slots store the hi exp2, so anchor + 12 is the
+/// smallest exp any finite slot in the chunk carries.
+inline int fill_exp(const PanelChunkMeta& m) {
+  return (m.flags & PanelChunkMeta::kHasFinite) ? m.min_exp + 12 : 0;
+}
+
+/// Decodes `ns` element slots from a packed [hi, lo] lane stream (fp32
+/// panels: one slot per element; fp32c panels: the 4-lane quad is two
+/// consecutive [hi, lo] pairs, so slots alternate re / im components,
+/// the im slot carrying the packed order's sign - pre-negated in the
+/// real-part A order). Only kFinite/kZero lane classes appear here
+/// (special-free panels), and a kZero hi lane means the element is
+/// zero: the lo part can't be finite without the hi hidden bit. The
+/// tail up to kMaxSlots is zero-filled so the fixed-width term build
+/// stays exact.
+void decode_slots(const LaneOperand* src, int ns, int fill, ElemSoA& out) {
+  for (int t = 0; t < ns; ++t) {
+    const LaneOperand& hi = src[2 * t];
+    const LaneOperand& lo = src[2 * t + 1];
+    const bool fin = hi.cls == LaneOperand::Cls::kFinite;
+    // The lo part shares hi's sign and sits exactly 12 below; its sig
+    // is 0 whenever its lane is kZero, so reading it unconditionally
+    // is exact.
+    out.ab[t] = fin ? (hi.sig << 32) | lo.sig : 0;
+    out.exp[t] = fin ? hi.exp2 : fill;
+    out.neg[t] = fin && hi.sign ? 1u : 0u;
+  }
+  for (int t = ns; t < kMaxSlots; ++t) {
+    out.ab[t] = 0;
+    out.exp[t] = fill;
+    out.neg[t] = 0;
+  }
+}
+
+/// Swaps adjacent slots (re <-> im) for the imag-part pairing, where
+/// a's slot t multiplies b's slot t^1.
+void swap_slots(const ElemSoA& in, ElemSoA& out) {
+  for (int t = 0; t < kMaxSlots; ++t) {
+    out.ab[t] = in.ab[t ^ 1];
+    out.exp[t] = in.exp[t ^ 1];
+    out.neg[t] = in.neg[t ^ 1];
+  }
+}
+
+// --- Pair term build --------------------------------------------------
+//
+// Always processes the full kMaxSlots slots (tail slots have zero
+// significands and in-window exponents) so the SIMD path has no
+// remainder and the accumulation loops have a fixed trip count.
+// `flip_odd` adds a sign flip on odd slots: the imag-part AI*BR
+// entries, whose A slot carries the real-part order's -AI pre-negation
+// that the imaginary part must undo.
+
+void build_pair_scalar(const ElemSoA& a, const ElemSoA& b, bool flip_odd,
+                       PairTerms& t) {
+  for (int i = 0; i < kMaxSlots; ++i) {
+    const unsigned __int128 p =
+        static_cast<unsigned __int128>(a.ab[i]) * b.ab[i];
+    t.s0[i] = (static_cast<std::uint64_t>(p >> 64) << 24) |
+              (static_cast<std::uint64_t>(p) & low_mask(24));
+    t.s1[i] = static_cast<std::uint64_t>(p >> 32) & low_mask(25);
+    t.sh[i] = a.exp[i] + b.exp[i] - 24;
+    t.neg[i] = a.neg[i] ^ b.neg[i] ^ (flip_odd ? (i & 1u) : 0u);
+  }
+}
+
+#ifdef M3XU_ENABLE_SIMD
+__attribute__((target("avx2"))) void build_pair_avx2(const ElemSoA& a,
+                                                     const ElemSoA& b,
+                                                     bool flip_odd,
+                                                     PairTerms& t) {
+  const __m256i m24 = _mm256_set1_epi64x(0xffffff);
+  for (int i = 0; i < kMaxSlots; i += 4) {
+    const __m256i av =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(a.ab + i));
+    const __m256i bv =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(b.ab + i));
+    const __m256i ah = _mm256_srli_epi64(av, 32);
+    const __m256i bh = _mm256_srli_epi64(bv, 32);
+    // mul_epu32 multiplies the low 32 bits of each 64-bit lane, which
+    // hold the 12-bit part sigs exactly.
+    const __m256i hh = _mm256_mul_epu32(ah, bh);
+    const __m256i ll = _mm256_mul_epu32(av, bv);
+    const __m256i hl = _mm256_mul_epu32(ah, bv);
+    const __m256i lh = _mm256_mul_epu32(av, bh);
+    _mm256_store_si256(
+        reinterpret_cast<__m256i*>(t.s0 + i),
+        _mm256_or_si256(_mm256_slli_epi64(hh, 24), _mm256_and_si256(ll, m24)));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(t.s1 + i),
+                       _mm256_add_epi64(hl, lh));
+  }
+  const __m256i ae = _mm256_load_si256(reinterpret_cast<const __m256i*>(a.exp));
+  const __m256i be = _mm256_load_si256(reinterpret_cast<const __m256i*>(b.exp));
+  _mm256_store_si256(
+      reinterpret_cast<__m256i*>(t.sh),
+      _mm256_sub_epi32(_mm256_add_epi32(ae, be), _mm256_set1_epi32(24)));
+  const __m256i an = _mm256_load_si256(reinterpret_cast<const __m256i*>(a.neg));
+  const __m256i bn = _mm256_load_si256(reinterpret_cast<const __m256i*>(b.neg));
+  __m256i nn = _mm256_xor_si256(an, bn);
+  if (flip_odd) {
+    nn = _mm256_xor_si256(nn, _mm256_set_epi32(1, 0, 1, 0, 1, 0, 1, 0));
+  }
+  _mm256_store_si256(reinterpret_cast<__m256i*>(t.neg), nn);
+}
+#endif
+
+inline void build_pair(const ElemSoA& a, const ElemSoA& b, bool flip_odd,
+                       PairTerms& t) {
+#ifdef M3XU_ENABLE_SIMD
+  if (microkernel_simd_active()) {
+    build_pair_avx2(a, b, flip_odd, t);
+    return;
+  }
+#endif
+  build_pair_scalar(a, b, flip_odd, t);
+}
+
+// --- Fused step rounding over prescan windows -------------------------
+
+/// RNE_prec(c + selected step fields of `t`), bit-identical to the
+/// ExactAccumulator route. Mirrors mxu.cpp's fused_round with the
+/// exponent window taken from the pack-time prescan instead of a
+/// per-dot scan: [t_lo, t_hi] bounds every term (t_lo = the sides' min
+/// anchors summed, t_hi = the max lane exponents summed + 23; a pair's
+/// 48-bit product spans [sh, sh+47] with sh >= t_lo and sh+47 <= t_hi,
+/// the crossed field [sh+12, sh+36]). A conservative window only
+/// enlarges the shifts - round_sum128 normalizes on the actual leading
+/// bit - so the rounded value is unchanged; the span check merely
+/// falls back to the generic path a bit earlier than a per-dot scan
+/// would. `kLike`/`kCrossed` select the fields (both together = the
+/// idealized one-rounding-per-instruction sum). `c` may alias `*out`.
+/// Returns false with *out untouched when the chunk needs the generic
+/// ExactAccumulator route.
+template <bool kLike, bool kCrossed>
+bool step_round(const PairTerms& t, bool have_terms, int t_lo, int t_hi,
+                const fp::Unpacked& c, int prec, fp::Unpacked* out) {
+  // A NaN/Inf register short-circuits like the accumulator's sticky
+  // flags (the step sum itself is finite: special-free panels).
+  if (c.cls == fp::FpClass::kNaN) {
+    *out = {};
+    out->cls = fp::FpClass::kNaN;
+    return true;
+  }
+  if (c.cls == fp::FpClass::kInf) {
+    const bool sign = c.sign;
+    *out = {};
+    out->cls = fp::FpClass::kInf;
+    out->sign = sign;
+    return true;
+  }
+  int lo = 0;
+  int hi = 0;
+  bool any = false;
+  if (have_terms) {
+    lo = t_lo;
+    hi = t_hi;
+    any = true;
+  }
+  std::uint64_t rsig = 0;
+  int rexp = 0;
+  bool rneg = false;
+  if (c.cls == fp::FpClass::kNormal) {
+    // The register holds a prec-bit value (rounded to prec every step;
+    // the chunk-boundary C has <= 24 <= prec significant bits).
+    const int drop = fp::Unpacked::kSigTop - (prec - 1);
+    if ((c.sig & low_mask(drop)) != 0) return false;
+    rsig = c.sig >> drop;
+    rexp = c.exp - (prec - 1);
+    rneg = c.sign;
+    if (!any) {
+      lo = rexp;
+      hi = c.exp;
+      any = true;
+    } else {
+      lo = std::min(lo, rexp);
+      hi = std::max(hi, c.exp);
+    }
+  }
+  if (!any) {
+    *out = {};  // empty sum: exact +0, as ExactAccumulator rounds it
+    return true;
+  }
+  // Addend magnitudes: a like field is below 2^48 shifted by at most
+  // hi-lo-47, a crossed field below 2^25 shifted by at most hi-lo-35,
+  // the register below 2^(hi-lo+1); with <= 17 addends the sum stays
+  // under 2^(hi-lo+6) <= 2^124, inside the signed 128-bit window.
+  if (hi - lo > 118) return false;
+  unsigned __int128 sum = 0;
+  if (have_terms) {
+    // Branchless sign application ((v ^ m) - m with m = 0 or ~0): the
+    // signs are data-dependent, so a select beats a mispredicted
+    // branch in this 8-wide fixed-trip loop.
+    if (kLike) {
+      for (int i = 0; i < kMaxSlots; ++i) {
+        const unsigned __int128 v = static_cast<unsigned __int128>(t.s0[i])
+                                    << (t.sh[i] - lo);
+        const unsigned __int128 m = -static_cast<unsigned __int128>(t.neg[i]);
+        sum += (v ^ m) - m;
+      }
+    }
+    if (kCrossed) {
+      for (int i = 0; i < kMaxSlots; ++i) {
+        const unsigned __int128 v = static_cast<unsigned __int128>(t.s1[i])
+                                    << (t.sh[i] + 12 - lo);
+        const unsigned __int128 m = -static_cast<unsigned __int128>(t.neg[i]);
+        sum += (v ^ m) - m;
+      }
+    }
+  }
+  if (rsig != 0) {
+    const unsigned __int128 v = static_cast<unsigned __int128>(rsig)
+                                << (rexp - lo);
+    sum = rneg ? sum - v : sum + v;
+  }
+  detail::round_sum128(sum, lo, prec, out);
+  return true;
+}
+
+/// Runs one register stream's chunk - the like-parts step then the
+/// crossed step over one prebuilt PairTerms, or both in one window in
+/// idealized mode - replicating run_steps' register semantics, with
+/// the chunk-boundary pack to FP32 on success. Returns false with
+/// *acc untouched when the chunk must take the generic path.
+bool pair_chunk(const PairTerms& terms, bool have_terms, int t_lo, int t_hi,
+                const MicrokernelParams& p, float* acc) {
+  fp::Unpacked reg = fp::unpack(*acc);
+  if (p.per_step_rounding) {
+    if (!step_round<true, false>(terms, have_terms, t_lo, t_hi, reg,
+                                 p.accum_prec, &reg) ||
+        !step_round<false, true>(terms, have_terms, t_lo, t_hi, reg,
+                                 p.accum_prec, &reg)) {
+      return false;
+    }
+  } else if (!step_round<true, true>(terms, have_terms, t_lo, t_hi, reg,
+                                     p.accum_prec, &reg)) {
+    return false;
+  }
+  *acc = fp::pack_to_float(reg);
+  return true;
+}
+
+// --- Generic fallback -------------------------------------------------
+//
+// Chunks the prescan can't prove safe re-run on the same panel slices
+// through the exact replica of run_steps with a null injector (the
+// engine keeps injector-attached runs off the microkernel entirely).
+
+void run_generic2(std::span<const LaneOperand> a,
+                  std::span<const LaneOperand> b_like,
+                  std::span<const LaneOperand> b_swap, const DpUnit& unit,
+                  const MicrokernelParams& p, float* acc) {
+  const fp::Unpacked c = fp::unpack(*acc);
+  if (p.per_step_rounding) {
+    fp::ExtFloat reg = fp::ExtFloat::from_unpacked(c, p.accum_prec);
+    for (int st = 0; st < 2; ++st) {
+      fp::ExactAccumulator sum;
+      unit.accumulate_dot(a, st == 0 ? b_like : b_swap, sum);
+      reg = reg.plus_exact(sum);
+    }
+    *acc = reg.to_float();
+    return;
+  }
+  fp::ExactAccumulator sum;
+  unit.accumulate_dot(a, b_like, sum);
+  unit.accumulate_dot(a, b_swap, sum);
+  sum.add_unpacked(c);
+  *acc = fp::pack_to_float(sum.round_to_precision(p.accum_prec));
+}
+
+void generic_fp32_chunk(const PackedPanelFp32A& a, int row,
+                        const PackedPanelFp32B& b, int col, int k0, int kc,
+                        const DpUnit& unit, const MicrokernelParams& p,
+                        float* acc) {
+  const std::size_t aoff = (static_cast<std::size_t>(row) * a.k + k0) * 2;
+  const std::size_t boff = (static_cast<std::size_t>(col) * b.k + k0) * 2;
+  const std::size_t len = static_cast<std::size_t>(2) * kc;
+  run_generic2({a.lanes.data() + aoff, len}, {b.like.data() + boff, len},
+               {b.swapped.data() + boff, len}, unit, p, acc);
+}
+
+void generic_fp32c_chunk(const PackedPanelFp32cA& a, int row,
+                         const PackedPanelFp32cB& b, int col, int k0, int kc,
+                         const DpUnit& unit, const MicrokernelParams& p,
+                         float* re, float* im) {
+  const std::size_t aoff = (static_cast<std::size_t>(row) * a.k + k0) * 4;
+  const std::size_t boff = (static_cast<std::size_t>(col) * b.k + k0) * 4;
+  const std::size_t len = static_cast<std::size_t>(4) * kc;
+  run_generic2({a.real_lanes.data() + aoff, len},
+               {b.real_like.data() + boff, len},
+               {b.real_swap.data() + boff, len}, unit, p, re);
+  run_generic2({a.imag_lanes.data() + aoff, len},
+               {b.imag_like.data() + boff, len},
+               {b.imag_swap.data() + boff, len}, unit, p, im);
+}
+
+inline bool finite_chunk(const PanelChunkMeta& m) {
+  return (m.flags & PanelChunkMeta::kHasFinite) != 0;
+}
+
+}  // namespace
+
+void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
+                            const PackedPanelFp32B& b, int col0,
+                            const DpUnit& unit, const MicrokernelParams& p,
+                            float* c, int ldc) {
+  M3XU_CHECK(a.k == b.k);
+  M3XU_CHECK(!a.has_special && !b.has_special);
+  M3XU_CHECK(row0 >= 0 && row0 + kMicroMr <= a.rows);
+  M3XU_CHECK(col0 >= 0 && col0 + kMicroNr <= b.cols);
+  const int k = a.k;
+  const int nchunks = panel_chunk_count(k, kPackChunkFp32);
+  float acc[kMicroMr][kMicroNr];
+  for (int i = 0; i < kMicroMr; ++i) {
+    for (int j = 0; j < kMicroNr; ++j) acc[i][j] = c[i * ldc + j];
+  }
+  ElemSoA arow[kMicroMr];
+  ElemSoA bcol[kMicroNr];
+  PairTerms terms;
+  for (int ch = 0; ch < nchunks; ++ch) {
+    const int k0 = ch * kPackChunkFp32;
+    const int kc = std::min(kPackChunkFp32, k - k0);
+    const PanelChunkMeta* am[kMicroMr];
+    const PanelChunkMeta* bm[kMicroNr];
+    for (int i = 0; i < kMicroMr; ++i) {
+      am[i] = &a.meta[static_cast<std::size_t>(row0 + i) * nchunks + ch];
+      decode_slots(
+          a.lanes.data() + (static_cast<std::size_t>(row0 + i) * k + k0) * 2,
+          kc, fill_exp(*am[i]), arow[i]);
+    }
+    for (int j = 0; j < kMicroNr; ++j) {
+      bm[j] = &b.meta[static_cast<std::size_t>(col0 + j) * nchunks + ch];
+      decode_slots(
+          b.like.data() + (static_cast<std::size_t>(col0 + j) * k + k0) * 2,
+          kc, fill_exp(*bm[j]), bcol[j]);
+    }
+    for (int i = 0; i < kMicroMr; ++i) {
+      for (int j = 0; j < kMicroNr; ++j) {
+        const bool have = finite_chunk(*am[i]) && finite_chunk(*bm[j]);
+        int t_lo = 0;
+        int t_hi = 0;
+        if (have) {
+          t_lo = am[i]->min_exp + bm[j]->min_exp;
+          t_hi = am[i]->max_exp + bm[j]->max_exp + 23;
+          build_pair(arow[i], bcol[j], /*flip_odd=*/false, terms);
+        }
+        if (!pair_chunk(terms, have, t_lo, t_hi, p, &acc[i][j])) {
+          generic_fp32_chunk(a, row0 + i, b, col0 + j, k0, kc, unit, p,
+                             &acc[i][j]);
+        }
+      }
+    }
+  }
+  for (int i = 0; i < kMicroMr; ++i) {
+    for (int j = 0; j < kMicroNr; ++j) c[i * ldc + j] = acc[i][j];
+  }
+}
+
+void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
+                             const PackedPanelFp32cB& b, int col0,
+                             const DpUnit& unit, const MicrokernelParams& p,
+                             std::complex<float>* c, int ldc) {
+  M3XU_CHECK(a.k == b.k);
+  M3XU_CHECK(!a.has_special && !b.has_special);
+  M3XU_CHECK(row0 >= 0 && row0 + kMicroMr <= a.rows);
+  M3XU_CHECK(col0 >= 0 && col0 + kMicroNr <= b.cols);
+  const int k = a.k;
+  const int nchunks = panel_chunk_count(k, kPackChunkFp32c);
+  float acc_re[kMicroMr][kMicroNr];
+  float acc_im[kMicroMr][kMicroNr];
+  for (int i = 0; i < kMicroMr; ++i) {
+    for (int j = 0; j < kMicroNr; ++j) {
+      acc_re[i][j] = c[i * ldc + j].real();
+      acc_im[i][j] = c[i * ldc + j].imag();
+    }
+  }
+  // A rows decode from the real-part order, where the im slots carry
+  // the stage's -AI pre-negation: exactly the sign the real part's
+  // -AI*BI term needs, and flip_odd undoes it for the imag part's
+  // AI*BR term. B columns decode once; a slot-swapped copy provides
+  // the imag part's crossed component pairing (AR*BI, AI*BR).
+  ElemSoA arow[kMicroMr];
+  ElemSoA bcol[kMicroNr];
+  ElemSoA bswp[kMicroNr];
+  PairTerms terms_re;
+  PairTerms terms_im;
+  for (int ch = 0; ch < nchunks; ++ch) {
+    const int k0 = ch * kPackChunkFp32c;
+    const int kc = std::min(kPackChunkFp32c, k - k0);
+    const PanelChunkMeta* am[kMicroMr];
+    const PanelChunkMeta* bm[kMicroNr];
+    for (int i = 0; i < kMicroMr; ++i) {
+      am[i] = &a.meta[static_cast<std::size_t>(row0 + i) * nchunks + ch];
+      decode_slots(a.real_lanes.data() +
+                       (static_cast<std::size_t>(row0 + i) * k + k0) * 4,
+                   2 * kc, fill_exp(*am[i]), arow[i]);
+    }
+    for (int j = 0; j < kMicroNr; ++j) {
+      bm[j] = &b.meta[static_cast<std::size_t>(col0 + j) * nchunks + ch];
+      decode_slots(b.real_like.data() +
+                       (static_cast<std::size_t>(col0 + j) * k + k0) * 4,
+                   2 * kc, fill_exp(*bm[j]), bcol[j]);
+      swap_slots(bcol[j], bswp[j]);
+    }
+    for (int i = 0; i < kMicroMr; ++i) {
+      for (int j = 0; j < kMicroNr; ++j) {
+        const bool have = finite_chunk(*am[i]) && finite_chunk(*bm[j]);
+        int t_lo = 0;
+        int t_hi = 0;
+        if (have) {
+          t_lo = am[i]->min_exp + bm[j]->min_exp;
+          t_hi = am[i]->max_exp + bm[j]->max_exp + 23;
+          build_pair(arow[i], bcol[j], /*flip_odd=*/false, terms_re);
+          build_pair(arow[i], bswp[j], /*flip_odd=*/true, terms_im);
+        }
+        // Both parts must stream for the chunk to stay fused; on any
+        // failure the whole chunk (both registers) re-runs generically
+        // from the original accumulators.
+        float re = acc_re[i][j];
+        float im = acc_im[i][j];
+        if (pair_chunk(terms_re, have, t_lo, t_hi, p, &re) &&
+            pair_chunk(terms_im, have, t_lo, t_hi, p, &im)) {
+          acc_re[i][j] = re;
+          acc_im[i][j] = im;
+        } else {
+          generic_fp32c_chunk(a, row0 + i, b, col0 + j, k0, kc, unit, p,
+                              &acc_re[i][j], &acc_im[i][j]);
+        }
+      }
+    }
+  }
+  for (int i = 0; i < kMicroMr; ++i) {
+    for (int j = 0; j < kMicroNr; ++j) {
+      c[i * ldc + j] = {acc_re[i][j], acc_im[i][j]};
+    }
+  }
+}
+
+}  // namespace m3xu::core

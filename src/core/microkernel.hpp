@@ -1,0 +1,75 @@
+// Register-blocked microkernel for the packed M3XU datapath.
+//
+// The per-element prepacked path (mxu.cpp) re-decodes the same A lane
+// operands for every output column, re-reads the B lanes for every row,
+// and re-derives the fused-round exponent window per dot product. The
+// microkernel computes a kMicroMr x kMicroNr output block per pass over
+// the packed K lanes instead:
+//
+//   - A decode is hoisted once per block row per k-chunk and reused
+//     across all NR columns; each B column decodes once and is reused
+//     across all MR rows. The decode recombines an element's two
+//     12-bit parts into one 64-bit word (they share a sign and sit 12
+//     apart, fp/split.hpp), so one 64x64->128 multiply per operand
+//     pair yields all four partial products at disjoint bit fields -
+//     both architectural steps' terms, including the step-1 crossed
+//     order and the FP32C component pairings, fall out of one product;
+//   - streaming eligibility and the fused-round window bound come from
+//     the panels' pack-time exponent prescan (PanelChunkMeta), decided
+//     once per (row, chunk) / (col, chunk) instead of per dot;
+//   - the term build runs over structure-of-arrays slots with a fixed
+//     trip count, with an explicit AVX2 path behind M3XU_ENABLE_SIMD
+//     (runtime-dispatched) and the scalar loop as the always-built
+//     fallback.
+//
+// Bit-identity: each architectural step still computes
+// reg' = RNE_prec(reg + exact step sum), and chunk boundaries still
+// pack the register to FP32, so results are bit-identical to the
+// per-dot ExactAccumulator route (core/fused_round.hpp documents why).
+// Any (i, j, chunk) the prescan cannot prove safe - wide exponent span,
+// non-prec-exact register, Inf/NaN register - re-runs that chunk
+// through the generic ExactAccumulator path on the same panel slices.
+// Callers must keep injector-attached runs on the per-element path:
+// the microkernel has no fault hooks, by design (fault-site opportunity
+// order is defined by the per-dot schedule).
+#pragma once
+
+#include <complex>
+
+#include "core/dp_unit.hpp"
+#include "core/packed_panel.hpp"
+
+namespace m3xu::core {
+
+/// Output-block shape. 4x4 keeps the per-chunk decode state (a few
+/// 8-slot SoA buffers per side) well inside L1 while amortizing each
+/// decode over 4 reuses.
+inline constexpr int kMicroMr = 4;
+inline constexpr int kMicroNr = 4;
+
+/// Rounding configuration threaded from M3xuConfig (the microkernel is
+/// engine-independent so tests can drive it directly).
+struct MicrokernelParams {
+  bool per_step_rounding = true;
+  int accum_prec = 48;
+};
+
+/// True when the AVX2 term-build path is compiled in and the CPU
+/// supports it (runtime-dispatched; the scalar path is always built).
+bool microkernel_simd_active();
+
+/// Computes the kMicroMr x kMicroNr block C += A*B at panel offset
+/// (row0, col0) over the panels' full K. `c` points at the block's
+/// top-left output element. Requires row0+kMicroMr <= a.rows,
+/// col0+kMicroNr <= b.cols, a.k == b.k, and special-free panels.
+void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
+                            const PackedPanelFp32B& b, int col0,
+                            const DpUnit& unit, const MicrokernelParams& p,
+                            float* c, int ldc);
+
+void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
+                             const PackedPanelFp32cB& b, int col0,
+                             const DpUnit& unit, const MicrokernelParams& p,
+                             std::complex<float>* c, int ldc);
+
+}  // namespace m3xu::core

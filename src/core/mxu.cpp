@@ -5,6 +5,8 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "core/fused_round.hpp"
+#include "core/microkernel.hpp"
 #include "fault/injector.hpp"
 
 namespace m3xu::core {
@@ -394,28 +396,9 @@ int collect_products(std::span<const LaneOperand> a,
 
 /// RNE_prec(c + sum of terms), bit-identical to accumulating into an
 /// ExactAccumulator and calling round_to_precision(prec). Returns false
-/// (out untouched) when the sum does not fit the local window.
-/// Final RNE of an extracted magnitude window to `prec` bits (value =
-/// top64 * 2^(lead_exp - 63), plus sticky dust below). Mirrors
-/// round_window + round_to_precision's tail; prec is in [24, 63] here,
-/// so round_window's keep < 64 branch always applies.
-inline void finish_round(std::uint64_t top64, bool st, bool negative,
-                         int lead_exp, int prec, fp::Unpacked* out) {
-  const int r = 64 - prec;
-  std::uint64_t sig = top64 >> r;
-  const std::uint64_t guard = (top64 >> (r - 1)) & 1;
-  const bool sticky = st || (r > 1 && (top64 & low_mask(r - 1)) != 0);
-  if (guard && (sticky || (sig & 1))) ++sig;
-  if (sig >> prec) {
-    sig >>= 1;
-    ++lead_exp;
-  }
-  out->cls = fp::FpClass::kNormal;
-  out->sign = negative;
-  out->exp = lead_exp;
-  out->sig = sig << (fp::Unpacked::kSigTop - (prec - 1));
-}
-
+/// (out untouched) when the sum does not fit the local window. The
+/// rounding tail (magnitude extraction + top-64 RNE) lives in
+/// core/fused_round.hpp, shared with the register-blocked microkernel.
 bool fused_round(const StreamTerm* terms, int count, const fp::Unpacked& c,
                  int prec, fp::Unpacked* out) {
   // A NaN/Inf register short-circuits just like the accumulator's
@@ -487,26 +470,7 @@ bool fused_round(const StreamTerm* terms, int count, const fp::Unpacked& c,
                                   << (rexp - lo);
       sum = c.sign ? sum - v : sum + v;
     }
-    const bool negative =
-        (static_cast<std::uint64_t>(sum >> 64) >> 63) != 0;
-    if (negative) sum = -sum;
-    if (sum == 0) {
-      *out = {};  // exact cancellation to zero
-      return true;
-    }
-    const std::uint64_t hi64 = static_cast<std::uint64_t>(sum >> 64);
-    const std::uint64_t lo64 = static_cast<std::uint64_t>(sum);
-    const int h = hi64 ? 64 + highest_bit(hi64) : highest_bit(lo64);
-    std::uint64_t top64 = 0;
-    bool st = false;
-    const int lo_index = h - 63;  // in (-64, 63]: h <= 126 by the span check
-    if (lo_index > 0) {
-      top64 = static_cast<std::uint64_t>(sum >> lo_index);
-      st = (lo64 & low_mask(lo_index)) != 0;
-    } else {
-      top64 = lo64 << -lo_index;
-    }
-    finish_round(top64, st, negative, lo + h, prec, out);
+    detail::round_sum128(sum, lo, prec, out);
     return true;
   }
   if (hi - lo > 240) return false;
@@ -571,7 +535,7 @@ bool fused_round(const StreamTerm* terms, int count, const fp::Unpacked& c,
   } else {
     top64 = w[0] << -lo_index;
   }
-  finish_round(top64, st, negative, lo + h, prec, out);
+  detail::finish_round(top64, st, negative, lo + h, prec, out);
   return true;
 }
 
@@ -617,11 +581,15 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
   const bool streaming =
       config_.injector == nullptr && !a.has_special && !b.has_special;
   thread_local std::array<StepOperands, 2> scratch;
-  for (int i = 0; i < m; ++i) {
+  // Per-element loop over output sub-range [i0,i1) x [j0,j1); the
+  // microkernel covers full kMicroMr x kMicroNr interior blocks and
+  // edge tiles fall through to this path.
+  const auto run_range = [&](int i0, int i1, int j0, int j1) {
+  for (int i = i0; i < i1; ++i) {
     const LaneOperand* arow =
         a.lanes.data() + static_cast<std::size_t>(row0 + i) * 2 * k;
     const std::size_t abase = static_cast<std::size_t>(row0 + i) * k;
-    for (int j = 0; j < n; ++j) {
+    for (int j = j0; j < j1; ++j) {
       const LaneOperand* blike =
           b.like.data() + static_cast<std::size_t>(col0 + j) * 2 * k;
       const LaneOperand* bswap =
@@ -681,6 +649,23 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
       c[idx(i, ldc, j)] = acc;
     }
   }
+  };
+  if (streaming && config_.enable_microkernel && k > 0) {
+    M3XU_CHECK(kc_max == kPackChunkFp32);
+    const MicrokernelParams mp{config_.per_step_rounding, config_.accum_prec};
+    const int mb = m - m % kMicroMr;
+    const int nb = n - n % kMicroNr;
+    for (int i = 0; i < mb; i += kMicroMr) {
+      for (int j = 0; j < nb; j += kMicroNr) {
+        microkernel_fp32_block(a, row0 + i, b, col0 + j, dp12_, mp,
+                               c + idx(i, ldc, j), ldc);
+      }
+    }
+    run_range(0, mb, nb, n);  // right edge
+    run_range(mb, m, 0, n);   // bottom edge
+    return;
+  }
+  run_range(0, m, 0, n);
 }
 
 void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
@@ -716,11 +701,14 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
     s1.a.push_back(x[1]);
     s1.b.push_back(y[0]);
   };
-  for (int i = 0; i < m; ++i) {
+  // Per-element loop over [i0,i1) x [j0,j1); edge tiles around the
+  // microkernel's full blocks fall through to this path.
+  const auto run_range = [&](int i0, int i1, int j0, int j1) {
+  for (int i = i0; i < i1; ++i) {
     const std::size_t arow = static_cast<std::size_t>(row0 + i) * k;
     const LaneOperand* are = a.real_lanes.data() + 4 * arow;
     const LaneOperand* aim = a.imag_lanes.data() + 4 * arow;
-    for (int j = 0; j < n; ++j) {
+    for (int j = j0; j < j1; ++j) {
       const std::size_t bcol = static_cast<std::size_t>(col0 + j) * k;
       std::complex<float> acc = c[idx(i, ldc, j)];
       for (int k0 = 0; k0 < k; k0 += kc_max) {
@@ -796,6 +784,23 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
       c[idx(i, ldc, j)] = acc;
     }
   }
+  };
+  if (streaming && config_.enable_microkernel && k > 0) {
+    M3XU_CHECK(kc_max == kPackChunkFp32c);
+    const MicrokernelParams mp{config_.per_step_rounding, config_.accum_prec};
+    const int mb = m - m % kMicroMr;
+    const int nb = n - n % kMicroNr;
+    for (int i = 0; i < mb; i += kMicroMr) {
+      for (int j = 0; j < nb; j += kMicroNr) {
+        microkernel_fp32c_block(a, row0 + i, b, col0 + j, dp12_, mp,
+                                c + idx(i, ldc, j), ldc);
+      }
+    }
+    run_range(0, mb, nb, n);  // right edge
+    run_range(mb, m, 0, n);   // bottom edge
+    return;
+  }
+  run_range(0, m, 0, n);
 }
 
 void M3xuEngine::gemm_fp32_packed(int m, int n, int k, const float* a,

@@ -77,6 +77,12 @@ struct M3xuConfig {
   int accum_prec = fp::ExtFloat::kM3xuAccumPrec;
   /// Accumulation-register width for the FP64 mode ("FP64 registers").
   int fp64_accum_prec = 53;
+  /// Route special-free packed GEMMs through the register-blocked
+  /// microkernel (core/microkernel.hpp). Bit-identical either way;
+  /// disabling isolates the per-element packed path (benchmarks) or
+  /// works around a platform issue. Injector-attached engines ignore
+  /// this and stay on the per-dot path regardless.
+  bool enable_microkernel = true;
   /// Optional transient-fault injector (non-owning; must outlive the
   /// engine). Null - the default - keeps every datapath fault-free and
   /// the hot path unchanged. When set, the engine threads it through

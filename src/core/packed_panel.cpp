@@ -1,5 +1,8 @@
 #include "core/packed_panel.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "common/check.hpp"
 #include "core/data_assignment.hpp"
 #include "fp/split.hpp"
@@ -16,6 +19,45 @@ struct SplitLanes {
 SplitLanes split_lanes(float v) {
   const fp::HwSplit s = fp::split_fp32_hw(v);
   return {from_hw_part(s.hi), from_hw_part(s.lo)};
+}
+
+/// Prescans one packed row/column's chunks over lanes just written:
+/// min element-anchor / max lane exp2 over finite lanes + special flag
+/// per chunk. The anchor of a hi lane (even lane within its [hi, lo]
+/// pair) is exp2 - 12, the lsb weight of the element's combined 24-bit
+/// significand; a lo lane already sits at that weight. Anchoring the
+/// min this way lower-bounds the lsb of a *pair product's* combined
+/// 48-bit significand by min_a + min_b even for elements whose lo part
+/// is zero (see core/microkernel.cpp). `lanes`/`special` point at the
+/// row's (column's) first element; `lpe`/`spe` are lanes and special
+/// flags per element.
+void scan_chunks(const LaneOperand* lanes, const std::uint8_t* special,
+                 int lpe, int spe, int k, int chunk, PanelChunkMeta* meta) {
+  for (int c0 = 0, ci = 0; c0 < k; c0 += chunk, ++ci) {
+    const int ce = std::min(k, c0 + chunk);
+    PanelChunkMeta m;
+    int mn = INT16_MAX;
+    int mx = INT16_MIN;
+    for (int e = c0; e < ce; ++e) {
+      for (int l = 0; l < lpe; ++l) {
+        const LaneOperand& op = lanes[static_cast<std::size_t>(e) * lpe + l];
+        if (op.cls != LaneOperand::Cls::kFinite) continue;
+        mn = std::min(mn, op.exp2 - ((l & 1) == 0 ? 12 : 0));
+        mx = std::max(mx, op.exp2);
+      }
+      for (int s = 0; s < spe; ++s) {
+        if (special[static_cast<std::size_t>(e) * spe + s]) {
+          m.flags |= PanelChunkMeta::kHasSpecial;
+        }
+      }
+    }
+    if (mn <= mx) {
+      m.flags |= PanelChunkMeta::kHasFinite;
+      m.min_exp = static_cast<std::int16_t>(mn);
+      m.max_exp = static_cast<std::int16_t>(mx);
+    }
+    meta[ci] = m;
+  }
 }
 
 }  // namespace
@@ -48,6 +90,14 @@ void pack_fp32_a(const float* a, int lda, int rows, int k,
       out.lanes[2 * e] = s.hi;
       out.lanes[2 * e + 1] = s.lo;
     }
+  }
+  const int chunks = panel_chunk_count(k, kPackChunkFp32);
+  out.meta.resize(static_cast<std::size_t>(rows) * chunks);
+  for (int r = 0; r < rows; ++r) {
+    const std::size_t base = static_cast<std::size_t>(r) * k;
+    scan_chunks(out.lanes.data() + 2 * base, out.special.data() + base,
+                /*lpe=*/2, /*spe=*/1, k, kPackChunkFp32,
+                out.meta.data() + static_cast<std::size_t>(r) * chunks);
   }
 }
 
@@ -83,6 +133,14 @@ void pack_fp32_b(const float* b, int ldb, int k, int cols,
       out.swapped[2 * e] = s.lo;
       out.swapped[2 * e + 1] = s.hi;
     }
+  }
+  const int chunks = panel_chunk_count(k, kPackChunkFp32);
+  out.meta.resize(static_cast<std::size_t>(cols) * chunks);
+  for (int j = 0; j < cols; ++j) {
+    const std::size_t base = static_cast<std::size_t>(j) * k;
+    scan_chunks(out.like.data() + 2 * base, out.special.data() + base,
+                /*lpe=*/2, /*spe=*/1, k, kPackChunkFp32,
+                out.meta.data() + static_cast<std::size_t>(j) * chunks);
   }
 }
 
@@ -126,6 +184,15 @@ void pack_fp32c_a(const std::complex<float>* a, int lda, int rows, int k,
         out.imag_lanes[4 * e + 3] = s.lo;
       }
     }
+  }
+  const int chunks = panel_chunk_count(k, kPackChunkFp32c);
+  out.meta.resize(static_cast<std::size_t>(rows) * chunks);
+  for (int r = 0; r < rows; ++r) {
+    const std::size_t base = static_cast<std::size_t>(r) * k;
+    scan_chunks(out.real_lanes.data() + 4 * base,
+                out.special.data() + 2 * base, /*lpe=*/4, /*spe=*/2, k,
+                kPackChunkFp32c,
+                out.meta.data() + static_cast<std::size_t>(r) * chunks);
   }
 }
 
@@ -181,6 +248,15 @@ void pack_fp32c_b(const std::complex<float>* b, int ldb, int k, int cols,
       out.imag_swap[4 * e + 2] = sre.lo;
       out.imag_swap[4 * e + 3] = sre.hi;
     }
+  }
+  const int chunks = panel_chunk_count(k, kPackChunkFp32c);
+  out.meta.resize(static_cast<std::size_t>(cols) * chunks);
+  for (int j = 0; j < cols; ++j) {
+    const std::size_t base = static_cast<std::size_t>(j) * k;
+    scan_chunks(out.real_like.data() + 4 * base,
+                out.special.data() + 2 * base, /*lpe=*/4, /*spe=*/2, k,
+                kPackChunkFp32c,
+                out.meta.data() + static_cast<std::size_t>(j) * chunks);
   }
 }
 

@@ -40,6 +40,41 @@
 
 namespace m3xu::core {
 
+/// K-elements per prescan chunk. These equal the instruction K of the
+/// matching mode (shape_for(kFp32).k / shape_for(kFp32Complex).k - the
+/// engine checks the match), so one metadata entry covers exactly one
+/// MMA instruction's rounding interval.
+inline constexpr int kPackChunkFp32 = 8;
+inline constexpr int kPackChunkFp32c = 4;
+
+/// Pack-time exponent prescan for one (row or column, k-chunk) pair:
+/// exponent bounds over the chunk's finite lanes plus special/emptiness
+/// flags. min_exp is the minimum *element anchor* - a hi lane counts as
+/// exp2 - 12, the lsb weight of the element's combined 24-bit
+/// significand - so min_a + min_b lower-bounds the lsb of any pair
+/// product's combined 48-bit significand even when a lo part is zero.
+/// max_exp is the plain maximum lane exp2 (hi lanes dominate), so
+/// max_a + max_b + 23 upper-bounds any product's msb. The
+/// register-blocked microkernel uses these to decide streaming
+/// eligibility and the fused-round window once per panel chunk instead
+/// of re-deriving them per dot product.
+struct PanelChunkMeta {
+  /// At least one lane in the chunk is finite (min/max_exp valid).
+  static constexpr std::uint8_t kHasFinite = 1;
+  /// At least one element in the chunk is Inf/NaN (lanes are bypass
+  /// zeros; the chunk must take the per-element special path).
+  static constexpr std::uint8_t kHasSpecial = 2;
+
+  std::int16_t min_exp = 0;  // anchors fit int16: |exp2 - 12| <= 161
+  std::int16_t max_exp = 0;
+  std::uint8_t flags = 0;
+};
+
+/// Chunk count of a k-extent panel at `chunk` elements per chunk.
+inline int panel_chunk_count(int k, int chunk) {
+  return (k + chunk - 1) / chunk;
+}
+
 /// Packed A panel for the FP32 mode: `rows` x `k` elements, split once.
 struct PackedPanelFp32A {
   int rows = 0;
@@ -51,6 +86,9 @@ struct PackedPanelFp32A {
   std::vector<LaneOperand> cls;
   /// Per-element special flag (Inf/NaN exponent field), 1/elem.
   std::vector<std::uint8_t> special;
+  /// Exponent prescan, row-major [row][chunk] at kPackChunkFp32
+  /// elements per chunk.
+  std::vector<PanelChunkMeta> meta;
 };
 
 /// Packed B panel for the FP32 mode: `k` x `cols` elements, stored
@@ -65,6 +103,10 @@ struct PackedPanelFp32B {
   std::vector<LaneOperand> swapped;
   std::vector<LaneOperand> cls;
   std::vector<std::uint8_t> special;
+  /// Exponent prescan, [col][chunk] at kPackChunkFp32 elements per
+  /// chunk (the swapped order has the same lane multiset, so one
+  /// prescan covers both steps).
+  std::vector<PanelChunkMeta> meta;
 };
 
 /// Packed A panel for the FP32C mode. The complex product's four scalar
@@ -85,6 +127,9 @@ struct PackedPanelFp32cA {
   std::vector<LaneOperand> cls;
   /// Per-component special flags, 2 per element: [re, im].
   std::vector<std::uint8_t> special;
+  /// Exponent prescan, [row][chunk] at kPackChunkFp32c elements per
+  /// chunk, over real_lanes (imag_lanes share magnitudes/exponents).
+  std::vector<PanelChunkMeta> meta;
 };
 
 /// Packed B panel for the FP32C mode, column-contiguous. One array per
@@ -105,6 +150,10 @@ struct PackedPanelFp32cB {
   std::vector<LaneOperand> cls;
   /// Per-component special flags, 2 per element: [re, im].
   std::vector<std::uint8_t> special;
+  /// Exponent prescan, [col][chunk] at kPackChunkFp32c elements per
+  /// chunk, over real_like (the other orders are permutations of the
+  /// same lanes).
+  std::vector<PanelChunkMeta> meta;
 };
 
 // Pack functions reuse the output's buffers (resize, no shrink), so a

@@ -21,7 +21,10 @@ void simt_sgemm(const Matrix<float>& a, const Matrix<float>& b,
                 Matrix<float>& c) {
   check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
   const int k = a.cols();
-  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t i) {
+  // Row bodies are cheap fused loops; a scheduling grain keeps the
+  // per-index closure dispatch off the critical path for small shapes.
+  parallel_for(static_cast<std::size_t>(a.rows()), /*grain=*/4,
+               [&](std::size_t i) {
     for (int j = 0; j < b.cols(); ++j) {
       float acc = c(static_cast<int>(i), j);
       for (int kk = 0; kk < k; ++kk) {
@@ -37,7 +40,8 @@ void simt_cgemm(const Matrix<std::complex<float>>& a,
                 Matrix<std::complex<float>>& c) {
   check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
   const int k = a.cols();
-  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t si) {
+  parallel_for(static_cast<std::size_t>(a.rows()), /*grain=*/4,
+               [&](std::size_t si) {
     const int i = static_cast<int>(si);
     for (int j = 0; j < b.cols(); ++j) {
       float re = c(i, j).real();
@@ -60,7 +64,8 @@ void ref_dgemm(const Matrix<double>& a, const Matrix<double>& b,
                Matrix<double>& c) {
   check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
   const int k = a.cols();
-  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t si) {
+  parallel_for(static_cast<std::size_t>(a.rows()), /*grain=*/4,
+               [&](std::size_t si) {
     const int i = static_cast<int>(si);
     for (int j = 0; j < b.cols(); ++j) {
       double acc = c(i, j);
@@ -75,7 +80,8 @@ void ref_zgemm(const Matrix<std::complex<double>>& a,
                Matrix<std::complex<double>>& c) {
   check_shapes(a.rows(), a.cols(), b.rows(), b.cols(), c.rows(), c.cols());
   const int k = a.cols();
-  parallel_for(static_cast<std::size_t>(a.rows()), [&](std::size_t si) {
+  parallel_for(static_cast<std::size_t>(a.rows()), /*grain=*/4,
+               [&](std::size_t si) {
     const int i = static_cast<int>(si);
     for (int j = 0; j < b.cols(); ++j) {
       std::complex<double> acc = c(i, j);

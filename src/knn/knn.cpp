@@ -46,10 +46,21 @@ KnnResult knn_search(const gemm::Matrix<float>& queries,
   M3XU_CHECK(k >= 1 && k <= refs.rows());
   const int m = queries.rows();
   const int n = refs.rows();
-  // G = Q * R^T via the chosen SGEMM kernel.
-  gemm::Matrix<float> rt(refs.cols(), n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < refs.cols(); ++j) rt(j, i) = refs(i, j);
+  const int d = refs.cols();
+  // G = Q * R^T via the chosen SGEMM kernel. Transpose R in square
+  // blocks so both the read and the write stream stay within a few
+  // cache lines per tile (a straight row-by-row copy strides the
+  // destination by n floats on every element).
+  constexpr int kTransposeBlock = 32;
+  gemm::Matrix<float> rt(d, n);
+  for (int i0 = 0; i0 < n; i0 += kTransposeBlock) {
+    const int i1 = std::min(n, i0 + kTransposeBlock);
+    for (int j0 = 0; j0 < d; j0 += kTransposeBlock) {
+      const int j1 = std::min(d, j0 + kTransposeBlock);
+      for (int i = i0; i < i1; ++i) {
+        for (int j = j0; j < j1; ++j) rt(j, i) = refs(i, j);
+      }
+    }
   }
   gemm::Matrix<float> g(m, n);
   g.fill(0.0f);
@@ -60,8 +71,12 @@ KnnResult knn_search(const gemm::Matrix<float>& queries,
   KnnResult result;
   result.indices.resize(static_cast<std::size_t>(m));
   result.distances.resize(static_cast<std::size_t>(m));
-  parallel_for(static_cast<std::size_t>(m), [&](std::size_t i) {
-    std::vector<float> dist(static_cast<std::size_t>(n));
+  // Per-thread distance scratch (resize is a no-op after the first
+  // iteration on a thread), and a scheduling grain so one queue pop
+  // covers several cheap rows.
+  parallel_for(static_cast<std::size_t>(m), /*grain=*/8, [&](std::size_t i) {
+    thread_local std::vector<float> dist;
+    dist.resize(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       dist[static_cast<std::size_t>(j)] = static_cast<float>(
           qn[i] + rn[static_cast<std::size_t>(j)] -
@@ -109,8 +124,9 @@ KnnResult knn_reference(const gemm::Matrix<float>& queries,
   KnnResult result;
   result.indices.resize(static_cast<std::size_t>(m));
   result.distances.resize(static_cast<std::size_t>(m));
-  parallel_for(static_cast<std::size_t>(m), [&](std::size_t i) {
-    std::vector<float> dist(static_cast<std::size_t>(n));
+  parallel_for(static_cast<std::size_t>(m), /*grain=*/4, [&](std::size_t i) {
+    thread_local std::vector<float> dist;
+    dist.resize(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) {
       double acc = 0.0;
       for (int d = 0; d < queries.cols(); ++d) {

@@ -1,0 +1,331 @@
+// Property tests for the register-blocked microkernel: the packed GEMM
+// with the microkernel enabled must be bit-identical to the per-dot
+// route (and to the per-element packed path) across geometry sweeps
+// straddling the MR/NR block and K-chunk boundaries, subnormal inputs,
+// Inf/NaN operands (which bypass the microkernel at the routing seam),
+// wide exponent spans that force the per-pair generic fallback, nonzero
+// and signed-zero C, non-default rounding configs, prepacked sub-block
+// offsets, and injector-attached engines (which must stay on the
+// per-dot-identical generic path and replay identical fault logs).
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/rng.hpp"
+#include "core/microkernel.hpp"
+#include "core/mxu.hpp"
+#include "core/packed_panel.hpp"
+#include "fault/injector.hpp"
+
+namespace m3xu::core {
+namespace {
+
+M3xuEngine packed_only_engine(M3xuConfig cfg = {}) {
+  cfg.enable_microkernel = false;
+  return M3xuEngine(cfg);
+}
+
+std::vector<float> random_buffer(int rows, int cols, Rng& rng, bool benign) {
+  std::vector<float> v(static_cast<std::size_t>(rows) * cols);
+  for (auto& x : v) x = benign ? rng.scaled_float() : rng.any_finite_float();
+  return v;
+}
+
+std::vector<std::complex<float>> random_cbuffer(int rows, int cols, Rng& rng,
+                                                bool benign) {
+  std::vector<std::complex<float>> v(static_cast<std::size_t>(rows) * cols);
+  for (auto& x : v) {
+    x = benign ? std::complex<float>(rng.scaled_float(), rng.scaled_float())
+               : std::complex<float>(rng.any_finite_float(),
+                                     rng.any_finite_float());
+  }
+  return v;
+}
+
+void expect_bitwise_equal(const std::vector<float>& x,
+                          const std::vector<float>& y, const char* what) {
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(bits_of(x[i]), bits_of(y[i])) << what << " element " << i;
+  }
+}
+
+void expect_bitwise_equal(const std::vector<std::complex<float>>& x,
+                          const std::vector<std::complex<float>>& y,
+                          const char* what) {
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_EQ(bits_of(x[i].real()), bits_of(y[i].real()))
+        << what << " re " << i;
+    ASSERT_EQ(bits_of(x[i].imag()), bits_of(y[i].imag()))
+        << what << " im " << i;
+  }
+}
+
+/// Runs one FP32 shape through per-dot, packed-without-microkernel, and
+/// packed-with-microkernel; asserts all three agree bitwise.
+void check_fp32(const M3xuEngine& micro, const M3xuEngine& packed, int m,
+                int n, int k, const std::vector<float>& a,
+                const std::vector<float>& b, const std::vector<float>& c) {
+  auto c0 = c, c1 = c, c2 = c;
+  micro.gemm_fp32(m, n, k, a.data(), k, b.data(), n, c0.data(), n);
+  packed.gemm_fp32_packed(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+  micro.gemm_fp32_packed(m, n, k, a.data(), k, b.data(), n, c2.data(), n);
+  expect_bitwise_equal(c0, c1, "packed-vs-perdot");
+  expect_bitwise_equal(c0, c2, "microkernel-vs-perdot");
+}
+
+void check_fp32c(const M3xuEngine& micro, const M3xuEngine& packed, int m,
+                 int n, int k, const std::vector<std::complex<float>>& a,
+                 const std::vector<std::complex<float>>& b,
+                 const std::vector<std::complex<float>>& c) {
+  auto c0 = c, c1 = c, c2 = c;
+  micro.gemm_fp32c(m, n, k, a.data(), k, b.data(), n, c0.data(), n);
+  packed.gemm_fp32c_packed(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+  micro.gemm_fp32c_packed(m, n, k, a.data(), k, b.data(), n, c2.data(), n);
+  expect_bitwise_equal(c0, c1, "packed-vs-perdot");
+  expect_bitwise_equal(c0, c2, "microkernel-vs-perdot");
+}
+
+// --- Geometry sweep ----------------------------------------------------
+
+TEST(MicrokernelFp32, GeometrySweepAroundBlockAndChunkBoundaries) {
+  // m, n straddle the 4x4 register block (edge tiles 1..3 wide plus
+  // full blocks); k straddles the FP32 chunk width 8 (partial chunk,
+  // exact multiples, and the first lane of the next chunk).
+  const M3xuEngine micro;
+  const M3xuEngine packed = packed_only_engine();
+  int idx = 0;
+  for (const int m : {1, 3, 4, 5, 8, 9}) {
+    for (const int n : {1, 3, 4, 5, 9}) {
+      for (const int k : {1, 7, 8, 9, 16, 17}) {
+        Rng rng(3100 + idx++);
+        const auto a = random_buffer(m, k, rng, false);
+        const auto b = random_buffer(k, n, rng, false);
+        const auto c = random_buffer(m, n, rng, true);
+        check_fp32(micro, packed, m, n, k, a, b, c);
+      }
+    }
+  }
+}
+
+TEST(MicrokernelFp32c, GeometrySweepAroundBlockAndChunkBoundaries) {
+  // FP32C chunk width is 4; keep the sweep smaller since each complex
+  // element costs four scalar dot streams.
+  const M3xuEngine micro;
+  const M3xuEngine packed = packed_only_engine();
+  int idx = 0;
+  for (const int m : {1, 3, 4, 5, 9}) {
+    for (const int n : {1, 4, 5, 9}) {
+      for (const int k : {1, 3, 4, 5, 8, 9}) {
+        Rng rng(4100 + idx++);
+        const auto a = random_cbuffer(m, k, rng, false);
+        const auto b = random_cbuffer(k, n, rng, false);
+        const auto c = random_cbuffer(m, n, rng, true);
+        check_fp32c(micro, packed, m, n, k, a, b, c);
+      }
+    }
+  }
+}
+
+// --- Value-class corners ----------------------------------------------
+
+TEST(MicrokernelFp32, SubnormalsFlushIdentically) {
+  // Subnormal operands flush to zero in the hardware split; the
+  // microkernel must treat the resulting all-zero lanes exactly like
+  // the scalar paths (including zero-times-anything and empty sums
+  // producing +0).
+  const M3xuEngine micro;
+  const M3xuEngine packed = packed_only_engine();
+  const float sub_min = std::numeric_limits<float>::denorm_min();
+  const float sub_max = 1.17549421e-38f;  // largest subnormal
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng(5200 + trial);
+    const int m = 6, n = 7, k = 17;
+    auto a = random_buffer(m, k, rng, true);
+    auto b = random_buffer(k, n, rng, true);
+    for (int i = 0; i < 24; ++i) {
+      a[rng.next_below(a.size())] = rng.next_below(2) ? sub_min : -sub_max;
+      b[rng.next_below(b.size())] = rng.next_below(2) ? -sub_min : sub_max;
+    }
+    // One all-subnormal row: every product flushes, C passes through.
+    for (int j = 0; j < k; ++j) a[static_cast<std::size_t>(2) * k + j] = sub_max;
+    auto c = random_buffer(m, n, rng, true);
+    c[0] = -0.0f;
+    c[1] = 0.0f;
+    check_fp32(micro, packed, m, n, k, a, b, c);
+  }
+}
+
+TEST(MicrokernelFp32, InfNanOperandsBypassAtRoutingSeam) {
+  // Specials mark the packed panels has_special, which must route the
+  // whole GEMM around the microkernel; the result still has to match
+  // per-dot bit-for-bit (Inf/NaN propagation included).
+  const M3xuEngine micro;
+  const M3xuEngine packed = packed_only_engine();
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng(6200 + trial);
+    const int m = 5, n = 6, k = 12;
+    auto a = random_buffer(m, k, rng, true);
+    auto b = random_buffer(k, n, rng, true);
+    const float specials[] = {inf, -inf, nan};
+    for (int i = 0; i < 6; ++i) {
+      a[rng.next_below(a.size())] = specials[rng.next_below(3)];
+      if (trial % 2 == 0) b[rng.next_below(b.size())] = specials[rng.next_below(3)];
+    }
+    const auto c = random_buffer(m, n, rng, true);
+    check_fp32(micro, packed, m, n, k, a, b, c);
+  }
+}
+
+TEST(MicrokernelFp32, WideExponentSpansFallBackBitIdentically) {
+  // Mix magnitudes near the FP32 extremes so chunk prescan windows
+  // exceed the 128-bit fixed-point budget and individual 4x4 pairs
+  // fall through to the generic per-dot-replica path mid-block. Also
+  // seed C with huge/tiny values so the register fold exercises the
+  // dropped-bits fallback.
+  const M3xuEngine micro;
+  const M3xuEngine packed = packed_only_engine();
+  for (int trial = 0; trial < 6; ++trial) {
+    Rng rng(7200 + trial);
+    const int m = 7, n = 8, k = 24;
+    auto a = random_buffer(m, k, rng, false);
+    auto b = random_buffer(k, n, rng, false);
+    const float extremes[] = {3e38f,      -2.5e38f,  1.2e-38f, -4e-38f,
+                              1.5e30f,    -2e-30f,   6e19f,    -7e-19f};
+    for (std::size_t i = 0; i < a.size(); i += 3) {
+      a[i] = extremes[rng.next_below(8)];
+    }
+    for (std::size_t i = 0; i < b.size(); i += 2) {
+      b[i] = extremes[rng.next_below(8)];
+    }
+    auto c = random_buffer(m, n, rng, false);
+    c[0] = 3.4e38f;
+    c[1] = -1e-38f;
+    check_fp32(micro, packed, m, n, k, a, b, c);
+  }
+}
+
+TEST(MicrokernelFp32c, WideExponentSpansFallBackBitIdentically) {
+  const M3xuEngine micro;
+  const M3xuEngine packed = packed_only_engine();
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng(8200 + trial);
+    const int m = 5, n = 5, k = 9;
+    auto a = random_cbuffer(m, k, rng, false);
+    auto b = random_cbuffer(k, n, rng, false);
+    const float extremes[] = {3e38f, -1.2e-38f, 2e30f, -5e-30f};
+    for (std::size_t i = 0; i < a.size(); i += 2) {
+      a[i] = {extremes[rng.next_below(4)], a[i].imag()};
+    }
+    for (std::size_t i = 0; i < b.size(); i += 3) {
+      b[i] = {b[i].real(), extremes[rng.next_below(4)]};
+    }
+    const auto c = random_cbuffer(m, n, rng, false);
+    check_fp32c(micro, packed, m, n, k, a, b, c);
+  }
+}
+
+// --- Rounding-config sweep --------------------------------------------
+
+TEST(MicrokernelFp32, NonDefaultRoundingConfigsStayBitIdentical) {
+  // Both register semantics (per-step and the idealized single-rounding
+  // ablation) at several accumulation precisions must agree with the
+  // per-dot route through the microkernel's fused step paths.
+  for (const bool per_step : {true, false}) {
+    for (const int prec : {24, 48, 63}) {
+      M3xuConfig cfg;
+      cfg.per_step_rounding = per_step;
+      cfg.accum_prec = prec;
+      const M3xuEngine micro(cfg);
+      const M3xuEngine packed = packed_only_engine(cfg);
+      Rng rng(9300 + prec + (per_step ? 1000 : 0));
+      const int m = 6, n = 9, k = 26;
+      const auto a = random_buffer(m, k, rng, false);
+      const auto b = random_buffer(k, n, rng, false);
+      const auto c = random_buffer(m, n, rng, true);
+      check_fp32(micro, packed, m, n, k, a, b, c);
+      const int ck = 12;
+      const auto ca = random_cbuffer(m, ck, rng, false);
+      const auto cb = random_cbuffer(ck, n, rng, false);
+      const auto cc = random_cbuffer(m, n, rng, true);
+      check_fp32c(micro, packed, m, n, ck, ca, cb, cc);
+    }
+  }
+}
+
+// --- Prepacked sub-block offsets --------------------------------------
+
+TEST(MicrokernelFp32, PrepackedOffsetsAlignWithChunkMetadata) {
+  // Sub-block row0/col0 offsets that are not multiples of the 4x4
+  // block must still index the right per-chunk prescan metadata rows.
+  const int rows = 19, cols = 17, k = 21;
+  Rng rng(10400);
+  const auto a = random_buffer(rows, k, rng, false);
+  const auto b = random_buffer(k, cols, rng, false);
+  PackedPanelFp32A pa;
+  PackedPanelFp32B pb;
+  pack_fp32_a(a.data(), k, rows, k, pa);
+  pack_fp32_b(b.data(), cols, k, cols, pb);
+  const M3xuEngine micro;
+  const struct {
+    int row0, col0, m, n;
+  } blocks[] = {{0, 0, rows, cols}, {1, 2, 9, 9}, {5, 3, 8, 12},
+                {13, 9, 6, 8},      {18, 16, 1, 1}};
+  for (const auto& blk : blocks) {
+    auto c0 = random_buffer(blk.m, blk.n, rng, true);
+    auto c1 = c0;
+    micro.gemm_fp32(blk.m, blk.n, k,
+                    a.data() + static_cast<std::size_t>(blk.row0) * k, k,
+                    b.data() + blk.col0, cols, c0.data(), blk.n);
+    micro.gemm_fp32_prepacked(pa, blk.row0, pb, blk.col0, blk.m, blk.n,
+                              c1.data(), blk.n);
+    expect_bitwise_equal(c0, c1, "prepacked-offset");
+  }
+}
+
+// --- Fault-injection determinism recheck ------------------------------
+
+TEST(MicrokernelFault, InjectorAttachedEnginesStayDeterministic) {
+  // An injector-attached engine must ignore enable_microkernel, replay
+  // the per-dot fault-opportunity order exactly, and produce identical
+  // outputs and logs whether or not the flag is set.
+  for (int trial = 0; trial < 3; ++trial) {
+    const fault::SiteRates rates = fault::SiteRates::uniform(2e-3);
+    const fault::FaultInjector inj_perdot(1500 + trial, rates);
+    const fault::FaultInjector inj_micro(1500 + trial, rates);
+    M3xuConfig cfg_perdot, cfg_micro;
+    cfg_perdot.injector = &inj_perdot;
+    cfg_micro.injector = &inj_micro;
+    cfg_micro.enable_microkernel = true;
+    const M3xuEngine perdot(cfg_perdot);
+    const M3xuEngine micro(cfg_micro);
+    Rng rng(11500 + trial);
+    const int m = 9, n = 8, k = 20;
+    const auto a = random_buffer(m, k, rng, true);
+    const auto b = random_buffer(k, n, rng, true);
+    auto c0 = random_buffer(m, n, rng, true);
+    auto c1 = c0;
+    perdot.gemm_fp32(m, n, k, a.data(), k, b.data(), n, c0.data(), n);
+    micro.gemm_fp32_packed(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+    expect_bitwise_equal(c0, c1, "fault-replay");
+    EXPECT_GT(inj_perdot.total_injected(), 0u);
+    EXPECT_EQ(inj_perdot.log(), inj_micro.log());
+    for (int s = 0; s < fault::kSiteCount; ++s) {
+      const auto site = static_cast<fault::Site>(s);
+      EXPECT_EQ(inj_perdot.opportunities(site), inj_micro.opportunities(site))
+          << "site " << s;
+      EXPECT_EQ(inj_perdot.injected(site), inj_micro.injected(site))
+          << "site " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace m3xu::core
