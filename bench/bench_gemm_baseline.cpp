@@ -5,15 +5,20 @@
 // (packed panels + 4x4 output blocks with pack-time exponent prescan).
 // Emits BENCH_gemm.json so later PRs have a perf trajectory to regress
 // against; also verifies all routes produce bit-identical C before
-// reporting.
+// reporting. Timing, JSON emission, and route attribution all go
+// through src/telemetry: each case brackets its timed reps with
+// registry snapshots, and the counter deltas become the
+// "route_hit_rates" section of the report (all-zero rates in
+// M3XU_TELEMETRY=OFF builds).
 //
 // Flags: --m/--n/--k sgemm geometry (default 512^3), --cm/--cn/--ck
 // cgemm geometry (default 192^3, per-dot complex is ~4x the scalar
 // cost), --reps timed repetitions per case (median reported),
 // --warmup untimed repetitions per case, --seed, --out=path (default
-// BENCH_gemm.json), --json-only to suppress the human-readable table.
+// BENCH_gemm.json), --trace=path for a Chrome trace_event JSON of the
+// run, --metrics=path for the standalone telemetry metrics export,
+// --json-only to suppress the human-readable table.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,16 +32,15 @@
 #include "core/mxu.hpp"
 #include "gemm/kernels.hpp"
 #include "gemm/matrix.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/stopwatch.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace m3xu;
 
 namespace {
-
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
 
 /// The pre-packed-path kM3xu kernel route: fixed 32-row blocks on the
 /// global pool, each calling the per-dot engine GEMM.
@@ -55,19 +59,26 @@ struct Case {
   int m, n, k;
   double seconds;  // median of reps
   double gflops;
+  // Registry snapshots bracketing the timed reps; the delta attributes
+  // engine routes (fused vs fallback chunks, microkernel blocks vs
+  // edge elements) to this case.
+  telemetry::Snapshot before, after;
 };
 
 template <typename Fn>
 Case time_case(const std::string& name, int m, int n, int k,
                double flops_per_mnk, int reps, int warmup, const Fn& fn) {
   for (int r = 0; r < warmup; ++r) fn();
+  Case out;
+  out.before = telemetry::snapshot();
   std::vector<double> times;
   times.reserve(static_cast<std::size_t>(reps));
   for (int r = 0; r < reps; ++r) {
-    const double t0 = now_seconds();
+    const telemetry::Stopwatch sw;
     fn();
-    times.push_back(now_seconds() - t0);
+    times.push_back(sw.seconds());
   }
+  out.after = telemetry::snapshot();
   std::sort(times.begin(), times.end());
   // Median: middle sample, or mean of the middle two for even reps.
   const std::size_t h = times.size() / 2;
@@ -75,34 +86,51 @@ Case time_case(const std::string& name, int m, int n, int k,
                          ? times[h]
                          : 0.5 * (times[h - 1] + times[h]);
   const double flops = flops_per_mnk * static_cast<double>(m) * n * k;
-  return {name, m, n, k, med, flops / med / 1e9};
-}
-
-/// Short git revision of the working tree, or "unknown" outside a
-/// checkout (the bench usually runs from the build directory, still
-/// inside the repository).
-std::string git_revision() {
-  std::string rev = "unknown";
-  std::FILE* p = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
-  if (p != nullptr) {
-    char buf[64];
-    if (std::fgets(buf, sizeof(buf), p) != nullptr) {
-      std::string s(buf);
-      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
-      if (!s.empty()) rev = s;
-    }
-    ::pclose(p);
-  }
-  return rev;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
+  out.name = name;
+  out.m = m;
+  out.n = n;
+  out.k = k;
+  out.seconds = med;
+  out.gflops = flops / med / 1e9;
   return out;
+}
+
+std::uint64_t delta(const Case& c, std::string_view counter) {
+  return c.after.counter_delta(c.before, counter);
+}
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+
+/// Route attribution for one precision family ("fp32" or "fp32c"):
+/// the packed case classifies chunks (fused exact-rounding fast path
+/// vs per-term fallback vs generic), the microkernel case splits
+/// output elements between 4x4 register blocks and the scalar edge
+/// path and reports how often a block pair degraded to the fallback.
+void write_route_rates(telemetry::JsonWriter& w, const std::string& family,
+                       const std::string& json_prefix, const Case& packed,
+                       const Case& micro) {
+  const std::uint64_t fused = delta(packed, "mxu." + family + ".chunks.fused");
+  const std::uint64_t fallb =
+      delta(packed, "mxu." + family + ".chunks.fallback");
+  const std::uint64_t generic =
+      delta(packed, "mxu." + family + ".chunks.generic");
+  const std::uint64_t blocks =
+      delta(micro, "mxu." + family + ".microkernel.blocks");
+  const std::uint64_t block_elems =
+      blocks * static_cast<std::uint64_t>(core::kMicroMr * core::kMicroNr);
+  const std::uint64_t edge = delta(micro, "mxu." + family + ".elements.edge");
+  const std::uint64_t pairs =
+      delta(micro, "mxu." + family + ".microkernel.pair_chunks");
+  const std::uint64_t pair_falls =
+      delta(micro, "mxu." + family + ".microkernel.pair_fallbacks");
+  w.key(json_prefix + "_packed_fused_chunk_rate")
+      .value(ratio(fused, fused + fallb + generic), 6);
+  w.key(json_prefix + "_microkernel_block_element_rate")
+      .value(ratio(block_elems, block_elems + edge), 6);
+  w.key(json_prefix + "_microkernel_pair_fallback_rate")
+      .value(ratio(pair_falls, pairs), 6);
 }
 
 }  // namespace
@@ -120,6 +148,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       static_cast<std::uint64_t>(cli.get_int("seed", 12345));
   const std::string out = cli.get("out", "BENCH_gemm.json");
+  const std::string trace_path = cli.get("trace", "");
+  const std::string metrics_path = cli.get("metrics", "");
 
   Rng rng(seed);
   // Per-dot and microkernel routes share the default engine (the
@@ -209,7 +239,7 @@ int main(int argc, char** argv) {
   const double cgemm_speedup = cases[3].seconds / cases[4].seconds;
   const double cgemm_micro_speedup = cases[4].seconds / cases[5].seconds;
 
-  const std::string rev = git_revision();
+  const telemetry::Environment env = telemetry::collect_environment();
   const std::size_t threads = ThreadPool::global().thread_count();
   const bool simd = core::microkernel_simd_active();
 
@@ -229,39 +259,43 @@ int main(int argc, char** argv) {
                 simd ? "avx2" : "scalar", threads);
   }
 
-  std::string json = "{\n  \"benchmark\": \"gemm_baseline\",\n";
-  json += "  \"reps\": " + std::to_string(reps) + ",\n";
-  json += "  \"warmup\": " + std::to_string(warmup) + ",\n";
-  json += "  \"seed\": " + std::to_string(seed) + ",\n";
-  json += "  \"timing\": \"median_of_reps\",\n";
-  json += "  \"environment\": {\n";
-  json += "    \"threads\": " + std::to_string(threads) + ",\n";
-  json += "    \"compiler\": \"" + json_escape(__VERSION__) + "\",\n";
-  json += "    \"git_rev\": \"" + json_escape(rev) + "\",\n";
-  json += std::string("    \"microkernel_simd\": ") +
-          (simd ? "true" : "false") + "\n  },\n";
-  json += "  \"cases\": [\n";
-  for (std::size_t i = 0; i < cases.size(); ++i) {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"name\": \"%s\", \"m\": %d, \"n\": %d, \"k\": %d, "
-                  "\"seconds\": %.6f, \"gflops\": %.6f}%s\n",
-                  cases[i].name.c_str(), cases[i].m, cases[i].n, cases[i].k,
-                  cases[i].seconds, cases[i].gflops,
-                  i + 1 < cases.size() ? "," : "");
-    json += buf;
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("benchmark", "gemm_baseline");
+  w.kv("reps", reps);
+  w.kv("warmup", warmup);
+  w.kv("seed", seed);
+  w.kv("timing", "median_of_reps");
+  w.key("environment").begin_object();
+  w.kv("threads", static_cast<std::uint64_t>(threads));
+  w.kv("compiler", env.compiler);
+  w.kv("git_rev", env.git_rev);
+  w.kv("microkernel_simd", simd);
+  w.kv("telemetry_enabled", static_cast<bool>(M3XU_TELEMETRY_ENABLED));
+  w.end_object();
+  w.key("cases").begin_array();
+  for (const Case& c : cases) {
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("m", c.m);
+    w.kv("n", c.n);
+    w.kv("k", c.k);
+    w.key("seconds").value(c.seconds, 6);
+    w.key("gflops").value(c.gflops, 6);
+    w.end_object();
   }
-  json += "  ],\n";
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "  \"sgemm_speedup_packed_vs_perdot\": %.3f,\n"
-                "  \"sgemm_speedup_microkernel_vs_packed\": %.3f,\n"
-                "  \"cgemm_speedup_packed_vs_perdot\": %.3f,\n"
-                "  \"cgemm_speedup_microkernel_vs_packed\": %.3f,\n"
-                "  \"bit_identical\": %s\n}\n",
-                sgemm_speedup, sgemm_micro_speedup, cgemm_speedup,
-                cgemm_micro_speedup, bit_identical ? "true" : "false");
-  json += buf;
+  w.end_array();
+  w.key("sgemm_speedup_packed_vs_perdot").value(sgemm_speedup, 4);
+  w.key("sgemm_speedup_microkernel_vs_packed").value(sgemm_micro_speedup, 4);
+  w.key("cgemm_speedup_packed_vs_perdot").value(cgemm_speedup, 4);
+  w.key("cgemm_speedup_microkernel_vs_packed").value(cgemm_micro_speedup, 4);
+  w.key("route_hit_rates").begin_object();
+  write_route_rates(w, "fp32", "sgemm", cases[1], cases[2]);
+  write_route_rates(w, "fp32c", "cgemm", cases[4], cases[5]);
+  w.end_object();
+  w.kv("bit_identical", bit_identical);
+  w.end_object();
+  const std::string json = w.str() + "\n";
 
   std::FILE* f = std::fopen(out.c_str(), "w");
   if (f == nullptr) {
@@ -272,5 +306,16 @@ int main(int argc, char** argv) {
   std::fputs(json.c_str(), f);
   std::fclose(f);
   std::printf("%s", json.c_str());
+
+  if (!trace_path.empty() && !telemetry::write_trace_json(trace_path)) {
+    std::fprintf(stderr, "bench_gemm_baseline: cannot write %s\n",
+                 trace_path.c_str());
+    return 2;
+  }
+  if (!metrics_path.empty() && !telemetry::export_json(metrics_path)) {
+    std::fprintf(stderr, "bench_gemm_baseline: cannot write %s\n",
+                 metrics_path.c_str());
+    return 2;
+  }
   return bit_identical ? 0 : 1;
 }

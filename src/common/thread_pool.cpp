@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "telemetry/stopwatch.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace m3xu {
+
+namespace {
+
+// Pool gauges (no-ops when M3XU_TELEMETRY=OFF). Worker utilization is
+// worker_busy_ns / (wall_ns * thread_count); queue_depth samples the
+// iterations still unclaimed at each chunk claim.
+telemetry::Counter tp_tasks("threadpool.tasks");
+telemetry::Counter tp_iters("threadpool.iterations");
+telemetry::Counter tp_busy_ns("threadpool.worker_busy_ns");
+telemetry::Counter tp_wall_ns("threadpool.wall_ns");
+telemetry::Histogram tp_depth("threadpool.queue_depth");
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,9 +42,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(Task& task) {
+  const telemetry::Stopwatch busy;
   for (;;) {
     std::size_t begin = task.next.fetch_add(task.chunk);
     if (begin >= task.end) break;
+    tp_depth.record(task.end - begin);
     std::size_t end = std::min(begin + task.chunk, task.end);
     if (!task.failed.load(std::memory_order_relaxed)) {
       for (std::size_t i = begin; i < end; ++i) {
@@ -48,6 +66,7 @@ void ThreadPool::drain(Task& task) {
     // caller's completion wait terminates.
     task.done.fetch_add(end - begin);
   }
+  tp_busy_ns.add(busy.elapsed_ns());
 }
 
 void ThreadPool::worker_loop() {
@@ -77,10 +96,14 @@ void ThreadPool::parallel_for(std::size_t n,
 void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  tp_tasks.increment();
+  tp_iters.add(n);
   if (workers_.empty() || n == 1) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  const telemetry::ScopedTimer span("threadpool.parallel_for");
+  const telemetry::Stopwatch wall;
   Task task;
   task.fn = &fn;
   task.end = n;
@@ -106,6 +129,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     });
     current_ = nullptr;
   }
+  tp_wall_ns.add(wall.elapsed_ns());
   // All workers have quiesced: rethrow the first captured exception on
   // the calling thread (no lock needed past the wait above).
   if (task.error) std::rethrow_exception(task.error);

@@ -11,12 +11,27 @@
 #include "fp/exact_accumulator.hpp"
 #include "fp/ext_float.hpp"
 #include "fp/unpacked.hpp"
+#include "telemetry/telemetry.hpp"
 
 #ifdef M3XU_ENABLE_SIMD
 #include <immintrin.h>
 #endif
 
 namespace m3xu::core {
+
+namespace {
+
+// Route counters (no-ops when M3XU_TELEMETRY=OFF). Increments are
+// accumulated in block-local variables and flushed once per block so
+// the pair loop stays free of TLS lookups.
+telemetry::Counter uk_fp32_blocks("mxu.fp32.microkernel.blocks");
+telemetry::Counter uk_fp32_pairs("mxu.fp32.microkernel.pair_chunks");
+telemetry::Counter uk_fp32_falls("mxu.fp32.microkernel.pair_fallbacks");
+telemetry::Counter uk_fp32c_blocks("mxu.fp32c.microkernel.blocks");
+telemetry::Counter uk_fp32c_pairs("mxu.fp32c.microkernel.pair_chunks");
+telemetry::Counter uk_fp32c_falls("mxu.fp32c.microkernel.pair_fallbacks");
+
+}  // namespace
 
 bool microkernel_simd_active() {
 #ifdef M3XU_ENABLE_SIMD
@@ -393,6 +408,7 @@ void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
   ElemSoA arow[kMicroMr];
   ElemSoA bcol[kMicroNr];
   PairTerms terms;
+  std::uint64_t fallbacks = 0;
   for (int ch = 0; ch < nchunks; ++ch) {
     const int k0 = ch * kPackChunkFp32;
     const int kc = std::min(kPackChunkFp32, k - k0);
@@ -421,6 +437,7 @@ void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
           build_pair(arow[i], bcol[j], /*flip_odd=*/false, terms);
         }
         if (!pair_chunk(terms, have, t_lo, t_hi, p, &acc[i][j])) {
+          ++fallbacks;
           generic_fp32_chunk(a, row0 + i, b, col0 + j, k0, kc, unit, p,
                              &acc[i][j]);
         }
@@ -430,6 +447,9 @@ void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
   for (int i = 0; i < kMicroMr; ++i) {
     for (int j = 0; j < kMicroNr; ++j) c[i * ldc + j] = acc[i][j];
   }
+  uk_fp32_blocks.increment();
+  uk_fp32_pairs.add(static_cast<std::uint64_t>(nchunks) * kMicroMr * kMicroNr);
+  uk_fp32_falls.add(fallbacks);
 }
 
 void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
@@ -460,6 +480,7 @@ void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
   ElemSoA bswp[kMicroNr];
   PairTerms terms_re;
   PairTerms terms_im;
+  std::uint64_t fallbacks = 0;
   for (int ch = 0; ch < nchunks; ++ch) {
     const int k0 = ch * kPackChunkFp32c;
     const int kc = std::min(kPackChunkFp32c, k - k0);
@@ -499,6 +520,7 @@ void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
           acc_re[i][j] = re;
           acc_im[i][j] = im;
         } else {
+          ++fallbacks;
           generic_fp32c_chunk(a, row0 + i, b, col0 + j, k0, kc, unit, p,
                               &acc_re[i][j], &acc_im[i][j]);
         }
@@ -510,6 +532,9 @@ void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
       c[i * ldc + j] = {acc_re[i][j], acc_im[i][j]};
     }
   }
+  uk_fp32c_blocks.increment();
+  uk_fp32c_pairs.add(static_cast<std::uint64_t>(nchunks) * kMicroMr * kMicroNr);
+  uk_fp32c_falls.add(fallbacks);
 }
 
 }  // namespace m3xu::core

@@ -8,8 +8,40 @@
 #include "core/fused_round.hpp"
 #include "core/microkernel.hpp"
 #include "fault/injector.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace m3xu::core {
+
+namespace {
+
+// Route counters for the FP32/FP32c datapaths (no-ops when
+// M3XU_TELEMETRY=OFF). "chunks" are kc_max-element dot fragments:
+// fused = streaming fast path, fallback = streaming chunk the fused
+// kernel rejected (wide exponent span / term overflow), generic =
+// per-dot reassembly because the panel holds specials or an injector
+// is attached. "elements" attribute whole C outputs to the route that
+// produced them. Counts are accumulated in function-local variables
+// and flushed once per call.
+telemetry::Counter rt_fp32_fused("mxu.fp32.chunks.fused");
+telemetry::Counter rt_fp32_fallback("mxu.fp32.chunks.fallback");
+telemetry::Counter rt_fp32_generic("mxu.fp32.chunks.generic");
+telemetry::Counter rt_fp32_edge("mxu.fp32.elements.edge");
+telemetry::Counter rt_fp32_special("mxu.fp32.elements.bypass_special");
+telemetry::Counter rt_fp32_inject("mxu.fp32.elements.bypass_injector");
+telemetry::Counter rt_fp32_perdot("mxu.fp32.elements.perdot");
+telemetry::Counter rt_fp32c_fused("mxu.fp32c.chunks.fused");
+telemetry::Counter rt_fp32c_fallback("mxu.fp32c.chunks.fallback");
+telemetry::Counter rt_fp32c_generic("mxu.fp32c.chunks.generic");
+telemetry::Counter rt_fp32c_edge("mxu.fp32c.elements.edge");
+telemetry::Counter rt_fp32c_special("mxu.fp32c.elements.bypass_special");
+telemetry::Counter rt_fp32c_inject("mxu.fp32c.elements.bypass_injector");
+telemetry::Counter rt_fp32c_perdot("mxu.fp32c.elements.perdot");
+
+inline std::uint64_t area(int rows, int cols) {
+  return static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+}
+
+}  // namespace
 
 MmaShape shape_for(MxuMode mode) {
   switch (mode) {
@@ -222,6 +254,7 @@ void M3xuEngine::gemm_fp32(int m, int n, int k, const float* a, int lda,
       c[idx(i, ldc, j)] = acc;
     }
   }
+  rt_fp32_perdot.add(area(m, n));
 }
 
 void M3xuEngine::gemm_fp16(int m, int n, int k, const fp::Half* a, int lda,
@@ -309,6 +342,7 @@ void M3xuEngine::gemm_fp32c(int m, int n, int k, const std::complex<float>* a,
       c[idx(i, ldc, j)] = acc;
     }
   }
+  rt_fp32c_perdot.add(area(m, n));
 }
 
 void M3xuEngine::gemm_fp64c(int m, int n, int k,
@@ -581,6 +615,7 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
   const bool streaming =
       config_.injector == nullptr && !a.has_special && !b.has_special;
   thread_local std::array<StepOperands, 2> scratch;
+  std::uint64_t n_fused = 0, n_fallback = 0, n_generic = 0;
   // Per-element loop over output sub-range [i0,i1) x [j0,j1); the
   // microkernel covers full kMicroMr x kMicroNr interior blocks and
   // edge tiles fall through to this path.
@@ -608,10 +643,13 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
           if (run_steps_fused<2>(steps, fp::unpack(acc),
                                  config_.per_step_rounding,
                                  config_.accum_prec, &r)) {
+            ++n_fused;
             acc = fp::pack_to_float(r);
             continue;
           }
+          ++n_fallback;
         } else {
+          ++n_generic;
           for (StepOperands& s : scratch) {
             s.a.clear();
             s.b.clear();
@@ -663,9 +701,20 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
     }
     run_range(0, mb, nb, n);  // right edge
     run_range(mb, m, 0, n);   // bottom edge
+    rt_fp32_edge.add(area(mb, n - nb) + area(m - mb, n));
+    rt_fp32_fused.add(n_fused);
+    rt_fp32_fallback.add(n_fallback);
     return;
   }
   run_range(0, m, 0, n);
+  if (config_.injector != nullptr) {
+    rt_fp32_inject.add(area(m, n));
+  } else if (a.has_special || b.has_special) {
+    rt_fp32_special.add(area(m, n));
+  }
+  rt_fp32_fused.add(n_fused);
+  rt_fp32_fallback.add(n_fallback);
+  rt_fp32_generic.add(n_generic);
 }
 
 void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
@@ -679,6 +728,7 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
   const int kc_max = shape_for(MxuMode::kFp32Complex).k;
   const bool streaming =
       config_.injector == nullptr && !a.has_special && !b.has_special;
+  std::uint64_t n_fused = 0, n_fallback = 0, n_generic = 0;
   // Scratch step order matches schedule_fp32c: real[0..1], imag[0..1].
   thread_local std::array<StepOperands, 4> scratch;
   // Appends one scalar product term x*y to a step pair, with x's lanes
@@ -735,10 +785,13 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
               run_steps_fused<2>(imag_steps, fp::unpack(acc.imag()),
                                  config_.per_step_rounding,
                                  config_.accum_prec, &im)) {
+            ++n_fused;
             acc = {fp::pack_to_float(re), fp::pack_to_float(im)};
             continue;
           }
+          ++n_fallback;
         } else {
+          ++n_generic;
           for (StepOperands& s : scratch) {
             s.a.clear();
             s.b.clear();
@@ -798,9 +851,20 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
     }
     run_range(0, mb, nb, n);  // right edge
     run_range(mb, m, 0, n);   // bottom edge
+    rt_fp32c_edge.add(area(mb, n - nb) + area(m - mb, n));
+    rt_fp32c_fused.add(n_fused);
+    rt_fp32c_fallback.add(n_fallback);
     return;
   }
   run_range(0, m, 0, n);
+  if (config_.injector != nullptr) {
+    rt_fp32c_inject.add(area(m, n));
+  } else if (a.has_special || b.has_special) {
+    rt_fp32c_special.add(area(m, n));
+  }
+  rt_fp32c_fused.add(n_fused);
+  rt_fp32c_fallback.add(n_fallback);
+  rt_fp32c_generic.add(n_generic);
 }
 
 void M3xuEngine::gemm_fp32_packed(int m, int n, int k, const float* a,

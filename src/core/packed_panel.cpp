@@ -6,10 +6,18 @@
 #include "common/check.hpp"
 #include "core/data_assignment.hpp"
 #include "fp/split.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace m3xu::core {
 
 namespace {
+
+// Elements split into packed lanes, by panel side (no-ops when
+// M3XU_TELEMETRY=OFF). staged_bytes cross-checks derive from these.
+telemetry::Counter pk_fp32_a("pack.fp32.a_elements");
+telemetry::Counter pk_fp32_b("pack.fp32.b_elements");
+telemetry::Counter pk_fp32c_a("pack.fp32c.a_elements");
+telemetry::Counter pk_fp32c_b("pack.fp32c.b_elements");
 
 struct SplitLanes {
   LaneOperand hi;
@@ -69,6 +77,7 @@ void pack_fp32_a(const float* a, int lda, int rows, int k,
   out.k = k;
   out.has_special = false;
   const std::size_t elems = static_cast<std::size_t>(rows) * k;
+  pk_fp32_a.add(elems);
   out.lanes.resize(elems * 2);
   out.cls.resize(elems);
   out.special.assign(elems, 0);
@@ -108,6 +117,7 @@ void pack_fp32_b(const float* b, int ldb, int k, int cols,
   out.cols = cols;
   out.has_special = false;
   const std::size_t elems = static_cast<std::size_t>(cols) * k;
+  pk_fp32_b.add(elems);
   out.like.resize(elems * 2);
   out.swapped.resize(elems * 2);
   out.cls.resize(elems);
@@ -151,6 +161,7 @@ void pack_fp32c_a(const std::complex<float>* a, int lda, int rows, int k,
   out.k = k;
   out.has_special = false;
   const std::size_t elems = static_cast<std::size_t>(rows) * k;
+  pk_fp32c_a.add(elems);
   out.real_lanes.assign(elems * 4, LaneOperand{});
   out.imag_lanes.assign(elems * 4, LaneOperand{});
   out.cls.resize(elems * 2);
@@ -203,6 +214,7 @@ void pack_fp32c_b(const std::complex<float>* b, int ldb, int k, int cols,
   out.cols = cols;
   out.has_special = false;
   const std::size_t elems = static_cast<std::size_t>(cols) * k;
+  pk_fp32c_b.add(elems);
   out.real_like.assign(elems * 4, LaneOperand{});
   out.real_swap.assign(elems * 4, LaneOperand{});
   out.imag_like.assign(elems * 4, LaneOperand{});

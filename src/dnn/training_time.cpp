@@ -4,12 +4,11 @@
 
 #include "common/check.hpp"
 #include "sim/eval_kernels.hpp"
+#include "telemetry/model_clock.hpp"
 
 namespace m3xu::dnn {
 
 namespace {
-
-constexpr double kLaunchSeconds = 5e-6;
 
 struct Breakdown {
   double forward = 0.0;
@@ -17,58 +16,64 @@ struct Breakdown {
   double backward_m3xu = 0.0;
 };
 
-double gemm_seconds(const sim::GpuSim& sim, const GemmShape& g,
+/// The three Breakdown totals are parallel timelines (the two backward
+/// variants model alternative passes over the same layers), so each
+/// gets its own virtual-time clock; launch overhead comes from
+/// ModelClock::advance.
+double gemm_seconds(telemetry::ModelClock& clock, std::string_view phase,
+                    const sim::GpuSim& sim, const GemmShape& g,
                     sim::SgemmVariant v) {
-  return sim::time_sgemm(sim, v, g.m, g.n, g.k).seconds + kLaunchSeconds;
+  return clock.advance(phase, sim::time_sgemm(sim, v, g.m, g.n, g.k).seconds);
 }
 
-double hgemm_seconds(const sim::GpuSim& sim, const GemmShape& g) {
-  return sim::time_hgemm(sim, g.m, g.n, g.k).seconds + kLaunchSeconds;
+double hgemm_seconds(telemetry::ModelClock& clock, std::string_view phase,
+                     const sim::GpuSim& sim, const GemmShape& g) {
+  return clock.advance(phase, sim::time_hgemm(sim, g.m, g.n, g.k).seconds);
 }
 
-double elementwise_seconds(const sim::GpuSim& sim, double bytes) {
-  return sim::time_streaming(sim, bytes, bytes).seconds + kLaunchSeconds;
+double elementwise_seconds(telemetry::ModelClock& clock,
+                           std::string_view phase, const sim::GpuSim& sim,
+                           double bytes) {
+  return clock.advance(phase, sim::time_streaming(sim, bytes, bytes).seconds);
 }
 
 Breakdown compute_breakdown(const sim::GpuSim& sim, const Network& net) {
-  Breakdown b;
+  telemetry::ModelClock fwd;
+  telemetry::ModelClock bwd_mixed;
+  telemetry::ModelClock bwd_m3xu;
+  const auto gemm_layer = [&](const GemmShape& f, const GemmShape& d,
+                              const GemmShape& w, std::string_view phase) {
+    hgemm_seconds(fwd, phase, sim, f);
+    gemm_seconds(bwd_mixed, phase, sim, d, sim::SgemmVariant::kSimt);
+    gemm_seconds(bwd_mixed, phase, sim, w, sim::SgemmVariant::kSimt);
+    gemm_seconds(bwd_m3xu, phase, sim, d, sim::SgemmVariant::kM3xu);
+    gemm_seconds(bwd_m3xu, phase, sim, w, sim::SgemmVariant::kM3xu);
+  };
   for (const Layer& layer : net.layers) {
     switch (layer.kind) {
-      case Layer::Kind::kConv: {
-        const GemmShape f = forward_gemm(layer.conv, net.batch);
-        const GemmShape d = dgrad_gemm(layer.conv, net.batch);
-        const GemmShape w = wgrad_gemm(layer.conv, net.batch);
-        b.forward += hgemm_seconds(sim, f);
-        b.backward_mixed += gemm_seconds(sim, d, sim::SgemmVariant::kSimt) +
-                            gemm_seconds(sim, w, sim::SgemmVariant::kSimt);
-        b.backward_m3xu += gemm_seconds(sim, d, sim::SgemmVariant::kM3xu) +
-                           gemm_seconds(sim, w, sim::SgemmVariant::kM3xu);
+      case Layer::Kind::kConv:
+        gemm_layer(forward_gemm(layer.conv, net.batch),
+                   dgrad_gemm(layer.conv, net.batch),
+                   wgrad_gemm(layer.conv, net.batch), "conv");
         break;
-      }
-      case Layer::Kind::kFc: {
-        const GemmShape f = forward_gemm(layer.fc, net.batch);
-        const GemmShape d = dgrad_gemm(layer.fc, net.batch);
-        const GemmShape w = wgrad_gemm(layer.fc, net.batch);
-        b.forward += hgemm_seconds(sim, f);
-        b.backward_mixed += gemm_seconds(sim, d, sim::SgemmVariant::kSimt) +
-                            gemm_seconds(sim, w, sim::SgemmVariant::kSimt);
-        b.backward_m3xu += gemm_seconds(sim, d, sim::SgemmVariant::kM3xu) +
-                           gemm_seconds(sim, w, sim::SgemmVariant::kM3xu);
+      case Layer::Kind::kFc:
+        gemm_layer(forward_gemm(layer.fc, net.batch),
+                   dgrad_gemm(layer.fc, net.batch),
+                   wgrad_gemm(layer.fc, net.batch), "fc");
         break;
-      }
       case Layer::Kind::kElementwise: {
         // FP16 activations forward; backward touches activations and
         // gradients (~1.5x the traffic).
         const double bytes = layer.elems * net.batch * 2.0;
-        b.forward += elementwise_seconds(sim, bytes);
-        const double bwd = elementwise_seconds(sim, bytes * 1.5);
-        b.backward_mixed += bwd;
-        b.backward_m3xu += bwd;
+        elementwise_seconds(fwd, "elementwise", sim, bytes);
+        const double bwd =
+            elementwise_seconds(bwd_mixed, "elementwise", sim, bytes * 1.5);
+        bwd_m3xu.advance("elementwise", bwd, /*launches=*/0);
         break;
       }
     }
   }
-  return b;
+  return {fwd.seconds(), bwd_mixed.seconds(), bwd_m3xu.seconds()};
 }
 
 }  // namespace

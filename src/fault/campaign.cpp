@@ -3,11 +3,11 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
-#include <sstream>
 
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "gemm/matrix.hpp"
+#include "telemetry/json.hpp"
 
 namespace m3xu::fault {
 
@@ -112,21 +112,6 @@ TrialOutcome run_trial(const CampaignConfig& cfg, Site site, double rate,
   return out;
 }
 
-void append_cell_json(std::ostringstream& os, const CampaignCell& cell) {
-  os << "    {\"site\": \"" << site_name(cell.site)
-     << "\", \"rate\": " << cell.rate << ", \"trials\": " << cell.trials
-     << ", \"faults_injected\": " << cell.faults_injected
-     << ", \"faulted\": " << cell.faulted
-     << ", \"perturbed\": " << cell.perturbed
-     << ", \"corrupting\": " << cell.corrupting
-     << ", \"detected\": " << cell.detected
-     << ", \"corrected\": " << cell.corrected
-     << ", \"escaped_sdc\": " << cell.escaped_sdc
-     << ", \"abft_failures\": " << cell.abft_failures
-     << ", \"detection_rate\": " << cell.detection_rate()
-     << ", \"correction_rate\": " << cell.correction_rate() << "}";
-}
-
 }  // namespace
 
 double CampaignCell::detection_rate() const {
@@ -204,28 +189,42 @@ CampaignResult run_campaign(const CampaignConfig& config) {
 }
 
 std::string to_json(const CampaignResult& result) {
-  std::ostringstream os;
-  os << "{\n";
-  os << "  \"config\": {\"m\": " << result.config.m
-     << ", \"n\": " << result.config.n << ", \"k\": " << result.config.k
-     << ", \"trials\": " << result.config.trials
-     << ", \"seed\": " << result.config.seed
-     << ", \"tolerance_scale\": " << result.config.abft.tolerance_scale
-     << ", \"max_recompute\": " << result.config.abft.max_recompute
-     << "},\n";
-  os << "  \"cells\": [\n";
-  for (std::size_t i = 0; i < result.cells.size(); ++i) {
-    append_cell_json(os, result.cells[i]);
-    os << (i + 1 < result.cells.size() ? ",\n" : "\n");
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.key("config").begin_object();
+  w.kv("m", result.config.m)
+      .kv("n", result.config.n)
+      .kv("k", result.config.k)
+      .kv("trials", result.config.trials)
+      .kv("seed", result.config.seed)
+      .kv("tolerance_scale", result.config.abft.tolerance_scale)
+      .kv("max_recompute", result.config.abft.max_recompute)
+      .end_object();
+  w.key("cells").begin_array();
+  for (const CampaignCell& cell : result.cells) {
+    w.begin_object()
+        .kv("site", site_name(cell.site))
+        .kv("rate", cell.rate)
+        .kv("trials", cell.trials)
+        .kv("faults_injected", cell.faults_injected)
+        .kv("faulted", cell.faulted)
+        .kv("perturbed", cell.perturbed)
+        .kv("corrupting", cell.corrupting)
+        .kv("detected", cell.detected)
+        .kv("corrected", cell.corrected)
+        .kv("escaped_sdc", cell.escaped_sdc)
+        .kv("abft_failures", cell.abft_failures)
+        .kv("detection_rate", cell.detection_rate())
+        .kv("correction_rate", cell.correction_rate())
+        .end_object();
   }
-  os << "  ],\n";
-  os << "  \"total_faults\": " << result.total_faults() << ",\n";
-  os << "  \"total_corrupting\": " << result.total_corrupting() << ",\n";
-  os << "  \"total_escaped_sdc\": " << result.total_escaped_sdc() << ",\n";
-  os << "  \"overall_detection_rate\": " << result.overall_detection_rate()
-     << "\n";
-  os << "}\n";
-  return os.str();
+  w.end_array();
+  w.kv("total_faults", result.total_faults())
+      .kv("total_corrupting", result.total_corrupting())
+      .kv("total_escaped_sdc", result.total_escaped_sdc())
+      .kv("overall_detection_rate", result.overall_detection_rate())
+      .end_object();
+  return w.str() + "\n";
 }
 
 }  // namespace m3xu::fault

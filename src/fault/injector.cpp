@@ -2,10 +2,13 @@
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace m3xu::fault {
 
 namespace {
+
+telemetry::Counter fault_injected("fault.injected");
 
 /// splitmix64 finalizer: the per-opportunity decision hash.
 std::uint64_t mix(std::uint64_t x) {
@@ -93,6 +96,7 @@ int FaultInjector::sample(Site site, int width,
 }
 
 void FaultInjector::record(Site site, std::uint64_t event, int bit) const {
+  fault_injected.increment();
   injected_[static_cast<int>(site)].fetch_add(1, std::memory_order_relaxed);
   const std::lock_guard<std::mutex> lock(log_mu_);
   if (log_.size() < kLogCap) log_.push_back({site, event, bit});

@@ -5,12 +5,11 @@
 
 #include "common/check.hpp"
 #include "sim/eval_kernels.hpp"
+#include "telemetry/model_clock.hpp"
 
 namespace m3xu::fft {
 
 namespace {
-
-constexpr double kLaunchSeconds = 5e-6;  // per-stage kernel launch cost
 
 int log2_of(long n) {
   int l = 0;
@@ -77,6 +76,7 @@ FftTime time_fft(const sim::GpuSim& sim, FftImpl impl, long n, long batch) {
   const int log2n = log2_of(n);
 
   FftTime out;
+  telemetry::ModelClock clock;
   switch (impl) {
     case FftImpl::kCuFft: {
       // Radix-8 Stockham: ceil(log8 n) passes, ~10 FMA per element per
@@ -88,16 +88,17 @@ FftTime time_fft(const sim::GpuSim& sim, FftImpl impl, long n, long batch) {
       for (int s = 0; s < out.stages; ++s) {
         const sim::KernelTiming t =
             stage_time(sim, elems, 10.0, 0, 0.0, 0.0, l2_hit);
-        out.seconds += t.seconds + kLaunchSeconds;
+        clock.advance("butterfly", t.seconds);
         out.energy += t.energy;
       }
       for (int s = 0; s < transpose_passes; ++s) {
         const sim::KernelTiming t =
             stage_time(sim, elems, 0.0, 0, 0.0, 0.0, l2_hit);
-        out.seconds += t.seconds + kLaunchSeconds;
+        clock.advance("transpose", t.seconds);
         out.energy += t.energy;
       }
       out.stages += transpose_passes;
+      out.seconds = clock.seconds();
       return out;
     }
     case FftImpl::kTcFftTf32: {
@@ -118,9 +119,10 @@ FftTime time_fft(const sim::GpuSim& sim, FftImpl impl, long n, long batch) {
         const sim::KernelTiming t = stage_time(
             sim, elems * 1.5, 4.0, sim::kind_tf32(sim.config()).ii,
             instr_per_elem / 1.5, mma_e, l2_hit);
-        out.seconds += t.seconds + kLaunchSeconds;
+        clock.advance("butterfly", t.seconds);
         out.energy += t.energy;
       }
+      out.seconds = clock.seconds();
       return out;
     }
     case FftImpl::kM3xu: {
@@ -134,9 +136,10 @@ FftTime time_fft(const sim::GpuSim& sim, FftImpl impl, long n, long batch) {
         const sim::KernelTiming t =
             stage_time(sim, elems, 1.0, sim::kind_m3xu_fp32c(sim.config()).ii,
                        instr_per_elem, mma_e, l2_hit);
-        out.seconds += t.seconds + kLaunchSeconds;
+        clock.advance("butterfly", t.seconds);
         out.energy += t.energy;
       }
+      out.seconds = clock.seconds();
       return out;
     }
   }

@@ -6,6 +6,7 @@
 #include "core/packed_panel.hpp"
 #include "fp/split.hpp"
 #include "gemm/reference.hpp"
+#include "telemetry/trace.hpp"
 
 namespace m3xu::gemm {
 
@@ -144,9 +145,14 @@ void run_sgemm(SgemmKernel kernel, const core::M3xuEngine& engine,
     case SgemmKernel::kM3xu: {
       // Packed fast path: B is split once and shared read-only across
       // all row blocks; each block splits only its own A rows.
+      const telemetry::ScopedTimer total_span("sgemm.m3xu");
       core::PackedPanelFp32B pb;
-      core::pack_fp32_b(b.data(), b.ld(), b.rows(), b.cols(), pb);
+      {
+        const telemetry::ScopedTimer span("sgemm.pack_b");
+        core::pack_fp32_b(b.data(), b.ld(), b.rows(), b.cols(), pb);
+      }
       over_row_blocks(a.rows(), [&](int r0, int rc) {
+        const telemetry::ScopedTimer span("sgemm.row_block");
         core::PackedPanelFp32A pa;
         core::pack_fp32_a(a.data() + static_cast<std::size_t>(r0) * a.ld(),
                           a.ld(), rc, a.cols(), pa);
@@ -190,9 +196,14 @@ void run_cgemm(CgemmKernel kernel, const core::M3xuEngine& engine,
       return;
     }
     case CgemmKernel::kM3xu: {
+      const telemetry::ScopedTimer total_span("cgemm.m3xu");
       core::PackedPanelFp32cB pb;
-      core::pack_fp32c_b(b.data(), b.ld(), b.rows(), b.cols(), pb);
+      {
+        const telemetry::ScopedTimer span("cgemm.pack_b");
+        core::pack_fp32c_b(b.data(), b.ld(), b.rows(), b.cols(), pb);
+      }
       over_row_blocks(a.rows(), [&](int r0, int rc) {
+        const telemetry::ScopedTimer span("cgemm.row_block");
         core::PackedPanelFp32cA pa;
         core::pack_fp32c_a(a.data() + static_cast<std::size_t>(r0) * a.ld(),
                            a.ld(), rc, a.cols(), pa);

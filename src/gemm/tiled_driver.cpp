@@ -9,10 +9,21 @@
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
 #include "core/packed_panel.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace m3xu::gemm {
 
 namespace {
+
+// ABFT outcome counters, mirroring the TiledGemmStats fields so fault
+// recovery shows up in the process-wide metrics export (no-ops when
+// M3XU_TELEMETRY=OFF).
+telemetry::Counter abft_checks_ctr("abft.tile_checks");
+telemetry::Counter abft_detected_ctr("abft.detected");
+telemetry::Counter abft_recomputed_ctr("abft.recomputed");
+telemetry::Counter abft_recovered_ctr("abft.recovered");
+telemetry::Counter abft_false_alarms_ctr("abft.false_alarms");
 
 struct TileGrid {
   long grid_m;
@@ -197,27 +208,42 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
       typename PackedOps<T>::PanelB b_panel;
       for (int k0 = 0; k0 < k; k0 += cfg.block_k) {
         const int kc = std::min(cfg.block_k, k - k0);
-        // Stage the A and B panels (cp.async in the real kernel).
-        for (int i = 0; i < m_eff; ++i) {
+        {
+          // Stage the A and B panels (cp.async in the real kernel).
+          const telemetry::ScopedTimer span(
+              "tile.stage", counters != nullptr ? &counters->stage_seconds
+                                                : nullptr);
+          for (int i = 0; i < m_eff; ++i) {
+            for (int kk = 0; kk < kc; ++kk) {
+              a_stage[static_cast<std::size_t>(i) * cfg.block_k + kk] =
+                  a(bm + i, k0 + kk);
+            }
+          }
           for (int kk = 0; kk < kc; ++kk) {
-            a_stage[static_cast<std::size_t>(i) * cfg.block_k + kk] =
-                a(bm + i, k0 + kk);
+            for (int j = 0; j < n_eff; ++j) {
+              b_stage[static_cast<std::size_t>(kk) * n_eff + j] =
+                  b(k0 + kk, bn + j);
+            }
           }
         }
-        for (int kk = 0; kk < kc; ++kk) {
-          for (int j = 0; j < n_eff; ++j) {
-            b_stage[static_cast<std::size_t>(kk) * n_eff + j] =
-                b(k0 + kk, bn + j);
-          }
+        {
+          const telemetry::ScopedTimer span(
+              "tile.pack", counters != nullptr ? &counters->pack_seconds
+                                               : nullptr);
+          PackedOps<T>::pack_a(a_stage.data(), cfg.block_k, m_eff, kc,
+                               a_panel);
+          PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff, b_panel);
         }
-        PackedOps<T>::pack_a(a_stage.data(), cfg.block_k, m_eff, kc, a_panel);
-        PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff, b_panel);
         if (counters != nullptr) {
           counters->staged_bytes +=
               static_cast<double>(m_eff + n_eff) * kc * sizeof(T);
           ++counters->mainloop_iterations;
         }
         // Warp tiles over the block tile.
+        const telemetry::ScopedTimer span(
+            "tile.mainloop", counters != nullptr
+                                 ? &counters->mainloop_seconds
+                                 : nullptr);
         for (int wm = 0; wm < m_eff; wm += cfg.warp_m) {
           const int wm_eff = std::min(cfg.warp_m, m_eff - wm);
           for (int wn = 0; wn < n_eff; wn += cfg.warp_n) {
@@ -239,6 +265,7 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
     compute_tile(engine, c_frag, &local);
 
     if (abft.enable) {
+      const telemetry::ScopedTimer span("tile.abft", &local.abft_seconds);
       ++local.abft_tile_checks;
       // Column checksums over the tile: expected_j = sum_i C_in[i][j]
       // + sum_k (sum_i A[i][k]) * B[k][j], and the magnitude sum that
@@ -312,15 +339,31 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
       }
     }
 
-    for (int i = 0; i < m_eff; ++i) {
-      for (int j = 0; j < n_eff; ++j) {
-        c(bm + i, bn + j) = c_frag[static_cast<std::size_t>(i) * n_eff + j];
+    {
+      const telemetry::ScopedTimer span("tile.epilogue",
+                                        &local.epilogue_seconds);
+      for (int i = 0; i < m_eff; ++i) {
+        for (int j = 0; j < n_eff; ++j) {
+          c(bm + i, bn + j) = c_frag[static_cast<std::size_t>(i) * n_eff + j];
+        }
       }
     }
+    abft_checks_ctr.add(static_cast<std::uint64_t>(local.abft_tile_checks));
+    abft_detected_ctr.add(static_cast<std::uint64_t>(local.abft_detected));
+    abft_recomputed_ctr.add(
+        static_cast<std::uint64_t>(local.abft_recomputed));
+    abft_recovered_ctr.add(static_cast<std::uint64_t>(local.abft_recovered));
+    abft_false_alarms_ctr.add(
+        static_cast<std::uint64_t>(local.abft_false_alarms));
     const std::lock_guard<std::mutex> lock(stats_mu);
     stats.mainloop_iterations += local.mainloop_iterations;
     stats.staged_bytes += local.staged_bytes;
     stats.mma_instructions += local.mma_instructions;
+    stats.stage_seconds += local.stage_seconds;
+    stats.pack_seconds += local.pack_seconds;
+    stats.mainloop_seconds += local.mainloop_seconds;
+    stats.epilogue_seconds += local.epilogue_seconds;
+    stats.abft_seconds += local.abft_seconds;
     stats.abft_tile_checks += local.abft_tile_checks;
     stats.abft_detected += local.abft_detected;
     stats.abft_recomputed += local.abft_recomputed;

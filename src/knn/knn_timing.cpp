@@ -2,12 +2,11 @@
 
 #include "common/check.hpp"
 #include "sim/eval_kernels.hpp"
+#include "telemetry/model_clock.hpp"
 
 namespace m3xu::knn {
 
 namespace {
-
-constexpr double kLaunchSeconds = 5e-6;
 
 // Effective uncoalesced traffic of the insertion-sort selection per
 // distance element at the paper's K=16 (calibrated so the non-GEMM
@@ -25,29 +24,31 @@ double select_bytes_per_element(int k) {
 KnnTime time_knn(const sim::GpuSim& sim, long queries, long refs, long dims,
                  int k, bool use_m3xu) {
   M3XU_CHECK(queries >= 1 && refs >= 1 && dims >= 1 && k >= 1);
-  KnnTime t;
+  telemetry::ModelClock clock;
   const double mn = static_cast<double>(queries) * refs;
   // Norm kernels over both point sets.
   const double points_bytes = static_cast<double>(queries + refs) * dims * 4;
-  t.seconds += sim::time_streaming(sim, points_bytes,
-                                   (queries + refs) * 4.0, 8.0)
-                   .seconds +
-               2 * kLaunchSeconds;
+  clock.advance("norms",
+                sim::time_streaming(sim, points_bytes,
+                                    (queries + refs) * 4.0, 8.0)
+                    .seconds,
+                /*launches=*/2);
   // Distance GEMM.
   const sim::GemmTime g = sim::time_sgemm(
       sim, use_m3xu ? sim::SgemmVariant::kM3xu : sim::SgemmVariant::kSimt,
       queries, refs, dims);
-  t.gemm_seconds = g.seconds + kLaunchSeconds;
-  t.seconds += t.gemm_seconds;
+  clock.advance("gemm", g.seconds);
   // Epilogue: read the GEMM output, add the norms, write distances.
-  t.seconds +=
-      sim::time_streaming(sim, mn * 4.0, mn * 4.0, 2.0).seconds +
-      kLaunchSeconds;
+  clock.advance("epilogue",
+                sim::time_streaming(sim, mn * 4.0, mn * 4.0, 2.0).seconds);
   // Selection: insertion sort with uncoalesced global traffic.
-  t.seconds += sim::time_streaming(sim, mn * select_bytes_per_element(k),
-                                   queries * 8.0 * k, 0.0)
-                   .seconds +
-               kLaunchSeconds;
+  clock.advance("select",
+                sim::time_streaming(sim, mn * select_bytes_per_element(k),
+                                    queries * 8.0 * k, 0.0)
+                    .seconds);
+  KnnTime t;
+  t.seconds = clock.seconds();
+  t.gemm_seconds = clock.phase_seconds("gemm");
   return t;
 }
 

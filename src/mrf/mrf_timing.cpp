@@ -2,12 +2,11 @@
 
 #include "common/check.hpp"
 #include "sim/eval_kernels.hpp"
+#include "telemetry/model_clock.hpp"
 
 namespace m3xu::mrf {
 
 namespace {
-
-constexpr double kLaunchSeconds = 5e-6;
 
 // Truncated EPG dephasing-order count: SnapMRF's extended-phase-graph
 // simulation tracks a bank of (F+, F-, Z) configuration states per
@@ -22,38 +21,43 @@ DictGenTime time_dictionary_generation(const sim::GpuSim& sim, long atoms,
                                        int timepoints, int rank,
                                        bool use_m3xu) {
   M3XU_CHECK(atoms >= 1 && timepoints >= 1 && rank >= 1);
-  DictGenTime t;
+  telemetry::ModelClock clock;
   // Simulation: one kernel per timepoint; each streams the per-atom
   // state (m complex + z + signal store ~ 24 B/atom each way) and runs
   // ~14 FMA-class ops per atom (rotation + relaxation).
   const double state_bytes = static_cast<double>(atoms) * 24.0 * kEpgStates;
   const sim::KernelTiming step = sim::time_streaming(
       sim, state_bytes, state_bytes, /*ffma_per_kb=*/14.0 * 1024 / 24 / 32);
-  t.seconds += (step.seconds + kLaunchSeconds) * timepoints;
+  clock.advance("simulate", step.seconds * timepoints,
+                /*launches=*/timepoints);
   // Compression CGEMM (the cublas_cgemm / m3xu_cgemm portion).
   const sim::GemmTime cgemm = sim::time_cgemm(
       sim, use_m3xu ? sim::CgemmVariant::kM3xu : sim::CgemmVariant::kSimt,
       atoms, rank, timepoints);
-  t.cgemm_seconds = cgemm.seconds + kLaunchSeconds;
-  t.seconds += t.cgemm_seconds;
+  clock.advance("cgemm", cgemm.seconds);
+  DictGenTime t;
+  t.seconds = clock.seconds();
+  t.cgemm_seconds = clock.phase_seconds("cgemm");
   return t;
 }
 
 DictGenTime time_pattern_matching(const sim::GpuSim& sim, long atoms,
                                   long voxels, int rank, bool use_m3xu) {
   M3XU_CHECK(atoms >= 1 && voxels >= 1 && rank >= 1);
-  DictGenTime t;
+  telemetry::ModelClock clock;
   const sim::GemmTime cgemm = sim::time_cgemm(
       sim, use_m3xu ? sim::CgemmVariant::kM3xu : sim::CgemmVariant::kSimt,
       atoms, voxels, rank);
-  t.cgemm_seconds = cgemm.seconds + kLaunchSeconds;
-  t.seconds += t.cgemm_seconds;
+  clock.advance("cgemm", cgemm.seconds);
   // Argmax over the atoms x voxels correlation matrix (streaming).
-  t.seconds += sim::time_streaming(sim,
-                                   static_cast<double>(atoms) * voxels * 8.0,
-                                   voxels * 8.0, 4.0)
-                   .seconds +
-               kLaunchSeconds;
+  clock.advance("argmax",
+                sim::time_streaming(sim,
+                                    static_cast<double>(atoms) * voxels * 8.0,
+                                    voxels * 8.0, 4.0)
+                    .seconds);
+  DictGenTime t;
+  t.seconds = clock.seconds();
+  t.cgemm_seconds = clock.phase_seconds("cgemm");
   return t;
 }
 

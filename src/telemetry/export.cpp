@@ -1,0 +1,117 @@
+#include "telemetry/export.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "common/table.hpp"
+
+namespace m3xu::telemetry {
+
+std::string git_revision() {
+  std::FILE* pipe = ::popen("git rev-parse --short HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::array<char, 64> buf{};
+  std::string rev;
+  if (std::fgets(buf.data(), buf.size(), pipe) != nullptr) rev = buf.data();
+  ::pclose(pipe);
+  while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+    rev.pop_back();
+  }
+  return rev.empty() ? "unknown" : rev;
+}
+
+Environment collect_environment() {
+  Environment env;
+#if defined(__VERSION__)
+  env.compiler = __VERSION__;
+#else
+  env.compiler = "unknown";
+#endif
+  env.git_rev = git_revision();
+  return env;
+}
+
+void write_metrics(JsonWriter& w, const Snapshot& snap) {
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counters) {
+    w.kv(name, value);
+  }
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const Snapshot::HistogramValue& h : snap.histograms) {
+    w.key(h.name).begin_object();
+    w.kv("count", h.count);
+    w.kv("sum", h.sum);
+    w.key("mean").value(h.mean(), 6);
+    // Buckets as [bit_width, count] pairs, empty buckets omitted.
+    w.key("buckets").begin_array();
+    for (int b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[static_cast<std::size_t>(b)] == 0) continue;
+      w.begin_array();
+      w.value(b);
+      w.value(h.buckets[static_cast<std::size_t>(b)]);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_environment(JsonWriter& w, const Environment& env) {
+  w.key("environment").begin_object();
+  w.kv("compiler", env.compiler);
+  w.kv("git_revision", env.git_rev);
+  w.kv("telemetry_enabled", static_cast<bool>(M3XU_TELEMETRY_ENABLED));
+  w.end_object();
+}
+
+std::string metrics_json() {
+  JsonWriter w;
+  w.begin_object();
+  write_environment(w, collect_environment());
+  write_metrics(w, snapshot());
+  w.end_object();
+  return w.str();
+}
+
+bool export_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = metrics_json();
+  const bool ok =
+      std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+      std::fputc('\n', f) != EOF;
+  return std::fclose(f) == 0 && ok;
+}
+
+void print_summary(const Snapshot& snap, std::FILE* out) {
+  if (snap.counters.empty() && snap.histograms.empty()) {
+    std::fprintf(out, "telemetry: no metrics recorded%s\n",
+                 M3XU_TELEMETRY_ENABLED ? "" : " (built with telemetry off)");
+    return;
+  }
+  if (!snap.counters.empty()) {
+    Table t({"counter", "value"});
+    for (const auto& [name, value] : snap.counters) {
+      t.add_row({name, std::to_string(value)});
+    }
+    t.print(out);
+  }
+  if (!snap.histograms.empty()) {
+    std::fprintf(out, "\n");
+    Table t({"histogram", "count", "mean", "max_bucket"});
+    for (const Snapshot::HistogramValue& h : snap.histograms) {
+      int top = 0;
+      for (int b = 0; b < kHistBuckets; ++b) {
+        if (h.buckets[static_cast<std::size_t>(b)] != 0) top = b;
+      }
+      t.add_row({h.name, std::to_string(h.count), Table::num(h.mean(), 2),
+                 "2^" + std::to_string(top)});
+    }
+    t.print(out);
+  }
+}
+
+}  // namespace m3xu::telemetry

@@ -1,0 +1,45 @@
+// The single metrics export pipeline: one snapshot, three sinks -
+// a standalone metrics JSON file, a JSON fragment benches embed in
+// their own documents, and a human-readable summary table rendered
+// through common/table. All of it works (emitting empty sections) in
+// M3XU_TELEMETRY=OFF builds so callers compile unchanged.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/json.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace m3xu::telemetry {
+
+/// Build/host metadata stamped into exported artifacts.
+struct Environment {
+  std::string compiler;  // __VERSION__ of the telemetry build
+  std::string git_rev;   // short HEAD revision, or "unknown"
+};
+
+Environment collect_environment();
+
+/// Short git revision of the working tree, or "unknown" outside a
+/// checkout.
+std::string git_revision();
+
+/// Writes {"counters": {...}, "histograms": {...}} (the given
+/// snapshot) into an open object of `w`, as two key/value pairs.
+void write_metrics(JsonWriter& w, const Snapshot& snap);
+
+/// Writes environment metadata into an open object of `w` under an
+/// "environment" key (callers may add their own fields next to it).
+void write_environment(JsonWriter& w, const Environment& env);
+
+/// Standalone metrics document: telemetry state + environment. Returns
+/// false on I/O failure.
+bool export_json(const std::string& path);
+std::string metrics_json();
+
+/// Renders the snapshot's counters and histograms as fixed-width text
+/// tables (common/table) to `out`.
+void print_summary(const Snapshot& snap, std::FILE* out);
+
+}  // namespace m3xu::telemetry

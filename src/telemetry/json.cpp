@@ -1,0 +1,168 @@
+#include "telemetry/json.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace m3xu::telemetry {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ += '\n';
+  out_.append(stack_.size() * 2, ' ');
+}
+
+void JsonWriter::pre_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Frame& top = stack_.back();
+  if (!top.first) out_ += ',';
+  top.first = false;
+  indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  pre_value();
+  out_ += '{';
+  stack_.push_back(Frame{true, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) indent();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  pre_value();
+  out_ += '[';
+  stack_.push_back(Frame{false, true});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool empty = stack_.back().first;
+  stack_.pop_back();
+  if (!empty) indent();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  Frame& top = stack_.back();
+  if (!top.first) out_ += ',';
+  top.first = false;
+  indent();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  pre_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) {
+  return value(std::string_view(v));
+}
+
+JsonWriter& JsonWriter::value(double v, int digits) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long v) {
+  pre_value();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%ld", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) {
+  pre_value();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  pre_value();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  pre_value();
+  out_ += json;
+  return *this;
+}
+
+}  // namespace m3xu::telemetry

@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer - the one emission path for every
+// metrics/bench JSON artifact (BENCH_gemm.json, the metrics export,
+// the Chrome trace), replacing per-bench string concatenation.
+// Produces pretty-printed, key-ordered output; the writer tracks
+// nesting and comma placement so callers only name structure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace m3xu::telemetry {
+
+std::string json_escape(std::string_view s);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Keys apply inside an object, before the value/container call.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v, int digits = 6);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(long v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Splices pre-rendered JSON as the next value (caller guarantees
+  /// validity).
+  JsonWriter& raw(std::string_view json);
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  /// The document; call after the outermost container closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  void pre_value();
+  void indent();
+
+  std::string out_;
+  // One frame per open container: first tracks comma insertion,
+  // is_object whether a key is expected.
+  struct Frame {
+    bool is_object;
+    bool first;
+  };
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+}  // namespace m3xu::telemetry

@@ -1,0 +1,63 @@
+// Virtual-time phase clock for the analytic timing models.
+//
+// The kNN / MRF / FFT / DNN case-study models all accumulate the same
+// shape of result: a sequence of modeled kernels, each contributing
+// its simulated execution time plus a fixed per-launch overhead, with
+// one or two phases broken out for Amdahl bookkeeping. Before the
+// telemetry layer each module carried its own kLaunchSeconds constant
+// and hand-rolled accumulation; ModelClock is that pattern in one
+// place. It deals in *modeled* seconds - no wall clock - so it is
+// always compiled, independent of M3XU_TELEMETRY.
+#pragma once
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace m3xu::telemetry {
+
+class ModelClock {
+ public:
+  /// Fixed kernel-launch overhead added per launch (the constant the
+  /// four case-study timing modules previously duplicated).
+  static constexpr double kLaunchSeconds = 5e-6;
+
+  /// Accounts one modeled kernel (or `launches` back-to-back launches
+  /// of it): `seconds` of execution plus launch overhead, attributed
+  /// to `phase`. Returns the full cost added, so callers can fold the
+  /// same number into their own result fields.
+  double advance(std::string_view phase, double seconds, int launches = 1) {
+    const double cost = seconds + kLaunchSeconds * launches;
+    for (auto& [name, total] : phases_) {
+      if (name == phase) {
+        total += cost;
+        total_ += cost;
+        return cost;
+      }
+    }
+    phases_.emplace_back(phase, cost);
+    total_ += cost;
+    return cost;
+  }
+
+  /// Total modeled seconds across all phases.
+  double seconds() const { return total_; }
+
+  /// Modeled seconds attributed to `phase` (0 when never advanced).
+  double phase_seconds(std::string_view phase) const {
+    for (const auto& [name, total] : phases_) {
+      if (name == phase) return total;
+    }
+    return 0.0;
+  }
+
+  const std::vector<std::pair<std::string_view, double>>& phases() const {
+    return phases_;
+  }
+
+ private:
+  std::vector<std::pair<std::string_view, double>> phases_;
+  double total_ = 0.0;
+};
+
+}  // namespace m3xu::telemetry

@@ -1,0 +1,173 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace m3xu::telemetry {
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+std::uint64_t Snapshot::counter_delta(const Snapshot& before,
+                                      std::string_view name) const {
+  const std::uint64_t now = counter(name);
+  const std::uint64_t then = before.counter(name);
+  return now > then ? now - then : 0;
+}
+
+#if M3XU_TELEMETRY_ENABLED
+
+namespace detail {
+
+namespace {
+
+/// Plain (non-atomic) accumulation image of a shard, used for the
+/// retired totals (mutated only under the registry mutex).
+struct Totals {
+  std::array<std::uint64_t, kMaxCounters> counters{};
+  struct Hist {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+  };
+  std::array<Hist, kMaxHistograms> hists{};
+
+  void fold(const Shard& s) {
+    for (int i = 0; i < kMaxCounters; ++i) {
+      counters[i] += s.counters[i].load(std::memory_order_relaxed);
+    }
+    for (int i = 0; i < kMaxHistograms; ++i) {
+      const Shard::Hist& h = s.hists[i];
+      hists[i].count += h.count.load(std::memory_order_relaxed);
+      hists[i].sum += h.sum.load(std::memory_order_relaxed);
+      for (int b = 0; b < kHistBuckets; ++b) {
+        hists[i].buckets[b] += h.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+void zero_shard(Shard& s) {
+  for (auto& c : s.counters) c.store(0, std::memory_order_relaxed);
+  for (auto& h : s.hists) {
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+  int register_counter(const char* name) {
+    return register_name(counter_names_, kMaxCounters, "counter", name);
+  }
+  int register_histogram(const char* name) {
+    return register_name(histogram_names_, kMaxHistograms, "histogram", name);
+  }
+
+  void attach(Shard* shard) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    live_.push_back(shard);
+  }
+  void detach(Shard* shard) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    retired_.fold(*shard);
+    live_.erase(std::remove(live_.begin(), live_.end(), shard), live_.end());
+  }
+
+  Snapshot snapshot() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    Totals t = retired_;
+    for (const Shard* s : live_) t.fold(*s);
+    Snapshot out;
+    out.counters.reserve(counter_names_.size());
+    for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+      out.counters.emplace_back(counter_names_[i], t.counters[i]);
+    }
+    out.histograms.reserve(histogram_names_.size());
+    for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
+      Snapshot::HistogramValue h;
+      h.name = histogram_names_[i];
+      h.count = t.hists[i].count;
+      h.sum = t.hists[i].sum;
+      h.buckets = t.hists[i].buckets;
+      out.histograms.push_back(std::move(h));
+    }
+    return out;
+  }
+
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    retired_ = Totals{};
+    for (Shard* s : live_) zero_shard(*s);
+  }
+
+ private:
+  int register_name(std::vector<std::string>& names, int cap,
+                    const char* kind, const char* name) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<int>(i);
+    }
+    if (static_cast<int>(names.size()) == cap) {
+      std::fprintf(stderr,
+                   "m3xu telemetry: %s limit (%d) exceeded registering "
+                   "'%s'\n",
+                   kind, cap, name);
+      std::abort();
+    }
+    names.emplace_back(name);
+    return static_cast<int>(names.size()) - 1;
+  }
+
+  std::mutex mu_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<Shard*> live_;
+  Totals retired_;
+};
+
+/// Registers the thread's shard for its lifetime. Constructed after
+/// (and therefore destroyed before) the registry singleton.
+struct ShardOwner {
+  Shard shard;
+  ShardOwner() { Registry::instance().attach(&shard); }
+  ~ShardOwner() { Registry::instance().detach(&shard); }
+};
+
+}  // namespace
+
+Shard& local_shard() {
+  thread_local ShardOwner owner;
+  return owner.shard;
+}
+
+int register_counter(const char* name) {
+  return Registry::instance().register_counter(name);
+}
+
+int register_histogram(const char* name) {
+  return Registry::instance().register_histogram(name);
+}
+
+}  // namespace detail
+
+Snapshot snapshot() { return detail::Registry::instance().snapshot(); }
+
+void reset() { detail::Registry::instance().reset(); }
+
+#endif  // M3XU_TELEMETRY_ENABLED
+
+}  // namespace m3xu::telemetry

@@ -1,0 +1,38 @@
+// Wall-clock timing utilities shared by the benchmark harnesses and
+// the tracing layer. Always compiled - a stopwatch is measurement the
+// caller asked for, not observability - so benches keep timing
+// correctly in M3XU_TELEMETRY=OFF builds.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace m3xu::telemetry {
+
+/// Monotonic nanoseconds (steady_clock).
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic seconds, for coarse interval timing.
+inline double now_seconds() {
+  return static_cast<double>(now_ns()) * 1e-9;
+}
+
+/// Interval stopwatch: starts at construction, seconds() reads the
+/// elapsed time without stopping.
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(now_ns()) {}
+  void reset() { t0_ = now_ns(); }
+  std::uint64_t elapsed_ns() const { return now_ns() - t0_; }
+  double seconds() const { return static_cast<double>(elapsed_ns()) * 1e-9; }
+
+ private:
+  std::uint64_t t0_;
+};
+
+}  // namespace m3xu::telemetry

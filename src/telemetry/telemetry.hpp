@@ -1,0 +1,187 @@
+// Process-wide metrics registry: named counters and histograms backed
+// by per-thread sharded slots.
+//
+// Hot-path contract: a bump touches only the calling thread's shard
+// with relaxed non-RMW atomics (plain load + store on the same slot,
+// which compiles to an ordinary add - no lock prefix, no cache-line
+// contention), so instrumented inner loops pay a TLS lookup and a
+// store. Aggregation happens only at snapshot time, which walks every
+// registered shard under the registry mutex. Shards of exited threads
+// fold into a retired accumulator so their counts survive.
+//
+// Counter totals are deterministic: a counter's aggregate depends only
+// on the work performed, not on how iterations were distributed over
+// pool threads (per-thread partial sums commute).
+//
+// Building with -DM3XU_TELEMETRY=OFF (CMake option; defines
+// M3XU_TELEMETRY_DISABLED) compiles every recording call in this
+// header to an empty inline function: no registry, no TLS, no atomics.
+// The snapshot/export entry points still link and return empty data so
+// callers compile unchanged.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if defined(M3XU_TELEMETRY_DISABLED)
+#define M3XU_TELEMETRY_ENABLED 0
+#else
+#define M3XU_TELEMETRY_ENABLED 1
+#endif
+
+namespace m3xu::telemetry {
+
+/// Capacity limits of the fixed-size per-thread shard. Registration
+/// past the limit aborts with a message (a static instrumentation bug,
+/// not a runtime condition).
+inline constexpr int kMaxCounters = 192;
+inline constexpr int kMaxHistograms = 32;
+/// Histogram buckets are value bit-widths: bucket i counts values v
+/// with bit_width(v) == i (bucket 0: v == 0), clamped to the last
+/// bucket. Covers [0, 2^47) exactly - plenty for ns durations and
+/// queue depths.
+inline constexpr int kHistBuckets = 48;
+
+/// Aggregated registry state at one point in time. Counters and
+/// histograms appear in registration order.
+struct Snapshot {
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+    double mean() const {
+      return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+    }
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistogramValue> histograms;
+
+  /// Value of the named counter, or 0 when absent (also the disabled
+  /// build's answer for everything).
+  std::uint64_t counter(std::string_view name) const;
+  /// this->counter(name) - before.counter(name), clamped at 0 (the
+  /// registry is process-global, so tests and benches measure deltas).
+  std::uint64_t counter_delta(const Snapshot& before,
+                              std::string_view name) const;
+};
+
+#if M3XU_TELEMETRY_ENABLED
+
+namespace detail {
+
+/// One thread's slot block. Slots are written only by the owning
+/// thread; snapshot readers use relaxed loads, so a torn read is
+/// impossible and TSan sees no race.
+struct Shard {
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters{};
+  struct Hist {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+  };
+  std::array<Hist, kMaxHistograms> hists{};
+};
+
+/// The calling thread's shard, registered with the registry on first
+/// use and folded into the retired accumulator on thread exit.
+Shard& local_shard();
+
+/// Owner-thread-only bump: relaxed load + relaxed store (not an RMW).
+inline void bump(std::atomic<std::uint64_t>& slot, std::uint64_t n) {
+  slot.store(slot.load(std::memory_order_relaxed) + n,
+             std::memory_order_relaxed);
+}
+
+int register_counter(const char* name);
+int register_histogram(const char* name);
+
+}  // namespace detail
+
+/// A named monotonic counter. Construct once (namespace-scope static
+/// in the instrumented translation unit); add() from any thread.
+/// Constructing two Counters with the same name yields the same slot.
+class Counter {
+ public:
+  explicit Counter(const char* name)
+      : id_(detail::register_counter(name)) {}
+
+  void add(std::uint64_t n) {
+    detail::bump(detail::local_shard().counters[static_cast<std::size_t>(id_)],
+                 n);
+  }
+  void increment() { add(1); }
+
+ private:
+  int id_;
+};
+
+/// A named power-of-two-bucketed histogram (count + sum + buckets).
+class Histogram {
+ public:
+  explicit Histogram(const char* name)
+      : id_(detail::register_histogram(name)) {}
+
+  void record(std::uint64_t value) {
+    detail::Shard::Hist& h =
+        detail::local_shard().hists[static_cast<std::size_t>(id_)];
+    detail::bump(h.count, 1);
+    detail::bump(h.sum, value);
+    detail::bump(h.buckets[static_cast<std::size_t>(bucket_of(value))], 1);
+  }
+
+  static int bucket_of(std::uint64_t v) {
+    int w = 0;
+    while (v != 0) {
+      ++w;
+      v >>= 1;
+    }
+    return w < kHistBuckets ? w : kHistBuckets - 1;
+  }
+
+ private:
+  int id_;
+};
+
+/// Aggregates every registered counter/histogram across live shards
+/// and retired threads. Safe to call while other threads record
+/// (relaxed reads observe some recent value of each slot).
+Snapshot snapshot();
+
+/// Zeroes all live shards and the retired accumulator. Test-only:
+/// concurrent writers may re-add between the zeroing passes.
+void reset();
+
+#else  // !M3XU_TELEMETRY_ENABLED
+
+class Counter {
+ public:
+  explicit Counter(const char*) {}
+  void add(std::uint64_t) {}
+  void increment() {}
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const char*) {}
+  void record(std::uint64_t) {}
+  static int bucket_of(std::uint64_t v) {
+    int w = 0;
+    while (v != 0) {
+      ++w;
+      v >>= 1;
+    }
+    return w < kHistBuckets ? w : kHistBuckets - 1;
+  }
+};
+
+inline Snapshot snapshot() { return {}; }
+inline void reset() {}
+
+#endif  // M3XU_TELEMETRY_ENABLED
+
+}  // namespace m3xu::telemetry

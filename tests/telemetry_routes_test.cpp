@@ -1,0 +1,200 @@
+// Cross-checks the tiled driver's hand-maintained TiledGemmStats
+// against the engine/pack telemetry counters: the two are independent
+// bookkeeping paths over the same work, so aligned geometries must
+// agree exactly. Also pins the per-dot element counter and the ABFT
+// counter mirror. In M3XU_TELEMETRY=OFF builds the counter deltas are
+// all zero while TiledGemmStats still counts; both branches are
+// asserted.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/mxu.hpp"
+#include "gemm/matrix.hpp"
+#include "gemm/tiled_driver.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace telemetry = m3xu::telemetry;
+using m3xu::Rng;
+using m3xu::core::M3xuEngine;
+using m3xu::gemm::Matrix;
+using m3xu::gemm::TiledGemmStats;
+
+namespace {
+
+/// Engine-side (output element, K-chunk) pairs attributed to `family`
+/// ("fp32" or "fp32c") between two snapshots. Every route counts each
+/// pair exactly once: the fused fast path, its per-term fallback, the
+/// generic (special/injector) path, and the microkernel's block pairs.
+std::uint64_t element_chunk_pairs(const telemetry::Snapshot& after,
+                                  const telemetry::Snapshot& before,
+                                  const std::string& family) {
+  const std::string base = "mxu." + family;
+  return after.counter_delta(before, base + ".chunks.fused") +
+         after.counter_delta(before, base + ".chunks.fallback") +
+         after.counter_delta(before, base + ".chunks.generic") +
+         after.counter_delta(before, base + ".microkernel.pair_chunks");
+}
+
+std::uint64_t packed_elements(const telemetry::Snapshot& after,
+                              const telemetry::Snapshot& before,
+                              const std::string& family) {
+  return after.counter_delta(before, "pack." + family + ".a_elements") +
+         after.counter_delta(before, "pack." + family + ".b_elements");
+}
+
+}  // namespace
+
+TEST(TelemetryRoutes, TiledSgemmStatsMatchEngineCounters) {
+  // Aligned everywhere: 128x128x64 against the default 128/128/32
+  // tile with 64x32 warps, so instr_count has no ceil slack and
+  // stats.mma_instructions * (inst_m * inst_n) is exactly the number
+  // of (element, chunk) pairs the engine routes.
+  const int m = 128, n = 128, k = 64;
+  Rng rng(7);
+  Matrix<float> a(m, k), b(k, n), c(m, n);
+  m3xu::gemm::fill_random(a, rng);
+  m3xu::gemm::fill_random(b, rng);
+  c.fill(0.0f);
+  const M3xuEngine engine;
+  const m3xu::gemm::TileConfig cfg;
+  const telemetry::Snapshot before = telemetry::snapshot();
+  const TiledGemmStats stats = m3xu::gemm::tiled_sgemm(engine, cfg, a, b, c);
+  const telemetry::Snapshot after = telemetry::snapshot();
+  ASSERT_GT(stats.mma_instructions, 0);
+  const m3xu::core::MmaShape shape =
+      m3xu::core::shape_for(m3xu::core::MxuMode::kFp32);
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(element_chunk_pairs(after, before, "fp32"),
+            static_cast<std::uint64_t>(stats.mma_instructions) * shape.m *
+                shape.n);
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(packed_elements(after, before, "fp32")) *
+          sizeof(float),
+      stats.staged_bytes);
+#else
+  EXPECT_EQ(element_chunk_pairs(after, before, "fp32"), 0u);
+  EXPECT_EQ(packed_elements(after, before, "fp32"), 0u);
+#endif
+}
+
+TEST(TelemetryRoutes, TiledSgemmUnalignedGeometry) {
+  // Unaligned edges: instr_count rounds partial instructions up, so
+  // the engine pair count (exact per element) can only be smaller.
+  // The per-element chunk count is still exact and checkable.
+  const int m = 100, n = 90, k = 50;
+  Rng rng(11);
+  Matrix<float> a(m, k), b(k, n), c(m, n);
+  m3xu::gemm::fill_random(a, rng);
+  m3xu::gemm::fill_random(b, rng);
+  c.fill(0.0f);
+  const M3xuEngine engine;
+  m3xu::gemm::TileConfig cfg;
+  const int inst_k = m3xu::core::shape_for(m3xu::core::MxuMode::kFp32).k;
+  std::uint64_t chunks = 0;  // sum over mainloop panels of ceil(kc / inst_k)
+  for (int k0 = 0; k0 < k; k0 += cfg.block_k) {
+    const int kc = std::min(cfg.block_k, k - k0);
+    chunks += static_cast<std::uint64_t>((kc + inst_k - 1) / inst_k);
+  }
+  const telemetry::Snapshot before = telemetry::snapshot();
+  const TiledGemmStats stats = m3xu::gemm::tiled_sgemm(engine, cfg, a, b, c);
+  const telemetry::Snapshot after = telemetry::snapshot();
+  const m3xu::core::MmaShape shape =
+      m3xu::core::shape_for(m3xu::core::MxuMode::kFp32);
+#if M3XU_TELEMETRY_ENABLED
+  const std::uint64_t pairs = element_chunk_pairs(after, before, "fp32");
+  EXPECT_EQ(pairs, static_cast<std::uint64_t>(m) * n * chunks);
+  EXPECT_LE(pairs, static_cast<std::uint64_t>(stats.mma_instructions) *
+                       shape.m * shape.n);
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(packed_elements(after, before, "fp32")) *
+          sizeof(float),
+      stats.staged_bytes);
+#else
+  EXPECT_EQ(element_chunk_pairs(after, before, "fp32"), 0u);
+#endif
+}
+
+TEST(TelemetryRoutes, TiledCgemmStatsMatchEngineCounters) {
+  const int m = 64, n = 64, k = 32;
+  Rng rng(23);
+  Matrix<std::complex<float>> a(m, k), b(k, n), c(m, n);
+  m3xu::gemm::fill_random(a, rng);
+  m3xu::gemm::fill_random(b, rng);
+  c.fill({});
+  const M3xuEngine engine;
+  m3xu::gemm::TileConfig cfg;
+  cfg.block_m = 64;
+  cfg.block_n = 64;
+  cfg.block_k = 16;
+  cfg.warp_m = 32;
+  cfg.warp_n = 32;
+  const telemetry::Snapshot before = telemetry::snapshot();
+  const TiledGemmStats stats = m3xu::gemm::tiled_cgemm(engine, cfg, a, b, c);
+  const telemetry::Snapshot after = telemetry::snapshot();
+  ASSERT_GT(stats.mma_instructions, 0);
+  const m3xu::core::MmaShape shape =
+      m3xu::core::shape_for(m3xu::core::MxuMode::kFp32Complex);
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(element_chunk_pairs(after, before, "fp32c"),
+            static_cast<std::uint64_t>(stats.mma_instructions) * shape.m *
+                shape.n);
+  EXPECT_DOUBLE_EQ(
+      static_cast<double>(packed_elements(after, before, "fp32c")) *
+          sizeof(std::complex<float>),
+      stats.staged_bytes);
+#else
+  EXPECT_EQ(element_chunk_pairs(after, before, "fp32c"), 0u);
+#endif
+}
+
+TEST(TelemetryRoutes, PerDotElementCounter) {
+  const int m = 24, n = 16, k = 8;
+  Rng rng(31);
+  Matrix<float> a(m, k), b(k, n), c(m, n);
+  m3xu::gemm::fill_random(a, rng);
+  m3xu::gemm::fill_random(b, rng);
+  c.fill(0.0f);
+  const M3xuEngine engine;
+  const telemetry::Snapshot before = telemetry::snapshot();
+  engine.gemm_fp32(m, n, k, a.data(), a.ld(), b.data(), b.ld(), c.data(),
+                   c.ld());
+  const telemetry::Snapshot after = telemetry::snapshot();
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(after.counter_delta(before, "mxu.fp32.elements.perdot"),
+            static_cast<std::uint64_t>(m) * n);
+#else
+  EXPECT_EQ(after.counter_delta(before, "mxu.fp32.elements.perdot"), 0u);
+#endif
+}
+
+TEST(TelemetryRoutes, AbftCountersMirrorStats) {
+  const int m = 64, n = 64, k = 32;
+  Rng rng(5);
+  Matrix<float> a(m, k), b(k, n), c(m, n);
+  m3xu::gemm::fill_random(a, rng);
+  m3xu::gemm::fill_random(b, rng);
+  c.fill(0.0f);
+  const M3xuEngine engine;
+  const m3xu::gemm::TileConfig cfg;
+  m3xu::gemm::AbftConfig abft;
+  abft.enable = true;
+  const telemetry::Snapshot before = telemetry::snapshot();
+  const TiledGemmStats stats =
+      m3xu::gemm::tiled_sgemm(engine, cfg, abft, a, b, c);
+  const telemetry::Snapshot after = telemetry::snapshot();
+  ASSERT_GT(stats.abft_tile_checks, 0);
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(after.counter_delta(before, "abft.tile_checks"),
+            static_cast<std::uint64_t>(stats.abft_tile_checks));
+  EXPECT_EQ(after.counter_delta(before, "abft.detected"),
+            static_cast<std::uint64_t>(stats.abft_detected));
+  EXPECT_EQ(after.counter_delta(before, "abft.recomputed"),
+            static_cast<std::uint64_t>(stats.abft_recomputed));
+#else
+  EXPECT_EQ(after.counter_delta(before, "abft.tile_checks"), 0u);
+#endif
+}

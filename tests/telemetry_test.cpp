@@ -1,0 +1,262 @@
+// Telemetry subsystem tests: sharded counter aggregation (including
+// under the thread pool and across thread exit), histogram bucketing,
+// the span ring (wraparound, trace JSON schema), ModelClock, the JSON
+// writer, and the metrics export. Every test also compiles and passes
+// in an M3XU_TELEMETRY=OFF build, where the recording paths are no-ops
+// and the exports emit empty sections.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/model_clock.hpp"
+#include "telemetry/stopwatch.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace telemetry = m3xu::telemetry;
+
+namespace {
+
+std::size_t count_occurrences(const std::string& s, const std::string& sub) {
+  std::size_t n = 0;
+  for (std::size_t pos = s.find(sub); pos != std::string::npos;
+       pos = s.find(sub, pos + sub.size())) {
+    ++n;
+  }
+  return n;
+}
+
+const telemetry::Snapshot::HistogramValue* find_hist(
+    const telemetry::Snapshot& snap, const std::string& name) {
+  for (const auto& h : snap.histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+TEST(TelemetryCounter, ShardAggregationUnderParallelFor) {
+  static telemetry::Counter ctr("test.shard_aggregation");
+  constexpr std::size_t kN = 10000;
+  const telemetry::Snapshot before = telemetry::snapshot();
+  m3xu::parallel_for(kN, [](std::size_t i) { ctr.add(i + 1); });
+  const telemetry::Snapshot after = telemetry::snapshot();
+  // Sum 1..kN, independent of how iterations landed on pool threads.
+  const std::uint64_t expected = kN * (kN + 1) / 2;
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(after.counter_delta(before, "test.shard_aggregation"), expected);
+#else
+  EXPECT_EQ(after.counter_delta(before, "test.shard_aggregation"), 0u);
+#endif
+}
+
+TEST(TelemetryCounter, DeterministicAcrossRuns) {
+  static telemetry::Counter ctr("test.determinism");
+  const auto run = [] {
+    const telemetry::Snapshot before = telemetry::snapshot();
+    m3xu::parallel_for(4096, [](std::size_t i) { ctr.add(i % 7); });
+    const telemetry::Snapshot after = telemetry::snapshot();
+    return after.counter_delta(before, "test.determinism");
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(TelemetryCounter, SameNameSharesSlot) {
+  static telemetry::Counter a("test.same_name");
+  static telemetry::Counter b("test.same_name");
+  const telemetry::Snapshot before = telemetry::snapshot();
+  a.add(3);
+  b.add(4);
+  const telemetry::Snapshot after = telemetry::snapshot();
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(after.counter_delta(before, "test.same_name"), 7u);
+#else
+  EXPECT_EQ(after.counter_delta(before, "test.same_name"), 0u);
+#endif
+}
+
+TEST(TelemetryCounter, ExitedThreadFoldsIntoRetired) {
+  static telemetry::Counter ctr("test.retired_fold");
+  const telemetry::Snapshot before = telemetry::snapshot();
+  std::thread t([] { ctr.add(42); });
+  t.join();
+  const telemetry::Snapshot after = telemetry::snapshot();
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(after.counter_delta(before, "test.retired_fold"), 42u);
+#else
+  EXPECT_EQ(after.counter_delta(before, "test.retired_fold"), 0u);
+#endif
+}
+
+TEST(TelemetrySnapshot, AbsentCounterIsZero) {
+  const telemetry::Snapshot snap = telemetry::snapshot();
+  EXPECT_EQ(snap.counter("no.such.counter"), 0u);
+  EXPECT_EQ(snap.counter_delta(snap, "no.such.counter"), 0u);
+}
+
+TEST(TelemetryHistogram, BucketOfIsBitWidth) {
+  using telemetry::Histogram;
+  EXPECT_EQ(Histogram::bucket_of(0), 0);
+  EXPECT_EQ(Histogram::bucket_of(1), 1);
+  EXPECT_EQ(Histogram::bucket_of(2), 2);
+  EXPECT_EQ(Histogram::bucket_of(3), 2);
+  EXPECT_EQ(Histogram::bucket_of(4), 3);
+  EXPECT_EQ(Histogram::bucket_of(255), 8);
+  EXPECT_EQ(Histogram::bucket_of(256), 9);
+  // Width 47 is the last in-range bucket; wider values clamp to it.
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 46),
+            telemetry::kHistBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(std::uint64_t{1} << 47),
+            telemetry::kHistBuckets - 1);
+  EXPECT_EQ(Histogram::bucket_of(~std::uint64_t{0}),
+            telemetry::kHistBuckets - 1);
+}
+
+TEST(TelemetryHistogram, RecordAggregatesCountSumBuckets) {
+  static telemetry::Histogram h("test.hist_record");
+  const telemetry::Snapshot before = telemetry::snapshot();
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  const telemetry::Snapshot after = telemetry::snapshot();
+#if M3XU_TELEMETRY_ENABLED
+  const auto* hb = find_hist(before, "test.hist_record");
+  const auto* ha = find_hist(after, "test.hist_record");
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(ha->count - hb->count, 3u);
+  EXPECT_EQ(ha->sum - hb->sum, 6u);
+  EXPECT_EQ(ha->buckets[1] - hb->buckets[1], 1u);  // value 1
+  EXPECT_EQ(ha->buckets[2] - hb->buckets[2], 2u);  // values 2, 3
+#else
+  EXPECT_EQ(find_hist(after, "test.hist_record"), nullptr);
+#endif
+}
+
+TEST(ModelClock, AdvanceAddsLaunchOverheadPerLaunch) {
+  telemetry::ModelClock clock;
+  const double c1 = clock.advance("gemm", 1.0);
+  EXPECT_DOUBLE_EQ(c1, 1.0 + telemetry::ModelClock::kLaunchSeconds);
+  const double c2 = clock.advance("gemm", 2.0, 3);
+  EXPECT_DOUBLE_EQ(c2, 2.0 + 3 * telemetry::ModelClock::kLaunchSeconds);
+  const double c3 = clock.advance("epilogue", 0.5, 0);  // cost sharing
+  EXPECT_DOUBLE_EQ(c3, 0.5);
+  EXPECT_DOUBLE_EQ(clock.seconds(), c1 + c2 + c3);
+  EXPECT_DOUBLE_EQ(clock.phase_seconds("gemm"), c1 + c2);
+  EXPECT_DOUBLE_EQ(clock.phase_seconds("epilogue"), c3);
+  EXPECT_DOUBLE_EQ(clock.phase_seconds("absent"), 0.0);
+  EXPECT_EQ(clock.phases().size(), 2u);
+}
+
+TEST(JsonWriter, StructureAndEscaping) {
+  EXPECT_EQ(telemetry::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.kv("str", "va\"lue");
+  w.kv("num", 42);
+  w.kv("flag", true);
+  w.key("arr").begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.end_object();
+  const std::string& j = w.str();
+  EXPECT_NE(j.find("\"str\": \"va\\\"lue\""), std::string::npos);
+  EXPECT_NE(j.find("\"num\": 42"), std::string::npos);
+  EXPECT_NE(j.find("\"flag\": true"), std::string::npos);
+  EXPECT_EQ(count_occurrences(j, "{"), count_occurrences(j, "}"));
+  EXPECT_EQ(count_occurrences(j, "["), count_occurrences(j, "]"));
+}
+
+TEST(Trace, ScopedTimerEmitsSpanAndAccumulates) {
+  telemetry::reset_trace();
+  double acc = 0.0;
+  {
+    const telemetry::ScopedTimer t("test.span_emit", &acc);
+  }
+  const std::string j = telemetry::trace_json();
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_GE(acc, 0.0);
+  EXPECT_NE(j.find("test.span_emit"), std::string::npos);
+  EXPECT_NE(j.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(j.find("thread_name"), std::string::npos);
+#else
+  EXPECT_EQ(acc, 0.0);  // the OFF-build stub never touches the accum
+  EXPECT_EQ(j.find("test.span_emit"), std::string::npos);
+#endif
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(j.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(Trace, RingWraparoundKeepsNewestCapacitySpans) {
+  telemetry::reset_trace();
+  const std::uint64_t t0 = telemetry::now_ns();
+  for (std::size_t i = 0; i < telemetry::kSpanRingCapacity + 100; ++i) {
+    telemetry::emit_span("test.wrap", t0 + i, 10);
+  }
+  const std::string j = telemetry::trace_json();
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(count_occurrences(j, "test.wrap"), telemetry::kSpanRingCapacity);
+#else
+  EXPECT_EQ(count_occurrences(j, "test.wrap"), 0u);
+#endif
+}
+
+TEST(TraceJson, EventsCarryCompleteEventSchema) {
+  telemetry::reset_trace();
+  telemetry::emit_span("test.schema", telemetry::now_ns(), 1500);
+  const std::string j = telemetry::trace_json();
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_NE(j.find("\"traceEvents\""), std::string::npos);
+#if M3XU_TELEMETRY_ENABLED
+  // One "X" complete event with ts/dur/pid/tid, plus thread metadata.
+  EXPECT_EQ(count_occurrences(j, "\"ph\": \"X\""), 1u);
+  EXPECT_NE(j.find("\"ts\""), std::string::npos);
+  EXPECT_NE(j.find("\"dur\""), std::string::npos);
+  EXPECT_NE(j.find("\"pid\""), std::string::npos);
+  EXPECT_NE(j.find("\"tid\""), std::string::npos);
+  EXPECT_EQ(count_occurrences(j, "\"ph\": \"M\""),
+            count_occurrences(j, "thread_name"));
+#endif
+}
+
+TEST(Export, MetricsJsonHasEnvironmentCountersHistograms) {
+  static telemetry::Counter ctr("test.export_visible");
+  ctr.add(5);
+  const std::string j = telemetry::metrics_json();
+  EXPECT_NE(j.find("\"environment\""), std::string::npos);
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(j.find("\"telemetry_enabled\""), std::string::npos);
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_NE(j.find("test.export_visible"), std::string::npos);
+#else
+  EXPECT_EQ(j.find("test.export_visible"), std::string::npos);
+#endif
+}
+
+TEST(Export, SnapshotMatchesBuildConfig) {
+  static telemetry::Counter ctr("test.build_config");
+  ctr.increment();
+  const telemetry::Snapshot snap = telemetry::snapshot();
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_GE(snap.counter("test.build_config"), 1u);
+#else
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+#endif
+}
+
+TEST(Stopwatch, MonotoneNonNegative) {
+  const telemetry::Stopwatch sw;
+  const std::uint64_t a = sw.elapsed_ns();
+  const std::uint64_t b = sw.elapsed_ns();
+  EXPECT_LE(a, b);
+  EXPECT_GE(sw.seconds(), 0.0);
+}
