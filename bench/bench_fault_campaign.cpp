@@ -8,6 +8,9 @@
 // Flags: --m/--n/--k geometry (must fit one tile), --trials per cell,
 // --seed, --rates=comma,separated, --tolerance-scale, --max-recompute,
 // --json-only to suppress the human-readable summary.
+//
+// Exit status: nonzero when any campaign cell escaped an SDC, so CI
+// can gate on coverage directly.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -92,5 +95,6 @@ int main(int argc, char** argv) {
                 100.0 * result.overall_detection_rate());
   }
   std::printf("%s", fault::to_json(result).c_str());
-  return 0;
+  // CI gate: any silent-data-corruption escape fails the run.
+  return result.total_escaped_sdc() > 0 ? 1 : 0;
 }

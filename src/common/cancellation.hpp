@@ -1,0 +1,76 @@
+// Cooperative cancellation for long-running parallel work.
+//
+// A CancellationToken is a thread-safe flag plus a human-readable
+// reason. Producers (a timeout thread, a signal handler shim, an RPC
+// layer) call request_cancel(); consumers (ThreadPool::parallel_for,
+// the tiled GEMM driver's per-chunk checkpoints) poll cancelled() or
+// call check(), which throws CancelledError. Cancellation is purely
+// cooperative: work only stops at the next checkpoint, so a
+// non-cooperative stall needs the ThreadPool watchdog (deadline /
+// stall detection in ParallelOptions) on top. See docs/RESILIENCE.md.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace m3xu {
+
+/// A run was cancelled via a CancellationToken (or aborted by the
+/// ThreadPool watchdog, whose errors derive from this so one catch
+/// clause covers every cooperative abort).
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// The ThreadPool watchdog aborted a parallel_for: either the wall
+/// deadline elapsed or no worker made progress for the stall window.
+/// The message distinguishes the two.
+class DeadlineExceeded : public CancelledError {
+ public:
+  explicit DeadlineExceeded(const std::string& what)
+      : CancelledError(what) {}
+};
+
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Latches the token. The first caller's reason wins; later calls
+  /// are no-ops. Safe from any thread.
+  void request_cancel(const std::string& reason = "cancelled") {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    reason_ = reason;
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// Cheap poll (one acquire load) for inner-loop checkpoints.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// The reason passed to request_cancel (empty until then).
+  std::string reason() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+  /// Throws CancelledError when the token is latched; otherwise a
+  /// no-op. The canonical checkpoint call.
+  void check() const {
+    if (cancelled()) throw CancelledError("cancelled: " + reason());
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+}  // namespace m3xu

@@ -13,7 +13,7 @@ namespace m3xu {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : seed_(seed) {
     // splitmix64 expansion of the seed into the xoshiro state.
     std::uint64_t x = seed;
     for (auto& s : state_) {
@@ -23,6 +23,26 @@ class Rng {
       z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
       s = z ^ (z >> 31);
     }
+  }
+
+  /// The seed this generator was constructed with (for a split stream,
+  /// the derived stream seed). Lets consumers re-derive child streams
+  /// or seed other deterministic machinery (e.g. a FaultInjector) from
+  /// the same root.
+  std::uint64_t seed() const { return seed_; }
+
+  /// Derives an independent child generator for stream `stream`. The
+  /// child is a pure function of (construction seed, stream) - it does
+  /// NOT depend on how much this generator has been consumed - so
+  /// per-tile / per-iteration streams are reproducible regardless of
+  /// thread interleaving or evaluation order. Distinct streams are
+  /// decorrelated by a splitmix64 finalizer over the golden-ratio
+  /// stride (the same construction splitmix seeding uses).
+  Rng split(std::uint64_t stream) const {
+    std::uint64_t z = seed_ + (stream + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
   }
 
   std::uint64_t next_u64() {
@@ -97,6 +117,7 @@ class Rng {
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }
+  std::uint64_t seed_;
   std::uint64_t state_[4];
 };
 

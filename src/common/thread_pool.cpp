@@ -1,6 +1,8 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 
 #include "common/check.hpp"
 #include "telemetry/stopwatch.hpp"
@@ -19,6 +21,13 @@ telemetry::Counter tp_iters("threadpool.iterations");
 telemetry::Counter tp_busy_ns("threadpool.worker_busy_ns");
 telemetry::Counter tp_wall_ns("threadpool.wall_ns");
 telemetry::Histogram tp_depth("threadpool.queue_depth");
+// Guard-rail outcomes: every watchdog launch, and every abort by
+// cause. Clean guarded runs bump watches only - the zero-false-
+// positive property tests assert on exactly these counters.
+telemetry::Counter tp_cancellations("threadpool.cancellations");
+telemetry::Counter tp_watches("threadpool.watchdog.watches");
+telemetry::Counter tp_deadline_fired("threadpool.watchdog.deadline_fired");
+telemetry::Counter tp_stalls("threadpool.watchdog.stalls_detected");
 
 }  // namespace
 
@@ -48,8 +57,31 @@ void ThreadPool::drain(Task& task) {
     if (begin >= task.end) break;
     tp_depth.record(task.end - begin);
     std::size_t end = std::min(begin + task.chunk, task.end);
-    if (!task.failed.load(std::memory_order_relaxed)) {
+    bool skip = task.failed.load(std::memory_order_relaxed);
+    if (task.guarded && !skip) {
+      if (task.stop_cause.load(std::memory_order_relaxed) == kStopNone &&
+          task.token != nullptr && task.token->cancelled()) {
+        int expected = kStopNone;
+        if (task.stop_cause.compare_exchange_strong(expected, kStopToken)) {
+          tp_cancellations.increment();
+        }
+      }
+      skip = task.stop_cause.load(std::memory_order_relaxed) != kStopNone;
+    }
+    if (!skip) {
       for (std::size_t i = begin; i < end; ++i) {
+        if (task.guarded) {
+          if (task.token != nullptr && task.token->cancelled()) {
+            int expected = kStopNone;
+            if (task.stop_cause.compare_exchange_strong(expected,
+                                                        kStopToken)) {
+              tp_cancellations.increment();
+            }
+          }
+          if (task.stop_cause.load(std::memory_order_relaxed) != kStopNone) {
+            break;  // remaining iterations counted below
+          }
+        }
         try {
           (*task.fn)(i);
         } catch (...) {
@@ -60,10 +92,13 @@ void ThreadPool::drain(Task& task) {
           task.failed.store(true, std::memory_order_relaxed);
           break;  // skip the rest of this chunk
         }
+        if (task.guarded) {
+          task.progress.fetch_add(1, std::memory_order_relaxed);
+        }
       }
     }
-    // Iterations skipped after a failure still count as done so the
-    // caller's completion wait terminates.
+    // Iterations skipped after a failure or guard abort still count as
+    // done so the caller's completion wait terminates.
     task.done.fetch_add(end - begin);
   }
   tp_busy_ns.add(busy.elapsed_ns());
@@ -90,16 +125,44 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
-  parallel_for(n, 0, fn);
+  parallel_for(n, 0, fn, ParallelOptions{});
 }
 
 void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(n, grain, fn, ParallelOptions{});
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
+                              const std::function<void(std::size_t)>& fn,
+                              const ParallelOptions& options) {
   if (n == 0) return;
   tp_tasks.increment();
   tp_iters.add(n);
   if (workers_.empty() || n == 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    if (!options.guarded()) {
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    // Serial guarded path: token and deadline are checked between
+    // iterations (stall detection needs a concurrent observer and a
+    // stalled serial iteration blocks the check anyway, so it reduces
+    // to the deadline here).
+    const telemetry::Stopwatch wall;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (options.token != nullptr && options.token->cancelled()) {
+        tp_cancellations.increment();
+        throw CancelledError("parallel_for cancelled: " +
+                             options.token->reason());
+      }
+      if (options.deadline_ms > 0 &&
+          wall.elapsed_ns() >= options.deadline_ms * 1'000'000) {
+        tp_deadline_fired.increment();
+        throw DeadlineExceeded("parallel_for exceeded its deadline of " +
+                               std::to_string(options.deadline_ms) + " ms");
+      }
+      fn(i);
+    }
     return;
   }
   const telemetry::ScopedTimer span("threadpool.parallel_for");
@@ -112,6 +175,53 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   task.chunk = grain != 0
                    ? grain
                    : std::max<std::size_t>(1, n / (4 * thread_count()));
+  task.guarded = options.guarded();
+  task.token = options.token;
+  // Per-call watchdog: polls the task's heartbeat until the caller's
+  // completion wait finishes. Spawned only for guarded calls with a
+  // deadline or stall window, so the clean path never pays for it.
+  std::thread watchdog;
+  std::mutex watch_mu;
+  std::condition_variable watch_cv;
+  bool watch_done = false;
+  if (options.deadline_ms > 0 || options.stall_ms > 0) {
+    tp_watches.increment();
+    watchdog = std::thread([&] {
+      using clock = std::chrono::steady_clock;
+      const auto t0 = clock::now();
+      std::size_t last_progress = 0;
+      auto last_change = t0;
+      std::unique_lock<std::mutex> lock(watch_mu);
+      while (!watch_done) {
+        watch_cv.wait_for(lock, std::chrono::milliseconds(1));
+        if (watch_done) break;
+        const auto now = clock::now();
+        if (options.deadline_ms > 0 &&
+            now - t0 >= std::chrono::milliseconds(options.deadline_ms)) {
+          int expected = kStopNone;
+          if (task.stop_cause.compare_exchange_strong(expected,
+                                                      kStopDeadline)) {
+            tp_deadline_fired.increment();
+          }
+        }
+        if (options.stall_ms > 0) {
+          const std::size_t p = task.progress.load(std::memory_order_relaxed);
+          if (p != last_progress) {
+            last_progress = p;
+            last_change = now;
+          } else if (p < task.end &&
+                     now - last_change >=
+                         std::chrono::milliseconds(options.stall_ms)) {
+            int expected = kStopNone;
+            if (task.stop_cause.compare_exchange_strong(expected,
+                                                        kStopStall)) {
+              tp_stalls.increment();
+            }
+          }
+        }
+      }
+    });
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     M3XU_CHECK(current_ == nullptr);  // no nested parallel_for
@@ -129,10 +239,35 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     });
     current_ = nullptr;
   }
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mu);
+      watch_done = true;
+    }
+    watch_cv.notify_one();
+    watchdog.join();
+  }
   tp_wall_ns.add(wall.elapsed_ns());
   // All workers have quiesced: rethrow the first captured exception on
-  // the calling thread (no lock needed past the wait above).
+  // the calling thread (no lock needed past the wait above). fn errors
+  // outrank guard aborts - a real failure should not be masked by the
+  // cancellation it triggered.
   if (task.error) std::rethrow_exception(task.error);
+  switch (task.stop_cause.load(std::memory_order_relaxed)) {
+    case kStopToken:
+      throw CancelledError(
+          "parallel_for cancelled: " +
+          (task.token != nullptr ? task.token->reason() : std::string()));
+    case kStopDeadline:
+      throw DeadlineExceeded("parallel_for exceeded its deadline of " +
+                             std::to_string(options.deadline_ms) + " ms");
+    case kStopStall:
+      throw DeadlineExceeded(
+          "parallel_for stalled: no iteration completed for " +
+          std::to_string(options.stall_ms) + " ms");
+    default:
+      break;
+  }
 }
 
 ThreadPool& ThreadPool::global() {
@@ -149,4 +284,18 @@ void parallel_for(std::size_t n, std::size_t grain,
   ThreadPool::global().parallel_for(n, grain, fn);
 }
 
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn,
+                  const ParallelOptions& options) {
+  ThreadPool::global().parallel_for(n, grain, fn, options);
+}
+
 }  // namespace m3xu
+
+// Watchdog limitation, documented here next to the implementation: a
+// worker that never returns from fn cannot be preempted - the
+// completion wait above still blocks on its chunk. The watchdog's job
+// is to convert a *finite* stall (a slow syscall, an injected delay, a
+// contended lock) into a clean DeadlineExceeded instead of silently
+// absorbing it, and to stop the rest of the grid from piling in after
+// it. Truly unbounded hangs need process-level supervision.

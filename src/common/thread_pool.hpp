@@ -4,6 +4,13 @@
 // parallel_for; the pool is created once and reused. On single-core
 // hosts the pool degenerates to serial execution with identical results
 // (chunk order is deterministic regardless of thread count).
+//
+// parallel_for can optionally run *guarded* (ParallelOptions): a
+// cooperative CancellationToken is polled between iterations, and a
+// per-call watchdog thread enforces a wall deadline and detects
+// stalled progress. Guarding is strictly opt-in - the default options
+// leave the hot path byte-identical to the unguarded pool (no extra
+// thread, no per-iteration atomics). See docs/RESILIENCE.md.
 #pragma once
 
 #include <atomic>
@@ -16,7 +23,33 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.hpp"
+
 namespace m3xu {
+
+/// Optional guard rails for one parallel_for call. All default-off;
+/// any non-default field switches the call into guarded mode.
+struct ParallelOptions {
+  /// Cooperative cancellation: polled before every iteration. A
+  /// latched token makes workers skip their remaining iterations and
+  /// parallel_for throw CancelledError after quiescing.
+  const CancellationToken* token = nullptr;
+  /// Wall-clock budget for the whole call, in ms (0 = none). When it
+  /// elapses the watchdog stops further iterations and parallel_for
+  /// throws DeadlineExceeded.
+  std::int64_t deadline_ms = 0;
+  /// No-progress window, in ms (0 = none): if no iteration completes
+  /// for this long while work remains, the watchdog flags a stalled
+  /// worker and parallel_for throws DeadlineExceeded. Note the abort
+  /// is still cooperative - a worker stuck *inside* fn is only
+  /// reclaimed when fn returns; the watchdog bounds the damage by
+  /// cancelling everything after it.
+  std::int64_t stall_ms = 0;
+
+  bool guarded() const {
+    return token != nullptr || deadline_ms > 0 || stall_ms > 0;
+  }
+};
 
 class ThreadPool {
  public:
@@ -44,10 +77,23 @@ class ThreadPool {
   void parallel_for(std::size_t n, std::size_t grain,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Guarded variant: cooperative cancellation + watchdog per
+  /// `options`. Exceptions thrown by fn take priority over guard
+  /// aborts; otherwise a latched token throws CancelledError and a
+  /// fired deadline / stall detection throws DeadlineExceeded, in both
+  /// cases only after every worker has quiesced.
+  void parallel_for(std::size_t n, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn,
+                    const ParallelOptions& options);
+
   /// Process-wide default pool (lazily constructed).
   static ThreadPool& global();
 
  private:
+  // Why the watchdog aborted (Task::stop_cause values).
+  enum : int { kStopNone = 0, kStopToken = 1, kStopDeadline = 2,
+               kStopStall = 3 };
+
   struct Task {
     const std::function<void(std::size_t)>* fn = nullptr;
     std::atomic<std::size_t> next{0};
@@ -59,6 +105,15 @@ class ThreadPool {
     std::atomic<bool> failed{false};
     std::mutex error_mu;
     std::exception_ptr error;
+    // Guarded-mode state. `guarded` is a plain bool set before the
+    // task is published, so unguarded drains pay one predictable
+    // branch and no atomics beyond the existing ones.
+    bool guarded = false;
+    const CancellationToken* token = nullptr;
+    std::atomic<int> stop_cause{kStopNone};
+    // Completed-iteration heartbeat for stall detection (finer-grained
+    // than `done`, which advances per chunk).
+    std::atomic<std::size_t> progress{0};
   };
 
   void worker_loop();
@@ -78,5 +133,8 @@ class ThreadPool {
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 void parallel_for(std::size_t n, std::size_t grain,
                   const std::function<void(std::size_t)>& fn);
+void parallel_for(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn,
+                  const ParallelOptions& options);
 
 }  // namespace m3xu

@@ -612,7 +612,7 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
   M3XU_CHECK(col0 >= 0 && n >= 0 && col0 + n <= b.cols);
   const int k = a.k;
   const int kc_max = shape_for(MxuMode::kFp32).k;
-  const bool streaming =
+  const bool streaming = !config_.force_generic &&
       config_.injector == nullptr && !a.has_special && !b.has_special;
   thread_local std::array<StepOperands, 2> scratch;
   std::uint64_t n_fused = 0, n_fallback = 0, n_generic = 0;
@@ -726,7 +726,7 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
   M3XU_CHECK(col0 >= 0 && n >= 0 && col0 + n <= b.cols);
   const int k = a.k;
   const int kc_max = shape_for(MxuMode::kFp32Complex).k;
-  const bool streaming =
+  const bool streaming = !config_.force_generic &&
       config_.injector == nullptr && !a.has_special && !b.has_special;
   std::uint64_t n_fused = 0, n_fallback = 0, n_generic = 0;
   // Scratch step order matches schedule_fp32c: real[0..1], imag[0..1].

@@ -83,6 +83,13 @@ struct M3xuConfig {
   /// works around a platform issue. Injector-attached engines ignore
   /// this and stay on the per-dot path regardless.
   bool enable_microkernel = true;
+  /// Force the packed entry points down the generic per-dot
+  /// reassembly path: no fused streaming kernel, no microkernel, even
+  /// for special-free panels. Bit-identical by construction (same step
+  /// schedule and rounding points); the tiled driver's recovery ladder
+  /// uses it as the demotion rung below the packed fused route. See
+  /// docs/RESILIENCE.md.
+  bool force_generic = false;
   /// Optional transient-fault injector (non-owning; must outlive the
   /// engine). Null - the default - keeps every datapath fault-free and
   /// the hot path unchanged. When set, the engine threads it through

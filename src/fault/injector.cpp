@@ -18,10 +18,11 @@ std::uint64_t mix(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Per-site salt so the four decision streams are independent.
+/// Per-site salt so the per-site decision streams are independent.
 constexpr std::uint64_t kSiteSalt[kSiteCount] = {
     0xa24baed4963ee407ull, 0x9fb21c651e98df25ull, 0xd6e8feb86659fd93ull,
-    0x2f2b9c1c3a9f8e15ull};
+    0x2f2b9c1c3a9f8e15ull, 0x7b8f2d9e4c61a3f7ull, 0x1c69b3f74ae58d21ull,
+    0xe3779b97f4a7c159ull};
 
 }  // namespace
 
@@ -35,6 +36,12 @@ const char* site_name(Site site) {
       return "partial_product";
     case Site::kAccumulator:
       return "accumulator";
+    case Site::kStagedPanel:
+      return "staged_panel";
+    case Site::kAllocFailure:
+      return "alloc_failure";
+    case Site::kWorkerStall:
+      return "worker_stall";
   }
   return "?";
 }
@@ -49,12 +56,20 @@ double SiteRates::rate(Site site) const {
       return partial_product;
     case Site::kAccumulator:
       return accumulator;
+    case Site::kStagedPanel:
+      return staged_panel;
+    case Site::kAllocFailure:
+      return alloc_failure;
+    case Site::kWorkerStall:
+      return worker_stall;
   }
   return 0.0;
 }
 
 SiteRates SiteRates::uniform(double rate) {
-  return SiteRates{rate, rate, rate, rate};
+  SiteRates r;
+  r.operand_a = r.operand_b = r.partial_product = r.accumulator = rate;
+  return r;
 }
 
 SiteRates SiteRates::only(Site site, double rate) {
@@ -71,6 +86,15 @@ SiteRates SiteRates::only(Site site, double rate) {
       break;
     case Site::kAccumulator:
       r.accumulator = rate;
+      break;
+    case Site::kStagedPanel:
+      r.staged_panel = rate;
+      break;
+    case Site::kAllocFailure:
+      r.alloc_failure = rate;
+      break;
+    case Site::kWorkerStall:
+      r.worker_stall = rate;
       break;
   }
   return r;
@@ -137,6 +161,14 @@ fp::Unpacked FaultInjector::corrupt_unpacked(Site site,
     r.exp -= fp::Unpacked::kSigTop - lead;
   }
   return r;
+}
+
+bool FaultInjector::trigger(Site site) const {
+  std::uint64_t event = 0;
+  const int bit = sample(site, 1, &event);
+  if (bit < 0) return false;
+  record(site, event, bit);
+  return true;
 }
 
 std::uint64_t FaultInjector::opportunities(Site site) const {

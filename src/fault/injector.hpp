@@ -20,6 +20,15 @@
 //     inside the dot-product unit, before the adder tree;
 //   kAccumulator          - the accumulation register's significand
 //     after a step's register update.
+//
+// System-level domains (threaded through the tiled GEMM driver; see
+// docs/RESILIENCE.md):
+//   kStagedPanel  - one bit of a staged A/B panel element (the
+//     shared-memory buffer model), flipped after the stage copy;
+//   kAllocFailure - a boolean event: packed-panel staging "fails to
+//     allocate" and the driver must take its unpacked fallback;
+//   kWorkerStall  - a boolean event: the worker computing a tile
+//     sleeps for stall_duration_ms (exercises the pool watchdog).
 #pragma once
 
 #include <array>
@@ -37,21 +46,34 @@ enum class Site : int {
   kOperandB = 1,
   kPartialProduct = 2,
   kAccumulator = 3,
+  kStagedPanel = 4,
+  kAllocFailure = 5,
+  kWorkerStall = 6,
 };
 
-inline constexpr int kSiteCount = 4;
+inline constexpr int kSiteCount = 7;
+/// The first kDatapathSiteCount sites are the engine-datapath ones;
+/// sites at and beyond this index are system-level domains handled by
+/// the tiled driver rather than the arithmetic model.
+inline constexpr int kDatapathSiteCount = 4;
 
 const char* site_name(Site site);
 
-/// Per-opportunity bit-flip probabilities, one per site.
+/// Per-opportunity bit-flip (or event-trigger) probabilities, one per
+/// site.
 struct SiteRates {
   double operand_a = 0.0;
   double operand_b = 0.0;
   double partial_product = 0.0;
   double accumulator = 0.0;
+  double staged_panel = 0.0;
+  double alloc_failure = 0.0;
+  double worker_stall = 0.0;
 
   double rate(Site site) const;
-  /// All four sites at the same rate.
+  /// The four *datapath* sites at the same rate (system-level domains
+  /// stay zero - existing campaigns and tests sweep the arithmetic
+  /// model only; enable driver domains explicitly).
   static SiteRates uniform(double rate);
   /// Only `site` active, the rest zero.
   static SiteRates only(Site site, double rate);
@@ -82,6 +104,17 @@ class FaultInjector {
   /// opportunity, keeping replay aligned.
   fp::Unpacked corrupt_unpacked(Site site, const fp::Unpacked& value,
                                 int prec) const;
+
+  /// Boolean event sites (kAllocFailure, kWorkerStall): consumes one
+  /// opportunity and returns whether the event fires. Fired events are
+  /// recorded in the log like bit flips (bit 0 of a 1-bit field), so
+  /// replay determinism covers them too.
+  bool trigger(Site site) const;
+
+  /// How long an injected kWorkerStall sleeps the worker, in
+  /// milliseconds. Plain field: configure before handing the injector
+  /// to an engine.
+  int stall_duration_ms = 25;
 
   std::uint64_t seed() const { return seed_; }
   const SiteRates& rates() const { return rates_; }

@@ -1,0 +1,48 @@
+#include "gemm/recovery.hpp"
+
+namespace m3xu::gemm {
+
+const char* route_name(Route route) {
+  switch (route) {
+    case Route::kMicrokernel:
+      return "microkernel";
+    case Route::kPackedFused:
+      return "packed_fused";
+    case Route::kGenericPerDot:
+      return "generic_perdot";
+    case Route::kScalarReference:
+      return "scalar_reference";
+  }
+  return "?";
+}
+
+bool TileQuarantine::lookup(long tile, Route* route) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = tiles_.find(tile);
+  if (it == tiles_.end()) return false;
+  *route = it->second;
+  return true;
+}
+
+bool TileQuarantine::demote(long tile, Route route) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = tiles_.try_emplace(tile, route);
+  if (inserted) return true;
+  if (static_cast<int>(route) > static_cast<int>(it->second)) {
+    it->second = route;
+    return true;
+  }
+  return false;
+}
+
+std::size_t TileQuarantine::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tiles_.size();
+}
+
+void TileQuarantine::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  tiles_.clear();
+}
+
+}  // namespace m3xu::gemm

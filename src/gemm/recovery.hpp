@@ -1,0 +1,129 @@
+// Recovery policy for the resilient tiled GEMM driver: the existing
+// route hierarchy doubles as a degradation ladder.
+//
+// Every route computes bit-identical results by construction (same
+// step schedule, same rounding points - verified by the tiled tests),
+// so demoting a tile trades only throughput, never numerics:
+//
+//   kMicrokernel      register-blocked packed microkernel (fastest)
+//   kPackedFused      per-element fused streaming over packed panels
+//   kGenericPerDot    generic per-dot reassembly from packed lanes
+//   kScalarReference  plain per-dot gemm over the staged buffers
+//                     (no packing at all - also the allocation-failure
+//                     fallback)
+//
+// On an ABFT detection the driver retries the tile a bounded number of
+// times per rung, then demotes one rung and retries again, down to
+// RecoveryPolicy::floor. The bottom rung runs on the fault-free engine
+// clone (the "trusted scalar unit"), whose deterministic reproduction
+// either passes the checksum or proves the mismatch is a tolerance
+// artifact - so a full ladder always terminates. Persistent offenders
+// can be remembered in a TileQuarantine so later calls start them on a
+// lower rung directly. See docs/RESILIENCE.md.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/cancellation.hpp"
+
+namespace m3xu::gemm {
+
+/// One rung of the demotion ladder, fastest first. Higher enum values
+/// are *lower* rungs.
+enum class Route : int {
+  kMicrokernel = 0,
+  kPackedFused = 1,
+  kGenericPerDot = 2,
+  kScalarReference = 3,
+};
+
+inline constexpr int kRouteCount = 4;
+
+const char* route_name(Route route);
+
+/// Thread-safe per-tile route memory shared across driver calls: a
+/// tile that had to demote records its landing rung, and later GEMMs
+/// over the same grid start that tile there instead of re-walking the
+/// ladder. Keyed by flat tile index (row * grid_n + col), so reuse a
+/// quarantine only across calls with the same tile grid.
+class TileQuarantine {
+ public:
+  /// Looks up the quarantined rung for `tile`. Returns false (and
+  /// leaves *route untouched) when the tile is not quarantined.
+  bool lookup(long tile, Route* route) const;
+
+  /// Quarantines `tile` at `route`. Only ever lowers (a recorded rung
+  /// is never raised back up). Returns true when the entry is new or
+  /// was lowered.
+  bool demote(long tile, Route route);
+
+  std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<long, Route> tiles_;
+};
+
+/// How the driver escalates when a tile's ABFT checksum keeps failing.
+struct RecoveryPolicy {
+  /// Master switch. false reproduces the legacy protocol exactly:
+  /// AbftConfig::max_recompute fault-free recomputes on the original
+  /// route, then AbftFailure - no ladder, no quarantine.
+  bool demote = true;
+  /// Retry attempts per rung before demoting one rung further. The
+  /// terminal scalar rung always gets at least 2 attempts so its
+  /// deterministic reproduction can prove a false alarm.
+  int retries_per_route = 1;
+  /// Lowest rung the ladder may demote to. Raising the floor above
+  /// kScalarReference makes the terminal behavior reachable even for
+  /// tolerance artifacts (used by tests); the default floor guarantees
+  /// recovery for every transient fault.
+  Route floor = Route::kScalarReference;
+  /// What happens when the ladder hits the floor without a passing
+  /// checksum.
+  enum class Terminal {
+    kThrow,    // AbftFailure with tile coordinates / route / attempts
+    kDegrade,  // keep the suspect tile result, count it, continue
+    kPoison,   // overwrite the tile with quiet NaNs, count, continue
+  };
+  Terminal terminal = Terminal::kThrow;
+  /// Optional cross-call tile memory (non-owning; may be null).
+  TileQuarantine* quarantine = nullptr;
+  /// Root for the per-tile deterministic retry streams: tile t's retry
+  /// injector is seeded from Rng(seed ^ injector seed).split(t), so
+  /// recovery replays identically regardless of thread interleaving.
+  std::uint64_t retry_seed = 0x5eedbed5ull;
+};
+
+/// Execution guard rails threaded through the driver's parallel_for
+/// calls and its per-chunk checkpoints. All default-off: the default
+/// ExecConfig leaves the driver byte-identical to the unguarded path.
+struct ExecConfig {
+  /// Cooperative cancellation, polled per tile and per staged K-block.
+  const CancellationToken* token = nullptr;
+  /// Watchdog wall deadline per parallel_for call, in ms (0 = none).
+  std::int64_t deadline_ms = 0;
+  /// Watchdog no-progress window, in ms (0 = none).
+  std::int64_t stall_ms = 0;
+};
+
+/// What the recovery layer did during one driver call. Folded into
+/// TiledGemmStats and mirrored into telemetry recovery.* counters.
+struct RecoveryReport {
+  long retries = 0;          // recompute attempts driven by the ladder
+  long demotions = 0;        // rung steps taken (summed over tiles)
+  long recovered_on[kRouteCount] = {};  // recoveries by landing rung
+  long demoted_to[kRouteCount] = {};    // rung arrivals (ladder steps)
+  long quarantined = 0;      // tiles newly added/lowered in quarantine
+  long quarantine_hits = 0;  // tiles that started on a quarantined rung
+  long alloc_fallbacks = 0;  // staged K-blocks that lost their packed
+                             // panels (bad_alloc or injected) and ran
+                             // the unpacked per-dot fallback
+  long degraded_tiles = 0;   // Terminal::kDegrade outcomes
+  long poisoned_tiles = 0;   // Terminal::kPoison outcomes
+};
+
+}  // namespace m3xu::gemm

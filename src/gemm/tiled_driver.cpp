@@ -1,14 +1,21 @@
 #include "gemm/tiled_driver.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <mutex>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/packed_panel.hpp"
+#include "fault/injector.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -24,6 +31,16 @@ telemetry::Counter abft_detected_ctr("abft.detected");
 telemetry::Counter abft_recomputed_ctr("abft.recomputed");
 telemetry::Counter abft_recovered_ctr("abft.recovered");
 telemetry::Counter abft_false_alarms_ctr("abft.false_alarms");
+// Recovery-ladder counters, mirroring RecoveryReport (the per-route
+// breakdown lives in the stats; telemetry carries the aggregates).
+telemetry::Counter rec_retries_ctr("recovery.retries");
+telemetry::Counter rec_demotions_ctr("recovery.demotions");
+telemetry::Counter rec_recovered_ctr("recovery.recovered");
+telemetry::Counter rec_quarantined_ctr("recovery.quarantined");
+telemetry::Counter rec_quarantine_hits_ctr("recovery.quarantine_hits");
+telemetry::Counter rec_alloc_fallbacks_ctr("recovery.alloc_fallbacks");
+telemetry::Counter rec_degraded_ctr("recovery.degraded_tiles");
+telemetry::Counter rec_poisoned_ctr("recovery.poisoned_tiles");
 
 struct TileGrid {
   long grid_m;
@@ -78,6 +95,7 @@ struct ChecksumTraits<float> {
   static Acc widen(float v) { return v; }
   static double mag(float v) { return std::fabs(static_cast<double>(v)); }
   static double residual(Acc v) { return std::fabs(v); }
+  static float poison() { return std::numeric_limits<float>::quiet_NaN(); }
 };
 
 template <>
@@ -88,12 +106,19 @@ struct ChecksumTraits<std::complex<float>> {
   }
   static double mag(std::complex<float> v) { return std::abs(widen(v)); }
   static double residual(Acc v) { return std::abs(v); }
+  static std::complex<float> poison() {
+    return {std::numeric_limits<float>::quiet_NaN(),
+            std::numeric_limits<float>::quiet_NaN()};
+  }
 };
 
 /// Packed-path glue per element type: staged panels are split once per
 /// mainloop iteration (at the stage step, where the shared-memory model
 /// already touches every element) and every warp tile streams the
-/// packed fragments through the engine's prepacked GEMM.
+/// packed fragments through the engine's prepacked GEMM. perdot() is
+/// the unpacked route over the same staged buffers - bit-identical (the
+/// per-dot flat loop uses the same K-chunk rounding boundaries), used
+/// by the kScalarReference rung and the allocation-failure fallback.
 template <typename T>
 struct PackedOps;
 
@@ -111,6 +136,11 @@ struct PackedOps<float> {
                   const PanelB& b, int col0, int m, int n, float* c,
                   int ldc) {
     engine.gemm_fp32_prepacked(a, row0, b, col0, m, n, c, ldc);
+  }
+  static void perdot(const core::M3xuEngine& engine, const float* a, int lda,
+                     const float* b, int ldb, int m, int n, int k, float* c,
+                     int ldc) {
+    engine.gemm_fp32(m, n, k, a, lda, b, ldb, c, ldc);
   }
 };
 
@@ -131,13 +161,39 @@ struct PackedOps<std::complex<float>> {
                   std::complex<float>* c, int ldc) {
     engine.gemm_fp32c_prepacked(a, row0, b, col0, m, n, c, ldc);
   }
+  static void perdot(const core::M3xuEngine& engine,
+                     const std::complex<float>* a, int lda,
+                     const std::complex<float>* b, int ldb, int m, int n,
+                     int k, std::complex<float>* c, int ldc) {
+    engine.gemm_fp32c(m, n, k, a, lda, b, ldb, c, ldc);
+  }
 };
+
+/// kStagedPanel fault hook: one bit-flip opportunity per staged scalar
+/// (real and imaginary parts count separately), applied after the
+/// stage copy so the corruption models a bad shared-memory cell rather
+/// than bad global memory.
+void corrupt_staged_value(const fault::FaultInjector& inj, float& v) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+  v = std::bit_cast<float>(static_cast<std::uint32_t>(
+      inj.corrupt(fault::Site::kStagedPanel, bits, 32)));
+}
+
+void corrupt_staged_value(const fault::FaultInjector& inj,
+                          std::complex<float>& v) {
+  float re = v.real();
+  float im = v.imag();
+  corrupt_staged_value(inj, re);
+  corrupt_staged_value(inj, im);
+  v = {re, im};
+}
 
 /// Shared implementation over the element type. `engine` is the
 /// caller's (possibly fault-injected) engine; `clean` the fault-free
-/// clone used for ABFT recompute.
+/// clone used for ABFT recompute and the terminal scalar rung.
 template <typename T>
 TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
+                         const RecoveryPolicy& policy, const ExecConfig& exec,
                          const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
                          int inst_k, int inst_m, int inst_n, double eps_chunk,
                          const core::M3xuEngine& engine,
@@ -149,6 +205,32 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
   const int m = a.rows(), n = b.cols(), k = a.cols();
   const TileGrid grid = make_grid(cfg, m, n);
   const long chunks = chunk_roundings(k, cfg.block_k, inst_k);
+  const ParallelOptions popts{exec.token, exec.deadline_ms, exec.stall_ms};
+
+  // Route-forced clones of the primary engine for quarantined tiles'
+  // initial passes (same injector, demoted datapath). Only built in
+  // ladder mode so the legacy path constructs nothing new.
+  std::optional<core::M3xuEngine> eng_nomk, eng_generic;
+  if (policy.demote) {
+    core::M3xuConfig c_nomk = engine.config();
+    c_nomk.enable_microkernel = false;
+    eng_nomk.emplace(c_nomk);
+    core::M3xuConfig c_gen = engine.config();
+    c_gen.force_generic = true;
+    eng_generic.emplace(c_gen);
+  }
+  const auto initial_engine = [&](Route r) -> const core::M3xuEngine& {
+    switch (r) {
+      case Route::kPackedFused:
+        return *eng_nomk;
+      case Route::kGenericPerDot:
+        return *eng_generic;
+      default:
+        // kMicrokernel is the engine's natural preference; the scalar
+        // rung bypasses packing entirely, so route config is moot.
+        return engine;
+    }
+  };
 
   std::mutex stats_mu;
   TiledGemmStats stats;
@@ -164,25 +246,32 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
   if (abft.enable) {
     row_asum.resize(static_cast<std::size_t>(grid.grid_m));
     row_amag.resize(static_cast<std::size_t>(grid.grid_m));
-    parallel_for(static_cast<std::size_t>(grid.grid_m), [&](std::size_t r) {
-      const int bm = static_cast<int>(r) * cfg.block_m;
-      const int m_eff = std::min(cfg.block_m, m - bm);
-      std::vector<Acc>& asum = row_asum[r];
-      std::vector<double>& amag = row_amag[r];
-      asum.assign(static_cast<std::size_t>(k), Acc{});
-      amag.assign(static_cast<std::size_t>(k), 0.0);
-      for (int i = 0; i < m_eff; ++i) {
-        for (int kk = 0; kk < k; ++kk) {
-          asum[kk] += Traits::widen(a(bm + i, kk));
-          amag[kk] += Traits::mag(a(bm + i, kk));
-        }
-      }
-    });
+    parallel_for(
+        static_cast<std::size_t>(grid.grid_m), 0,
+        [&](std::size_t r) {
+          const int bm = static_cast<int>(r) * cfg.block_m;
+          const int m_eff = std::min(cfg.block_m, m - bm);
+          std::vector<Acc>& asum = row_asum[r];
+          std::vector<double>& amag = row_amag[r];
+          asum.assign(static_cast<std::size_t>(k), Acc{});
+          amag.assign(static_cast<std::size_t>(k), 0.0);
+          for (int i = 0; i < m_eff; ++i) {
+            for (int kk = 0; kk < k; ++kk) {
+              asum[kk] += Traits::widen(a(bm + i, kk));
+              amag[kk] += Traits::mag(a(bm + i, kk));
+            }
+          }
+        },
+        popts);
   }
 
-  parallel_for(static_cast<std::size_t>(grid.tiles()), [&](std::size_t t) {
-    const int bm = static_cast<int>(t / grid.grid_n) * cfg.block_m;
-    const int bn = static_cast<int>(t % grid.grid_n) * cfg.block_n;
+  parallel_for(
+      static_cast<std::size_t>(grid.tiles()), 0,
+      [&](std::size_t t) {
+    const long tile_row = static_cast<long>(t) / grid.grid_n;
+    const long tile_col = static_cast<long>(t) % grid.grid_n;
+    const int bm = static_cast<int>(tile_row) * cfg.block_m;
+    const int bn = static_cast<int>(tile_col) * cfg.block_n;
     const int m_eff = std::min(cfg.block_m, m - bm);
     const int n_eff = std::min(cfg.block_n, n - bn);
     // The C fragment's initial contents (kept for ABFT recompute).
@@ -197,9 +286,20 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
     // One pass of the tile mainloop into `frag` (which must hold the
     // initial C fragment). Traffic counters accumulate into `counters`
     // on the first pass only; ABFT recomputes are tracked separately.
-    const auto compute_tile = [&](const core::M3xuEngine& eng,
+    // `route` picks the datapath rung; kScalarReference skips packing
+    // and runs the staged buffers through the flat per-dot GEMM
+    // (bit-identical K-chunk boundaries).
+    const auto compute_tile = [&](const core::M3xuEngine& eng, Route route,
                                   std::vector<T>& frag,
                                   TiledGemmStats* counters) {
+      const fault::FaultInjector* inj = eng.config().injector;
+      // kWorkerStall: one opportunity per tile pass. The injected
+      // delay is finite, so the pool watchdog can convert it into a
+      // clean abort instead of an indefinite hang.
+      if (inj != nullptr && inj->trigger(fault::Site::kWorkerStall)) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(inj->stall_duration_ms));
+      }
       // Staging buffers (the shared-memory model) and their packed
       // lane-operand panels, split once per mainloop iteration.
       std::vector<T> a_stage(static_cast<std::size_t>(m_eff) * cfg.block_k);
@@ -207,6 +307,7 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
       typename PackedOps<T>::PanelA a_panel;
       typename PackedOps<T>::PanelB b_panel;
       for (int k0 = 0; k0 < k; k0 += cfg.block_k) {
+        if (exec.token != nullptr) exec.token->check();
         const int kc = std::min(cfg.block_k, k - k0);
         {
           // Stage the A and B panels (cp.async in the real kernel).
@@ -226,13 +327,44 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
             }
           }
         }
-        {
-          const telemetry::ScopedTimer span(
-              "tile.pack", counters != nullptr ? &counters->pack_seconds
-                                               : nullptr);
-          PackedOps<T>::pack_a(a_stage.data(), cfg.block_k, m_eff, kc,
-                               a_panel);
-          PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff, b_panel);
+        if (inj != nullptr) {
+          for (int i = 0; i < m_eff; ++i) {
+            for (int kk = 0; kk < kc; ++kk) {
+              corrupt_staged_value(
+                  *inj, a_stage[static_cast<std::size_t>(i) * cfg.block_k +
+                                kk]);
+            }
+          }
+          for (int kk = 0; kk < kc; ++kk) {
+            for (int j = 0; j < n_eff; ++j) {
+              corrupt_staged_value(
+                  *inj, b_stage[static_cast<std::size_t>(kk) * n_eff + j]);
+            }
+          }
+        }
+        // Packed-panel staging can fail to allocate (for real, or via
+        // the kAllocFailure domain). The K-block then degrades to the
+        // unpacked per-dot route over the staged buffers instead of
+        // crashing the GEMM - same bits, slower path.
+        bool packed = false;
+        if (route != Route::kScalarReference) {
+          const bool alloc_failed =
+              inj != nullptr && inj->trigger(fault::Site::kAllocFailure);
+          if (!alloc_failed) {
+            try {
+              const telemetry::ScopedTimer span(
+                  "tile.pack", counters != nullptr ? &counters->pack_seconds
+                                                   : nullptr);
+              PackedOps<T>::pack_a(a_stage.data(), cfg.block_k, m_eff, kc,
+                                   a_panel);
+              PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff,
+                                   b_panel);
+              packed = true;
+            } catch (const std::bad_alloc&) {
+              packed = false;
+            }
+          }
+          if (!packed) ++local.recovery.alloc_fallbacks;
         }
         if (counters != nullptr) {
           counters->staged_bytes +=
@@ -248,10 +380,18 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
           const int wm_eff = std::min(cfg.warp_m, m_eff - wm);
           for (int wn = 0; wn < n_eff; wn += cfg.warp_n) {
             const int wn_eff = std::min(cfg.warp_n, n_eff - wn);
-            PackedOps<T>::mma(
-                eng, a_panel, wm, b_panel, wn, wm_eff, wn_eff,
-                frag.data() + static_cast<std::size_t>(wm) * n_eff + wn,
-                n_eff);
+            T* frag_ptr =
+                frag.data() + static_cast<std::size_t>(wm) * n_eff + wn;
+            if (packed) {
+              PackedOps<T>::mma(eng, a_panel, wm, b_panel, wn, wm_eff,
+                                wn_eff, frag_ptr, n_eff);
+            } else {
+              PackedOps<T>::perdot(
+                  eng,
+                  a_stage.data() + static_cast<std::size_t>(wm) * cfg.block_k,
+                  cfg.block_k, b_stage.data() + wn, n_eff, wm_eff, wn_eff,
+                  kc, frag_ptr, n_eff);
+            }
             if (counters != nullptr) {
               counters->mma_instructions +=
                   instr_count(wm_eff, wn_eff, kc, inst_m, inst_n, inst_k);
@@ -261,8 +401,20 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
       }
     };
 
+    // Quarantined tiles start directly on their recorded rung.
+    Route start_route = Route::kMicrokernel;
+    if (policy.demote && policy.quarantine != nullptr) {
+      Route q = start_route;
+      if (policy.quarantine->lookup(static_cast<long>(t), &q)) {
+        start_route = std::min(q, policy.floor, [](Route x, Route y) {
+          return static_cast<int>(x) < static_cast<int>(y);
+        });
+        ++local.recovery.quarantine_hits;
+      }
+    }
+
     std::vector<T> c_frag = c_in;
-    compute_tile(engine, c_frag, &local);
+    compute_tile(initial_engine(start_route), start_route, c_frag, &local);
 
     if (abft.enable) {
       const telemetry::ScopedTimer span("tile.abft", &local.abft_seconds);
@@ -272,9 +424,9 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
       // scales the rounding tolerance. asum/amag come from the
       // per-block-row cache computed above.
       const std::vector<Acc>& asum =
-          row_asum[static_cast<std::size_t>(t / grid.grid_n)];
+          row_asum[static_cast<std::size_t>(tile_row)];
       const std::vector<double>& amag =
-          row_amag[static_cast<std::size_t>(t / grid.grid_n)];
+          row_amag[static_cast<std::size_t>(tile_row)];
       std::vector<Acc> expected(static_cast<std::size_t>(n_eff), Acc{});
       std::vector<double> tol(static_cast<std::size_t>(n_eff), 0.0);
       for (int j = 0; j < n_eff; ++j) {
@@ -292,13 +444,18 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
         tol[j] = abft.tolerance_scale * static_cast<double>(chunks) *
                  eps_chunk * mag;
       }
+      // Negated <= so a NaN residual (e.g. a staged-panel flip that
+      // manufactured an Inf/NaN) counts as a detection, not a silent
+      // escape.
       const auto verify = [&](const std::vector<T>& frag) {
         for (int j = 0; j < n_eff; ++j) {
           Acc actual{};
           for (int i = 0; i < m_eff; ++i) {
             actual += Traits::widen(frag[static_cast<std::size_t>(i) * n_eff + j]);
           }
-          if (Traits::residual(actual - expected[j]) > tol[j]) return false;
+          if (!(Traits::residual(actual - expected[j]) <= tol[j])) {
+            return false;
+          }
         }
         return true;
       };
@@ -306,35 +463,154 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
         ++local.abft_detected;
         bool resolved = false;
         std::vector<T> prev = c_frag;
-        const int attempts = std::max(1, abft.max_recompute);
-        for (int attempt = 0; attempt < attempts && !resolved; ++attempt) {
-          std::vector<T> redo = c_in;
-          compute_tile(clean, redo, nullptr);
-          ++local.abft_recomputed;
-          if (verify(redo)) {
-            c_frag = std::move(redo);
-            ++local.abft_recovered;
-            resolved = true;
-          } else if (std::memcmp(redo.data(), prev.data(),
-                                 redo.size() * sizeof(T)) == 0) {
-            // The deterministic fault-free engine reproduced the same
-            // bits: the residual is a tolerance artifact of this
-            // input, not a transient fault. Keep the reproduced
-            // result.
-            c_frag = std::move(redo);
-            ++local.abft_false_alarms;
-            resolved = true;
-          } else {
-            prev = std::move(redo);
+        if (!policy.demote) {
+          // Legacy protocol: bounded fault-free recomputes on the
+          // original route, then AbftFailure.
+          const int attempts = std::max(1, abft.max_recompute);
+          for (int attempt = 0; attempt < attempts && !resolved; ++attempt) {
+            std::vector<T> redo = c_in;
+            compute_tile(clean, Route::kMicrokernel, redo, nullptr);
+            ++local.abft_recomputed;
+            if (verify(redo)) {
+              c_frag = std::move(redo);
+              ++local.abft_recovered;
+              resolved = true;
+            } else if (std::memcmp(redo.data(), prev.data(),
+                                   redo.size() * sizeof(T)) == 0) {
+              // The deterministic fault-free engine reproduced the same
+              // bits: the residual is a tolerance artifact of this
+              // input, not a transient fault. Keep the reproduced
+              // result.
+              c_frag = std::move(redo);
+              ++local.abft_false_alarms;
+              resolved = true;
+            } else {
+              prev = std::move(redo);
+            }
           }
-        }
-        if (!resolved) {
-          throw AbftFailure(
-              "ABFT: tile at (" + std::to_string(bm) + "," +
-              std::to_string(bn) + ") failed its column checksum after " +
-              std::to_string(attempts) +
-              " fault-free recomputes (tolerance_scale=" +
-              std::to_string(abft.tolerance_scale) + ")");
+          if (!resolved) {
+            throw AbftFailure(
+                "ABFT: tile at (" + std::to_string(bm) + "," +
+                    std::to_string(bn) +
+                    ") failed its column checksum after " +
+                    std::to_string(attempts) +
+                    " fault-free recomputes (tolerance_scale=" +
+                    std::to_string(abft.tolerance_scale) + ")",
+                tile_row, tile_col, Route::kMicrokernel, attempts);
+          }
+        } else {
+          // Demotion ladder. Retries at each rung re-run the tile on
+          // the *primary* datapath forced to that route (transient
+          // faults clear on re-execution); the terminal scalar rung
+          // runs on the fault-free clone, whose deterministic result
+          // either passes the checksum or proves a false alarm - so
+          // the default ladder always terminates.
+          //
+          // Retry determinism: the primary injector's opportunity
+          // counters are shared across tiles, so retries through it
+          // would depend on thread interleaving. Each tile instead
+          // gets a private injector seeded from
+          // Rng(retry_seed ^ primary seed).split(tile) - a pure
+          // function of (seeds, tile index).
+          std::optional<fault::FaultInjector> retry_inj;
+          core::M3xuConfig retry_base = engine.config();
+          if (retry_base.injector != nullptr) {
+            retry_inj.emplace(Rng(policy.retry_seed ^
+                                  retry_base.injector->seed())
+                                  .split(static_cast<std::uint64_t>(t))
+                                  .seed(),
+                              retry_base.injector->rates());
+            retry_inj->stall_duration_ms =
+                retry_base.injector->stall_duration_ms;
+            retry_base.injector = &*retry_inj;
+          }
+          core::M3xuConfig retry_nomk = retry_base;
+          retry_nomk.enable_microkernel = false;
+          core::M3xuConfig retry_gen = retry_base;
+          retry_gen.force_generic = true;
+          const core::M3xuEngine retry_eng0(retry_base);
+          const core::M3xuEngine retry_eng1(retry_nomk);
+          const core::M3xuEngine retry_eng2(retry_gen);
+          const auto retry_engine = [&](Route r) -> const core::M3xuEngine& {
+            switch (r) {
+              case Route::kPackedFused:
+                return retry_eng1;
+              case Route::kGenericPerDot:
+                return retry_eng2;
+              default:
+                return retry_eng0;
+            }
+          };
+          bool false_alarm = false;
+          Route rung = start_route;
+          int total_attempts = 0;
+          for (;;) {
+            const bool scalar_clean = rung == Route::kScalarReference;
+            int attempts_here = std::max(1, policy.retries_per_route);
+            if (scalar_clean) attempts_here = std::max(2, attempts_here);
+            for (int attempt = 0; attempt < attempts_here && !resolved;
+                 ++attempt) {
+              std::vector<T> redo = c_in;
+              compute_tile(scalar_clean ? clean : retry_engine(rung), rung,
+                           redo, nullptr);
+              ++local.abft_recomputed;
+              ++local.recovery.retries;
+              ++total_attempts;
+              if (verify(redo)) {
+                c_frag = std::move(redo);
+                ++local.abft_recovered;
+                ++local.recovery.recovered_on[static_cast<int>(rung)];
+                resolved = true;
+              } else if (std::memcmp(redo.data(), prev.data(),
+                                     redo.size() * sizeof(T)) == 0) {
+                // Two identical results that both fail the checksum:
+                // tolerance artifact, not a fault. Keep the bits.
+                c_frag = std::move(redo);
+                ++local.abft_false_alarms;
+                resolved = true;
+                false_alarm = true;
+              } else {
+                prev = std::move(redo);
+              }
+            }
+            if (resolved ||
+                static_cast<int>(rung) >= static_cast<int>(policy.floor)) {
+              break;
+            }
+            rung = static_cast<Route>(static_cast<int>(rung) + 1);
+            ++local.recovery.demotions;
+            ++local.recovery.demoted_to[static_cast<int>(rung)];
+          }
+          if (resolved && !false_alarm &&
+              static_cast<int>(rung) > static_cast<int>(start_route) &&
+              policy.quarantine != nullptr) {
+            if (policy.quarantine->demote(static_cast<long>(t), rung)) {
+              ++local.recovery.quarantined;
+            }
+          }
+          if (!resolved) {
+            switch (policy.terminal) {
+              case RecoveryPolicy::Terminal::kThrow:
+                throw AbftFailure(
+                    "ABFT: tile (" + std::to_string(tile_row) + "," +
+                        std::to_string(tile_col) +
+                        ") failed its column checksum after " +
+                        std::to_string(total_attempts) +
+                        " attempts down to route " +
+                        route_name(rung) + " (tolerance_scale=" +
+                        std::to_string(abft.tolerance_scale) + ")",
+                    tile_row, tile_col, rung, total_attempts);
+              case RecoveryPolicy::Terminal::kDegrade:
+                // Keep the last attempt's bits (already in prev /
+                // c_frag lineage) and carry on degraded.
+                ++local.recovery.degraded_tiles;
+                break;
+              case RecoveryPolicy::Terminal::kPoison:
+                std::fill(c_frag.begin(), c_frag.end(), Traits::poison());
+                ++local.recovery.poisoned_tiles;
+                break;
+            }
+          }
         }
       }
     }
@@ -355,6 +631,19 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
     abft_recovered_ctr.add(static_cast<std::uint64_t>(local.abft_recovered));
     abft_false_alarms_ctr.add(
         static_cast<std::uint64_t>(local.abft_false_alarms));
+    const RecoveryReport& rec = local.recovery;
+    rec_retries_ctr.add(static_cast<std::uint64_t>(rec.retries));
+    rec_demotions_ctr.add(static_cast<std::uint64_t>(rec.demotions));
+    long recovered = 0;
+    for (int r = 0; r < kRouteCount; ++r) recovered += rec.recovered_on[r];
+    rec_recovered_ctr.add(static_cast<std::uint64_t>(recovered));
+    rec_quarantined_ctr.add(static_cast<std::uint64_t>(rec.quarantined));
+    rec_quarantine_hits_ctr.add(
+        static_cast<std::uint64_t>(rec.quarantine_hits));
+    rec_alloc_fallbacks_ctr.add(
+        static_cast<std::uint64_t>(rec.alloc_fallbacks));
+    rec_degraded_ctr.add(static_cast<std::uint64_t>(rec.degraded_tiles));
+    rec_poisoned_ctr.add(static_cast<std::uint64_t>(rec.poisoned_tiles));
     const std::lock_guard<std::mutex> lock(stats_mu);
     stats.mainloop_iterations += local.mainloop_iterations;
     stats.staged_bytes += local.staged_bytes;
@@ -369,7 +658,19 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
     stats.abft_recomputed += local.abft_recomputed;
     stats.abft_recovered += local.abft_recovered;
     stats.abft_false_alarms += local.abft_false_alarms;
-  });
+    stats.recovery.retries += rec.retries;
+    stats.recovery.demotions += rec.demotions;
+    for (int r = 0; r < kRouteCount; ++r) {
+      stats.recovery.recovered_on[r] += rec.recovered_on[r];
+      stats.recovery.demoted_to[r] += rec.demoted_to[r];
+    }
+    stats.recovery.quarantined += rec.quarantined;
+    stats.recovery.quarantine_hits += rec.quarantine_hits;
+    stats.recovery.alloc_fallbacks += rec.alloc_fallbacks;
+    stats.recovery.degraded_tiles += rec.degraded_tiles;
+    stats.recovery.poisoned_tiles += rec.poisoned_tiles;
+      },
+      popts);
   return stats;
 }
 
@@ -390,11 +691,20 @@ void validate_entry(const TileConfig& cfg, int inst_k, const Matrix<T>& a,
 }
 
 /// Fault-free clone of the caller's engine for ABFT recompute: same
-/// arithmetic configuration with the injector stripped.
+/// arithmetic configuration with the injector stripped (and any route
+/// forcing lifted, so the recompute runs the engine's natural route).
 core::M3xuConfig clean_config(const core::M3xuEngine& engine) {
   core::M3xuConfig cfg = engine.config();
   cfg.injector = nullptr;
   return cfg;
+}
+
+/// The legacy overloads run with recovery demotion off, which
+/// reproduces the original clean-recompute-or-throw protocol exactly.
+RecoveryPolicy legacy_policy() {
+  RecoveryPolicy policy;
+  policy.demote = false;
+  return policy;
 }
 
 }  // namespace
@@ -409,10 +719,20 @@ TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
                            const TileConfig& config, const AbftConfig& abft,
                            const Matrix<float>& a, const Matrix<float>& b,
                            Matrix<float>& c) {
+  return tiled_sgemm(engine, config, abft, legacy_policy(), ExecConfig{}, a,
+                     b, c);
+}
+
+TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const AbftConfig& abft,
+                           const RecoveryPolicy& policy,
+                           const ExecConfig& exec, const Matrix<float>& a,
+                           const Matrix<float>& b, Matrix<float>& c) {
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32);
   validate_entry(config, shape.k, a, b, c);
   const core::M3xuEngine clean(clean_config(engine));
-  return run_tiled<float>(config, abft, a, b, c, shape.k, shape.m, shape.n,
+  return run_tiled<float>(config, abft, policy, exec, a, b, c, shape.k,
+                          shape.m, shape.n,
                           eps_per_chunk(engine.config().accum_prec), engine,
                           clean);
 }
@@ -430,13 +750,24 @@ TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
                            const Matrix<std::complex<float>>& a,
                            const Matrix<std::complex<float>>& b,
                            Matrix<std::complex<float>>& c) {
+  return tiled_cgemm(engine, config, abft, legacy_policy(), ExecConfig{}, a,
+                     b, c);
+}
+
+TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const AbftConfig& abft,
+                           const RecoveryPolicy& policy,
+                           const ExecConfig& exec,
+                           const Matrix<std::complex<float>>& a,
+                           const Matrix<std::complex<float>>& b,
+                           Matrix<std::complex<float>>& c) {
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32Complex);
   validate_entry(config, shape.k, a, b, c);
   const core::M3xuEngine clean(clean_config(engine));
   using C = std::complex<float>;
-  return run_tiled<C>(config, abft, a, b, c, shape.k, shape.m, shape.n,
-                      eps_per_chunk(engine.config().accum_prec), engine,
-                      clean);
+  return run_tiled<C>(config, abft, policy, exec, a, b, c, shape.k, shape.m,
+                      shape.n, eps_per_chunk(engine.config().accum_prec),
+                      engine, clean);
 }
 
 double abft_column_tolerance(const core::M3xuEngine& engine,

@@ -24,6 +24,7 @@
 
 #include "core/mxu.hpp"
 #include "gemm/matrix.hpp"
+#include "gemm/recovery.hpp"
 
 namespace m3xu::gemm {
 
@@ -54,12 +55,36 @@ struct AbftConfig {
   int max_recompute = 2;
 };
 
-/// Thrown when a tile keeps failing its checksum after the configured
-/// number of fault-free recomputes (i.e. the mismatch is not a
-/// transient fault the retry policy can absorb).
+/// Thrown when a tile keeps failing its checksum after the recovery
+/// protocol is exhausted (legacy recomputes, or the full demotion
+/// ladder under a RecoveryPolicy with Terminal::kThrow). Carries the
+/// tile's grid coordinates, the last route attempted, and the total
+/// recompute attempts, so recovery reports and logs are actionable.
 class AbftFailure : public std::runtime_error {
  public:
   explicit AbftFailure(const std::string& what) : std::runtime_error(what) {}
+  AbftFailure(const std::string& what, long tile_row, long tile_col,
+              Route route, int attempts)
+      : std::runtime_error(what),
+        tile_row_(tile_row),
+        tile_col_(tile_col),
+        route_(route),
+        attempts_(attempts) {}
+
+  /// Tile-grid coordinates of the failing threadblock tile (row index
+  /// bm / block_m, column index bn / block_n); -1 when unknown.
+  long tile_row() const { return tile_row_; }
+  long tile_col() const { return tile_col_; }
+  /// The last ladder rung the tile was attempted on.
+  Route route() const { return route_; }
+  /// Recompute attempts spent across all rungs before giving up.
+  int attempts() const { return attempts_; }
+
+ private:
+  long tile_row_ = -1;
+  long tile_col_ = -1;
+  Route route_ = Route::kMicrokernel;
+  int attempts_ = 0;
 };
 
 /// Counters the driver reports (cross-checked against the simulator's
@@ -85,6 +110,9 @@ struct TiledGemmStats {
   long abft_recovered = 0;     // tiles recovered by a passing recompute
   long abft_false_alarms = 0;  // deterministic reproduction => tolerance
                                // artifact, original result kept
+  // What the recovery ladder did (all zero in legacy mode and on clean
+  // runs). See gemm/recovery.hpp.
+  RecoveryReport recovery;
 };
 
 /// C <- A*B + C through the tile hierarchy on the M3XU FP32 mode.
@@ -110,6 +138,27 @@ TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
 
 TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
                            const TileConfig& config, const AbftConfig& abft,
+                           const Matrix<std::complex<float>>& a,
+                           const Matrix<std::complex<float>>& b,
+                           Matrix<std::complex<float>>& c);
+
+/// Resilient variants: ABFT detection feeds the RecoveryPolicy's
+/// retry-then-demote ladder (gemm/recovery.hpp) instead of the legacy
+/// clean-recompute-or-throw protocol, and the ExecConfig threads a
+/// cooperative CancellationToken plus the ThreadPool watchdog through
+/// the tile loop. With the default policy every transient fault
+/// recovers bit-exactly (the terminal scalar rung runs fault-free);
+/// stats.recovery reports what the ladder did.
+TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const AbftConfig& abft,
+                           const RecoveryPolicy& policy,
+                           const ExecConfig& exec, const Matrix<float>& a,
+                           const Matrix<float>& b, Matrix<float>& c);
+
+TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
+                           const TileConfig& config, const AbftConfig& abft,
+                           const RecoveryPolicy& policy,
+                           const ExecConfig& exec,
                            const Matrix<std::complex<float>>& a,
                            const Matrix<std::complex<float>>& b,
                            Matrix<std::complex<float>>& c);

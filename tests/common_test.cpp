@@ -228,6 +228,46 @@ TEST(Rng, NextBelowHasNoModuloBias) {
   EXPECT_NEAR(frac, 1.0 / 3.0, 0.02);  // biased modulo would give ~0.5
 }
 
+TEST(Rng, SeedAccessorRoundTrips) {
+  EXPECT_EQ(Rng(42).seed(), 42u);
+  EXPECT_EQ(Rng(0xdeadbeefull).seed(), 0xdeadbeefull);
+}
+
+TEST(Rng, SplitIsDeterministicPerStream) {
+  const Rng root(42);
+  Rng a = root.split(7);
+  Rng b = root.split(7);
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitStreamsDiverge) {
+  const Rng root(42);
+  Rng a = root.split(0);
+  Rng b = root.split(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+  // A child stream also diverges from its parent.
+  Rng parent(42);
+  Rng child = Rng(42).split(0);
+  same = 0;
+  for (int i = 0; i < 100; ++i) same += parent.next_u64() == child.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SplitIndependentOfParentConsumption) {
+  // split() is a pure function of (seed, stream): consuming the parent
+  // must not change the child - the property per-tile retry streams in
+  // the recovery ladder rely on.
+  Rng fresh(1234);
+  Rng consumed(1234);
+  for (int i = 0; i < 500; ++i) consumed.next_u64();
+  Rng a = fresh.split(3);
+  Rng b = consumed.split(3);
+  for (int i = 0; i < 1'000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_EQ(fresh.split(3).seed(), consumed.split(3).seed());
+}
+
 TEST(Rng, NormalHasPlausibleMoments) {
   Rng rng(9);
   double sum = 0.0, sum2 = 0.0;
