@@ -1,39 +1,122 @@
 // Cooperative cancellation for long-running parallel work.
 //
 // A CancellationToken is a thread-safe flag plus a human-readable
-// reason. Producers (a timeout thread, a signal handler shim, an RPC
-// layer) call request_cancel(); consumers (ThreadPool::parallel_for,
-// the tiled GEMM driver's per-chunk checkpoints) poll cancelled() or
-// call check(), which throws CancelledError. Cancellation is purely
+// reason and a machine-readable CancelReason tag. Producers (a timeout
+// thread, the serving layer's admission control, an RPC layer) call
+// request_cancel(); consumers (ThreadPool::parallel_for, the tiled
+// GEMM driver's per-chunk checkpoints) poll cancelled() or call
+// check(), which throws CancelledError. Cancellation is purely
 // cooperative: work only stops at the next checkpoint, so a
 // non-cooperative stall needs the ThreadPool watchdog (deadline /
-// stall detection in ParallelOptions) on top. See docs/RESILIENCE.md.
+// stall detection in ParallelOptions) on top.
+//
+// cancel_after() arms a background one-shot timer (CancelTimer, RAII:
+// destroying the timer disarms it) that latches the token after a wall
+// delay - the serving layer uses it to propagate per-request deadlines
+// end-to-end without polling. The reason tag distinguishes who pulled
+// the trigger (user cancel, deadline, load shed, stall watchdog), is
+// carried on CancelledError, and is mirrored into cancel.* telemetry
+// counters. See docs/RESILIENCE.md and docs/SERVING.md.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
+
+#include "telemetry/telemetry.hpp"
 
 namespace m3xu {
 
+/// Who (conceptually) latched a CancellationToken / aborted a guarded
+/// call. Tags are advisory labels for classification - they do not
+/// change abort semantics - but the serving layer relies on them to
+/// map aborts onto terminal request statuses (user cancel vs deadline
+/// vs shed) and to decide which failures are retryable (stall).
+enum class CancelReason : int {
+  kUnspecified = 0,  // legacy callers that never tagged their cancel
+  kUser = 1,         // an explicit caller-initiated cancel
+  kDeadline = 2,     // a wall deadline elapsed (timer or watchdog)
+  kShed = 3,         // admission control / load shedding
+  kStall = 4,        // the watchdog saw no progress for the stall window
+};
+
+inline const char* cancel_reason_name(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kUnspecified:
+      return "unspecified";
+    case CancelReason::kUser:
+      return "user";
+    case CancelReason::kDeadline:
+      return "deadline";
+    case CancelReason::kShed:
+      return "shed";
+    case CancelReason::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+namespace detail {
+/// One bump per latch/abort, by reason - no-ops with M3XU_TELEMETRY=OFF.
+inline void count_cancel_reason(CancelReason reason) {
+  static telemetry::Counter unspecified("cancel.unspecified");
+  static telemetry::Counter user("cancel.user");
+  static telemetry::Counter deadline("cancel.deadline");
+  static telemetry::Counter shed("cancel.shed");
+  static telemetry::Counter stall("cancel.stall");
+  switch (reason) {
+    case CancelReason::kUser:
+      user.increment();
+      break;
+    case CancelReason::kDeadline:
+      deadline.increment();
+      break;
+    case CancelReason::kShed:
+      shed.increment();
+      break;
+    case CancelReason::kStall:
+      stall.increment();
+      break;
+    default:
+      unspecified.increment();
+      break;
+  }
+}
+}  // namespace detail
+
 /// A run was cancelled via a CancellationToken (or aborted by the
 /// ThreadPool watchdog, whose errors derive from this so one catch
-/// clause covers every cooperative abort).
+/// clause covers every cooperative abort). reason() carries the
+/// CancelReason tag of whoever triggered the abort.
 class CancelledError : public std::runtime_error {
  public:
-  explicit CancelledError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit CancelledError(const std::string& what,
+                          CancelReason reason = CancelReason::kUnspecified)
+      : std::runtime_error(what), reason_(reason) {}
+
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
 };
 
 /// The ThreadPool watchdog aborted a parallel_for: either the wall
-/// deadline elapsed or no worker made progress for the stall window.
-/// The message distinguishes the two.
+/// deadline elapsed (reason kDeadline) or no worker made progress for
+/// the stall window (reason kStall). The message distinguishes the two
+/// as well.
 class DeadlineExceeded : public CancelledError {
  public:
-  explicit DeadlineExceeded(const std::string& what)
-      : CancelledError(what) {}
+  explicit DeadlineExceeded(const std::string& what,
+                            CancelReason reason = CancelReason::kDeadline)
+      : CancelledError(what, reason) {}
 };
+
+class CancelTimer;
 
 class CancellationToken {
  public:
@@ -41,12 +124,15 @@ class CancellationToken {
   CancellationToken(const CancellationToken&) = delete;
   CancellationToken& operator=(const CancellationToken&) = delete;
 
-  /// Latches the token. The first caller's reason wins; later calls
-  /// are no-ops. Safe from any thread.
-  void request_cancel(const std::string& reason = "cancelled") {
+  /// Latches the token. The first caller's reason (and tag) wins;
+  /// later calls are no-ops. Safe from any thread.
+  void request_cancel(const std::string& reason = "cancelled",
+                      CancelReason tag = CancelReason::kUser) {
     const std::lock_guard<std::mutex> lock(mu_);
     if (cancelled_.load(std::memory_order_relaxed)) return;
     reason_ = reason;
+    tag_ = tag;
+    detail::count_cancel_reason(tag);
     cancelled_.store(true, std::memory_order_release);
   }
 
@@ -61,16 +147,78 @@ class CancellationToken {
     return reason_;
   }
 
+  /// The machine-readable tag of the winning request_cancel
+  /// (kUnspecified until the token latches).
+  CancelReason reason_tag() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return tag_;
+  }
+
   /// Throws CancelledError when the token is latched; otherwise a
   /// no-op. The canonical checkpoint call.
   void check() const {
-    if (cancelled()) throw CancelledError("cancelled: " + reason());
+    if (cancelled()) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      throw CancelledError("cancelled: " + reason_, tag_);
+    }
   }
+
+  /// Arms a one-shot timer that latches this token with `tag` after
+  /// `delay_ms` of wall time. Returns the RAII timer: the token is
+  /// only latched while the timer is alive, and destroying it disarms
+  /// (and joins) the timer thread, so the token's lifetime safely
+  /// bounds the timer's. Defined below CancelTimer.
+  CancelTimer cancel_after(std::int64_t delay_ms,
+                           CancelReason tag = CancelReason::kDeadline,
+                           const std::string& reason = "deadline exceeded");
 
  private:
   std::atomic<bool> cancelled_{false};
   mutable std::mutex mu_;
   std::string reason_;
+  CancelReason tag_ = CancelReason::kUnspecified;
 };
+
+/// One-shot deadline timer bound to a CancellationToken (see
+/// CancellationToken::cancel_after). Non-copyable and non-movable: it
+/// owns a thread whose closure captures `this`. Keep it on the stack
+/// (or as a member) that outlives neither the token nor the work it
+/// guards; its destructor wakes and joins the thread, so disarming a
+/// not-yet-fired timer is prompt (no sleep-out wait).
+class CancelTimer {
+ public:
+  CancelTimer(CancellationToken& token, std::int64_t delay_ms,
+              CancelReason tag, const std::string& reason)
+      : thread_([this, &token, delay_ms, tag, reason] {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_.wait_for(lock, std::chrono::milliseconds(delay_ms),
+                       [&] { return disarmed_; });
+          if (!disarmed_) token.request_cancel(reason, tag);
+        }) {}
+
+  CancelTimer(const CancelTimer&) = delete;
+  CancelTimer& operator=(const CancelTimer&) = delete;
+
+  ~CancelTimer() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+inline CancelTimer CancellationToken::cancel_after(std::int64_t delay_ms,
+                                                   CancelReason tag,
+                                                   const std::string& reason) {
+  return CancelTimer(*this, delay_ms, tag, reason);
+}
 
 }  // namespace m3xu

@@ -28,8 +28,14 @@ telemetry::Counter tp_cancellations("threadpool.cancellations");
 telemetry::Counter tp_watches("threadpool.watchdog.watches");
 telemetry::Counter tp_deadline_fired("threadpool.watchdog.deadline_fired");
 telemetry::Counter tp_stalls("threadpool.watchdog.stalls_detected");
+// Concurrent-submission contention: calls that found the pool busy,
+// and how long they queued before acquiring it.
+telemetry::Counter tp_submit_queued("threadpool.submissions_queued");
+telemetry::Histogram tp_submit_wait("threadpool.submit_wait_ns");
 
 }  // namespace
+
+thread_local const ThreadPool* ThreadPool::draining_pool_ = nullptr;
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -51,6 +57,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::drain(Task& task) {
+  const ThreadPool* const prev_pool = draining_pool_;
+  draining_pool_ = this;
   const telemetry::Stopwatch busy;
   for (;;) {
     std::size_t begin = task.next.fetch_add(task.chunk);
@@ -102,6 +110,7 @@ void ThreadPool::drain(Task& task) {
     task.done.fetch_add(end - begin);
   }
   tp_busy_ns.add(busy.elapsed_ns());
+  draining_pool_ = prev_pool;
 }
 
 void ThreadPool::worker_loop() {
@@ -152,11 +161,13 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     for (std::size_t i = 0; i < n; ++i) {
       if (options.token != nullptr && options.token->cancelled()) {
         tp_cancellations.increment();
-        throw CancelledError("parallel_for cancelled: " +
-                             options.token->reason());
+        throw CancelledError(
+            "parallel_for cancelled: " + options.token->reason(),
+            options.token->reason_tag());
       }
       if (options.deadline_ms > 0 &&
-          wall.elapsed_ns() >= options.deadline_ms * 1'000'000) {
+          wall.elapsed_ns() >=
+                static_cast<std::uint64_t>(options.deadline_ms) * 1'000'000) {
         tp_deadline_fired.increment();
         throw DeadlineExceeded("parallel_for exceeded its deadline of " +
                                std::to_string(options.deadline_ms) + " ms");
@@ -167,6 +178,10 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   }
   const telemetry::ScopedTimer span("threadpool.parallel_for");
   const telemetry::Stopwatch wall;
+  M3XU_CHECK_MSG(draining_pool_ != this,
+                 "nested parallel_for: a body running on this pool must not "
+                 "submit to the same pool (the inner call would wait on the "
+                 "task its own thread is executing)");
   Task task;
   task.fn = &fn;
   task.end = n;
@@ -177,9 +192,50 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
                    : std::max<std::size_t>(1, n / (4 * thread_count()));
   task.guarded = options.guarded();
   task.token = options.token;
+  {
+    // Acquire the pool. The pool runs one task at a time; concurrent
+    // submitters queue here until the running task retires. The wait
+    // is cancellable (token) and counts against the caller's deadline,
+    // so a shed or expired request never occupies the pool at all.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (current_ != nullptr) {
+      tp_submit_queued.increment();
+      const telemetry::Stopwatch queued;
+      while (current_ != nullptr) {
+        submit_cv_.wait_for(lock, std::chrono::milliseconds(1));
+        if (current_ == nullptr) break;
+        if (options.token != nullptr && options.token->cancelled()) {
+          tp_cancellations.increment();
+          throw CancelledError(
+              "parallel_for cancelled while queued for the pool: " +
+                  options.token->reason(),
+              options.token->reason_tag());
+        }
+        if (options.deadline_ms > 0 &&
+            wall.elapsed_ns() >=
+                static_cast<std::uint64_t>(options.deadline_ms) * 1'000'000) {
+          tp_deadline_fired.increment();
+          throw DeadlineExceeded(
+              "parallel_for exceeded its deadline of " +
+              std::to_string(options.deadline_ms) +
+              " ms while queued for the pool");
+        }
+      }
+      tp_submit_wait.record(static_cast<std::uint64_t>(queued.elapsed_ns()));
+    }
+    current_ = &task;
+    ++generation_;
+  }
   // Per-call watchdog: polls the task's heartbeat until the caller's
   // completion wait finishes. Spawned only for guarded calls with a
   // deadline or stall window, so the clean path never pays for it.
+  // Started after pool acquisition (the queue wait above already
+  // enforces the deadline), watching only the remaining budget.
+  std::int64_t remaining_deadline_ms = options.deadline_ms;
+  if (options.deadline_ms > 0) {
+    remaining_deadline_ms = std::max<std::int64_t>(
+        1, options.deadline_ms - wall.elapsed_ns() / 1'000'000);
+  }
   std::thread watchdog;
   std::mutex watch_mu;
   std::condition_variable watch_cv;
@@ -197,7 +253,7 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
         if (watch_done) break;
         const auto now = clock::now();
         if (options.deadline_ms > 0 &&
-            now - t0 >= std::chrono::milliseconds(options.deadline_ms)) {
+            now - t0 >= std::chrono::milliseconds(remaining_deadline_ms)) {
           int expected = kStopNone;
           if (task.stop_cause.compare_exchange_strong(expected,
                                                       kStopDeadline)) {
@@ -222,12 +278,6 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
       }
     });
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    M3XU_CHECK(current_ == nullptr);  // no nested parallel_for
-    current_ = &task;
-    ++generation_;
-  }
   cv_.notify_all();
   drain(task);
   {
@@ -239,6 +289,8 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     });
     current_ = nullptr;
   }
+  // Hand the pool to the next queued submitter, if any.
+  submit_cv_.notify_one();
   if (watchdog.joinable()) {
     {
       std::lock_guard<std::mutex> lock(watch_mu);
@@ -257,14 +309,17 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
     case kStopToken:
       throw CancelledError(
           "parallel_for cancelled: " +
-          (task.token != nullptr ? task.token->reason() : std::string()));
+              (task.token != nullptr ? task.token->reason() : std::string()),
+          task.token != nullptr ? task.token->reason_tag()
+                                : CancelReason::kUnspecified);
     case kStopDeadline:
       throw DeadlineExceeded("parallel_for exceeded its deadline of " +
                              std::to_string(options.deadline_ms) + " ms");
     case kStopStall:
       throw DeadlineExceeded(
           "parallel_for stalled: no iteration completed for " +
-          std::to_string(options.stall_ms) + " ms");
+              std::to_string(options.stall_ms) + " ms",
+          CancelReason::kStall);
     default:
       break;
   }

@@ -11,6 +11,17 @@
 // stalled progress. Guarding is strictly opt-in - the default options
 // leave the hot path byte-identical to the unguarded pool (no extra
 // thread, no per-iteration atomics). See docs/RESILIENCE.md.
+//
+// Concurrent submissions: parallel_for may be called from multiple OS
+// threads at once (the multi-tenant GemmServer does exactly this).
+// The pool runs one task at a time; later submitters queue on a
+// condition variable until the pool frees up. The queue wait is
+// cancellable (a latched token throws CancelledError without running
+// a single iteration) and counts against the caller's deadline_ms;
+// threadpool.submit_wait_ns / threadpool.submissions_queued telemetry
+// expose the contention. Calling parallel_for from *inside* a body
+// running on the same pool is still misuse (it would deadlock) and
+// fails a M3XU_CHECK. See docs/SERVING.md.
 #pragma once
 
 #include <atomic>
@@ -117,12 +128,18 @@ class ThreadPool {
   };
 
   void worker_loop();
-  static void drain(Task& task);
+  void drain(Task& task);
+
+  // The pool this thread is currently draining a task for (nullptr
+  // outside drain). Lets parallel_for reject the one submission shape
+  // that cannot queue: a body resubmitting to its own pool.
+  static thread_local const ThreadPool* draining_pool_;
 
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
+  std::condition_variable submit_cv_;
   Task* current_ = nullptr;
   std::uint64_t generation_ = 0;
   std::size_t active_ = 0;

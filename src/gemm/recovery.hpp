@@ -23,12 +23,15 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <unordered_map>
 
 #include "common/cancellation.hpp"
 
 namespace m3xu::gemm {
+
+class PanelCache;  // see gemm/panel_cache.hpp
 
 /// One rung of the demotion ladder, fastest first. Higher enum values
 /// are *lower* rungs.
@@ -48,23 +51,50 @@ const char* route_name(Route route);
 /// over the same grid start that tile there instead of re-walking the
 /// ladder. Keyed by flat tile index (row * grid_n + col), so reuse a
 /// quarantine only across calls with the same tile grid.
+///
+/// The tracked-tile set is bounded: at most `capacity` entries, with
+/// least-recently-touched eviction (a lookup hit or a demote both
+/// refresh an entry). A long-lived server can therefore share one
+/// quarantine per tenant indefinitely - cold entries age out instead
+/// of growing the map without limit. Evictions are counted here and in
+/// the recovery.quarantine_evictions telemetry counter.
 class TileQuarantine {
  public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit TileQuarantine(std::size_t capacity = kDefaultCapacity);
+
   /// Looks up the quarantined rung for `tile`. Returns false (and
-  /// leaves *route untouched) when the tile is not quarantined.
+  /// leaves *route untouched) when the tile is not quarantined. A hit
+  /// refreshes the entry's LRU position.
   bool lookup(long tile, Route* route) const;
 
   /// Quarantines `tile` at `route`. Only ever lowers (a recorded rung
   /// is never raised back up). Returns true when the entry is new or
-  /// was lowered.
+  /// was lowered. May evict the least-recently-touched entry when the
+  /// quarantine is at capacity.
   bool demote(long tile, Route route);
 
   std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+  /// Entries dropped by LRU eviction since construction (clear() does
+  /// not count).
+  std::uint64_t evictions() const;
   void clear();
 
  private:
+  struct Entry {
+    Route route;
+    std::list<long>::iterator lru_it;
+  };
+
   mutable std::mutex mu_;
-  std::unordered_map<long, Route> tiles_;
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  // Front = most recently touched. splice() moves nodes without
+  // invalidating the iterators stored in tiles_.
+  mutable std::list<long> lru_;
+  std::unordered_map<long, Entry> tiles_;
 };
 
 /// How the driver escalates when a tile's ABFT checksum keeps failing.
@@ -106,8 +136,19 @@ struct ExecConfig {
   const CancellationToken* token = nullptr;
   /// Watchdog wall deadline per parallel_for call, in ms (0 = none).
   std::int64_t deadline_ms = 0;
-  /// Watchdog no-progress window, in ms (0 = none).
+  /// Watchdog no-progress window, in ms (0 = none). Requires a nonzero
+  /// deadline_ms as a backstop (validated at driver entry).
   std::int64_t stall_ms = 0;
+  /// Optional shared prepacked-B cache (non-owning; may be null). Only
+  /// consulted when b_key is nonzero and the engine carries no fault
+  /// injector - injected staged-panel corruption must never enter a
+  /// cache shared across requests. Ladder retries always repack
+  /// locally, so a corrupted cached panel cannot defeat recovery.
+  PanelCache* b_cache = nullptr;
+  /// Caller-assigned identity of the B matrix contents for cache keys
+  /// (0 = caching disabled for this call). Callers must guarantee two
+  /// calls share a b_key only when their B bytes are identical.
+  std::uint64_t b_key = 0;
 };
 
 /// What the recovery layer did during one driver call. Folded into

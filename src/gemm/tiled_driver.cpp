@@ -16,6 +16,7 @@
 #include "common/thread_pool.hpp"
 #include "core/packed_panel.hpp"
 #include "fault/injector.hpp"
+#include "gemm/panel_cache.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -126,11 +127,19 @@ template <>
 struct PackedOps<float> {
   using PanelA = core::PackedPanelFp32A;
   using PanelB = core::PackedPanelFp32B;
+  static constexpr bool kCplx = false;
   static void pack_a(const float* p, int ld, int rows, int k, PanelA& out) {
     core::pack_fp32_a(p, ld, rows, k, out);
   }
   static void pack_b(const float* p, int ld, int k, int cols, PanelB& out) {
     core::pack_fp32_b(p, ld, k, cols, out);
+  }
+  static bool cache_get(PanelCache& cache, const PanelKey& key, PanelB* out) {
+    return cache.get_fp32(key, out);
+  }
+  static void cache_put(PanelCache& cache, const PanelKey& key,
+                        const PanelB& panel) {
+    cache.put_fp32(key, panel);
   }
   static void mma(const core::M3xuEngine& engine, const PanelA& a, int row0,
                   const PanelB& b, int col0, int m, int n, float* c,
@@ -148,6 +157,7 @@ template <>
 struct PackedOps<std::complex<float>> {
   using PanelA = core::PackedPanelFp32cA;
   using PanelB = core::PackedPanelFp32cB;
+  static constexpr bool kCplx = true;
   static void pack_a(const std::complex<float>* p, int ld, int rows, int k,
                      PanelA& out) {
     core::pack_fp32c_a(p, ld, rows, k, out);
@@ -155,6 +165,13 @@ struct PackedOps<std::complex<float>> {
   static void pack_b(const std::complex<float>* p, int ld, int k, int cols,
                      PanelB& out) {
     core::pack_fp32c_b(p, ld, k, cols, out);
+  }
+  static bool cache_get(PanelCache& cache, const PanelKey& key, PanelB* out) {
+    return cache.get_fp32c(key, out);
+  }
+  static void cache_put(PanelCache& cache, const PanelKey& key,
+                        const PanelB& panel) {
+    cache.put_fp32c(key, panel);
   }
   static void mma(const core::M3xuEngine& engine, const PanelA& a, int row0,
                   const PanelB& b, int col0, int m, int n,
@@ -288,10 +305,14 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
     // on the first pass only; ABFT recomputes are tracked separately.
     // `route` picks the datapath rung; kScalarReference skips packing
     // and runs the staged buffers through the flat per-dot GEMM
-    // (bit-identical K-chunk boundaries).
+    // (bit-identical K-chunk boundaries). `allow_cache` gates the
+    // shared prepacked-B cache: only the initial pass may use it -
+    // ladder retries and recomputes always repack locally so recovery
+    // never depends on a cached panel's integrity.
     const auto compute_tile = [&](const core::M3xuEngine& eng, Route route,
                                   std::vector<T>& frag,
-                                  TiledGemmStats* counters) {
+                                  TiledGemmStats* counters,
+                                  bool allow_cache) {
       const fault::FaultInjector* inj = eng.config().injector;
       // kWorkerStall: one opportunity per tile pass. The injected
       // delay is finite, so the pool watchdog can convert it into a
@@ -357,8 +378,28 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
                                                    : nullptr);
               PackedOps<T>::pack_a(a_stage.data(), cfg.block_k, m_eff, kc,
                                    a_panel);
-              PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff,
-                                   b_panel);
+              // The B panel for this (K-block, column block) is shared
+              // by every tile row and every request with the same
+              // b_key, so consult the cache first. Never with an
+              // injector attached: corrupted staging must not be
+              // published into shared state.
+              const bool cacheable = allow_cache && exec.b_cache != nullptr &&
+                                     exec.b_key != 0 && inj == nullptr;
+              bool b_cached = false;
+              if (cacheable) {
+                const PanelKey key{exec.b_key, k0,   bn,
+                                   kc,         n_eff, PackedOps<T>::kCplx};
+                b_cached =
+                    PackedOps<T>::cache_get(*exec.b_cache, key, &b_panel);
+                if (!b_cached) {
+                  PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff,
+                                       b_panel);
+                  PackedOps<T>::cache_put(*exec.b_cache, key, b_panel);
+                }
+              } else {
+                PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff,
+                                     b_panel);
+              }
               packed = true;
             } catch (const std::bad_alloc&) {
               packed = false;
@@ -414,7 +455,8 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
     }
 
     std::vector<T> c_frag = c_in;
-    compute_tile(initial_engine(start_route), start_route, c_frag, &local);
+    compute_tile(initial_engine(start_route), start_route, c_frag, &local,
+                 /*allow_cache=*/true);
 
     if (abft.enable) {
       const telemetry::ScopedTimer span("tile.abft", &local.abft_seconds);
@@ -469,7 +511,8 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
           const int attempts = std::max(1, abft.max_recompute);
           for (int attempt = 0; attempt < attempts && !resolved; ++attempt) {
             std::vector<T> redo = c_in;
-            compute_tile(clean, Route::kMicrokernel, redo, nullptr);
+            compute_tile(clean, Route::kMicrokernel, redo, nullptr,
+                         /*allow_cache=*/false);
             ++local.abft_recomputed;
             if (verify(redo)) {
               c_frag = std::move(redo);
@@ -552,7 +595,7 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
                  ++attempt) {
               std::vector<T> redo = c_in;
               compute_tile(scalar_clean ? clean : retry_engine(rung), rung,
-                           redo, nullptr);
+                           redo, nullptr, /*allow_cache=*/false);
               ++local.abft_recomputed;
               ++local.recovery.retries;
               ++total_attempts;
@@ -690,6 +733,34 @@ void validate_entry(const TileConfig& cfg, int inst_k, const Matrix<T>& a,
                  "tiled GEMM shape mismatch: C must be A.rows x B.cols");
 }
 
+/// Resilience-config validation for the policy-taking entry points:
+/// catch nonsensical knob combinations at the API boundary with a
+/// clear message instead of downstream misbehavior (negative retries
+/// silently becoming one attempt, a stall watchdog with no deadline
+/// backstop, an out-of-range demotion floor).
+void validate_resilience(const RecoveryPolicy& policy,
+                         const ExecConfig& exec) {
+  M3XU_CHECK_MSG(policy.retries_per_route >= 0,
+                 "RecoveryPolicy.retries_per_route must be >= 0");
+  M3XU_CHECK_MSG(static_cast<int>(policy.floor) >= 0 &&
+                     static_cast<int>(policy.floor) < kRouteCount,
+                 "RecoveryPolicy.floor must be a valid Route rung "
+                 "(kMicrokernel..kScalarReference)");
+  M3XU_CHECK_MSG(exec.deadline_ms >= 0,
+                 "ExecConfig.deadline_ms must be >= 0 (0 disables the "
+                 "deadline watchdog)");
+  M3XU_CHECK_MSG(exec.stall_ms >= 0,
+                 "ExecConfig.stall_ms must be >= 0 (0 disables stall "
+                 "detection)");
+  M3XU_CHECK_MSG(exec.stall_ms == 0 || exec.deadline_ms > 0,
+                 "ExecConfig.stall_ms requires a nonzero deadline_ms: stall "
+                 "detection without a wall-deadline backstop can absorb an "
+                 "arbitrarily slow trickle of progress");
+  M3XU_CHECK_MSG(exec.b_cache == nullptr || exec.b_key != 0,
+                 "ExecConfig.b_cache requires a nonzero b_key identifying "
+                 "the B matrix contents");
+}
+
 /// Fault-free clone of the caller's engine for ABFT recompute: same
 /// arithmetic configuration with the injector stripped (and any route
 /// forcing lifted, so the recompute runs the engine's natural route).
@@ -730,6 +801,7 @@ TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
                            const Matrix<float>& b, Matrix<float>& c) {
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32);
   validate_entry(config, shape.k, a, b, c);
+  validate_resilience(policy, exec);
   const core::M3xuEngine clean(clean_config(engine));
   return run_tiled<float>(config, abft, policy, exec, a, b, c, shape.k,
                           shape.m, shape.n,
@@ -763,6 +835,7 @@ TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
                            Matrix<std::complex<float>>& c) {
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32Complex);
   validate_entry(config, shape.k, a, b, c);
+  validate_resilience(policy, exec);
   const core::M3xuEngine clean(clean_config(engine));
   using C = std::complex<float>;
   return run_tiled<C>(config, abft, policy, exec, a, b, c, shape.k, shape.m,

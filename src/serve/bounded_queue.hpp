@@ -1,0 +1,122 @@
+// Bounded priority submission queue with explicit admission control.
+//
+// The server's load-shedding contract lives here: a full queue either
+// rejects the incoming item (kRejectNew) or evicts the lowest-priority
+// queued item to admit a strictly higher-priority one
+// (kEvictLowestPriority). Both outcomes are explicit in the push()
+// result - the caller resolves the loser to a Shed terminal status,
+// never a silent drop. Ordering is priority-major (higher first),
+// FIFO within a priority.
+//
+// close() wakes all poppers and hands back every still-queued item so
+// shutdown can shed them explicitly too.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace m3xu::serve {
+
+enum class AdmissionPolicy {
+  kRejectNew,            // full queue: the incoming item is shed
+  kEvictLowestPriority,  // full queue: shed the lowest-priority queued
+                         // item if the incoming one outranks it,
+                         // otherwise shed the incoming item
+};
+
+template <typename T>
+class BoundedQueue {
+ public:
+  struct Admit {
+    bool admitted = false;
+    /// The queued item displaced to make room (kEvictLowestPriority
+    /// only); the caller must resolve it as shed.
+    std::optional<T> evicted;
+  };
+
+  BoundedQueue(std::size_t capacity, AdmissionPolicy policy)
+      : capacity_(capacity), policy_(policy) {}
+
+  /// Attempts to enqueue. Never blocks.
+  Admit push(T item, int priority) {
+    Admit result;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return result;  // not admitted
+      if (items_.size() >= capacity_) {
+        if (policy_ == AdmissionPolicy::kRejectNew) return result;
+        // Victim: lowest priority, youngest within it (map order puts
+        // it last). Evict only for a strictly higher-priority arrival,
+        // so equal-priority storms shed the newcomers (FIFO fairness).
+        auto victim = std::prev(items_.end());
+        if (-victim->first.neg_priority >= priority) return result;
+        result.evicted = std::move(victim->second);
+        items_.erase(victim);
+      }
+      items_.emplace(Key{-priority, next_seq_++}, std::move(item));
+      result.admitted = true;
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Blocks until an item is available or the queue is closed.
+  /// Returns nullopt only after close() with nothing left.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    auto first = items_.begin();
+    T item = std::move(first->second);
+    items_.erase(first);
+    return item;
+  }
+
+  /// Closes the queue and returns everything still pending (in pop
+  /// order) for the caller to shed.
+  std::vector<T> close() {
+    std::vector<T> pending;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      pending.reserve(items_.size());
+      for (auto& [key, item] : items_) pending.push_back(std::move(item));
+      items_.clear();
+    }
+    cv_.notify_all();
+    return pending;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Key {
+    int neg_priority;    // negated so map order is highest-first
+    std::uint64_t seq;   // FIFO within a priority
+    bool operator<(const Key& o) const {
+      if (neg_priority != o.neg_priority) {
+        return neg_priority < o.neg_priority;
+      }
+      return seq < o.seq;
+    }
+  };
+
+  const std::size_t capacity_;
+  const AdmissionPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, T> items_;
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace m3xu::serve

@@ -1,6 +1,7 @@
 #include "telemetry/telemetry.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -20,6 +21,34 @@ std::uint64_t Snapshot::counter_delta(const Snapshot& before,
   const std::uint64_t now = counter(name);
   const std::uint64_t then = before.counter(name);
   return now > then ? now - then : 0;
+}
+
+double Snapshot::HistogramValue::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Rank of the p-th percentile sample (1-based, ceil), then walk the
+  // buckets until the cumulative count reaches it.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(p / 100.0 * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kHistBuckets; ++i) {
+    seen += buckets[static_cast<std::size_t>(i)];
+    if (seen >= rank) {
+      // Bucket i holds values of bit-width i: [2^(i-1), 2^i - 1]
+      // (bucket 0 holds exactly 0).
+      return i == 0 ? 0.0 : std::ldexp(1.0, i) - 1.0;
+    }
+  }
+  return std::ldexp(1.0, kHistBuckets) - 1.0;
+}
+
+const Snapshot::HistogramValue* Snapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramValue& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
 }
 
 #if M3XU_TELEMETRY_ENABLED

@@ -57,9 +57,19 @@ struct Snapshot {
     double mean() const {
       return count == 0 ? 0.0 : static_cast<double>(sum) / count;
     }
+    /// Upper bound of the bucket holding the p-th percentile sample
+    /// (p in [0, 100]), i.e. the value the p-th sample is guaranteed
+    /// not to exceed. Bucket resolution is a power of two, so treat
+    /// this as an order-of-magnitude latency readout, not an exact
+    /// quantile. 0 when the histogram is empty.
+    double percentile(double p) const;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<HistogramValue> histograms;
+
+  /// The named histogram, or nullptr when absent (always nullptr in
+  /// the disabled build).
+  const HistogramValue* histogram(std::string_view name) const;
 
   /// Value of the named counter, or 0 when absent (also the disabled
   /// build's answer for everything).

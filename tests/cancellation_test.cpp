@@ -213,6 +213,106 @@ TEST(Watchdog, NoFalsePositivesOnCleanGuardedRuns) {
       after.counter_delta(before, "threadpool.watchdog.stalls_detected"), 0u);
 }
 
+TEST(CancellationReason, TagRidesTheTokenIntoCancelledError) {
+  CancellationToken token;
+  EXPECT_EQ(token.reason_tag(), CancelReason::kUnspecified);
+  token.request_cancel("shed by admission control", CancelReason::kShed);
+  EXPECT_EQ(token.reason_tag(), CancelReason::kShed);
+  // The latch keeps the first tag too.
+  token.request_cancel("later", CancelReason::kUser);
+  EXPECT_EQ(token.reason_tag(), CancelReason::kShed);
+  try {
+    token.check();
+    FAIL() << "latched token must throw";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kShed);
+  }
+}
+
+TEST(CancellationReason, NamesAreStable) {
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kUnspecified), "unspecified");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kUser), "user");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kDeadline), "deadline");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kShed), "shed");
+  EXPECT_STREQ(cancel_reason_name(CancelReason::kStall), "stall");
+}
+
+#if M3XU_TELEMETRY_ENABLED
+TEST(CancellationReason, ReasonCountersTrackTokenLatches) {
+  const telemetry::Snapshot before = telemetry::snapshot();
+  CancellationToken user_token;
+  user_token.request_cancel("user asked", CancelReason::kUser);
+  CancellationToken deadline_token;
+  deadline_token.request_cancel("too slow", CancelReason::kDeadline);
+  const telemetry::Snapshot after = telemetry::snapshot();
+  EXPECT_GE(after.counter_delta(before, "cancel.user"), 1u);
+  EXPECT_GE(after.counter_delta(before, "cancel.deadline"), 1u);
+}
+#endif
+
+TEST(CancelTimer, CancelAfterLatchesTokenWithDeadlineReason) {
+  CancellationToken token;
+  {
+    CancelTimer timer = token.cancel_after(10);
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!token.cancelled() &&
+           std::chrono::steady_clock::now() - t0 <
+               std::chrono::seconds(5)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason_tag(), CancelReason::kDeadline);
+  EXPECT_THROW(token.check(), CancelledError);
+}
+
+TEST(CancelTimer, DestructionDisarmsBeforeFiring) {
+  CancellationToken token;
+  {
+    CancelTimer timer = token.cancel_after(60'000);
+  }  // destroyed long before the 60s delay
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancelTimer, CustomReasonTagPropagates) {
+  CancellationToken token;
+  {
+    CancelTimer timer =
+        token.cancel_after(1, CancelReason::kShed, "shed by test");
+    const auto t0 = std::chrono::steady_clock::now();
+    while (!token.cancelled() &&
+           std::chrono::steady_clock::now() - t0 <
+               std::chrono::seconds(5)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason_tag(), CancelReason::kShed);
+  EXPECT_NE(token.reason().find("shed by test"), std::string::npos);
+}
+
+TEST(CancelTimer, AbortsARunningParallelFor) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  CancelTimer timer = token.cancel_after(20);
+  ParallelOptions options;
+  options.token = &token;
+  std::atomic<std::size_t> ran{0};
+  try {
+    pool.parallel_for(
+        10'000, 1,
+        [&](std::size_t) {
+          ++ran;
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        },
+        options);
+    FAIL() << "expected CancelledError from the deadline timer";
+  } catch (const CancelledError& e) {
+    EXPECT_EQ(e.reason(), CancelReason::kDeadline);
+  }
+  EXPECT_LT(ran.load(), 10'000u);
+}
+
 TEST(Watchdog, GuardedRunStillCoversEveryIndexExactlyOnce) {
   ThreadPool pool(3);
   CancellationToken token;

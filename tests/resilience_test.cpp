@@ -10,11 +10,14 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
 #include "gemm/matrix.hpp"
+#include "gemm/panel_cache.hpp"
 #include "gemm/reference.hpp"
 #include "gemm/tiled_driver.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace m3xu::gemm {
 namespace {
@@ -76,6 +79,95 @@ TEST(TileQuarantine, OnlyLowersAndReportsChanges) {
   q.clear();
   EXPECT_EQ(q.size(), 0u);
   EXPECT_FALSE(q.lookup(7, &route));
+}
+
+TEST(TileQuarantine, CapacityBoundsEntriesWithLruEviction) {
+  TileQuarantine q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.demote(1, Route::kPackedFused));
+  EXPECT_TRUE(q.demote(2, Route::kPackedFused));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.evictions(), 0u);
+  // Refresh tile 1 so tile 2 is the LRU victim of the next insert.
+  Route route = Route::kMicrokernel;
+  EXPECT_TRUE(q.lookup(1, &route));
+  EXPECT_TRUE(q.demote(3, Route::kGenericPerDot));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.evictions(), 1u);
+  EXPECT_TRUE(q.lookup(1, &route));
+  EXPECT_FALSE(q.lookup(2, &route));  // evicted
+  EXPECT_TRUE(q.lookup(3, &route));
+}
+
+#if M3XU_TELEMETRY_ENABLED
+TEST(TileQuarantine, EvictionCounterIsExported) {
+  const telemetry::Snapshot before = telemetry::snapshot();
+  TileQuarantine q(1);
+  q.demote(1, Route::kPackedFused);
+  q.demote(2, Route::kPackedFused);  // evicts tile 1
+  const telemetry::Snapshot after = telemetry::snapshot();
+  EXPECT_GE(after.counter_delta(before, "recovery.quarantine_evictions"), 1u);
+}
+#endif
+
+TEST(ResilienceValidation, RejectsMalformedPolicyAndExecConfigs) {
+  const ScopedCheckHandler guard(throwing_check_failure_handler);
+  const Problem p = make(32, 32, 32, 90);
+  const core::M3xuEngine clean{core::M3xuConfig{}};
+  Matrix<float> out = p.c;
+
+  RecoveryPolicy bad_retries;
+  bad_retries.retries_per_route = -1;
+  EXPECT_THROW(tiled_sgemm(clean, single_tile_cfg(), abft_on(), bad_retries,
+                           ExecConfig{}, p.a, p.b, out),
+               CheckError);
+
+  RecoveryPolicy bad_floor;
+  bad_floor.floor = static_cast<Route>(kRouteCount);
+  EXPECT_THROW(tiled_sgemm(clean, single_tile_cfg(), abft_on(), bad_floor,
+                           ExecConfig{}, p.a, p.b, out),
+               CheckError);
+
+  ExecConfig negative_deadline;
+  negative_deadline.deadline_ms = -5;
+  EXPECT_THROW(tiled_sgemm(clean, single_tile_cfg(), abft_on(),
+                           RecoveryPolicy{}, negative_deadline, p.a, p.b,
+                           out),
+               CheckError);
+
+  // Stall detection without a wall-deadline backstop is rejected: a
+  // trickle of progress would never terminate.
+  ExecConfig stall_only;
+  stall_only.stall_ms = 10;
+  EXPECT_THROW(tiled_sgemm(clean, single_tile_cfg(), abft_on(),
+                           RecoveryPolicy{}, stall_only, p.a, p.b, out),
+               CheckError);
+
+  // A panel cache requires a nonzero B-identity key.
+  struct NullCache final : PanelCache {
+    bool get_fp32(const PanelKey&, core::PackedPanelFp32B*) override {
+      return false;
+    }
+    bool get_fp32c(const PanelKey&, core::PackedPanelFp32cB*) override {
+      return false;
+    }
+    void put_fp32(const PanelKey&, const core::PackedPanelFp32B&) override {}
+    void put_fp32c(const PanelKey&,
+                   const core::PackedPanelFp32cB&) override {}
+  };
+  NullCache cache;
+  ExecConfig keyless_cache;
+  keyless_cache.b_cache = &cache;
+  EXPECT_THROW(tiled_sgemm(clean, single_tile_cfg(), abft_on(),
+                           RecoveryPolicy{}, keyless_cache, p.a, p.b, out),
+               CheckError);
+
+  // The valid combinations still run.
+  ExecConfig ok;
+  ok.deadline_ms = 60'000;
+  ok.stall_ms = 60'000;
+  EXPECT_NO_THROW(tiled_sgemm(clean, single_tile_cfg(), abft_on(),
+                              RecoveryPolicy{}, ok, p.a, p.b, out));
 }
 
 TEST(Resilience, LadderWalksToScalarAndRecoversBitExact) {

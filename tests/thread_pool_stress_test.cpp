@@ -1,17 +1,22 @@
 // Stress tests for the thread pool: repeated exception propagation
-// rounds, and concurrent parallel_for misuse from a second OS thread,
-// which must fail as a clean CheckError (via ScopedCheckHandler) rather
-// than deadlocking or corrupting the pool. Runs under TSan via the
-// "tsan" ctest label.
+// rounds, concurrent submissions from many OS threads (which queue
+// rather than abort - the multi-tenant serving layer depends on it),
+// cancellable/deadline-bounded queue waits, and the one remaining
+// misuse shape - a body resubmitting to its own pool - which must
+// fail as a clean CheckError (via ScopedCheckHandler) rather than
+// deadlocking. Runs under TSan via the "tsan" ctest label.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.hpp"
 #include "common/check.hpp"
 #include "common/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace m3xu {
 namespace {
@@ -37,77 +42,174 @@ TEST(ThreadPoolStress, ExceptionPropagationSurvivesRepeatedRounds) {
   }
 }
 
-TEST(ThreadPoolStress, ConcurrentMisuseFailsWithCheckErrorNotDeadlock) {
-  // A second OS thread calling parallel_for on a pool that is already
-  // mid-parallel_for is API misuse; the nested-use check must surface
-  // as a CheckError on the offending thread (with the throwing handler
-  // installed) while the legitimate call completes normally.
-  ScopedCheckHandler guard(&throwing_check_failure_handler);
-  ThreadPool pool(2);
-  for (int round = 0; round < 25; ++round) {
-    std::atomic<bool> inside{false};
-    std::atomic<bool> release{false};
-    std::atomic<bool> second_got_check_error{false};
-    std::thread intruder([&] {
-      while (!inside.load(std::memory_order_acquire)) std::this_thread::yield();
-      try {
-        pool.parallel_for(4, [](std::size_t) {});
-      } catch (const CheckError&) {
-        second_got_check_error.store(true, std::memory_order_release);
-      }
-      release.store(true, std::memory_order_release);
-    });
-    // n >= 2 so the pooled path (which owns the nested-use check) runs;
-    // every iteration parks until the intruder has been rejected.
-    pool.parallel_for(8, [&](std::size_t) {
-      inside.store(true, std::memory_order_release);
-      while (!release.load(std::memory_order_acquire)) {
-        std::this_thread::yield();
+TEST(ThreadPoolStress, ConcurrentSubmissionsQueueAndAllComplete) {
+  // Many OS threads hammer one pool with parallel_for calls at once.
+  // Every call must run every one of its iterations exactly once -
+  // concurrent submitters serialize through the submission queue, they
+  // never abort and never corrupt each other's tasks.
+  ThreadPool pool(3);
+  constexpr int kThreads = 6;
+  constexpr int kRounds = 20;
+  constexpr std::size_t kN = 64;
+  std::vector<std::atomic<std::uint64_t>> sums(kThreads);
+  for (auto& s : sums) s.store(0);
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.parallel_for(kN, 1, [&](std::size_t i) {
+          sums[t].fetch_add(i + 1, std::memory_order_relaxed);
+        });
       }
     });
-    intruder.join();
-    ASSERT_TRUE(second_got_check_error.load())
-        << "round " << round
-        << ": concurrent misuse did not raise CheckError";
+  }
+  for (auto& c : clients) c.join();
+  const std::uint64_t per_round = kN * (kN + 1) / 2;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(sums[t].load(), per_round * kRounds) << "client " << t;
   }
 }
 
-TEST(ThreadPoolStress, MisuseAndBodyExceptionTogether) {
-  // The owner's body throws after the intruder has been rejected: the
-  // owner sees its own exception, the intruder still gets CheckError,
-  // and the pool survives for a clean follow-up round.
-  ScopedCheckHandler guard(&throwing_check_failure_handler);
+TEST(ThreadPoolStress, QueuedSubmissionIsCancellable) {
+  // While one call occupies the pool, a queued second call whose token
+  // latches must throw CancelledError (tagged with the cancel reason)
+  // without running a single iteration.
   ThreadPool pool(2);
   std::atomic<bool> inside{false};
   std::atomic<bool> release{false};
-  std::atomic<bool> second_got_check_error{false};
-  std::thread intruder([&] {
+  CancellationToken token;
+  std::atomic<int> queued_ran{0};
+  std::atomic<bool> got_cancel{false};
+  std::thread waiter([&] {
     while (!inside.load(std::memory_order_acquire)) std::this_thread::yield();
+    ParallelOptions options;
+    options.token = &token;
     try {
-      pool.parallel_for(4, [](std::size_t) {});
-    } catch (const CheckError&) {
-      second_got_check_error.store(true, std::memory_order_release);
+      pool.parallel_for(16, 1,
+                        [&](std::size_t) {
+                          queued_ran.fetch_add(1, std::memory_order_relaxed);
+                        },
+                        options);
+    } catch (const CancelledError& e) {
+      got_cancel.store(true, std::memory_order_release);
+      EXPECT_EQ(e.reason(), CancelReason::kShed);
     }
     release.store(true, std::memory_order_release);
   });
+  pool.parallel_for(8, [&](std::size_t i) {
+    inside.store(true, std::memory_order_release);
+    if (i == 0) {
+      // Latch the queued caller's token while it waits for the pool,
+      // then let the occupying call finish.
+      while (!inside.load(std::memory_order_acquire)) {}
+      token.request_cancel("shed while queued", CancelReason::kShed);
+    }
+    while (!release.load(std::memory_order_acquire) &&
+           !token.cancelled()) {
+      std::this_thread::yield();
+    }
+  });
+  waiter.join();
+  EXPECT_TRUE(got_cancel.load());
+  EXPECT_EQ(queued_ran.load(), 0);
+  // The pool stays usable.
+  std::atomic<int> clean{0};
+  pool.parallel_for(32, [&](std::size_t) {
+    clean.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(clean.load(), 32);
+}
+
+TEST(ThreadPoolStress, QueuedSubmissionHonorsDeadline) {
+  // A queued call's deadline_ms covers the queue wait: if the pool
+  // stays busy past the deadline, the queued caller gets
+  // DeadlineExceeded without executing anything.
+  ThreadPool pool(2);
+  std::atomic<bool> inside{false};
+  std::atomic<bool> release{false};
+  std::atomic<int> queued_ran{0};
+  std::atomic<bool> got_deadline{false};
+  std::thread waiter([&] {
+    while (!inside.load(std::memory_order_acquire)) std::this_thread::yield();
+    ParallelOptions options;
+    options.deadline_ms = 20;
+    try {
+      pool.parallel_for(16, 1,
+                        [&](std::size_t) {
+                          queued_ran.fetch_add(1, std::memory_order_relaxed);
+                        },
+                        options);
+    } catch (const DeadlineExceeded&) {
+      got_deadline.store(true, std::memory_order_release);
+    }
+    release.store(true, std::memory_order_release);
+  });
+  pool.parallel_for(8, [&](std::size_t) {
+    inside.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  });
+  waiter.join();
+  EXPECT_TRUE(got_deadline.load());
+  EXPECT_EQ(queued_ran.load(), 0);
+}
+
+TEST(ThreadPoolStress, NestedSubmissionFromBodyFailsWithCheckError) {
+  // The one submission shape that cannot queue: a body running on the
+  // pool resubmitting to the same pool would wait on the very task its
+  // own thread is executing. It must fail as a CheckError on the
+  // offending iteration, not deadlock.
+  ScopedCheckHandler guard(&throwing_check_failure_handler);
+  ThreadPool pool(2);
+  std::atomic<bool> got_check_error{false};
   EXPECT_THROW(pool.parallel_for(8,
-                                 [&](std::size_t) {
-                                   inside.store(true,
-                                                std::memory_order_release);
-                                   while (!release.load(
-                                       std::memory_order_acquire)) {
-                                     std::this_thread::yield();
+                                 [&](std::size_t i) {
+                                   if (i == 0) {
+                                     try {
+                                       pool.parallel_for(4, [](std::size_t) {});
+                                     } catch (const CheckError&) {
+                                       got_check_error.store(
+                                           true, std::memory_order_release);
+                                       throw;
+                                     }
                                    }
-                                   throw std::runtime_error("owner body");
                                  }),
-               std::runtime_error);
-  intruder.join();
-  EXPECT_TRUE(second_got_check_error.load());
+               CheckError);
+  EXPECT_TRUE(got_check_error.load());
+  // The pool survives for a clean follow-up round.
   std::atomic<int> clean{0};
   pool.parallel_for(16, [&](std::size_t) {
     clean.fetch_add(1, std::memory_order_relaxed);
   });
   EXPECT_EQ(clean.load(), 16);
+}
+
+TEST(ThreadPoolStress, ConcurrentSubmissionsBumpContentionTelemetry) {
+#if !M3XU_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out";
+#else
+  ThreadPool pool(2);
+  const telemetry::Snapshot before = telemetry::snapshot();
+  std::atomic<bool> inside{false};
+  std::atomic<bool> release{false};
+  std::thread waiter([&] {
+    while (!inside.load(std::memory_order_acquire)) std::this_thread::yield();
+    pool.parallel_for(8, 1, [](std::size_t) {});
+    release.store(true, std::memory_order_release);
+  });
+  pool.parallel_for(8, [&](std::size_t i) {
+    inside.store(true, std::memory_order_release);
+    if (i == 0) {
+      // Hold the pool briefly so the waiter reliably queues.
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+  waiter.join();
+  const telemetry::Snapshot after = telemetry::snapshot();
+  EXPECT_GE(after.counter_delta(before, "threadpool.submissions_queued"), 1u);
+#endif
 }
 
 }  // namespace
