@@ -17,11 +17,17 @@
 // --warmup untimed repetitions per case, --seed, --out=path (default
 // BENCH_gemm.json), --trace=path for a Chrome trace_event JSON of the
 // run, --metrics=path for the standalone telemetry metrics export,
-// --json-only to suppress the human-readable table.
+// --json-only to suppress the human-readable table, --plan to
+// additionally benchmark the compile-then-execute GemmPlan layer:
+// compile+prepack cost, first-execute cost, repeat-execute median,
+// whether repeat executes amortize compilation, and a bit-identity
+// check of the plan result against the per-dot reference (folded into
+// the exit gate).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +38,7 @@
 #include "core/mxu.hpp"
 #include "gemm/kernels.hpp"
 #include "gemm/matrix.hpp"
+#include "gemm/plan.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/stopwatch.hpp"
@@ -103,6 +110,67 @@ double ratio(std::uint64_t num, std::uint64_t den) {
   return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
 }
 
+/// One dtype's GemmPlan measurements (--plan mode).
+struct PlanReport {
+  double compile_seconds = 0.0;        // GemmPlan::compile + prepack_b
+  double first_execute_seconds = 0.0;  // first execute (panels prepacked)
+  double repeat_execute_seconds = 0.0; // median of the timed reps
+  bool amortized = false;  // repeat execute < compile + first execute
+  bool bit_identical = true;  // plan result == per-dot reference
+};
+
+void write_plan_report(telemetry::JsonWriter& w, const PlanReport& rep) {
+  w.begin_object();
+  w.key("compile_seconds").value(rep.compile_seconds, 6);
+  w.key("first_execute_seconds").value(rep.first_execute_seconds, 6);
+  w.key("repeat_execute_seconds").value(rep.repeat_execute_seconds, 6);
+  w.key("compile_plus_first_execute_seconds")
+      .value(rep.compile_seconds + rep.first_execute_seconds, 6);
+  w.kv("amortized", rep.amortized);
+  w.kv("bit_identical", rep.bit_identical);
+  w.end_object();
+}
+
+/// Compiles a default-config plan for (m, n, k), prepacks B, and
+/// measures compile / first-execute / repeat-execute, gating the plan
+/// result bitwise against the per-dot reference `c_ref`.
+template <typename T>
+PlanReport run_plan_case(const std::string& name, int m, int n, int k,
+                         bool cplx, double flops_per_mnk, int reps,
+                         int warmup, const gemm::Matrix<T>& a,
+                         const gemm::Matrix<T>& b,
+                         const gemm::Matrix<T>& c_ref,
+                         std::vector<Case>& cases) {
+  PlanReport rep;
+  const telemetry::Stopwatch compile_sw;
+  gemm::GemmPlan plan =
+      gemm::GemmPlan::compile(core::M3xuConfig{}, {m, n, k, cplx});
+  plan.prepack_b(b);
+  rep.compile_seconds = compile_sw.seconds();
+
+  gemm::Matrix<T> c_plan(m, n);
+  c_plan.fill(T{});
+  const telemetry::Stopwatch first_sw;
+  plan.execute(a, b, c_plan);
+  rep.first_execute_seconds = first_sw.seconds();
+  rep.bit_identical =
+      std::memcmp(c_plan.data(), c_ref.data(), c_plan.size() * sizeof(T)) ==
+      0;
+
+  cases.push_back(time_case(name, m, n, k, flops_per_mnk, reps, warmup, [&] {
+    c_plan.fill(T{});
+    plan.execute(a, b, c_plan);
+  }));
+  rep.repeat_execute_seconds = cases.back().seconds;
+  rep.bit_identical =
+      rep.bit_identical &&
+      std::memcmp(c_plan.data(), c_ref.data(), c_plan.size() * sizeof(T)) ==
+          0;
+  rep.amortized = rep.repeat_execute_seconds <
+                  rep.compile_seconds + rep.first_execute_seconds;
+  return rep;
+}
+
 /// Route attribution for one precision family ("fp32" or "fp32c"):
 /// the packed case classifies chunks (fused exact-rounding fast path
 /// vs per-term fallback vs generic), the microkernel case splits
@@ -150,6 +218,7 @@ int main(int argc, char** argv) {
   const std::string out = cli.get("out", "BENCH_gemm.json");
   const std::string trace_path = cli.get("trace", "");
   const std::string metrics_path = cli.get("metrics", "");
+  const bool plan_mode = cli.get_bool("plan", false);
 
   Rng rng(seed);
   // Per-dot and microkernel routes share the default engine (the
@@ -161,6 +230,7 @@ int main(int argc, char** argv) {
   const core::M3xuEngine engine_packed(packed_cfg);
   std::vector<Case> cases;
   bool bit_identical = true;
+  std::optional<PlanReport> plan_sgemm, plan_cgemm;
 
   {
     gemm::Matrix<float> a(m, k), b(k, n);
@@ -195,6 +265,12 @@ int main(int argc, char** argv) {
                                 c_perdot.size() * sizeof(float)) == 0 &&
                     std::memcmp(c_perdot.data(), c_micro.data(),
                                 c_perdot.size() * sizeof(float)) == 0;
+    if (plan_mode) {
+      plan_sgemm = run_plan_case<float>("m3xu_sgemm_plan", m, n, k, false,
+                                        2.0, reps, warmup, a, b, c_perdot,
+                                        cases);
+      bit_identical = bit_identical && plan_sgemm->bit_identical;
+    }
   }
 
   {
@@ -232,12 +308,33 @@ int main(int argc, char** argv) {
                     c_perdot.size() * sizeof(std::complex<float>)) == 0 &&
         std::memcmp(c_perdot.data(), c_micro.data(),
                     c_perdot.size() * sizeof(std::complex<float>)) == 0;
+    if (plan_mode) {
+      plan_cgemm = run_plan_case<std::complex<float>>(
+          "m3xu_cgemm_plan", cm, cn, ck, true, 8.0, reps, warmup, a, b,
+          c_perdot, cases);
+      bit_identical = bit_identical && plan_cgemm->bit_identical;
+    }
   }
 
-  const double sgemm_speedup = cases[0].seconds / cases[1].seconds;
-  const double sgemm_micro_speedup = cases[1].seconds / cases[2].seconds;
-  const double cgemm_speedup = cases[3].seconds / cases[4].seconds;
-  const double cgemm_micro_speedup = cases[4].seconds / cases[5].seconds;
+  // Look route cases up by name: with --plan the vector also carries
+  // the plan cases, so fixed indices would misattribute.
+  const auto find_case = [&cases](const char* name) -> const Case& {
+    for (const Case& c : cases) {
+      if (c.name == name) return c;
+    }
+    std::fprintf(stderr, "missing case %s\n", name);
+    std::abort();
+  };
+  const Case& sgemm_perdot = find_case("m3xu_sgemm_perdot");
+  const Case& sgemm_packed = find_case("m3xu_sgemm_packed");
+  const Case& sgemm_micro = find_case("m3xu_sgemm_microkernel");
+  const Case& cgemm_perdot = find_case("m3xu_cgemm_perdot");
+  const Case& cgemm_packed = find_case("m3xu_cgemm_packed");
+  const Case& cgemm_micro = find_case("m3xu_cgemm_microkernel");
+  const double sgemm_speedup = sgemm_perdot.seconds / sgemm_packed.seconds;
+  const double sgemm_micro_speedup = sgemm_packed.seconds / sgemm_micro.seconds;
+  const double cgemm_speedup = cgemm_perdot.seconds / cgemm_packed.seconds;
+  const double cgemm_micro_speedup = cgemm_packed.seconds / cgemm_micro.seconds;
 
   const telemetry::Environment env = telemetry::collect_environment();
   const std::size_t threads = ThreadPool::global().thread_count();
@@ -257,6 +354,19 @@ int main(int argc, char** argv) {
                 sgemm_speedup, sgemm_micro_speedup, cgemm_speedup,
                 cgemm_micro_speedup, bit_identical ? "yes" : "NO",
                 simd ? "avx2" : "scalar", threads);
+    if (plan_sgemm.has_value() && plan_cgemm.has_value()) {
+      std::printf("plan: sgemm compile %.3fs + first %.3fs, repeat %.3fs "
+                  "(%samortized)\nplan: cgemm compile %.3fs + first %.3fs, "
+                  "repeat %.3fs (%samortized)\n\n",
+                  plan_sgemm->compile_seconds,
+                  plan_sgemm->first_execute_seconds,
+                  plan_sgemm->repeat_execute_seconds,
+                  plan_sgemm->amortized ? "" : "NOT ",
+                  plan_cgemm->compile_seconds,
+                  plan_cgemm->first_execute_seconds,
+                  plan_cgemm->repeat_execute_seconds,
+                  plan_cgemm->amortized ? "" : "NOT ");
+    }
   }
 
   telemetry::JsonWriter w;
@@ -290,9 +400,17 @@ int main(int argc, char** argv) {
   w.key("cgemm_speedup_packed_vs_perdot").value(cgemm_speedup, 4);
   w.key("cgemm_speedup_microkernel_vs_packed").value(cgemm_micro_speedup, 4);
   w.key("route_hit_rates").begin_object();
-  write_route_rates(w, "fp32", "sgemm", cases[1], cases[2]);
-  write_route_rates(w, "fp32c", "cgemm", cases[4], cases[5]);
+  write_route_rates(w, "fp32", "sgemm", sgemm_packed, sgemm_micro);
+  write_route_rates(w, "fp32c", "cgemm", cgemm_packed, cgemm_micro);
   w.end_object();
+  if (plan_sgemm.has_value() && plan_cgemm.has_value()) {
+    w.key("plan").begin_object();
+    w.key("sgemm");
+    write_plan_report(w, *plan_sgemm);
+    w.key("cgemm");
+    write_plan_report(w, *plan_cgemm);
+    w.end_object();
+  }
   w.kv("bit_identical", bit_identical);
   w.end_object();
   const std::string json = w.str() + "\n";

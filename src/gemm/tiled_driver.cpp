@@ -22,6 +22,10 @@
 
 namespace m3xu::gemm {
 
+double eps_per_chunk(int accum_prec) {
+  return std::ldexp(1.0, -24) + std::ldexp(1.0, 2 - accum_prec);
+}
+
 namespace {
 
 // ABFT outcome counters, mirroring the TiledGemmStats fields so fault
@@ -77,14 +81,6 @@ long chunk_roundings(int k, int block_k, int inst_k) {
     chunks += (kc + inst_k - 1) / inst_k;
   }
   return chunks;
-}
-
-/// Worst-case relative rounding error one K-chunk contributes to an
-/// output element: half an output-format ULP from the FP32 pack plus
-/// the per-step accumulation-register roundings (two steps at
-/// 2^(1-accum_prec) each, folded into one term with headroom).
-double eps_per_chunk(int accum_prec) {
-  return std::ldexp(1.0, -24) + std::ldexp(1.0, 2 - accum_prec);
 }
 
 template <typename T>
@@ -205,18 +201,26 @@ void corrupt_staged_value(const fault::FaultInjector& inj,
   v = {re, im};
 }
 
-/// Shared implementation over the element type. `engine` is the
-/// caller's (possibly fault-injected) engine; `clean` the fault-free
-/// clone used for ABFT recompute and the terminal scalar rung.
+/// Shared implementation over the element type, driven entirely by a
+/// CompiledDispatch: the caller (an ad-hoc entry point or a GemmPlan)
+/// owns the validated configs and every engine the tile loop needs -
+/// primary (possibly fault-injected), fault-free clone for ABFT
+/// recompute and the terminal scalar rung, and the route-forced clones
+/// for quarantined tiles' initial passes. Nothing config-derived is
+/// computed here, so a plan amortizes it all across executes.
 template <typename T>
-TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
-                         const RecoveryPolicy& policy, const ExecConfig& exec,
-                         const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c,
-                         int inst_k, int inst_m, int inst_n, double eps_chunk,
-                         const core::M3xuEngine& engine,
-                         const core::M3xuEngine& clean) {
+TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
+                         const Matrix<T>& a, const Matrix<T>& b,
+                         Matrix<T>& c) {
   using Traits = ChecksumTraits<T>;
   using Acc = typename Traits::Acc;
+  const TileConfig& cfg = d.tile;
+  const AbftConfig& abft = d.abft;
+  const RecoveryPolicy& policy = d.policy;
+  const int inst_m = d.inst_m, inst_n = d.inst_n, inst_k = d.inst_k;
+  const double eps_chunk = d.eps_chunk;
+  const core::M3xuEngine& engine = *d.engine;
+  const core::M3xuEngine& clean = *d.clean;
   // K-chunk boundaries must coincide with the engine's instruction
   // chunking for bit-identical results vs the flat loop.
   const int m = a.rows(), n = b.cols(), k = a.cols();
@@ -224,24 +228,12 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
   const long chunks = chunk_roundings(k, cfg.block_k, inst_k);
   const ParallelOptions popts{exec.token, exec.deadline_ms, exec.stall_ms};
 
-  // Route-forced clones of the primary engine for quarantined tiles'
-  // initial passes (same injector, demoted datapath). Only built in
-  // ladder mode so the legacy path constructs nothing new.
-  std::optional<core::M3xuEngine> eng_nomk, eng_generic;
-  if (policy.demote) {
-    core::M3xuConfig c_nomk = engine.config();
-    c_nomk.enable_microkernel = false;
-    eng_nomk.emplace(c_nomk);
-    core::M3xuConfig c_gen = engine.config();
-    c_gen.force_generic = true;
-    eng_generic.emplace(c_gen);
-  }
   const auto initial_engine = [&](Route r) -> const core::M3xuEngine& {
     switch (r) {
       case Route::kPackedFused:
-        return *eng_nomk;
+        return *d.route_nomk;
       case Route::kGenericPerDot:
-        return *eng_generic;
+        return *d.route_generic;
       default:
         // kMicrokernel is the engine's natural preference; the scalar
         // rung bypasses packing entirely, so route config is moot.
@@ -717,29 +709,97 @@ TiledGemmStats run_tiled(const TileConfig& cfg, const AbftConfig& abft,
   return stats;
 }
 
-/// Entry-point validation shared by the public drivers.
+/// Operand-shape validation shared by the public drivers and the
+/// compiled-dispatch execute path.
 template <typename T>
-void validate_entry(const TileConfig& cfg, int inst_k, const Matrix<T>& a,
-                    const Matrix<T>& b, const Matrix<T>& c) {
-  M3XU_CHECK_MSG(cfg.valid(),
-                 "TileConfig invalid: block_m/block_n/block_k must be "
-                 "positive and block_m/block_n divisible by warp_m/warp_n");
-  M3XU_CHECK_MSG(cfg.block_k % inst_k == 0,
-                 "TileConfig.block_k must be a multiple of the mode's MMA "
-                 "instruction K so chunk rounding boundaries line up");
+void validate_shapes(const Matrix<T>& a, const Matrix<T>& b,
+                     const Matrix<T>& c) {
   M3XU_CHECK_MSG(a.cols() == b.rows(),
                  "tiled GEMM shape mismatch: A columns != B rows");
   M3XU_CHECK_MSG(a.rows() == c.rows() && b.cols() == c.cols(),
                  "tiled GEMM shape mismatch: C must be A.rows x B.cols");
 }
 
-/// Resilience-config validation for the policy-taking entry points:
-/// catch nonsensical knob combinations at the API boundary with a
-/// clear message instead of downstream misbehavior (negative retries
-/// silently becoming one attempt, a stall watchdog with no deadline
-/// backstop, an out-of-range demotion floor).
-void validate_resilience(const RecoveryPolicy& policy,
-                         const ExecConfig& exec) {
+/// Entry-point validation shared by the public drivers.
+template <typename T>
+void validate_entry(const TileConfig& cfg, int inst_k, const Matrix<T>& a,
+                    const Matrix<T>& b, const Matrix<T>& c) {
+  validate_tile_config(cfg, inst_k);
+  validate_shapes(a, b, c);
+}
+
+/// Fault-free clone of the caller's engine for ABFT recompute: same
+/// arithmetic configuration with the injector stripped (and any route
+/// forcing lifted, so the recompute runs the engine's natural route).
+core::M3xuConfig clean_config(const core::M3xuEngine& engine) {
+  core::M3xuConfig cfg = engine.config();
+  cfg.injector = nullptr;
+  return cfg;
+}
+
+/// The legacy overloads run with recovery demotion off, which
+/// reproduces the original clean-recompute-or-throw protocol exactly.
+RecoveryPolicy legacy_policy() {
+  RecoveryPolicy policy;
+  policy.demote = false;
+  return policy;
+}
+
+/// Stack-owned engine set + dispatch for the ad-hoc entry points: the
+/// same clones a GemmPlan would freeze, built per call (the historical
+/// behavior). Keeping the ad-hoc path on the exact same run_tiled core
+/// as the plan path is what makes plan-vs-ad-hoc bit-identity hold by
+/// construction.
+struct AdHocDispatch {
+  AdHocDispatch(const core::M3xuEngine& engine, const TileConfig& config,
+                const AbftConfig& abft, const RecoveryPolicy& policy,
+                core::MxuMode mode)
+      : clean(clean_config(engine)) {
+    if (policy.demote) {
+      core::M3xuConfig c_nomk = engine.config();
+      c_nomk.enable_microkernel = false;
+      nomk.emplace(c_nomk);
+      core::M3xuConfig c_gen = engine.config();
+      c_gen.force_generic = true;
+      generic.emplace(c_gen);
+    }
+    const core::MmaShape shape = core::shape_for(mode);
+    dispatch.tile = config;
+    dispatch.abft = abft;
+    dispatch.policy = policy;
+    dispatch.inst_m = shape.m;
+    dispatch.inst_n = shape.n;
+    dispatch.inst_k = shape.k;
+    dispatch.eps_chunk = eps_per_chunk(engine.config().accum_prec);
+    dispatch.engine = &engine;
+    dispatch.clean = &clean;
+    dispatch.route_nomk = nomk.has_value() ? &*nomk : nullptr;
+    dispatch.route_generic = generic.has_value() ? &*generic : nullptr;
+  }
+
+  core::M3xuEngine clean;
+  std::optional<core::M3xuEngine> nomk, generic;
+  CompiledDispatch dispatch;
+};
+
+}  // namespace
+
+void validate_tile_config(const TileConfig& config, int inst_k) {
+  M3XU_CHECK_MSG(config.valid(),
+                 "TileConfig invalid: block_m/block_n/block_k/warp_m/warp_n "
+                 "must be positive and block_m/block_n divisible by "
+                 "warp_m/warp_n");
+  M3XU_CHECK_MSG(config.block_k % inst_k == 0,
+                 "TileConfig.block_k must be a multiple of the mode's MMA "
+                 "instruction K so chunk rounding boundaries line up");
+}
+
+/// Catch nonsensical resilience-knob combinations at the API boundary
+/// with a clear message instead of downstream misbehavior (negative
+/// retries silently becoming one attempt, a stall watchdog with no
+/// deadline backstop, an out-of-range demotion floor).
+void validate_resilience_config(const RecoveryPolicy& policy,
+                                const ExecConfig& exec) {
   M3XU_CHECK_MSG(policy.retries_per_route >= 0,
                  "RecoveryPolicy.retries_per_route must be >= 0");
   M3XU_CHECK_MSG(static_cast<int>(policy.floor) >= 0 &&
@@ -761,24 +821,35 @@ void validate_resilience(const RecoveryPolicy& policy,
                  "the B matrix contents");
 }
 
-/// Fault-free clone of the caller's engine for ABFT recompute: same
-/// arithmetic configuration with the injector stripped (and any route
-/// forcing lifted, so the recompute runs the engine's natural route).
-core::M3xuConfig clean_config(const core::M3xuEngine& engine) {
-  core::M3xuConfig cfg = engine.config();
-  cfg.injector = nullptr;
-  return cfg;
+TiledGemmStats tiled_execute(const CompiledDispatch& dispatch,
+                             const ExecConfig& exec, const Matrix<float>& a,
+                             const Matrix<float>& b, Matrix<float>& c) {
+  M3XU_CHECK_MSG(dispatch.engine != nullptr && dispatch.clean != nullptr,
+                 "CompiledDispatch must carry primary and clean engines");
+  M3XU_CHECK_MSG(!dispatch.policy.demote ||
+                     (dispatch.route_nomk != nullptr &&
+                      dispatch.route_generic != nullptr),
+                 "CompiledDispatch with a demotion ladder must carry the "
+                 "route-forced engine clones");
+  validate_shapes(a, b, c);
+  return run_tiled<float>(dispatch, exec, a, b, c);
 }
 
-/// The legacy overloads run with recovery demotion off, which
-/// reproduces the original clean-recompute-or-throw protocol exactly.
-RecoveryPolicy legacy_policy() {
-  RecoveryPolicy policy;
-  policy.demote = false;
-  return policy;
+TiledGemmStats tiled_execute(const CompiledDispatch& dispatch,
+                             const ExecConfig& exec,
+                             const Matrix<std::complex<float>>& a,
+                             const Matrix<std::complex<float>>& b,
+                             Matrix<std::complex<float>>& c) {
+  M3XU_CHECK_MSG(dispatch.engine != nullptr && dispatch.clean != nullptr,
+                 "CompiledDispatch must carry primary and clean engines");
+  M3XU_CHECK_MSG(!dispatch.policy.demote ||
+                     (dispatch.route_nomk != nullptr &&
+                      dispatch.route_generic != nullptr),
+                 "CompiledDispatch with a demotion ladder must carry the "
+                 "route-forced engine clones");
+  validate_shapes(a, b, c);
+  return run_tiled<std::complex<float>>(dispatch, exec, a, b, c);
 }
-
-}  // namespace
 
 TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
                            const TileConfig& config, const Matrix<float>& a,
@@ -801,12 +872,10 @@ TiledGemmStats tiled_sgemm(const core::M3xuEngine& engine,
                            const Matrix<float>& b, Matrix<float>& c) {
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32);
   validate_entry(config, shape.k, a, b, c);
-  validate_resilience(policy, exec);
-  const core::M3xuEngine clean(clean_config(engine));
-  return run_tiled<float>(config, abft, policy, exec, a, b, c, shape.k,
-                          shape.m, shape.n,
-                          eps_per_chunk(engine.config().accum_prec), engine,
-                          clean);
+  validate_resilience_config(policy, exec);
+  const AdHocDispatch ad(engine, config, abft, policy,
+                         core::MxuMode::kFp32);
+  return run_tiled<float>(ad.dispatch, exec, a, b, c);
 }
 
 TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
@@ -835,12 +904,10 @@ TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
                            Matrix<std::complex<float>>& c) {
   const core::MmaShape shape = core::shape_for(core::MxuMode::kFp32Complex);
   validate_entry(config, shape.k, a, b, c);
-  validate_resilience(policy, exec);
-  const core::M3xuEngine clean(clean_config(engine));
-  using C = std::complex<float>;
-  return run_tiled<C>(config, abft, policy, exec, a, b, c, shape.k, shape.m,
-                      shape.n, eps_per_chunk(engine.config().accum_prec),
-                      engine, clean);
+  validate_resilience_config(policy, exec);
+  const AdHocDispatch ad(engine, config, abft, policy,
+                         core::MxuMode::kFp32Complex);
+  return run_tiled<std::complex<float>>(ad.dispatch, exec, a, b, c);
 }
 
 double abft_column_tolerance(const core::M3xuEngine& engine,

@@ -36,8 +36,14 @@ struct TileConfig {
   int warp_n = 32;
 
   bool valid() const {
-    return block_m % warp_m == 0 && block_n % warp_n == 0 && block_m > 0 &&
-           block_n > 0 && block_k > 0;
+    // Positivity first: the divisibility checks below are UB on a zero
+    // warp tile, and an autotuner search enumerates exactly that kind
+    // of malformed candidate. A validator must be safe on any input.
+    if (block_m <= 0 || block_n <= 0 || block_k <= 0 || warp_m <= 0 ||
+        warp_n <= 0) {
+      return false;
+    }
+    return block_m % warp_m == 0 && block_n % warp_n == 0;
   }
 };
 
@@ -162,6 +168,67 @@ TiledGemmStats tiled_cgemm(const core::M3xuEngine& engine,
                            const Matrix<std::complex<float>>& a,
                            const Matrix<std::complex<float>>& b,
                            Matrix<std::complex<float>>& c);
+
+/// Per-call-invariant state the compile-then-execute plan layer
+/// (gemm/plan.hpp) freezes once: validated configs, the mode's MMA
+/// instruction shape, the rounding bound per K-chunk, and the engine
+/// set the driver otherwise re-derives and re-constructs on every call
+/// (fault-free clone for ABFT recompute, route-forced clones for
+/// quarantined tiles' initial passes). All engine pointers are
+/// non-owning; the owner (GemmPlan, or a stack frame in the ad-hoc
+/// entries) must keep them alive across the execute call.
+struct CompiledDispatch {
+  TileConfig tile;
+  AbftConfig abft;
+  RecoveryPolicy policy;
+  int inst_m = 0;
+  int inst_n = 0;
+  int inst_k = 0;
+  double eps_chunk = 0.0;
+  /// Primary datapath (may carry a fault injector).
+  const core::M3xuEngine* engine = nullptr;
+  /// Fault-free clone: ABFT recompute and the terminal scalar rung.
+  const core::M3xuEngine* clean = nullptr;
+  /// Route-forced clones for quarantined tiles' initial passes; must
+  /// be non-null when policy.demote is true, ignored otherwise.
+  const core::M3xuEngine* route_nomk = nullptr;
+  const core::M3xuEngine* route_generic = nullptr;
+};
+
+/// Worst-case relative rounding error one K-chunk contributes to an
+/// output element: half an output-format ULP from the FP32 pack plus
+/// the per-step accumulation-register roundings (two steps at
+/// 2^(1-accum_prec) each, folded into one term with headroom). The
+/// plan layer freezes this into CompiledDispatch.eps_chunk at compile.
+double eps_per_chunk(int accum_prec);
+
+/// Config-only validation shared by the ad-hoc entries and plan
+/// compile: tile shape sanity (via TileConfig::valid()) and the
+/// K-chunk alignment that keeps the hierarchy bit-identical to the
+/// flat loop. Fails through M3XU_CHECK_MSG.
+void validate_tile_config(const TileConfig& config, int inst_k);
+
+/// Resilience-knob validation shared by the policy-taking entries and
+/// plan compile (see tiled_driver.cpp for the rationale per check).
+void validate_resilience_config(const RecoveryPolicy& policy,
+                                const ExecConfig& exec);
+
+/// Executes one GEMM through a pre-compiled dispatch with zero
+/// per-call re-derivation: no config validation beyond the operand
+/// shape check, no engine clone construction, no eps/instruction-shape
+/// lookups. Bit-identical to the ad-hoc tiled_sgemm/tiled_cgemm with
+/// the same configs by construction (same run_tiled core). The
+/// ExecConfig carries the per-execute guard rails (token, deadline,
+/// B-panel cache).
+TiledGemmStats tiled_execute(const CompiledDispatch& dispatch,
+                             const ExecConfig& exec, const Matrix<float>& a,
+                             const Matrix<float>& b, Matrix<float>& c);
+
+TiledGemmStats tiled_execute(const CompiledDispatch& dispatch,
+                             const ExecConfig& exec,
+                             const Matrix<std::complex<float>>& a,
+                             const Matrix<std::complex<float>>& b,
+                             Matrix<std::complex<float>>& c);
 
 /// The per-column ABFT detection tolerance the guarded FP32 driver
 /// uses for one threadblock tile spanning rows [bm, bm+m_eff) and all

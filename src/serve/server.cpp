@@ -24,6 +24,8 @@ telemetry::Counter srv_failed("serve.requests.failed");
 telemetry::Counter srv_retries("serve.requests.retries");
 telemetry::Counter srv_shed_rejected("serve.shed.rejected");
 telemetry::Counter srv_shed_evicted("serve.shed.evicted");
+telemetry::Counter srv_plan_compiled("serve.plan.compiled");
+telemetry::Counter srv_plan_reused("serve.plan.reused");
 telemetry::Histogram srv_queue_wait("serve.queue_wait_ns");
 telemetry::Histogram srv_latency("serve.request_latency_ns");
 
@@ -58,29 +60,6 @@ void count_terminal(RequestStatus s) {
   }
 }
 
-/// Overload dispatch to the element-typed driver entry point.
-gemm::TiledGemmStats run_driver(const core::M3xuEngine& engine,
-                                const gemm::TileConfig& tile,
-                                const gemm::AbftConfig& abft,
-                                const gemm::RecoveryPolicy& policy,
-                                const gemm::ExecConfig& exec,
-                                const gemm::Matrix<float>& a,
-                                const gemm::Matrix<float>& b,
-                                gemm::Matrix<float>& c) {
-  return gemm::tiled_sgemm(engine, tile, abft, policy, exec, a, b, c);
-}
-
-gemm::TiledGemmStats run_driver(const core::M3xuEngine& engine,
-                                const gemm::TileConfig& tile,
-                                const gemm::AbftConfig& abft,
-                                const gemm::RecoveryPolicy& policy,
-                                const gemm::ExecConfig& exec,
-                                const gemm::Matrix<std::complex<float>>& a,
-                                const gemm::Matrix<std::complex<float>>& b,
-                                gemm::Matrix<std::complex<float>>& c) {
-  return gemm::tiled_cgemm(engine, tile, abft, policy, exec, a, b, c);
-}
-
 /// Terminal status for a request whose token latched before or during
 /// execution, from the latch's reason tag.
 RequestStatus status_for_cancel(CancelReason reason) {
@@ -98,7 +77,6 @@ RequestStatus status_for_cancel(CancelReason reason) {
 
 GemmServer::GemmServer(const ServerConfig& config)
     : config_(config),
-      engine_(config.engine),
       cache_(config.pack_cache_entries, config.pack_cache_verify),
       queue_(config.queue_capacity, config.admission) {
   M3XU_CHECK_MSG(config_.executors >= 1,
@@ -245,6 +223,39 @@ std::size_t GemmServer::tenant_quarantine_size(const std::string& tenant,
   return it == quarantines_.end() ? 0 : it->second->size();
 }
 
+const gemm::GemmPlan& GemmServer::tenant_plan(const std::string& tenant,
+                                              const gemm::PlanKey& key) {
+  const std::lock_guard<std::mutex> lock(plans_mu_);
+  auto& slot = plans_[std::make_tuple(tenant, key.m, key.n, key.k, key.cplx)];
+  if (slot == nullptr) {
+    gemm::PlanOptions options;
+    options.tile = config_.tile;
+    options.abft = config_.abft;
+    options.policy = config_.recovery;
+    // B varies per request here; cross-request panel sharing is the
+    // checksummed PackCache's job (ExecRails.b_cache), not the plan's
+    // private store.
+    options.reuse_b_panels = false;
+    slot = std::make_unique<gemm::GemmPlan>(
+        gemm::GemmPlan::compile(config_.engine, key, options));
+    srv_plan_compiled.increment();
+  } else {
+    srv_plan_reused.increment();
+  }
+  return *slot;
+}
+
+std::size_t GemmServer::plan_count() const {
+  const std::lock_guard<std::mutex> lock(plans_mu_);
+  return plans_.size();
+}
+
+std::int64_t GemmServer::effective_deadline_ms(const RequestHandle& req) const {
+  std::int64_t deadline_ms = req->options_.deadline_ms;
+  if (deadline_ms == 0) deadline_ms = config_.default_deadline_ms;
+  return deadline_ms < 0 ? 0 : deadline_ms;
+}
+
 void GemmServer::run_request(const RequestHandle& req) {
   srv_queue_wait.record(
       static_cast<std::uint64_t>(std::max<std::int64_t>(
@@ -256,11 +267,7 @@ void GemmServer::run_request(const RequestHandle& req) {
                       "aborted while queued: " + req->token_.reason());
     return;
   }
-  // Effective deadline: per-request override, else server default;
-  // negative opts out entirely.
-  std::int64_t deadline_ms = req->options_.deadline_ms;
-  if (deadline_ms == 0) deadline_ms = config_.default_deadline_ms;
-  if (deadline_ms < 0) deadline_ms = 0;
+  const std::int64_t deadline_ms = effective_deadline_ms(req);
   if (deadline_ms > 0) {
     const std::int64_t elapsed_ms =
         (now_ns() - req->submit_ns_) / 1'000'000;
@@ -289,39 +296,45 @@ void GemmServer::run_attempts(const RequestHandle& req, gemm::Matrix<T>& a,
   // Remaining wall budget; the CancelTimer latches the request token
   // when it runs out, covering queue-of-pool waits and everything the
   // per-call watchdog cannot see. Both fire as "deadline".
-  std::int64_t deadline_ms = req->options_.deadline_ms;
-  if (deadline_ms == 0) deadline_ms = config_.default_deadline_ms;
-  if (deadline_ms < 0) deadline_ms = 0;
+  const std::int64_t deadline_ms = effective_deadline_ms(req);
   std::int64_t remaining_ms = 0;
   std::optional<CancelTimer> timer;
   if (deadline_ms > 0) {
-    remaining_ms = std::max<std::int64_t>(
-        1, deadline_ms - (now_ns() - req->submit_ns_) / 1'000'000);
+    remaining_ms = deadline_ms - (now_ns() - req->submit_ns_) / 1'000'000;
+    if (remaining_ms <= 0) {
+      // Lost the race between the queued-expiry check and execution
+      // entry (executor descheduled in between). Resolve as the
+      // deadline outcome it is; arming a clamped floor-1ms timer here
+      // would start real work just to cancel it moments later.
+      resolve_and_count(req, RequestStatus::kDeadlineExceeded,
+                        "deadline exceeded before execution start");
+      return;
+    }
     timer.emplace(req->token_, remaining_ms, CancelReason::kDeadline,
                   "request deadline exceeded");
   }
 
-  gemm::RecoveryPolicy policy = config_.recovery;
+  const gemm::PlanKey plan_key{a.rows(), b.cols(), a.cols(),
+                               std::is_same_v<T, std::complex<float>>};
+  const gemm::GemmPlan& plan = tenant_plan(req->options_.tenant, plan_key);
+
+  gemm::ExecRails rails;
+  rails.token = &req->token_;
+  rails.deadline_ms = remaining_ms;
+  // The driver requires a deadline backstop for stall detection, so a
+  // no-deadline request runs without it.
+  rails.stall_ms = remaining_ms > 0 ? config_.stall_ms : 0;
   const long grid_m =
       (a.rows() + config_.tile.block_m - 1) / config_.tile.block_m;
   const long grid_n =
       (b.cols() + config_.tile.block_n - 1) / config_.tile.block_n;
-  if (policy.demote) {
-    policy.quarantine =
+  if (config_.recovery.demote) {
+    rails.quarantine =
         &tenant_quarantine(req->options_.tenant, grid_m, grid_n);
-  } else {
-    policy.quarantine = nullptr;
   }
-
-  gemm::ExecConfig exec;
-  exec.token = &req->token_;
-  exec.deadline_ms = remaining_ms;
-  // The driver requires a deadline backstop for stall detection, so a
-  // no-deadline request runs without it.
-  exec.stall_ms = remaining_ms > 0 ? config_.stall_ms : 0;
   if (req->options_.b_key != 0) {
-    exec.b_cache = &cache_;
-    exec.b_key = req->options_.b_key;
+    rails.b_cache = &cache_;
+    rails.b_key = req->options_.b_key;
   }
 
   // The original C operand, restored before every retry (the driver
@@ -336,8 +349,7 @@ void GemmServer::run_attempts(const RequestHandle& req, gemm::Matrix<T>& a,
     std::string detail;
     try {
       if (attempt > 1) c = c0;
-      req->stats_ = run_driver(engine_, config_.tile, config_.abft, policy,
-                               exec, a, b, c);
+      req->stats_ = plan.execute(a, b, c, rails);
       const bool degraded = req->stats_.recovery.degraded_tiles +
                                 req->stats_.recovery.poisoned_tiles >
                             0;
@@ -381,11 +393,14 @@ void GemmServer::run_attempts(const RequestHandle& req, gemm::Matrix<T>& a,
       return;
     }
     srv_retries.increment();
-    // Exponential backoff, polling the token so a cancel or the
-    // deadline timer cuts the wait short.
+    // Exponential backoff, polling the token AND the shutdown flag so
+    // a cancel, the deadline timer, or server stop cuts the wait
+    // short - an executor sleeping out a long backoff must not stall
+    // shutdown's join.
     std::int64_t backoff_ms = config_.retry_backoff_ms
                               << std::min(attempt - 1, 20);
-    while (backoff_ms > 0 && !req->token_.cancelled()) {
+    while (backoff_ms > 0 && !req->token_.cancelled() &&
+           !shut_down_.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
       --backoff_ms;
     }
@@ -393,6 +408,13 @@ void GemmServer::run_attempts(const RequestHandle& req, gemm::Matrix<T>& a,
       resolve_and_count(req, status_for_cancel(req->token_.reason_tag()),
                         "aborted during retry backoff: " +
                             req->token_.reason());
+      return;
+    }
+    if (shut_down_.load(std::memory_order_acquire)) {
+      req->token_.request_cancel("server shutdown during retry backoff",
+                                 CancelReason::kShed);
+      resolve_and_count(req, RequestStatus::kShed,
+                        "shed: server shutdown during retry backoff");
       return;
     }
   }

@@ -38,6 +38,7 @@
 
 #include "common/thread_pool.hpp"
 #include "core/mxu.hpp"
+#include "gemm/plan.hpp"
 #include "gemm/recovery.hpp"
 #include "gemm/tiled_driver.hpp"
 #include "serve/bounded_queue.hpp"
@@ -120,6 +121,10 @@ class GemmServer {
   std::size_t tenant_quarantine_size(const std::string& tenant, long grid_m,
                                      long grid_n) const;
 
+  /// Compiled GemmPlans held for reuse across requests (tests/benches;
+  /// one per distinct (tenant, shape, dtype) the server has executed).
+  std::size_t plan_count() const;
+
  private:
   RequestHandle admit(RequestHandle req);
   void executor_loop();
@@ -129,17 +134,31 @@ class GemmServer {
                     gemm::Matrix<T>& b, gemm::Matrix<T>& c);
   gemm::TileQuarantine& tenant_quarantine(const std::string& tenant,
                                           long grid_m, long grid_n);
+  /// The compiled plan for one (tenant, shape, dtype), compiling and
+  /// memoizing on first use. Compilation freezes everything
+  /// request-invariant (validated configs, engine clones); per-request
+  /// state rides in ExecRails at execute time.
+  const gemm::GemmPlan& tenant_plan(const std::string& tenant,
+                                    const gemm::PlanKey& key);
+  /// The request's effective wall deadline in ms (per-request
+  /// override, else the server default; negative opts out -> 0). The
+  /// single derivation both the queued-expiry check and the execution
+  /// path use.
+  std::int64_t effective_deadline_ms(const RequestHandle& req) const;
   void resolve_and_count(const RequestHandle& req, RequestStatus s,
                          const std::string& error);
 
   const ServerConfig config_;
-  core::M3xuEngine engine_;
   PackCache cache_;
   BoundedQueue<RequestHandle> queue_;
   mutable std::mutex quarantine_mu_;
   std::map<std::tuple<std::string, long, long>,
            std::unique_ptr<gemm::TileQuarantine>>
       quarantines_;
+  mutable std::mutex plans_mu_;
+  std::map<std::tuple<std::string, int, int, int, bool>,
+           std::unique_ptr<gemm::GemmPlan>>
+      plans_;
   std::vector<std::thread> executors_;
   std::atomic<bool> shut_down_{false};
 };

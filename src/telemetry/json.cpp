@@ -1,8 +1,10 @@
 #include "telemetry/json.hpp"
 
+#include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace m3xu::telemetry {
 
@@ -163,6 +165,289 @@ JsonWriter& JsonWriter::raw(std::string_view json) {
   pre_value();
   out_ += json;
   return *this;
+}
+
+/// Recursive-descent parser over a string_view cursor. Any error sets
+/// `ok = false` and parsing unwinds; the public entry point maps that
+/// to nullopt. Namespace-scope (not anonymous) so JsonValue can name
+/// it as a friend.
+struct JsonParser {
+  std::string_view s;
+  std::size_t pos = 0;
+  bool ok = true;
+  // Generous for config artifacts, small enough that a hostile
+  // deeply-nested document cannot blow the call stack.
+  static constexpr int kMaxDepth = 64;
+
+  void skip_ws() {
+    while (pos < s.size() && (s[pos] == ' ' || s[pos] == '\t' ||
+                              s[pos] == '\n' || s[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (s.compare(pos, lit.size(), lit) == 0) {
+      pos += lit.size();
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  JsonValue parse_value(int depth) {
+    JsonValue v;
+    if (!ok || depth > kMaxDepth) {
+      ok = false;
+      return v;
+    }
+    skip_ws();
+    if (pos >= s.size()) {
+      ok = false;
+      return v;
+    }
+    switch (s[pos]) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        v.type_ = JsonValue::Type::kString;
+        v.str_ = parse_string();
+        return v;
+      case 't':
+        literal("true");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = true;
+        return v;
+      case 'f':
+        literal("false");
+        v.type_ = JsonValue::Type::kBool;
+        v.bool_ = false;
+        return v;
+      case 'n':
+        literal("null");
+        return v;
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kObject;
+    consume('{');
+    skip_ws();
+    if (pos < s.size() && s[pos] == '}') {
+      ++pos;
+      return v;
+    }
+    while (ok) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      consume(':');
+      JsonValue member = parse_value(depth + 1);
+      if (!ok) break;
+      v.object_.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      if (pos < s.size() && s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      consume('}');
+      break;
+    }
+    return v;
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.type_ = JsonValue::Type::kArray;
+    consume('[');
+    skip_ws();
+    if (pos < s.size() && s[pos] == ']') {
+      ++pos;
+      return v;
+    }
+    while (ok) {
+      JsonValue elem = parse_value(depth + 1);
+      if (!ok) break;
+      v.array_.push_back(std::move(elem));
+      skip_ws();
+      if (pos < s.size() && s[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      consume(']');
+      break;
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    std::string out;
+    if (!consume('"')) return out;
+    while (pos < s.size()) {
+      const char c = s[pos++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos >= s.size()) break;
+        const char e = s[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > s.size()) {
+              ok = false;
+              return out;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                ok = false;
+                return out;
+              }
+            }
+            // UTF-8 encode the BMP code point (the writer only ever
+            // emits \u00xx control escapes; surrogate pairs are out of
+            // scope for config artifacts).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            ok = false;
+            return out;
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        ok = false;  // raw control character inside a string
+        return out;
+      }
+      out += c;
+    }
+    ok = false;  // unterminated string
+    return out;
+  }
+
+  JsonValue parse_number() {
+    JsonValue v;
+    const std::size_t start = pos;
+    if (pos < s.size() && s[pos] == '-') ++pos;
+    while (pos < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+            s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+            s[pos] == '+' || s[pos] == '-')) {
+      ++pos;
+    }
+    if (pos == start) {
+      ok = false;
+      return v;
+    }
+    const std::string token(s.substr(start, pos - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      ok = false;
+      return v;
+    }
+    v.type_ = JsonValue::Type::kNumber;
+    v.num_ = parsed;
+    return v;
+  }
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  JsonParser p{text};
+  JsonValue v = p.parse_value(0);
+  p.skip_ws();
+  if (!p.ok || p.pos != text.size()) return std::nullopt;
+  return v;
+}
+
+bool JsonValue::as_bool(bool fallback) const {
+  return type_ == Type::kBool ? bool_ : fallback;
+}
+
+double JsonValue::as_double(double fallback) const {
+  return type_ == Type::kNumber ? num_ : fallback;
+}
+
+std::int64_t JsonValue::as_int(std::int64_t fallback) const {
+  if (type_ != Type::kNumber) return fallback;
+  if (num_ < -9.2233720368547758e18 || num_ > 9.2233720368547758e18) {
+    return fallback;
+  }
+  return static_cast<std::int64_t>(num_);
+}
+
+std::uint64_t JsonValue::as_uint(std::uint64_t fallback) const {
+  if (type_ != Type::kNumber || num_ < 0 || num_ > 1.8446744073709552e19) {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(num_);
+}
+
+const std::string& JsonValue::as_string() const {
+  static const std::string kEmpty;
+  return type_ == Type::kString ? str_ : kEmpty;
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t i) const {
+  static const JsonValue kNull;
+  if (type_ != Type::kArray || i >= array_.size()) return kNull;
+  return array_[i];
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) found = &v;  // last duplicate wins
+  }
+  return found;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  static const std::vector<std::pair<std::string, JsonValue>> kEmpty;
+  return type_ == Type::kObject ? object_ : kEmpty;
 }
 
 }  // namespace m3xu::telemetry

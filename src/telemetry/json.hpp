@@ -1,13 +1,19 @@
 // Minimal streaming JSON writer - the one emission path for every
 // metrics/bench JSON artifact (BENCH_gemm.json, the metrics export,
-// the Chrome trace), replacing per-bench string concatenation.
-// Produces pretty-printed, key-ordered output; the writer tracks
-// nesting and comma placement so callers only name structure.
+// the Chrome trace), replacing per-bench string concatenation - plus
+// its read-side counterpart, a small recursive-descent parser
+// (JsonValue::parse) for artifacts the toolchain reads back, e.g. the
+// autotuner's persisted tuned-config cache. The writer produces
+// pretty-printed, key-ordered output; the writer tracks nesting and
+// comma placement so callers only name structure.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace m3xu::telemetry {
@@ -60,6 +66,59 @@ class JsonWriter {
   };
   std::vector<Frame> stack_;
   bool key_pending_ = false;
+};
+
+/// Parsed JSON document node. The accessors are total: a type-mismatch
+/// read returns the caller's fallback instead of throwing, so loaders
+/// validating untrusted artifacts (the autotune cache survives stray
+/// edits and truncation) can probe fields and reject gracefully.
+/// Object key order is preserved; duplicate keys keep the last value
+/// on lookup.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Strict parse of a complete document (one value plus whitespace).
+  /// Returns nullopt on any syntax error or trailing garbage. Depth is
+  /// bounded to keep adversarial nesting from overflowing the stack.
+  static std::optional<JsonValue> parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const;
+  double as_double(double fallback = 0.0) const;
+  /// Truncates toward zero; fallback on type mismatch or out-of-range.
+  std::int64_t as_int(std::int64_t fallback = 0) const;
+  std::uint64_t as_uint(std::uint64_t fallback = 0) const;
+  const std::string& as_string() const;  // empty string on mismatch
+
+  /// Array element count / object member count; 0 for scalars.
+  std::size_t size() const;
+  /// Array element by index; a null sentinel when out of range or not
+  /// an array.
+  const JsonValue& at(std::size_t i) const;
+  /// Object member by key; nullptr on a miss or a non-object.
+  const JsonValue* find(std::string_view key) const;
+  /// Object members in document order (empty for non-objects).
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+ private:
+  friend struct JsonParser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
 };
 
 }  // namespace m3xu::telemetry

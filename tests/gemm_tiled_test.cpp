@@ -265,6 +265,44 @@ TEST(TiledGemm, ShapeMismatchReportsClearMessage) {
   }
 }
 
+TEST(TileConfigValid, RejectsNonPositiveFieldsWithoutUb) {
+  // Regression: valid() used to run the % divisibility checks before
+  // checking positivity, which is UB (division by zero) on the zero
+  // warp tiles an autotuner search enumerates. Under the UBSan CI
+  // matrix this test fails loudly if that ordering ever regresses.
+  EXPECT_TRUE(TileConfig{}.valid());
+  const auto mutate = [](int TileConfig::* field, int value) {
+    TileConfig tile{};
+    tile.*field = value;
+    return tile;
+  };
+  for (const int bad : {0, -1, -128}) {
+    EXPECT_FALSE(mutate(&TileConfig::block_m, bad).valid()) << bad;
+    EXPECT_FALSE(mutate(&TileConfig::block_n, bad).valid()) << bad;
+    EXPECT_FALSE(mutate(&TileConfig::block_k, bad).valid()) << bad;
+    EXPECT_FALSE(mutate(&TileConfig::warp_m, bad).valid()) << bad;
+    EXPECT_FALSE(mutate(&TileConfig::warp_n, bad).valid()) << bad;
+  }
+  // Divisibility still enforced once positivity holds.
+  EXPECT_FALSE((TileConfig{48, 32, 16, 32, 16}).valid());
+  EXPECT_FALSE((TileConfig{64, 48, 16, 32, 32}).valid());
+}
+
+TEST(TiledGemm, ZeroWarpTileFailsTheEntryCheckCleanly) {
+  // The driver's M3XU_CHECK path must reach the handler (and not trip
+  // UB inside valid()) for the same malformed configs.
+  const core::M3xuEngine engine;
+  const Problem p = make(32, 32, 32, 511);
+  Matrix<float> c = p.c;
+  const ScopedCheckHandler guard(&throwing_check_failure_handler);
+  EXPECT_THROW(
+      tiled_sgemm(engine, TileConfig{64, 64, 16, 0, 32}, p.a, p.b, c),
+      CheckError);
+  EXPECT_THROW(
+      tiled_sgemm(engine, TileConfig{64, 64, -8, 32, 32}, p.a, p.b, c),
+      CheckError);
+}
+
 TEST(TiledGemm, RejectsMisalignedBlockK) {
   const core::M3xuEngine engine;
   const Problem p = make(32, 32, 32, 506);

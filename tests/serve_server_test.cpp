@@ -421,6 +421,94 @@ TEST(GemmServer, CorruptedSharedPanelIsRepackedNotServed) {
   EXPECT_TRUE(bitwise_equal(r2->result_f32(), ref));
 }
 
+TEST_F(BlockedServerTest, DeadlineExpiredInQueueNeverStartsExecution) {
+  // Regression for the deadline race: a request whose deadline expired
+  // while queued used to reach the executor, where the old floor-1ms
+  // watchdog arm gave it a bonus millisecond of real execution. The
+  // executor must now re-check expiry at execution entry and resolve
+  // without a single attempt.
+  StartBlocked(8, AdmissionPolicy::kRejectNew);
+  const Problem p = make(32, 32, 32, 17);
+  RequestOptions opts;
+  opts.deadline_ms = 1;
+  const RequestHandle queued = server_->submit_sgemm(p.a, p.b, p.c, opts);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  blocker_->cancel();
+  queued->wait();
+  ASSERT_EQ(queued->status(), RequestStatus::kDeadlineExceeded)
+      << queued->error();
+  EXPECT_EQ(queued->attempts(), 0);
+  // Either guard may catch it (dequeue-time or execution-entry); what
+  // matters is that no attempt ran.
+  EXPECT_NE(queued->error().find("deadline exceeded"), std::string::npos)
+      << queued->error();
+}
+
+TEST(GemmServer, ShutdownDuringRetryBackoffResolvesPromptly) {
+  // Regression for the backoff hang: a request sleeping out a long
+  // retry backoff used to hold shutdown() hostage for the full
+  // backoff and then resolve as if nothing happened. The backoff wait
+  // must wake on shutdown and resolve the request terminally.
+  ServerConfig cfg = base_config();
+  const fault::FaultInjector inj(
+      18, fault::SiteRates::only(fault::Site::kAccumulator, 1.0));
+  cfg.engine.injector = &inj;
+  cfg.recovery.floor = gemm::Route::kMicrokernel;
+  cfg.recovery.retries_per_route = 1;
+  cfg.executors = 1;
+  cfg.max_attempts = 3;
+  cfg.retry_backoff_ms = 60'000;  // far longer than the test budget
+  GemmServer server(cfg);
+  const Problem p = make(32, 32, 64, 18);
+  const RequestHandle req = server.submit_sgemm(p.a, p.b, p.c);
+
+  // Wait until the first attempt failed and the executor entered the
+  // backoff sleep.
+  const auto t0 = std::chrono::steady_clock::now();
+  while (req->attempts() < 1 &&
+         std::chrono::steady_clock::now() - t0 < std::chrono::seconds(30)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(req->attempts(), 1);
+
+  const auto shutdown_start = std::chrono::steady_clock::now();
+  server.shutdown();
+  const auto elapsed = std::chrono::steady_clock::now() - shutdown_start;
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "shutdown blocked on retry backoff";
+  ASSERT_TRUE(req->done());
+  EXPECT_EQ(req->status(), RequestStatus::kShed)
+      << request_status_name(req->status());
+  EXPECT_NE(req->error().find("shutdown during retry backoff"),
+            std::string::npos)
+      << req->error();
+}
+
+TEST(GemmServer, RepeatedShapesReuseOneCompiledPlan) {
+  const ServerConfig cfg = base_config();
+  const core::M3xuEngine direct_engine{cfg.engine};
+  const Problem p = make(64, 64, 64, 19);
+  Matrix<float> ref = p.c;
+  gemm::tiled_sgemm(direct_engine, cfg.tile, p.a, p.b, ref);
+
+  GemmServer server(cfg);
+  EXPECT_EQ(server.plan_count(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    const RequestHandle req = server.submit_sgemm(p.a, p.b, p.c);
+    req->wait();
+    ASSERT_EQ(req->status(), RequestStatus::kOk) << req->error();
+    EXPECT_TRUE(bitwise_equal(req->result_f32(), ref));
+  }
+  EXPECT_EQ(server.plan_count(), 1u);  // one shape, one compiled plan
+
+  const Problem q = make(32, 48, 64, 20);
+  const RequestHandle other = server.submit_sgemm(q.a, q.b, q.c);
+  other->wait();
+  ASSERT_EQ(other->status(), RequestStatus::kOk) << other->error();
+  EXPECT_EQ(server.plan_count(), 2u);
+  server.shutdown();
+}
+
 TEST(GemmServer, CancelMidRunResolvesCancelled) {
   ServerConfig cfg = base_config();
   cfg.executors = 1;
