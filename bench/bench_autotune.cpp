@@ -15,10 +15,12 @@
 // --json-only to suppress the table.
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/cli.hpp"
+#include "common/thread_pool.hpp"
 #include "common/rng.hpp"
 #include "core/mxu.hpp"
 #include "gemm/autotune.hpp"
@@ -40,17 +42,12 @@ struct TunedCase {
   bool reloaded_bits_ok = false;  // reloaded config reproduces the bits
 };
 
-bool same_tile(const gemm::TileConfig& a, const gemm::TileConfig& b) {
-  return a.block_m == b.block_m && a.block_n == b.block_n &&
-         a.block_k == b.block_k && a.warp_m == b.warp_m &&
-         a.warp_n == b.warp_n;
-}
-
-/// Executes `tile` and the default config on identical deterministic
-/// operands and compares the results bitwise.
+/// Executes `tuned` (tile + register-block shape + optional dedicated
+/// pool) and the default config on identical deterministic operands and
+/// compares the results bitwise.
 template <typename T>
 bool reproduces_default_bits(const gemm::PlanKey& key,
-                             const gemm::TileConfig& tile,
+                             const gemm::TunedConfig& tuned,
                              std::uint64_t seed) {
   gemm::Matrix<T> a(key.m, key.k), b(key.k, key.n), c0(key.m, key.n);
   Rng rng(seed);
@@ -63,12 +60,21 @@ bool reproduces_default_bits(const gemm::PlanKey& key,
   gemm::Matrix<T> c_ref = c0;
   ref_plan.execute(a, b, c_ref);
 
+  core::M3xuConfig tuned_cfg;
+  tuned_cfg.mk_mr = tuned.mk_mr;
+  tuned_cfg.mk_nr = tuned.mk_nr;
   gemm::PlanOptions tuned_opts;
-  tuned_opts.tile = tile;
+  tuned_opts.tile = tuned.tile;
   const gemm::GemmPlan tuned_plan =
-      gemm::GemmPlan::compile(core::M3xuConfig{}, key, tuned_opts);
+      gemm::GemmPlan::compile(tuned_cfg, key, tuned_opts);
   gemm::Matrix<T> c_tuned = c0;
-  tuned_plan.execute(a, b, c_tuned);
+  std::optional<ThreadPool> pool;
+  gemm::ExecRails rails;
+  if (tuned.threads > 0) {
+    pool.emplace(static_cast<std::size_t>(tuned.threads));
+    rails.pool = &*pool;
+  }
+  tuned_plan.execute(a, b, c_tuned, rails);
 
   return std::memcmp(c_ref.data(), c_tuned.data(),
                      c_ref.size() * sizeof(T)) == 0;
@@ -93,7 +99,8 @@ TunedCase tune_one(const gemm::PlanKey& key, const gemm::AutotuneOptions& opts,
   reloaded.load();
   const gemm::AutotuneResult again =
       gemm::autotune(core::M3xuConfig{}, key, opts, &reloaded);
-  out.reloaded_ok = again.from_cache && same_tile(again.best, out.result.best);
+  out.reloaded_ok =
+      again.from_cache && gemm::same_tuned(again.best, out.result.best);
   out.reloaded_bits_ok =
       key.cplx ? reproduces_default_bits<std::complex<float>>(key, again.best,
                                                               opts.seed)
@@ -105,12 +112,15 @@ void write_case(telemetry::JsonWriter& w, const TunedCase& c) {
   w.begin_object();
   w.kv("key", gemm::plan_key_label(c.key));
   w.key("tile").begin_object();
-  w.kv("block_m", c.result.best.block_m);
-  w.kv("block_n", c.result.best.block_n);
-  w.kv("block_k", c.result.best.block_k);
-  w.kv("warp_m", c.result.best.warp_m);
-  w.kv("warp_n", c.result.best.warp_n);
+  w.kv("block_m", c.result.best.tile.block_m);
+  w.kv("block_n", c.result.best.tile.block_n);
+  w.kv("block_k", c.result.best.tile.block_k);
+  w.kv("warp_m", c.result.best.tile.warp_m);
+  w.kv("warp_n", c.result.best.tile.warp_n);
   w.end_object();
+  w.kv("mk_mr", c.result.best.mk_mr);
+  w.kv("mk_nr", c.result.best.mk_nr);
+  w.kv("threads", c.result.best.threads);
   w.key("best_seconds").value(c.result.best_seconds, 6);
   w.key("default_seconds").value(c.result.default_seconds, 6);
   w.key("tuned_vs_default_speedup").value(c.speedup, 4);
@@ -163,9 +173,9 @@ int main(int argc, char** argv) {
     for (const TunedCase& c : tuned) {
       char tile[64];
       std::snprintf(tile, sizeof(tile), "%dx%dx%d/%dx%d",
-                    c.result.best.block_m, c.result.best.block_n,
-                    c.result.best.block_k, c.result.best.warp_m,
-                    c.result.best.warp_n);
+                    c.result.best.tile.block_m, c.result.best.tile.block_n,
+                    c.result.best.tile.block_k, c.result.best.tile.warp_m,
+                    c.result.best.tile.warp_n);
       std::printf("%-18s %-22s %9.4f %9.4f %7.2fx %6s %6s\n",
                   gemm::plan_key_label(c.key).c_str(), tile,
                   c.result.default_seconds, c.result.best_seconds, c.speedup,

@@ -17,7 +17,15 @@
 // --warmup untimed repetitions per case, --seed, --out=path (default
 // BENCH_gemm.json), --trace=path for a Chrome trace_event JSON of the
 // run, --metrics=path for the standalone telemetry metrics export,
-// --json-only to suppress the human-readable table, --plan to
+// --json-only to suppress the human-readable table, --threads=N to
+// size the global pool (must win the race to the first pool use, so it
+// is applied straight from flag parsing), --thread-sweep=1,2,4 to
+// additionally run every route through the threaded tiled driver on a
+// dedicated pool per listed size - each point is gated bitwise against
+// the single-threaded per-dot reference and recorded as a
+// "thread_scaling" curve (seconds / GFLOP/s / speedup vs the
+// single-thread point) labeled with the microkernel variant that
+// actually ran, --plan to
 // additionally benchmark the compile-then-execute GemmPlan layer:
 // compile+prepack cost, first-execute cost, repeat-execute median,
 // whether repeat executes amortize compilation, and a bit-identity
@@ -184,10 +192,10 @@ void write_route_rates(telemetry::JsonWriter& w, const std::string& family,
       delta(packed, "mxu." + family + ".chunks.fallback");
   const std::uint64_t generic =
       delta(packed, "mxu." + family + ".chunks.generic");
-  const std::uint64_t blocks =
-      delta(micro, "mxu." + family + ".microkernel.blocks");
+  // Counted directly (mr*nr per register block) because the block
+  // shape is now a per-engine config, not the compile-time constant.
   const std::uint64_t block_elems =
-      blocks * static_cast<std::uint64_t>(core::kMicroMr * core::kMicroNr);
+      delta(micro, "mxu." + family + ".microkernel.block_elements");
   const std::uint64_t edge = delta(micro, "mxu." + family + ".elements.edge");
   const std::uint64_t pairs =
       delta(micro, "mxu." + family + ".microkernel.pair_chunks");
@@ -199,6 +207,117 @@ void write_route_rates(telemetry::JsonWriter& w, const std::string& family,
       .value(ratio(block_elems, block_elems + edge), 6);
   w.key(json_prefix + "_microkernel_pair_fallback_rate")
       .value(ratio(pair_falls, pairs), 6);
+  // Which SIMD variant the microkernel case actually dispatched to:
+  // argmax of the per-variant block counters ("none" when telemetry is
+  // off or no register block ran).
+  const char* variant = "none";
+  std::uint64_t variant_blocks = 0;
+  for (const char* name : {"scalar", "avx2", "avx512"}) {
+    const std::uint64_t v =
+        delta(micro, std::string("mk.variant.") + name + ".blocks");
+    if (v > variant_blocks) {
+      variant_blocks = v;
+      variant = name;
+    }
+  }
+  w.kv(json_prefix + "_microkernel_variant", variant);
+}
+
+/// One measured point of a thread-scaling curve.
+struct SweepPoint {
+  int threads = 0;
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double speedup = 0.0;  // vs the curve's single-thread point
+};
+
+struct SweepCurve {
+  std::string name;  // e.g. "sgemm_microkernel"
+  std::vector<SweepPoint> points;
+};
+
+std::vector<int> parse_counts(const std::string& csv) {
+  std::vector<int> out;
+  std::size_t pos = 0;
+  while (pos < csv.size()) {
+    const std::size_t comma = csv.find(',', pos);
+    const std::string tok = csv.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const int v = std::atoi(tok.c_str());
+    if (v > 0) out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Thread-scaling sweep for one dtype: each route's plan runs through
+/// the threaded tiled driver on a dedicated pool per listed size
+/// (ExecRails.pool), and every point is gated bitwise against the
+/// single-threaded per-dot reference - the scaling curve is a perf
+/// report, never a results fork.
+template <typename T>
+void run_thread_sweep(const std::string& prefix, int m, int n, int k,
+                      bool cplx, double flops_per_mnk,
+                      const std::vector<int>& counts, int reps, int warmup,
+                      const gemm::Matrix<T>& a, const gemm::Matrix<T>& b,
+                      const gemm::Matrix<T>& c_ref,
+                      std::vector<SweepCurve>& curves, bool& bit_identical) {
+  struct RouteCfg {
+    const char* route;
+    core::M3xuConfig cfg;
+  };
+  core::M3xuConfig packed_cfg;
+  packed_cfg.enable_microkernel = false;
+  core::M3xuConfig perdot_cfg;
+  perdot_cfg.force_generic = true;
+  const RouteCfg routes[] = {{"microkernel", core::M3xuConfig{}},
+                             {"packed", packed_cfg},
+                             {"perdot", perdot_cfg}};
+  const double flops = flops_per_mnk * static_cast<double>(m) * n * k;
+  for (const RouteCfg& r : routes) {
+    const gemm::GemmPlan plan = gemm::GemmPlan::compile(r.cfg, {m, n, k, cplx});
+    SweepCurve curve;
+    curve.name = prefix + "_" + r.route;
+    gemm::Matrix<T> c(m, n);
+    for (const int t : counts) {
+      ThreadPool pool(static_cast<std::size_t>(t));
+      gemm::ExecRails rails;
+      rails.pool = &pool;
+      const auto run = [&] {
+        c.fill(T{});
+        plan.execute(a, b, c, rails);
+      };
+      for (int wu = 0; wu < warmup; ++wu) run();
+      std::vector<double> times;
+      for (int rep = 0; rep < std::max(1, reps); ++rep) {
+        const telemetry::Stopwatch sw;
+        run();
+        times.push_back(sw.seconds());
+      }
+      std::sort(times.begin(), times.end());
+      const std::size_t h = times.size() / 2;
+      const double med = times.size() % 2 != 0
+                             ? times[h]
+                             : 0.5 * (times[h - 1] + times[h]);
+      bit_identical =
+          bit_identical &&
+          std::memcmp(c.data(), c_ref.data(), c.size() * sizeof(T)) == 0;
+      SweepPoint pt;
+      pt.threads = t;
+      pt.seconds = med;
+      pt.gflops = flops / med / 1e9;
+      curve.points.push_back(pt);
+    }
+    // Speedup relative to the curve's own threads == 1 point (first
+    // point when the sweep list omits 1).
+    double base = curve.points.front().seconds;
+    for (const SweepPoint& pt : curve.points) {
+      if (pt.threads == 1) base = pt.seconds;
+    }
+    for (SweepPoint& pt : curve.points) pt.speedup = base / pt.seconds;
+    curves.push_back(std::move(curve));
+  }
 }
 
 }  // namespace
@@ -219,7 +338,16 @@ int main(int argc, char** argv) {
   const std::string trace_path = cli.get("trace", "");
   const std::string metrics_path = cli.get("metrics", "");
   const bool plan_mode = cli.get_bool("plan", false);
+  const int threads_flag = static_cast<int>(cli.get_int("threads", 0));
+  const std::vector<int> sweep_counts = parse_counts(cli.get("thread-sweep", ""));
 
+  // Must precede the first ThreadPool::global() use anywhere in the
+  // process; configure_global is a no-op once the pool exists.
+  if (threads_flag > 0) {
+    ThreadPool::configure_global(static_cast<std::size_t>(threads_flag));
+  }
+
+  const telemetry::Snapshot run_before = telemetry::snapshot();
   Rng rng(seed);
   // Per-dot and microkernel routes share the default engine (the
   // per-dot entry points never reach the microkernel); the packed case
@@ -229,6 +357,7 @@ int main(int argc, char** argv) {
   packed_cfg.enable_microkernel = false;
   const core::M3xuEngine engine_packed(packed_cfg);
   std::vector<Case> cases;
+  std::vector<SweepCurve> curves;
   bool bit_identical = true;
   std::optional<PlanReport> plan_sgemm, plan_cgemm;
 
@@ -270,6 +399,11 @@ int main(int argc, char** argv) {
                                         2.0, reps, warmup, a, b, c_perdot,
                                         cases);
       bit_identical = bit_identical && plan_sgemm->bit_identical;
+    }
+    if (!sweep_counts.empty()) {
+      run_thread_sweep<float>("sgemm", m, n, k, false, 2.0, sweep_counts,
+                              reps, warmup, a, b, c_perdot, curves,
+                              bit_identical);
     }
   }
 
@@ -314,6 +448,13 @@ int main(int argc, char** argv) {
           c_perdot, cases);
       bit_identical = bit_identical && plan_cgemm->bit_identical;
     }
+    if (!sweep_counts.empty()) {
+      // 8 real flops per complex multiply-add, same convention as the
+      // cgemm cases above.
+      run_thread_sweep<std::complex<float>>("cgemm", cm, cn, ck, true, 8.0,
+                                            sweep_counts, reps, warmup, a, b,
+                                            c_perdot, curves, bit_identical);
+    }
   }
 
   // Look route cases up by name: with --plan the vector also carries
@@ -337,8 +478,19 @@ int main(int argc, char** argv) {
   const double cgemm_micro_speedup = cgemm_packed.seconds / cgemm_micro.seconds;
 
   const telemetry::Environment env = telemetry::collect_environment();
+  const telemetry::Snapshot run_after = telemetry::snapshot();
   const std::size_t threads = ThreadPool::global().thread_count();
   const bool simd = core::microkernel_simd_active();
+  const char* variant_name =
+      core::mk_variant_name(core::mk_variant_resolve(core::MkVariant::kAuto));
+  // Whole-run pool utilization: busy worker-nanoseconds over wall
+  // nanoseconds summed across every parallel_for (any pool), scaled by
+  // the global pool width. > 1 is possible when dedicated sweep pools
+  // are wider than the global pool; 0 with telemetry off.
+  const double pool_util =
+      ratio(run_after.counter_delta(run_before, "threadpool.worker_busy_ns"),
+            run_after.counter_delta(run_before, "threadpool.wall_ns") *
+                static_cast<std::uint64_t>(threads));
 
   if (!cli.get_bool("json-only", false)) {
     std::printf("== GEMM baseline: per-dot vs packed vs microkernel ==\n");
@@ -353,7 +505,16 @@ int main(int argc, char** argv) {
                 "over packed\nbit-identical: %s   simd: %s   threads: %zu\n\n",
                 sgemm_speedup, sgemm_micro_speedup, cgemm_speedup,
                 cgemm_micro_speedup, bit_identical ? "yes" : "NO",
-                simd ? "avx2" : "scalar", threads);
+                variant_name, threads);
+    for (const SweepCurve& curve : curves) {
+      std::printf("scaling %-20s", curve.name.c_str());
+      for (const SweepPoint& pt : curve.points) {
+        std::printf("  t=%d %.3fs (%.2fx)", pt.threads, pt.seconds,
+                    pt.speedup);
+      }
+      std::printf("\n");
+    }
+    if (!curves.empty()) std::printf("\n");
     if (plan_sgemm.has_value() && plan_cgemm.has_value()) {
       std::printf("plan: sgemm compile %.3fs + first %.3fs, repeat %.3fs "
                   "(%samortized)\nplan: cgemm compile %.3fs + first %.3fs, "
@@ -381,6 +542,7 @@ int main(int argc, char** argv) {
   w.kv("compiler", env.compiler);
   w.kv("git_rev", env.git_rev);
   w.kv("microkernel_simd", simd);
+  w.kv("microkernel_variant", variant_name);
   w.kv("telemetry_enabled", static_cast<bool>(M3XU_TELEMETRY_ENABLED));
   w.end_object();
   w.key("cases").begin_array();
@@ -402,7 +564,30 @@ int main(int argc, char** argv) {
   w.key("route_hit_rates").begin_object();
   write_route_rates(w, "fp32", "sgemm", sgemm_packed, sgemm_micro);
   write_route_rates(w, "fp32c", "cgemm", cgemm_packed, cgemm_micro);
+  w.key("threadpool_utilization").value(pool_util, 6);
   w.end_object();
+  if (!curves.empty()) {
+    w.key("thread_scaling").begin_object();
+    w.kv("microkernel_variant", variant_name);
+    w.key("curves").begin_array();
+    for (const SweepCurve& curve : curves) {
+      w.begin_object();
+      w.kv("case", curve.name);
+      w.key("points").begin_array();
+      for (const SweepPoint& pt : curve.points) {
+        w.begin_object();
+        w.kv("threads", pt.threads);
+        w.key("seconds").value(pt.seconds, 6);
+        w.key("gflops").value(pt.gflops, 6);
+        w.key("speedup_vs_single_thread").value(pt.speedup, 4);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   if (plan_sgemm.has_value() && plan_cgemm.has_value()) {
     w.key("plan").begin_object();
     w.key("sgemm");

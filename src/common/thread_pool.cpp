@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "common/check.hpp"
@@ -325,9 +327,43 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain,
   }
 }
 
+namespace {
+
+// Requested global-pool size: SIZE_MAX = unset (fall through to the
+// M3XU_THREADS env var, then the hardware default). Latched by the
+// first global() call.
+std::atomic<std::size_t> g_global_threads{SIZE_MAX};
+std::atomic<bool> g_global_built{false};
+
+std::size_t global_pool_size() {
+  std::size_t req = g_global_threads.load(std::memory_order_acquire);
+  if (req != SIZE_MAX) return req;
+  if (const char* env = std::getenv("M3XU_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0 && v < 4096) return v;
+  }
+  return 0;  // hardware default
+}
+
+}  // namespace
+
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
-  return pool;
+  static ThreadPool* pool = [] {
+    static ThreadPool p(global_pool_size());
+    g_global_built.store(true, std::memory_order_release);
+    return &p;
+  }();
+  return *pool;
+}
+
+bool ThreadPool::configure_global(std::size_t threads) {
+  if (g_global_built.load(std::memory_order_acquire)) return false;
+  g_global_threads.store(threads, std::memory_order_release);
+  // Benign race: a concurrent first global() call may or may not see
+  // the request; callers are expected to configure before spinning up
+  // concurrent work.
+  return !g_global_built.load(std::memory_order_acquire);
 }
 
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {

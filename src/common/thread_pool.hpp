@@ -97,8 +97,17 @@ class ThreadPool {
                     const std::function<void(std::size_t)>& fn,
                     const ParallelOptions& options);
 
-  /// Process-wide default pool (lazily constructed).
+  /// Process-wide default pool (lazily constructed). Sized by the
+  /// first of: configure_global(), the M3XU_THREADS environment
+  /// variable, hardware_concurrency().
   static ThreadPool& global();
+
+  /// Sets the worker count the global pool is built with (0 = the
+  /// hardware default). Only effective before the first global() call
+  /// - the pool is immutable once running - and returns false without
+  /// touching anything afterwards. Benchmarks call this from flag
+  /// parsing; libraries should take an explicit pool instead.
+  static bool configure_global(std::size_t threads);
 
  private:
   // Why the watchdog aborted (Task::stop_cause values).

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
+#include <cstdlib>
 #include <span>
+#include <string_view>
 
 #include "common/bits.hpp"
 #include "common/check.hpp"
@@ -23,23 +25,147 @@ namespace {
 
 // Route counters (no-ops when M3XU_TELEMETRY=OFF). Increments are
 // accumulated in block-local variables and flushed once per block so
-// the pair loop stays free of TLS lookups.
+// the pair loop stays free of TLS lookups. block_elements counts the
+// output elements a block covered (blocks alone no longer determine
+// that now that the register-block shape varies).
 telemetry::Counter uk_fp32_blocks("mxu.fp32.microkernel.blocks");
+telemetry::Counter uk_fp32_elems("mxu.fp32.microkernel.block_elements");
 telemetry::Counter uk_fp32_pairs("mxu.fp32.microkernel.pair_chunks");
 telemetry::Counter uk_fp32_falls("mxu.fp32.microkernel.pair_fallbacks");
 telemetry::Counter uk_fp32c_blocks("mxu.fp32c.microkernel.blocks");
+telemetry::Counter uk_fp32c_elems("mxu.fp32c.microkernel.block_elements");
 telemetry::Counter uk_fp32c_pairs("mxu.fp32c.microkernel.pair_chunks");
 telemetry::Counter uk_fp32c_falls("mxu.fp32c.microkernel.pair_fallbacks");
 
-}  // namespace
+// Dispatch counters: which term-build variant actually ran, per block.
+telemetry::Counter mk_var_scalar("mk.variant.scalar.blocks");
+telemetry::Counter mk_var_avx2("mk.variant.avx2.blocks");
+telemetry::Counter mk_var_avx512("mk.variant.avx512.blocks");
 
-bool microkernel_simd_active() {
+inline void count_variant_block(MkVariant v) {
+  switch (v) {
+    case MkVariant::kAvx512:
+      mk_var_avx512.increment();
+      break;
+    case MkVariant::kAvx2:
+      mk_var_avx2.increment();
+      break;
+    default:
+      mk_var_scalar.increment();
+      break;
+  }
+}
+
+bool cpu_has_avx2() {
 #ifdef M3XU_ENABLE_SIMD
-  static const bool active = __builtin_cpu_supports("avx2");
-  return active;
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
 #else
   return false;
 #endif
+}
+
+bool cpu_has_avx512() {
+#ifdef M3XU_ENABLE_SIMD
+  // The 512-bit path also uses 256-bit ops for the 8 x i32 exp/neg
+  // streams, so it requires both feature bits.
+  static const bool ok =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx2");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+MkVariant best_available() {
+  if (cpu_has_avx512()) return MkVariant::kAvx512;
+  if (cpu_has_avx2()) return MkVariant::kAvx2;
+  return MkVariant::kScalar;
+}
+
+/// What kAuto resolves to: the widest available variant, capped (never
+/// raised) by M3XU_MK_VARIANT. The cap only applies to kAuto so tests
+/// can still force a specific variant through the config while CI pins
+/// the default path to scalar.
+MkVariant auto_variant() {
+  static const MkVariant v = [] {
+    MkVariant cap = best_available();
+    if (const char* env = std::getenv("M3XU_MK_VARIANT")) {
+      const std::string_view s(env);
+      MkVariant req = cap;
+      if (s == "scalar") {
+        req = MkVariant::kScalar;
+      } else if (s == "avx2") {
+        req = MkVariant::kAvx2;
+      } else if (s == "avx512") {
+        req = MkVariant::kAvx512;
+      }
+      if (static_cast<int>(req) < static_cast<int>(cap)) cap = req;
+    }
+    return cap;
+  }();
+  return v;
+}
+
+}  // namespace
+
+const char* mk_variant_name(MkVariant v) {
+  switch (v) {
+    case MkVariant::kAuto:
+      return "auto";
+    case MkVariant::kScalar:
+      return "scalar";
+    case MkVariant::kAvx2:
+      return "avx2";
+    case MkVariant::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool mk_variant_available(MkVariant v) {
+  switch (v) {
+    case MkVariant::kAuto:
+    case MkVariant::kScalar:
+      return true;
+    case MkVariant::kAvx2:
+      return cpu_has_avx2();
+    case MkVariant::kAvx512:
+      return cpu_has_avx512();
+  }
+  return false;
+}
+
+MkVariant mk_variant_resolve(MkVariant requested) {
+  if (requested == MkVariant::kAuto) return auto_variant();
+  if (requested == MkVariant::kAvx512 && cpu_has_avx512()) {
+    return MkVariant::kAvx512;
+  }
+  if (requested != MkVariant::kScalar && cpu_has_avx2()) {
+    return MkVariant::kAvx2;
+  }
+  return MkVariant::kScalar;
+}
+
+bool microkernel_simd_active() {
+  return mk_variant_resolve(MkVariant::kAuto) != MkVariant::kScalar;
+}
+
+bool mk_block_supported(int mr, int nr) {
+  return (mr == 4 && nr == 4) || (mr == 6 && nr == 8) || (mr == 8 && nr == 8);
+}
+
+MkBlockShape mk_block_resolve(int mr, int nr) {
+  if (mr == 0 && nr == 0) {
+    // With a SIMD term build the decode amortization wins: 8x8 drops
+    // the per-output decode cost to (8+8)/(8*8) = 0.25 decodes per
+    // element-chunk vs 0.5 at 4x4. The scalar variant keeps the small
+    // block (decode is a smaller share of its runtime, and the larger
+    // live accumulator set costs it more).
+    return microkernel_simd_active() ? MkBlockShape{8, 8} : MkBlockShape{4, 4};
+  }
+  M3XU_CHECK(mk_block_supported(mr, nr));
+  return {mr, nr};
 }
 
 namespace {
@@ -71,9 +197,11 @@ static_assert(kMaxSlots == kPackChunkFp32 &&
 /// One decoded operand stream, one slot per scalar (or complex
 /// component) element. Zero slots hold ab = 0 with exp = the chunk's
 /// min anchor + 12, which keeps every alignment shift in-window while
-/// the zero significand contributes nothing to any sum.
+/// the zero significand contributes nothing to any sum. The 64-bit
+/// streams are 64-byte aligned so the AVX-512 path can use aligned
+/// full-width loads/stores.
 struct ElemSoA {
-  alignas(32) std::uint64_t ab[kMaxSlots];  // hi_sig << 32 | lo_sig
+  alignas(64) std::uint64_t ab[kMaxSlots];  // hi_sig << 32 | lo_sig
   alignas(32) std::int32_t exp[kMaxSlots];  // hi-part exp2
   alignas(32) std::uint32_t neg[kMaxSlots];
 };
@@ -83,8 +211,8 @@ struct ElemSoA {
 /// and s1[i] * 2^(sh[i]+12) to the crossed step, both with sign
 /// neg[i]. sh is the lsb weight of the pair's combined 48-bit product.
 struct PairTerms {
-  alignas(32) std::uint64_t s0[kMaxSlots];  // ah*bh << 24 | al*bl, < 2^48
-  alignas(32) std::uint64_t s1[kMaxSlots];  // ah*bl + al*bh, < 2^25
+  alignas(64) std::uint64_t s0[kMaxSlots];  // ah*bh << 24 | al*bl, < 2^48
+  alignas(64) std::uint64_t s1[kMaxSlots];  // ah*bl + al*bh, < 2^25
   alignas(32) std::int32_t sh[kMaxSlots];
   alignas(32) std::uint32_t neg[kMaxSlots];
 };
@@ -134,10 +262,24 @@ void swap_slots(const ElemSoA& in, ElemSoA& out) {
   }
 }
 
+/// Software-prefetch a packed lane run into L1. A lane is 16 bytes, so
+/// one fp32 row-chunk (8 elements x 2 lanes) or fp32c row-chunk (4
+/// elements x 4 lanes) is 256 bytes = 4 cache lines; the panel layout
+/// makes the next chunk's offset a pure stride from PanelChunkMeta's
+/// indexing (row * k + k0), no pointer chasing.
+inline void prefetch_lanes(const LaneOperand* lanes, int count) {
+  const char* base = reinterpret_cast<const char*>(lanes);
+  const std::size_t bytes =
+      static_cast<std::size_t>(count) * sizeof(LaneOperand);
+  for (std::size_t off = 0; off < bytes; off += 64) {
+    __builtin_prefetch(base + off, /*rw=*/0, /*locality=*/3);
+  }
+}
+
 // --- Pair term build --------------------------------------------------
 //
 // Always processes the full kMaxSlots slots (tail slots have zero
-// significands and in-window exponents) so the SIMD path has no
+// significands and in-window exponents) so the SIMD paths have no
 // remainder and the accumulation loops have a fixed trip count.
 // `flip_odd` adds a sign flip on odd slots: the imag-part AI*BR
 // entries, whose A slot carries the real-part order's -AI pre-negation
@@ -194,15 +336,57 @@ __attribute__((target("avx2"))) void build_pair_avx2(const ElemSoA& a,
   }
   _mm256_store_si256(reinterpret_cast<__m256i*>(t.neg), nn);
 }
+
+/// All 8 slots' 64-bit term streams in one 512-bit pass (the AVX2 path
+/// needs two): the same mul_epu32 recombination of the four 32x32
+/// partial products, just at full width. The 8 x i32 exp/neg streams
+/// stay on 256-bit ops - they already fit one vector there.
+__attribute__((target("avx2,avx512f"))) void build_pair_avx512(
+    const ElemSoA& a, const ElemSoA& b, bool flip_odd, PairTerms& t) {
+  const __m512i av = _mm512_load_si512(a.ab);
+  const __m512i bv = _mm512_load_si512(b.ab);
+  const __m512i ah = _mm512_srli_epi64(av, 32);
+  const __m512i bh = _mm512_srli_epi64(bv, 32);
+  const __m512i hh = _mm512_mul_epu32(ah, bh);
+  const __m512i ll = _mm512_mul_epu32(av, bv);
+  const __m512i hl = _mm512_mul_epu32(ah, bv);
+  const __m512i lh = _mm512_mul_epu32(av, bh);
+  const __m512i m24 = _mm512_set1_epi64(0xffffff);
+  _mm512_store_si512(
+      t.s0,
+      _mm512_or_si512(_mm512_slli_epi64(hh, 24), _mm512_and_si512(ll, m24)));
+  _mm512_store_si512(t.s1, _mm512_add_epi64(hl, lh));
+  const __m256i ae = _mm256_load_si256(reinterpret_cast<const __m256i*>(a.exp));
+  const __m256i be = _mm256_load_si256(reinterpret_cast<const __m256i*>(b.exp));
+  _mm256_store_si256(
+      reinterpret_cast<__m256i*>(t.sh),
+      _mm256_sub_epi32(_mm256_add_epi32(ae, be), _mm256_set1_epi32(24)));
+  const __m256i an = _mm256_load_si256(reinterpret_cast<const __m256i*>(a.neg));
+  const __m256i bn = _mm256_load_si256(reinterpret_cast<const __m256i*>(b.neg));
+  __m256i nn = _mm256_xor_si256(an, bn);
+  if (flip_odd) {
+    nn = _mm256_xor_si256(nn, _mm256_set_epi32(1, 0, 1, 0, 1, 0, 1, 0));
+  }
+  _mm256_store_si256(reinterpret_cast<__m256i*>(t.neg), nn);
+}
 #endif
 
-inline void build_pair(const ElemSoA& a, const ElemSoA& b, bool flip_odd,
-                       PairTerms& t) {
+/// `v` must be a resolved variant (mk_variant_resolve): the SIMD cases
+/// assume the CPU support check already happened, once per block, not
+/// per pair.
+inline void build_pair(MkVariant v, const ElemSoA& a, const ElemSoA& b,
+                       bool flip_odd, PairTerms& t) {
 #ifdef M3XU_ENABLE_SIMD
-  if (microkernel_simd_active()) {
+  if (v == MkVariant::kAvx512) {
+    build_pair_avx512(a, b, flip_odd, t);
+    return;
+  }
+  if (v == MkVariant::kAvx2) {
     build_pair_avx2(a, b, flip_odd, t);
     return;
   }
+#else
+  (void)v;
 #endif
   build_pair_scalar(a, b, flip_odd, t);
 }
@@ -389,52 +573,73 @@ inline bool finite_chunk(const PanelChunkMeta& m) {
   return (m.flags & PanelChunkMeta::kHasFinite) != 0;
 }
 
-}  // namespace
+// --- Register-blocked bodies ------------------------------------------
+//
+// Templated on the MR x NR output-block shape so each instantiation
+// keeps its accumulator array and decode state at fixed size (the
+// compiler fully unrolls the short row/col loops). `v` is the resolved
+// term-build variant, checked once per block.
 
-void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
-                            const PackedPanelFp32B& b, int col0,
-                            const DpUnit& unit, const MicrokernelParams& p,
-                            float* c, int ldc) {
+template <int MR, int NR>
+void fp32_block(const PackedPanelFp32A& a, int row0, const PackedPanelFp32B& b,
+                int col0, const DpUnit& unit, const MicrokernelParams& p,
+                MkVariant v, float* c, int ldc) {
   M3XU_CHECK(a.k == b.k);
   M3XU_CHECK(!a.has_special && !b.has_special);
-  M3XU_CHECK(row0 >= 0 && row0 + kMicroMr <= a.rows);
-  M3XU_CHECK(col0 >= 0 && col0 + kMicroNr <= b.cols);
+  M3XU_CHECK(row0 >= 0 && row0 + MR <= a.rows);
+  M3XU_CHECK(col0 >= 0 && col0 + NR <= b.cols);
   const int k = a.k;
   const int nchunks = panel_chunk_count(k, kPackChunkFp32);
-  float acc[kMicroMr][kMicroNr];
-  for (int i = 0; i < kMicroMr; ++i) {
-    for (int j = 0; j < kMicroNr; ++j) acc[i][j] = c[i * ldc + j];
+  float acc[MR][NR];
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < NR; ++j) acc[i][j] = c[i * ldc + j];
   }
-  ElemSoA arow[kMicroMr];
-  ElemSoA bcol[kMicroNr];
+  ElemSoA arow[MR];
+  ElemSoA bcol[NR];
   PairTerms terms;
   std::uint64_t fallbacks = 0;
   for (int ch = 0; ch < nchunks; ++ch) {
     const int k0 = ch * kPackChunkFp32;
     const int kc = std::min(kPackChunkFp32, k - k0);
-    const PanelChunkMeta* am[kMicroMr];
-    const PanelChunkMeta* bm[kMicroNr];
-    for (int i = 0; i < kMicroMr; ++i) {
+    if (p.prefetch && ch + 1 < nchunks) {
+      // Pull the next chunk's hi/lo lane runs toward L1 while this
+      // chunk's decode + MR*NR pair computes hide the latency.
+      const int nk0 = k0 + kPackChunkFp32;
+      const int nkc = std::min(kPackChunkFp32, k - nk0);
+      for (int i = 0; i < MR; ++i) {
+        prefetch_lanes(
+            a.lanes.data() + (static_cast<std::size_t>(row0 + i) * k + nk0) * 2,
+            2 * nkc);
+      }
+      for (int j = 0; j < NR; ++j) {
+        prefetch_lanes(
+            b.like.data() + (static_cast<std::size_t>(col0 + j) * k + nk0) * 2,
+            2 * nkc);
+      }
+    }
+    const PanelChunkMeta* am[MR];
+    const PanelChunkMeta* bm[NR];
+    for (int i = 0; i < MR; ++i) {
       am[i] = &a.meta[static_cast<std::size_t>(row0 + i) * nchunks + ch];
       decode_slots(
           a.lanes.data() + (static_cast<std::size_t>(row0 + i) * k + k0) * 2,
           kc, fill_exp(*am[i]), arow[i]);
     }
-    for (int j = 0; j < kMicroNr; ++j) {
+    for (int j = 0; j < NR; ++j) {
       bm[j] = &b.meta[static_cast<std::size_t>(col0 + j) * nchunks + ch];
       decode_slots(
           b.like.data() + (static_cast<std::size_t>(col0 + j) * k + k0) * 2,
           kc, fill_exp(*bm[j]), bcol[j]);
     }
-    for (int i = 0; i < kMicroMr; ++i) {
-      for (int j = 0; j < kMicroNr; ++j) {
+    for (int i = 0; i < MR; ++i) {
+      for (int j = 0; j < NR; ++j) {
         const bool have = finite_chunk(*am[i]) && finite_chunk(*bm[j]);
         int t_lo = 0;
         int t_hi = 0;
         if (have) {
           t_lo = am[i]->min_exp + bm[j]->min_exp;
           t_hi = am[i]->max_exp + bm[j]->max_exp + 23;
-          build_pair(arow[i], bcol[j], /*flip_odd=*/false, terms);
+          build_pair(v, arow[i], bcol[j], /*flip_odd=*/false, terms);
         }
         if (!pair_chunk(terms, have, t_lo, t_hi, p, &acc[i][j])) {
           ++fallbacks;
@@ -444,28 +649,30 @@ void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
       }
     }
   }
-  for (int i = 0; i < kMicroMr; ++i) {
-    for (int j = 0; j < kMicroNr; ++j) c[i * ldc + j] = acc[i][j];
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < NR; ++j) c[i * ldc + j] = acc[i][j];
   }
   uk_fp32_blocks.increment();
-  uk_fp32_pairs.add(static_cast<std::uint64_t>(nchunks) * kMicroMr * kMicroNr);
+  uk_fp32_elems.add(static_cast<std::uint64_t>(MR) * NR);
+  uk_fp32_pairs.add(static_cast<std::uint64_t>(nchunks) * MR * NR);
   uk_fp32_falls.add(fallbacks);
 }
 
-void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
-                             const PackedPanelFp32cB& b, int col0,
-                             const DpUnit& unit, const MicrokernelParams& p,
-                             std::complex<float>* c, int ldc) {
+template <int MR, int NR>
+void fp32c_block(const PackedPanelFp32cA& a, int row0,
+                 const PackedPanelFp32cB& b, int col0, const DpUnit& unit,
+                 const MicrokernelParams& p, MkVariant v,
+                 std::complex<float>* c, int ldc) {
   M3XU_CHECK(a.k == b.k);
   M3XU_CHECK(!a.has_special && !b.has_special);
-  M3XU_CHECK(row0 >= 0 && row0 + kMicroMr <= a.rows);
-  M3XU_CHECK(col0 >= 0 && col0 + kMicroNr <= b.cols);
+  M3XU_CHECK(row0 >= 0 && row0 + MR <= a.rows);
+  M3XU_CHECK(col0 >= 0 && col0 + NR <= b.cols);
   const int k = a.k;
   const int nchunks = panel_chunk_count(k, kPackChunkFp32c);
-  float acc_re[kMicroMr][kMicroNr];
-  float acc_im[kMicroMr][kMicroNr];
-  for (int i = 0; i < kMicroMr; ++i) {
-    for (int j = 0; j < kMicroNr; ++j) {
+  float acc_re[MR][NR];
+  float acc_im[MR][NR];
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < NR; ++j) {
       acc_re[i][j] = c[i * ldc + j].real();
       acc_im[i][j] = c[i * ldc + j].imag();
     }
@@ -475,40 +682,54 @@ void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
   // -AI*BI term needs, and flip_odd undoes it for the imag part's
   // AI*BR term. B columns decode once; a slot-swapped copy provides
   // the imag part's crossed component pairing (AR*BI, AI*BR).
-  ElemSoA arow[kMicroMr];
-  ElemSoA bcol[kMicroNr];
-  ElemSoA bswp[kMicroNr];
+  ElemSoA arow[MR];
+  ElemSoA bcol[NR];
+  ElemSoA bswp[NR];
   PairTerms terms_re;
   PairTerms terms_im;
   std::uint64_t fallbacks = 0;
   for (int ch = 0; ch < nchunks; ++ch) {
     const int k0 = ch * kPackChunkFp32c;
     const int kc = std::min(kPackChunkFp32c, k - k0);
-    const PanelChunkMeta* am[kMicroMr];
-    const PanelChunkMeta* bm[kMicroNr];
-    for (int i = 0; i < kMicroMr; ++i) {
+    if (p.prefetch && ch + 1 < nchunks) {
+      const int nk0 = k0 + kPackChunkFp32c;
+      const int nkc = std::min(kPackChunkFp32c, k - nk0);
+      for (int i = 0; i < MR; ++i) {
+        prefetch_lanes(a.real_lanes.data() +
+                           (static_cast<std::size_t>(row0 + i) * k + nk0) * 4,
+                       4 * nkc);
+      }
+      for (int j = 0; j < NR; ++j) {
+        prefetch_lanes(b.real_like.data() +
+                           (static_cast<std::size_t>(col0 + j) * k + nk0) * 4,
+                       4 * nkc);
+      }
+    }
+    const PanelChunkMeta* am[MR];
+    const PanelChunkMeta* bm[NR];
+    for (int i = 0; i < MR; ++i) {
       am[i] = &a.meta[static_cast<std::size_t>(row0 + i) * nchunks + ch];
       decode_slots(a.real_lanes.data() +
                        (static_cast<std::size_t>(row0 + i) * k + k0) * 4,
                    2 * kc, fill_exp(*am[i]), arow[i]);
     }
-    for (int j = 0; j < kMicroNr; ++j) {
+    for (int j = 0; j < NR; ++j) {
       bm[j] = &b.meta[static_cast<std::size_t>(col0 + j) * nchunks + ch];
       decode_slots(b.real_like.data() +
                        (static_cast<std::size_t>(col0 + j) * k + k0) * 4,
                    2 * kc, fill_exp(*bm[j]), bcol[j]);
       swap_slots(bcol[j], bswp[j]);
     }
-    for (int i = 0; i < kMicroMr; ++i) {
-      for (int j = 0; j < kMicroNr; ++j) {
+    for (int i = 0; i < MR; ++i) {
+      for (int j = 0; j < NR; ++j) {
         const bool have = finite_chunk(*am[i]) && finite_chunk(*bm[j]);
         int t_lo = 0;
         int t_hi = 0;
         if (have) {
           t_lo = am[i]->min_exp + bm[j]->min_exp;
           t_hi = am[i]->max_exp + bm[j]->max_exp + 23;
-          build_pair(arow[i], bcol[j], /*flip_odd=*/false, terms_re);
-          build_pair(arow[i], bswp[j], /*flip_odd=*/true, terms_im);
+          build_pair(v, arow[i], bcol[j], /*flip_odd=*/false, terms_re);
+          build_pair(v, arow[i], bswp[j], /*flip_odd=*/true, terms_im);
         }
         // Both parts must stream for the chunk to stay fused; on any
         // failure the whole chunk (both registers) re-runs generically
@@ -527,14 +748,51 @@ void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
       }
     }
   }
-  for (int i = 0; i < kMicroMr; ++i) {
-    for (int j = 0; j < kMicroNr; ++j) {
+  for (int i = 0; i < MR; ++i) {
+    for (int j = 0; j < NR; ++j) {
       c[i * ldc + j] = {acc_re[i][j], acc_im[i][j]};
     }
   }
   uk_fp32c_blocks.increment();
-  uk_fp32c_pairs.add(static_cast<std::uint64_t>(nchunks) * kMicroMr * kMicroNr);
+  uk_fp32c_elems.add(static_cast<std::uint64_t>(MR) * NR);
+  uk_fp32c_pairs.add(static_cast<std::uint64_t>(nchunks) * MR * NR);
   uk_fp32c_falls.add(fallbacks);
+}
+
+}  // namespace
+
+void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
+                            const PackedPanelFp32B& b, int col0,
+                            const DpUnit& unit, const MicrokernelParams& p,
+                            float* c, int ldc) {
+  const MkVariant v = mk_variant_resolve(p.variant);
+  count_variant_block(v);
+  if (p.mr == 4 && p.nr == 4) {
+    fp32_block<4, 4>(a, row0, b, col0, unit, p, v, c, ldc);
+  } else if (p.mr == 6 && p.nr == 8) {
+    fp32_block<6, 8>(a, row0, b, col0, unit, p, v, c, ldc);
+  } else if (p.mr == 8 && p.nr == 8) {
+    fp32_block<8, 8>(a, row0, b, col0, unit, p, v, c, ldc);
+  } else {
+    M3XU_CHECK(mk_block_supported(p.mr, p.nr));
+  }
+}
+
+void microkernel_fp32c_block(const PackedPanelFp32cA& a, int row0,
+                             const PackedPanelFp32cB& b, int col0,
+                             const DpUnit& unit, const MicrokernelParams& p,
+                             std::complex<float>* c, int ldc) {
+  const MkVariant v = mk_variant_resolve(p.variant);
+  count_variant_block(v);
+  if (p.mr == 4 && p.nr == 4) {
+    fp32c_block<4, 4>(a, row0, b, col0, unit, p, v, c, ldc);
+  } else if (p.mr == 6 && p.nr == 8) {
+    fp32c_block<6, 8>(a, row0, b, col0, unit, p, v, c, ldc);
+  } else if (p.mr == 8 && p.nr == 8) {
+    fp32c_block<8, 8>(a, row0, b, col0, unit, p, v, c, ldc);
+  } else {
+    M3XU_CHECK(mk_block_supported(p.mr, p.nr));
+  }
 }
 
 }  // namespace m3xu::core

@@ -41,27 +41,73 @@
 
 namespace m3xu::core {
 
-/// Output-block shape. 4x4 keeps the per-chunk decode state (a few
-/// 8-slot SoA buffers per side) well inside L1 while amortizing each
-/// decode over 4 reuses.
+/// Default output-block shape (the smallest supported block; also the
+/// shape the scalar variant defaults to, where decode amortization
+/// matters less than register pressure).
 inline constexpr int kMicroMr = 4;
 inline constexpr int kMicroNr = 4;
 
-/// Rounding configuration threaded from M3xuConfig (the microkernel is
-/// engine-independent so tests can drive it directly).
+/// Term-build SIMD variant. kAuto resolves to the widest lane the CPU
+/// supports at runtime (__builtin_cpu_supports); the scalar path is
+/// always built and every variant is bit-identical - dispatch is a
+/// pure throughput choice. The M3XU_MK_VARIANT environment variable
+/// (scalar / avx2 / avx512) caps what kAuto resolves to, so CI can
+/// force the non-SIMD path without touching configs.
+enum class MkVariant : int { kAuto = 0, kScalar = 1, kAvx2 = 2, kAvx512 = 3 };
+
+const char* mk_variant_name(MkVariant v);
+
+/// True when the build compiled the variant in and the CPU supports it
+/// at runtime. kScalar and kAuto are always available.
+bool mk_variant_available(MkVariant v);
+
+/// The variant a request actually dispatches to: kAuto picks the best
+/// available (capped by M3XU_MK_VARIANT); a forced-but-unavailable
+/// variant clamps down to the widest available one below it. The
+/// result always satisfies mk_variant_available().
+MkVariant mk_variant_resolve(MkVariant requested);
+
+/// A rectangular register-block shape (MR x NR output accumulators per
+/// pass over the packed K lanes). Bigger blocks amortize the per-chunk
+/// operand decode over more reuses - the decode cost per output scales
+/// as (MR+NR)/(MR*NR) - at the price of more live accumulator state.
+struct MkBlockShape {
+  int mr = kMicroMr;
+  int nr = kMicroNr;
+};
+
+/// The template-instantiated shape set: 4x4, 6x8, 8x8.
+bool mk_block_supported(int mr, int nr);
+
+/// Resolves a configured shape: (0, 0) picks the per-CPU default (8x8
+/// when any SIMD variant is active, 4x4 for scalar); anything else
+/// must be a supported pair (M3XU_CHECK).
+MkBlockShape mk_block_resolve(int mr, int nr);
+
+/// Rounding + dispatch configuration threaded from M3xuConfig (the
+/// microkernel is engine-independent so tests can drive it directly).
+/// variant/mr/nr must already make sense together: mr/nr a supported
+/// pair (callers go through mk_block_resolve), variant resolved per
+/// block via mk_variant_resolve.
 struct MicrokernelParams {
   bool per_step_rounding = true;
   int accum_prec = 48;
+  MkVariant variant = MkVariant::kAuto;
+  int mr = kMicroMr;
+  int nr = kMicroNr;
+  /// Software-prefetch the next packed K-chunk's hi/lo lanes while the
+  /// current chunk computes (off for tiny panels in tests).
+  bool prefetch = true;
 };
 
-/// True when the AVX2 term-build path is compiled in and the CPU
+/// True when any SIMD term-build path is compiled in and the CPU
 /// supports it (runtime-dispatched; the scalar path is always built).
 bool microkernel_simd_active();
 
-/// Computes the kMicroMr x kMicroNr block C += A*B at panel offset
+/// Computes the p.mr x p.nr block C += A*B at panel offset
 /// (row0, col0) over the panels' full K. `c` points at the block's
-/// top-left output element. Requires row0+kMicroMr <= a.rows,
-/// col0+kMicroNr <= b.cols, a.k == b.k, and special-free panels.
+/// top-left output element. Requires row0+p.mr <= a.rows,
+/// col0+p.nr <= b.cols, a.k == b.k, and special-free panels.
 void microkernel_fp32_block(const PackedPanelFp32A& a, int row0,
                             const PackedPanelFp32B& b, int col0,
                             const DpUnit& unit, const MicrokernelParams& p,

@@ -107,6 +107,8 @@ M3xuEngine::M3xuEngine(const M3xuConfig& config)
                          /*enable_fast_path=*/true, config.injector}) {
   M3XU_CHECK(config_.accum_prec >= 24 && config_.accum_prec <= 63);
   M3XU_CHECK(config_.fp64_accum_prec >= 53 && config_.fp64_accum_prec <= 63);
+  M3XU_CHECK((config_.mk_mr == 0 && config_.mk_nr == 0) ||
+             mk_block_supported(config_.mk_mr, config_.mk_nr));
 }
 
 namespace {
@@ -617,8 +619,8 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
   thread_local std::array<StepOperands, 2> scratch;
   std::uint64_t n_fused = 0, n_fallback = 0, n_generic = 0;
   // Per-element loop over output sub-range [i0,i1) x [j0,j1); the
-  // microkernel covers full kMicroMr x kMicroNr interior blocks and
-  // edge tiles fall through to this path.
+  // microkernel covers full MR x NR interior blocks (shape from
+  // mk_block_resolve) and edge tiles fall through to this path.
   const auto run_range = [&](int i0, int i1, int j0, int j1) {
   for (int i = i0; i < i1; ++i) {
     const LaneOperand* arow =
@@ -690,11 +692,14 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
   };
   if (streaming && config_.enable_microkernel && k > 0) {
     M3XU_CHECK(kc_max == kPackChunkFp32);
-    const MicrokernelParams mp{config_.per_step_rounding, config_.accum_prec};
-    const int mb = m - m % kMicroMr;
-    const int nb = n - n % kMicroNr;
-    for (int i = 0; i < mb; i += kMicroMr) {
-      for (int j = 0; j < nb; j += kMicroNr) {
+    const MkBlockShape blk = mk_block_resolve(config_.mk_mr, config_.mk_nr);
+    const MicrokernelParams mp{config_.per_step_rounding, config_.accum_prec,
+                               config_.mk_variant, blk.mr, blk.nr,
+                               config_.mk_prefetch};
+    const int mb = m - m % blk.mr;
+    const int nb = n - n % blk.nr;
+    for (int i = 0; i < mb; i += blk.mr) {
+      for (int j = 0; j < nb; j += blk.nr) {
         microkernel_fp32_block(a, row0 + i, b, col0 + j, dp12_, mp,
                                c + idx(i, ldc, j), ldc);
       }
@@ -840,11 +845,14 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
   };
   if (streaming && config_.enable_microkernel && k > 0) {
     M3XU_CHECK(kc_max == kPackChunkFp32c);
-    const MicrokernelParams mp{config_.per_step_rounding, config_.accum_prec};
-    const int mb = m - m % kMicroMr;
-    const int nb = n - n % kMicroNr;
-    for (int i = 0; i < mb; i += kMicroMr) {
-      for (int j = 0; j < nb; j += kMicroNr) {
+    const MkBlockShape blk = mk_block_resolve(config_.mk_mr, config_.mk_nr);
+    const MicrokernelParams mp{config_.per_step_rounding, config_.accum_prec,
+                               config_.mk_variant, blk.mr, blk.nr,
+                               config_.mk_prefetch};
+    const int mb = m - m % blk.mr;
+    const int nb = n - n % blk.nr;
+    for (int i = 0; i < mb; i += blk.mr) {
+      for (int j = 0; j < nb; j += blk.nr) {
         microkernel_fp32c_block(a, row0 + i, b, col0 + j, dp12_, mp,
                                 c + idx(i, ldc, j), ldc);
       }

@@ -10,11 +10,20 @@
 // must never change results - a mismatch is a driver bug, not a
 // tuning preference), measures the survivors, and returns the fastest.
 //
+// The search runs in two stages: tile shapes first (the cache-blocking
+// lever), then - with the winning tile frozen - microkernel register-
+// block shape and thread count (the width/parallelism levers). Every
+// candidate in both stages is gated on bit-identity, including each
+// thread-count candidate (run on its own pool), so a tuned config can
+// never change results, only where and how fast they are computed.
+//
 // Tuned configs persist across processes in a versioned JSON cache
 // (TuneCache) keyed by (problem shape, dtype, cpu signature). Load
 // validates schema version and a per-entry checksum and silently drops
 // anything corrupt, stale, or invalid - a damaged cache file costs a
-// re-tune, never a wrong config. See docs/PLAN.md.
+// re-tune, never a wrong config. Bumping kSchemaVersion drops every
+// older file wholesale on load (the documented migration: old entries
+// are simply re-tuned under the new schema). See docs/PLAN.md.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +38,28 @@
 namespace m3xu::gemm {
 
 /// Host identity a tuned config is considered valid for: compiler,
-/// CPU model, and whether the SIMD microkernel is active. A cache
-/// entry recorded under a different signature is ignored (tuned
-/// block sizes do not transfer across hosts or builds).
+/// CPU model, and which microkernel SIMD variant dispatch resolves to.
+/// A cache entry recorded under a different signature is ignored
+/// (tuned block sizes do not transfer across hosts or builds, and a
+/// config tuned for one SIMD width may be wrong for another).
 std::string cpu_signature();
+
+/// Everything autotune() can tune: the tile hierarchy plus the
+/// microkernel register-block shape and a recommended thread count.
+/// mk_mr/mk_nr = 0 and threads = 0 mean "no override" (the engine's
+/// per-CPU shape default, the caller's / global pool) - the config the
+/// search gates everything against.
+struct TunedConfig {
+  TileConfig tile;
+  int mk_mr = 0;
+  int mk_nr = 0;
+  /// Dedicated-pool worker count the measurement ran on (0 = defer to
+  /// the execution-time pool). Callers honor it by passing a pool of
+  /// this size via ExecRails; results are bit-identical either way.
+  int threads = 0;
+};
+
+bool same_tuned(const TunedConfig& a, const TunedConfig& b);
 
 /// The candidate tile set autotune() searches when the caller does not
 /// supply one: the default TileConfig first (it is the baseline every
@@ -50,19 +77,21 @@ struct AutotuneOptions {
   int reps = 3;
   /// Trimmed candidate set (CI smoke).
   bool quick = false;
-  /// Explicit candidate override; empty means default_candidates().
+  /// Explicit tile-candidate override; empty means
+  /// default_candidates(). Stage 2 (register-block shape x thread
+  /// count) always uses its built-in candidate set.
   std::vector<TileConfig> candidates;
   /// Measurement hook: seconds for one candidate, lower is better.
   /// Tests inject a deterministic synthetic cost here; the default
   /// (unset) measures wall-clock plan.execute() with a Stopwatch.
-  std::function<double(const TileConfig&)> measure;
+  std::function<double(const TunedConfig&)> measure;
   /// Seed for the deterministic operands the bit-identity gate and the
   /// default measurement run against.
   std::uint64_t seed = 0x74756e65;  // "tune"
 };
 
 struct AutotuneResult {
-  TileConfig best;
+  TunedConfig best;
   /// Median seconds of the winning candidate (0 when served from
   /// cache or when a custom measure hook returned a synthetic cost).
   double best_seconds = 0.0;
@@ -82,7 +111,11 @@ struct AutotuneResult {
 /// invalid entries, save() rewrites the whole document.
 class TuneCache {
  public:
-  static constexpr int kSchemaVersion = 1;
+  /// v2 added mk_mr / mk_nr / threads to each entry (and to the
+  /// checksummed canonical string). v1 files fail the version check on
+  /// load and are dropped wholesale: those problems re-tune once and
+  /// the next save() rewrites the file at the current version.
+  static constexpr int kSchemaVersion = 2;
 
   explicit TuneCache(std::string path);
 
@@ -97,12 +130,12 @@ class TuneCache {
   bool save() const;
 
   /// The tuned config recorded for (key, signature), if any.
-  std::optional<TileConfig> lookup(const PlanKey& key,
-                                   const std::string& signature) const;
+  std::optional<TunedConfig> lookup(const PlanKey& key,
+                                    const std::string& signature) const;
 
   /// Records (overwrites) the tuned config for (key, signature).
   void store(const PlanKey& key, const std::string& signature,
-             const TileConfig& tile, double seconds);
+             const TunedConfig& tuned, double seconds);
 
   std::size_t size() const { return entries_.size(); }
   /// Entries dropped by the last load() (corrupt checksum, invalid
@@ -111,17 +144,17 @@ class TuneCache {
   const std::string& path() const { return path_; }
 
   /// The integrity checksum an entry must carry (FNV-1a over the
-  /// canonical identity+tile string). Exposed so tests can craft
+  /// canonical identity+config string). Exposed so tests can craft
   /// fixture files with valid and deliberately broken checksums.
   static std::uint64_t entry_checksum(const PlanKey& key,
                                       const std::string& signature,
-                                      const TileConfig& tile);
+                                      const TunedConfig& tuned);
 
  private:
   struct Entry {
     PlanKey key;
     std::string signature;
-    TileConfig tile;
+    TunedConfig tuned;
     double seconds = 0.0;
   };
 
@@ -130,10 +163,11 @@ class TuneCache {
   std::size_t rejected_ = 0;
 };
 
-/// Searches for the fastest bit-identical TileConfig for `key` on
-/// engines built from `engine_cfg`. With a cache, a valid hit for
-/// (key, cpu_signature()) short-circuits the search (from_cache), and
-/// a completed search is stored back and saved.
+/// Searches for the fastest bit-identical TunedConfig for `key` on
+/// engines built from `engine_cfg` (tiles first, then register-block
+/// shape x thread count at the winning tile). With a cache, a valid
+/// hit for (key, cpu_signature()) short-circuits the search
+/// (from_cache), and a completed search is stored back and saved.
 AutotuneResult autotune(const core::M3xuConfig& engine_cfg, const PlanKey& key,
                         const AutotuneOptions& options = {},
                         TuneCache* cache = nullptr);

@@ -187,6 +187,7 @@ struct GemmPlan::Impl {
     exec.token = rails.token;
     exec.deadline_ms = rails.deadline_ms;
     exec.stall_ms = rails.stall_ms;
+    exec.pool = rails.pool;
     if (rails.b_cache != nullptr) {
       exec.b_cache = rails.b_cache;
       exec.b_key = rails.b_key;

@@ -88,6 +88,9 @@ struct ExecRails {
   /// Takes precedence over the plan's private store when non-null.
   PanelCache* b_cache = nullptr;
   std::uint64_t b_key = 0;
+  /// Thread pool this execute partitions tiles across (non-owning;
+  /// null = the global pool). Bit-identical for every pool size.
+  ThreadPool* pool = nullptr;
 };
 
 /// Pack/reuse statistics of a plan's private B-panel store.

@@ -29,6 +29,10 @@
 
 #include "common/cancellation.hpp"
 
+namespace m3xu {
+class ThreadPool;
+}
+
 namespace m3xu::gemm {
 
 class PanelCache;  // see gemm/panel_cache.hpp
@@ -149,6 +153,12 @@ struct ExecConfig {
   /// (0 = caching disabled for this call). Callers must guarantee two
   /// calls share a b_key only when their B bytes are identical.
   std::uint64_t b_key = 0;
+  /// Thread pool the driver partitions the tile grid across (non-
+  /// owning; null = ThreadPool::global()). Results are bit-identical
+  /// for every pool size - tiles are independent and each tile's
+  /// K-chunk schedule is fixed - so this only chooses where the work
+  /// runs (benchmark thread sweeps, per-tenant pools).
+  ThreadPool* pool = nullptr;
 };
 
 /// What the recovery layer did during one driver call. Folded into

@@ -227,6 +227,11 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
   const TileGrid grid = make_grid(cfg, m, n);
   const long chunks = chunk_roundings(k, cfg.block_k, inst_k);
   const ParallelOptions popts{exec.token, exec.deadline_ms, exec.stall_ms};
+  // Tile partitioning runs on the caller-selected pool (null = the
+  // process-wide default). Tiles are independent and each tile's
+  // K-chunk schedule is fixed, so the result is bit-identical for
+  // every pool size and schedule.
+  ThreadPool& pool = exec.pool != nullptr ? *exec.pool : ThreadPool::global();
 
   const auto initial_engine = [&](Route r) -> const core::M3xuEngine& {
     switch (r) {
@@ -255,7 +260,7 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
   if (abft.enable) {
     row_asum.resize(static_cast<std::size_t>(grid.grid_m));
     row_amag.resize(static_cast<std::size_t>(grid.grid_m));
-    parallel_for(
+    pool.parallel_for(
         static_cast<std::size_t>(grid.grid_m), 0,
         [&](std::size_t r) {
           const int bm = static_cast<int>(r) * cfg.block_m;
@@ -274,7 +279,7 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
         popts);
   }
 
-  parallel_for(
+  pool.parallel_for(
       static_cast<std::size_t>(grid.tiles()), 0,
       [&](std::size_t t) {
     const long tile_row = static_cast<long>(t) / grid.grid_n;
@@ -314,11 +319,20 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
             std::chrono::milliseconds(inj->stall_duration_ms));
       }
       // Staging buffers (the shared-memory model) and their packed
-      // lane-operand panels, split once per mainloop iteration.
-      std::vector<T> a_stage(static_cast<std::size_t>(m_eff) * cfg.block_k);
-      std::vector<T> b_stage(static_cast<std::size_t>(cfg.block_k) * n_eff);
-      typename PackedOps<T>::PanelA a_panel;
-      typename PackedOps<T>::PanelB b_panel;
+      // lane-operand panels, split once per mainloop iteration. They
+      // are thread_local so a worker reuses its allocations across
+      // tiles (grow-only): every slot a pass reads is written by that
+      // pass's stage/pack step first, so stale contents from a prior
+      // tile are unreachable, and each worker owns its buffers - no
+      // shared mutable state across the tile grid.
+      thread_local std::vector<T> a_stage;
+      thread_local std::vector<T> b_stage;
+      thread_local typename PackedOps<T>::PanelA a_panel;
+      thread_local typename PackedOps<T>::PanelB b_panel;
+      const std::size_t a_need = static_cast<std::size_t>(m_eff) * cfg.block_k;
+      const std::size_t b_need = static_cast<std::size_t>(cfg.block_k) * n_eff;
+      if (a_stage.size() < a_need) a_stage.resize(a_need);
+      if (b_stage.size() < b_need) b_stage.resize(b_need);
       for (int k0 = 0; k0 < k; k0 += cfg.block_k) {
         if (exec.token != nullptr) exec.token->check();
         const int kc = std::min(cfg.block_k, k - k0);

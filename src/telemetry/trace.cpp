@@ -37,8 +37,16 @@ struct RingSnapshot {
 class TraceRegistry {
  public:
   static TraceRegistry& instance() {
-    static TraceRegistry r;
-    return r;
+    // Intentionally leaked: worker threads' thread_local RingOwner
+    // destructors run while those threads unwind, which for the global
+    // ThreadPool's workers is during static destruction - possibly
+    // after a function-local static registry would already be gone
+    // (destruction order across translation units is unspecified).
+    // detach() into a destroyed registry is a use-after-free, so the
+    // registry is immortal; the one-time allocation is reclaimed by
+    // process exit.
+    static TraceRegistry* const r = new TraceRegistry;
+    return *r;
   }
 
   /// now_ns() at first trace use; exported ts values are relative to

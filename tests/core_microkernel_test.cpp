@@ -12,6 +12,7 @@
 #include <complex>
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "common/bits.hpp"
@@ -287,6 +288,159 @@ TEST(MicrokernelFp32, PrepackedOffsetsAlignWithChunkMetadata) {
     micro.gemm_fp32_prepacked(pa, blk.row0, pb, blk.col0, blk.m, blk.n,
                               c1.data(), blk.n);
     expect_bitwise_equal(c0, c1, "prepacked-offset");
+  }
+}
+
+// --- Dispatch matrix ---------------------------------------------------
+//
+// The SIMD variant and the register-block shape are pure performance
+// knobs: every (variant, MRxNR) combination the host can run must be
+// bit-identical to the per-dot route on the same condensed property
+// sweep the default config is tested with above.
+
+TEST(MicrokernelDispatch, ResolutionRespectsAvailability) {
+  for (const MkVariant v : {MkVariant::kAuto, MkVariant::kScalar,
+                            MkVariant::kAvx2, MkVariant::kAvx512}) {
+    const MkVariant r = mk_variant_resolve(v);
+    EXPECT_TRUE(mk_variant_available(r)) << mk_variant_name(v);
+    EXPECT_NE(r, MkVariant::kAuto) << mk_variant_name(v);
+    if (v != MkVariant::kAuto) {
+      // A forced-but-unavailable variant clamps down, never up.
+      EXPECT_LE(static_cast<int>(r), static_cast<int>(v))
+          << mk_variant_name(v);
+    }
+  }
+  // Scalar is unconditionally available and never redirected.
+  EXPECT_TRUE(mk_variant_available(MkVariant::kScalar));
+  EXPECT_EQ(mk_variant_resolve(MkVariant::kScalar), MkVariant::kScalar);
+}
+
+TEST(MicrokernelDispatch, BlockShapeResolution) {
+  EXPECT_TRUE(mk_block_supported(4, 4));
+  EXPECT_TRUE(mk_block_supported(6, 8));
+  EXPECT_TRUE(mk_block_supported(8, 8));
+  EXPECT_FALSE(mk_block_supported(5, 5));
+  EXPECT_FALSE(mk_block_supported(0, 4));
+  EXPECT_FALSE(mk_block_supported(8, 4));
+  const MkBlockShape def = mk_block_resolve(0, 0);
+  EXPECT_TRUE(mk_block_supported(def.mr, def.nr));
+  const MkBlockShape forced = mk_block_resolve(6, 8);
+  EXPECT_EQ(forced.mr, 6);
+  EXPECT_EQ(forced.nr, 8);
+}
+
+TEST(MicrokernelDispatch, EveryVariantAndShapeMatchesPerDot) {
+  const float inf = std::numeric_limits<float>::infinity();
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float sub = std::numeric_limits<float>::denorm_min();
+  int combo = 0;
+  for (const MkVariant v :
+       {MkVariant::kScalar, MkVariant::kAvx2, MkVariant::kAvx512}) {
+    if (!mk_variant_available(v)) continue;  // host without that ISA
+    for (const MkBlockShape shape :
+         {MkBlockShape{4, 4}, MkBlockShape{6, 8}, MkBlockShape{8, 8}}) {
+      SCOPED_TRACE(std::string(mk_variant_name(v)) + " " +
+                   std::to_string(shape.mr) + "x" + std::to_string(shape.nr));
+      M3xuConfig cfg;
+      cfg.mk_variant = v;
+      cfg.mk_mr = shape.mr;
+      cfg.mk_nr = shape.nr;
+      cfg.mk_prefetch = (combo % 2 == 0);  // both prefetch settings
+      const M3xuEngine micro(cfg);
+      const M3xuEngine packed = packed_only_engine(cfg);
+
+      // Geometry straddling this shape's block boundaries and the
+      // K-chunk width.
+      for (const int m : {1, shape.mr - 1, shape.mr, shape.mr + 1,
+                          2 * shape.mr + 3}) {
+        for (const int n : {1, shape.nr, shape.nr + 2}) {
+          const int k = 17;
+          Rng rng(31000 + 97 * combo + 7 * m + n);
+          const auto a = random_buffer(m, k, rng, false);
+          const auto b = random_buffer(k, n, rng, false);
+          const auto c = random_buffer(m, n, rng, true);
+          check_fp32(micro, packed, m, n, k, a, b, c);
+        }
+      }
+      {
+        // Subnormals, specials, and wide spans in one salted batch.
+        Rng rng(32000 + combo);
+        const int m = shape.mr + 2, n = shape.nr + 1, k = 19;
+        auto a = random_buffer(m, k, rng, false);
+        auto b = random_buffer(k, n, rng, false);
+        a[0] = sub;
+        a[1] = -sub;
+        b[0] = inf;
+        b[1] = nan;
+        a[2] = 3e38f;
+        b[2] = -1.2e-38f;
+        const auto c = random_buffer(m, n, rng, true);
+        check_fp32(micro, packed, m, n, k, a, b, c);
+      }
+      {
+        // Complex route with the same forced dispatch.
+        Rng rng(33000 + combo);
+        const int m = shape.mr + 1, n = shape.nr, k = 9;
+        const auto a = random_cbuffer(m, k, rng, false);
+        const auto b = random_cbuffer(k, n, rng, false);
+        const auto c = random_cbuffer(m, n, rng, true);
+        check_fp32c(micro, packed, m, n, k, a, b, c);
+      }
+      {
+        // Prepacked sub-block offsets must index the per-chunk prescan
+        // metadata correctly for every MRxNR, not just the default.
+        const int rows = 2 * shape.mr + 3, cols = 2 * shape.nr + 1, k = 13;
+        Rng rng(34000 + combo);
+        const auto a = random_buffer(rows, k, rng, false);
+        const auto b = random_buffer(k, cols, rng, false);
+        PackedPanelFp32A pa;
+        PackedPanelFp32B pb;
+        pack_fp32_a(a.data(), k, rows, k, pa);
+        pack_fp32_b(b.data(), cols, k, cols, pb);
+        const int row0 = 1, col0 = 2;
+        const int bm = rows - row0, bn = cols - col0;
+        auto c0 = random_buffer(bm, bn, rng, true);
+        auto c1 = c0;
+        micro.gemm_fp32(bm, bn, k,
+                        a.data() + static_cast<std::size_t>(row0) * k, k,
+                        b.data() + col0, cols, c0.data(), bn);
+        micro.gemm_fp32_prepacked(pa, row0, pb, col0, bm, bn, c1.data(), bn);
+        expect_bitwise_equal(c0, c1, "prepacked-offset-dispatch");
+      }
+      ++combo;
+    }
+  }
+  EXPECT_GE(combo, 3);  // at least the scalar variant ran all shapes
+}
+
+TEST(MicrokernelDispatch, InjectorDeterminismUnderForcedDispatch) {
+  // Injector-attached engines take the generic per-dot-replica path
+  // regardless of the dispatch config; a forced variant/shape must not
+  // perturb outputs or the fault log.
+  for (const MkVariant v :
+       {MkVariant::kScalar, MkVariant::kAvx2, MkVariant::kAvx512}) {
+    if (!mk_variant_available(v)) continue;
+    const fault::SiteRates rates = fault::SiteRates::uniform(2e-3);
+    const fault::FaultInjector inj_ref(2600, rates);
+    const fault::FaultInjector inj_forced(2600, rates);
+    M3xuConfig cfg_ref, cfg_forced;
+    cfg_ref.injector = &inj_ref;
+    cfg_forced.injector = &inj_forced;
+    cfg_forced.mk_variant = v;
+    cfg_forced.mk_mr = 8;
+    cfg_forced.mk_nr = 8;
+    const M3xuEngine ref(cfg_ref);
+    const M3xuEngine forced(cfg_forced);
+    Rng rng(35000);
+    const int m = 9, n = 8, k = 20;
+    const auto a = random_buffer(m, k, rng, true);
+    const auto b = random_buffer(k, n, rng, true);
+    auto c0 = random_buffer(m, n, rng, true);
+    auto c1 = c0;
+    ref.gemm_fp32_packed(m, n, k, a.data(), k, b.data(), n, c0.data(), n);
+    forced.gemm_fp32_packed(m, n, k, a.data(), k, b.data(), n, c1.data(), n);
+    expect_bitwise_equal(c0, c1, "forced-dispatch-fault-replay");
+    EXPECT_EQ(inj_ref.log(), inj_forced.log()) << mk_variant_name(v);
   }
 }
 

@@ -38,9 +38,12 @@ bool same_tile(const TileConfig& a, const TileConfig& b) {
 }
 
 /// Synthetic cost: prefers one specific candidate, deterministic across
-/// runs, so search outcomes do not depend on wall-clock noise.
-double synthetic_cost(const TileConfig& tile) {
-  return (tile.block_m == 32 && tile.block_n == 32) ? 1.0 : 2.0;
+/// runs, so search outcomes do not depend on wall-clock noise. Stage-2
+/// candidates share the winning tile, so the flat tile-based cost also
+/// pins the width/parallelism overrides to "none" (strictly-less keeps
+/// the stage-1 winner on ties).
+double synthetic_cost(const TunedConfig& t) {
+  return (t.tile.block_m == 32 && t.tile.block_n == 32) ? 1.0 : 2.0;
 }
 
 TEST(CpuSignature, NonEmptyAndStable) {
@@ -72,13 +75,37 @@ TEST(Autotune, DeterministicUnderFixedSeedAndCostModel) {
 
   const AutotuneResult first = autotune(core::M3xuConfig{}, key, opts);
   const AutotuneResult second = autotune(core::M3xuConfig{}, key, opts);
-  EXPECT_TRUE(same_tile(first.best, second.best));
+  EXPECT_TRUE(same_tuned(first.best, second.best));
   EXPECT_EQ(first.candidates_tried, second.candidates_tried);
   EXPECT_EQ(first.bit_mismatches, 0);
   EXPECT_EQ(second.bit_mismatches, 0);
-  // The synthetic cost singles out the 32x32 block candidate.
-  EXPECT_EQ(first.best.block_m, 32);
-  EXPECT_EQ(first.best.block_n, 32);
+  // The synthetic cost singles out the 32x32 block candidate and no
+  // width/parallelism override (flat cost across stage 2).
+  EXPECT_EQ(first.best.tile.block_m, 32);
+  EXPECT_EQ(first.best.tile.block_n, 32);
+  EXPECT_EQ(first.best.mk_mr, 0);
+  EXPECT_EQ(first.best.mk_nr, 0);
+  EXPECT_EQ(first.best.threads, 0);
+}
+
+TEST(Autotune, Stage2PicksCheaperRegisterBlockShape) {
+  // A cost model that rewards the 8x8 register block makes stage 2
+  // override the microkernel shape - and the winner passed the same
+  // bit-identity gate as every tile candidate.
+  const PlanKey key{64, 64, 64, false};
+  AutotuneOptions opts;
+  opts.quick = true;
+  opts.reps = 1;
+  opts.measure = [](const TunedConfig& t) {
+    double cost = (t.tile.block_m == 32 && t.tile.block_n == 32) ? 1.0 : 2.0;
+    if (t.mk_mr == 8 && t.mk_nr == 8) cost -= 0.5;
+    return cost;
+  };
+  const AutotuneResult result = autotune(core::M3xuConfig{}, key, opts);
+  EXPECT_EQ(result.bit_mismatches, 0);
+  EXPECT_EQ(result.best.tile.block_m, 32);
+  EXPECT_EQ(result.best.mk_mr, 8);
+  EXPECT_EQ(result.best.mk_nr, 8);
 }
 
 TEST(Autotune, EveryQuickCandidateIsBitIdentical) {
@@ -101,19 +128,19 @@ TEST(Autotune, EveryQuickCandidateIsBitIdentical) {
 TEST(TuneCache, RoundTripsThroughTheFile) {
   const std::string path = temp_path("tune_roundtrip.json");
   const PlanKey key{96, 96, 96, false};
-  const TileConfig tile{32, 32, 32, 16, 16};
+  const TunedConfig tuned{TileConfig{32, 32, 32, 16, 16}, 6, 8, 2};
 
   TuneCache writer(path);
-  writer.store(key, cpu_signature(), tile, 0.5);
+  writer.store(key, cpu_signature(), tuned, 0.5);
   ASSERT_TRUE(writer.save());
 
   TuneCache reader(path);
   ASSERT_TRUE(reader.load());
   EXPECT_EQ(reader.size(), 1u);
   EXPECT_EQ(reader.rejected(), 0u);
-  const std::optional<TileConfig> hit = reader.lookup(key, cpu_signature());
+  const std::optional<TunedConfig> hit = reader.lookup(key, cpu_signature());
   ASSERT_TRUE(hit.has_value());
-  EXPECT_TRUE(same_tile(*hit, tile));
+  EXPECT_TRUE(same_tuned(*hit, tuned));
   // Different shape or signature: no hit.
   EXPECT_FALSE(reader.lookup({96, 96, 97, false}, cpu_signature()));
   EXPECT_FALSE(reader.lookup(key, "other-host"));
@@ -136,7 +163,7 @@ TEST(TuneCache, SecondAutotuneIsServedFromCache) {
   const AutotuneResult reloaded =
       autotune(core::M3xuConfig{}, key, opts, &fresh);
   EXPECT_TRUE(reloaded.from_cache);
-  EXPECT_TRUE(same_tile(reloaded.best, tuned.best));
+  EXPECT_TRUE(same_tuned(reloaded.best, tuned.best));
 }
 
 TEST(TuneCache, GarbageFileLoadsEmptyAndRetunes) {
@@ -166,11 +193,12 @@ TEST(TuneCache, SchemaVersionMismatchIsRejectedWhole) {
   const std::string path = temp_path("tune_schema.json");
   const PlanKey key{96, 96, 96, false};
   TuneCache writer(path);
-  writer.store(key, cpu_signature(), TileConfig{}, 0.5);
+  writer.store(key, cpu_signature(), TunedConfig{}, 0.5);
   ASSERT_TRUE(writer.save());
 
   std::string text = read_file(path);
-  const std::string want = "\"schema_version\": 1";
+  const std::string want =
+      "\"schema_version\": " + std::to_string(TuneCache::kSchemaVersion);
   const std::size_t pos = text.find(want);
   ASSERT_NE(pos, std::string::npos);
   text.replace(pos, want.size(), "\"schema_version\": 999");
@@ -184,9 +212,9 @@ TEST(TuneCache, SchemaVersionMismatchIsRejectedWhole) {
 TEST(TuneCache, TamperedTileFailsItsChecksum) {
   const std::string path = temp_path("tune_tamper.json");
   const PlanKey key{96, 96, 96, false};
-  const TileConfig tile{64, 64, 32, 32, 32};
+  const TunedConfig tuned{TileConfig{64, 64, 32, 32, 32}, 0, 0, 0};
   TuneCache writer(path);
-  writer.store(key, cpu_signature(), tile, 0.5);
+  writer.store(key, cpu_signature(), tuned, 0.5);
   ASSERT_TRUE(writer.save());
 
   // Flip block_m in the serialized entry without updating the checksum.
@@ -210,26 +238,46 @@ TEST(TuneCache, InvalidTileIsRejectedEvenWithValidChecksum) {
   // must still reject it - the checksum proves integrity, not validity.
   const std::string path = temp_path("tune_invalid_tile.json");
   const PlanKey key{64, 64, 64, false};
-  TileConfig bad{};
-  bad.block_m = 0;
+  TunedConfig bad{};
+  bad.tile.block_m = 0;
   const std::uint64_t sum =
       TuneCache::entry_checksum(key, cpu_signature(), bad);
 
   std::ostringstream doc;
-  doc << "{\n  \"schema_version\": 1,\n  \"entries\": [\n    {\n"
+  doc << "{\n  \"schema_version\": " << TuneCache::kSchemaVersion
+      << ",\n  \"entries\": [\n    {\n"
       << "      \"key\": \"sgemm.64x64x64\",\n"
       << "      \"m\": 64,\n      \"n\": 64,\n      \"k\": 64,\n"
       << "      \"cplx\": false,\n"
       << "      \"cpu\": \"" << cpu_signature() << "\",\n"
       << "      \"tile\": {\n"
-      << "        \"block_m\": " << bad.block_m << ",\n"
-      << "        \"block_n\": " << bad.block_n << ",\n"
-      << "        \"block_k\": " << bad.block_k << ",\n"
-      << "        \"warp_m\": " << bad.warp_m << ",\n"
-      << "        \"warp_n\": " << bad.warp_n << "\n      },\n"
+      << "        \"block_m\": " << bad.tile.block_m << ",\n"
+      << "        \"block_n\": " << bad.tile.block_n << ",\n"
+      << "        \"block_k\": " << bad.tile.block_k << ",\n"
+      << "        \"warp_m\": " << bad.tile.warp_m << ",\n"
+      << "        \"warp_n\": " << bad.tile.warp_n << "\n      },\n"
+      << "      \"mk_mr\": " << bad.mk_mr << ",\n"
+      << "      \"mk_nr\": " << bad.mk_nr << ",\n"
+      << "      \"threads\": " << bad.threads << ",\n"
       << "      \"seconds\": 0.5,\n"
       << "      \"checksum\": \"" << sum << "\"\n    }\n  ]\n}\n";
   write_file(path, doc.str());
+
+  TuneCache reader(path);
+  EXPECT_TRUE(reader.load());
+  EXPECT_EQ(reader.size(), 0u);
+  EXPECT_EQ(reader.rejected(), 1u);
+}
+
+TEST(TuneCache, UnsupportedRegisterBlockIsRejectedOnLoad) {
+  // Same validity-vs-integrity split as the invalid-tile case: a v2
+  // entry whose mk_mr/mk_nr pair no microkernel template implements is
+  // dropped on load even though its checksum is correct.
+  const std::string path = temp_path("tune_bad_mk.json");
+  const PlanKey key{96, 96, 96, false};
+  TuneCache writer(path);
+  writer.store(key, cpu_signature(), TunedConfig{TileConfig{}, 5, 5, 0}, 0.5);
+  ASSERT_TRUE(writer.save());
 
   TuneCache reader(path);
   EXPECT_TRUE(reader.load());
@@ -244,7 +292,7 @@ TEST(TuneCache, NumericChecksumIsRejected) {
   const std::string path = temp_path("tune_numeric_checksum.json");
   const PlanKey key{96, 96, 96, false};
   TuneCache writer(path);
-  writer.store(key, cpu_signature(), TileConfig{}, 0.5);
+  writer.store(key, cpu_signature(), TunedConfig{}, 0.5);
   ASSERT_TRUE(writer.save());
 
   std::string text = read_file(path);
