@@ -46,6 +46,7 @@
 #include "gemm/tiled_driver.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 using namespace m3xu;
 
@@ -107,6 +108,10 @@ struct DomainStats {
   long deadline_aborts = 0;   // DeadlineExceeded outcomes
   long missing_aborts = 0;    // watchdog domain trials that finished
   long false_positives = 0;   // guard counters bumped on clean runs
+  // Trace timeline (TraceContext JSON) of the first detected trial,
+  // embedded in the coverage table so one soak artifact shows the
+  // detection -> ladder -> recovery causality end to end.
+  std::string timeline_json;
   bool failed() const {
     return escapes > 0 || unrecovered > 0 || bitexact_failures > 0 ||
            missing_aborts > 0 || false_positives > 0;
@@ -197,9 +202,15 @@ void soak_detect_domain(DomainStats& d, fault::Site site, double rate,
     const core::M3xuEngine eng(cfg);
     const gemm::RecoveryPolicy policy;  // full ladder, throw terminal
     gemm::Matrix<float> fixed = c0;
-    const gemm::TiledGemmStats stats = gemm::tiled_sgemm(
-        eng, g.tile, abft, policy, gemm::ExecConfig{}, a, b, fixed);
+    telemetry::TraceContext trace("soak", d.name);
+    gemm::ExecConfig exec;
+    exec.trace = &trace;
+    const gemm::TiledGemmStats stats =
+        gemm::tiled_sgemm(eng, g.tile, abft, policy, exec, a, b, fixed);
     const bool detected = stats.abft_detected > 0;
+    if (detected && d.timeline_json.empty()) {
+      d.timeline_json = trace.to_json();
+    }
     d.detected += detected ? 1 : 0;
     d.retries += stats.recovery.retries;
     d.demotions += stats.recovery.demotions;
@@ -428,8 +439,11 @@ std::string coverage_json(const std::vector<DomainStats>& domains,
         .kv("deadline_aborts", d.deadline_aborts)
         .kv("missing_aborts", d.missing_aborts)
         .kv("false_positives", d.false_positives)
-        .kv("pass", !d.failed())
-        .end_object();
+        .kv("pass", !d.failed());
+    if (!d.timeline_json.empty()) {
+      w.key("timeline_sample").raw(d.timeline_json);
+    }
+    w.end_object();
   }
   w.end_array();
   // Process-wide recovery/guard counter deltas across the whole soak,

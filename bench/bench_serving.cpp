@@ -35,8 +35,19 @@
 // non-terminal handle, unexpected status) is a violation and the
 // process exits nonzero.
 //
+// Both modes also run a closed-loop tracing-overhead A/B (identical
+// serving bursts against two long-lived servers differing only in
+// ServerConfig::trace_requests, paired back-to-back per round, the
+// median per-round process-CPU ratio compared against the <= 2%
+// telemetry budget) and, in chaos
+// mode, attach per-request timelines: degraded/failed requests embed
+// their TraceContext event log in the JSON artifact.
+//
 // Flags: --mode=clean|chaos|both (default both), --quick (CI sizes),
-// --seed, --json=path (metrics artifact; default stdout).
+// --seed, --json=path (schema-versioned metrics artifact; default
+// stdout), --metrics-dump=prefix (write <prefix>.prom + <prefix>.json
+// expositions at exit and self-lint the Prometheus text; exits
+// nonzero if the lint fails).
 #include <algorithm>
 #include <bit>
 #include <chrono>
@@ -44,6 +55,8 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -54,8 +67,10 @@
 #include "gemm/matrix.hpp"
 #include "gemm/tiled_driver.hpp"
 #include "serve/server.hpp"
+#include "telemetry/exposition.hpp"
 #include "telemetry/json.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 using namespace m3xu;
 using serve::RequestHandle;
@@ -81,6 +96,19 @@ double now_ms() {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Process CPU time (all threads), in milliseconds. The tracing
+/// overhead A/B uses this instead of wall time: on a shared/1-core
+/// host, container preemption adds several percent of wall-clock
+/// noise per burst but no CPU time, and every serving thread blocks
+/// on condition variables (no spinning), so CPU time isolates the
+/// cost actually added by instrumentation.
+double cpu_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) * 1e3 +
+         static_cast<double>(ts.tv_nsec) * 1e-6;
 }
 
 /// One tenant's fixed workload: operands, the clean-engine golden
@@ -141,6 +169,9 @@ struct Tally {
   long counts[kStatusCount] = {};
   long violations = 0;
   std::vector<std::string> notes;  // first few violation descriptions
+  // A few degraded/failed/deadline requests kept alive so their
+  // per-request trace timelines can be embedded in the JSON artifact.
+  std::vector<RequestHandle> trace_samples;
 
   void violate(const std::string& what) {
     ++violations;
@@ -177,6 +208,11 @@ void settle(const RequestHandle& req, const Tenant& tenant, const Expect& e,
   req->wait();
   const RequestStatus s = req->status();
   ++tally.counts[static_cast<int>(s) % kStatusCount];
+  if ((s == RequestStatus::kDegraded || s == RequestStatus::kFailed ||
+       s == RequestStatus::kDeadlineExceeded) &&
+      req->trace() != nullptr && tally.trace_samples.size() < 2) {
+    tally.trace_samples.push_back(req);
+  }
   if (!serve::is_terminal(s)) {
     tally.violate(tenant.name + ": non-terminal status after wait()");
     return;
@@ -353,6 +389,115 @@ CleanResult run_clean(bool quick, std::uint64_t seed) {
   std::sort(result.latency_ms.begin(), result.latency_ms.end());
   server.shutdown();
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Tracing overhead
+// ---------------------------------------------------------------------------
+
+struct OverheadResult {
+  double traced_ms = 0;    // trimmed total CPU ms across kept rounds, tracing on
+  double untraced_ms = 0;  // trimmed total CPU ms across kept rounds, tracing off
+  double ratio = 1.0;      // traced / untraced
+  long requests = 0;
+};
+
+/// Closed-loop A/B: two long-lived servers, identical except for
+/// trace_requests, measured in process CPU time (see cpu_ms).
+///
+/// Each round runs one tiny burst against each arm back-to-back
+/// (order alternating by round parity). Adjacency is the point: the
+/// dominant noise on a shared host is multiplicative - CPU frequency
+/// drift makes the *same* work cost more or fewer CPU-seconds from
+/// one moment to the next - and two samples taken milliseconds apart
+/// see the same frequency, so each round's on/off ratio is clean even
+/// when its absolute times are not. The gate is the MEDIAN of the
+/// per-round ratios: a preempted or cache-cold round corrupts only
+/// its own ratio, and the median discards any minority of corrupted
+/// rounds no matter how large their individual errors - unlike summed
+/// totals, which a few badly inflated samples in one arm can tilt.
+/// The reported CPU totals exclude rounds where either arm's sample
+/// sits far above its arm's median (dropped as a pair, keeping the
+/// arms balanced). The telemetry budget for full request tracing is
+/// <= 2% on this scenario.
+OverheadResult run_overhead(bool quick, std::uint64_t seed) {
+  const Geometry g = multi_tile();
+  std::vector<Tenant> tenants = make_tenants(2, g, seed ^ 0x0abull, false);
+  const int rounds = quick ? 48 : 96;
+  const int per_round = 2;  // one request per tenant, both executors busy
+
+  OverheadResult r;
+  const auto make_server = [&](bool traced) {
+    serve::ServerConfig cfg;
+    cfg.executors = 2;
+    cfg.queue_capacity = 256;
+    cfg.tile = g.tile;
+    cfg.abft.enable = true;
+    cfg.trace_requests = traced;
+    return std::make_unique<serve::GemmServer>(cfg);
+  };
+  const std::unique_ptr<serve::GemmServer> server_off = make_server(false);
+  const std::unique_ptr<serve::GemmServer> server_on = make_server(true);
+  const auto burst = [&](serve::GemmServer& server) {
+    const double t0 = cpu_ms();
+    std::vector<RequestHandle> handles;
+    handles.reserve(static_cast<std::size_t>(per_round));
+    for (int i = 0; i < per_round; ++i) {
+      const Tenant& t = tenants[static_cast<std::size_t>(i) % tenants.size()];
+      serve::RequestOptions opts;
+      opts.tenant = t.name;
+      opts.b_key = t.b_key;
+      handles.push_back(server.submit_sgemm(t.a, t.b, t.c0, opts));
+    }
+    for (const RequestHandle& h : handles) h->wait();
+    r.requests += per_round;
+    return cpu_ms() - t0;
+  };
+
+  burst(*server_off);  // warm-up both arms: allocator, pack cache path
+  burst(*server_on);
+  std::vector<double> on, off;
+  on.reserve(static_cast<std::size_t>(rounds));
+  off.reserve(static_cast<std::size_t>(rounds));
+  for (int p = 0; p < rounds; ++p) {
+    double t_on, t_off;
+    if (p % 2 == 0) {
+      t_off = burst(*server_off);
+      t_on = burst(*server_on);
+    } else {
+      t_on = burst(*server_on);
+      t_off = burst(*server_off);
+    }
+    on.push_back(t_on);
+    off.push_back(t_off);
+  }
+  const auto median_of = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  const double med_on = median_of(on);
+  const double med_off = median_of(off);
+  std::vector<double> ratios;
+  ratios.reserve(static_cast<std::size_t>(rounds));
+  double total_on = 0;
+  double total_off = 0;
+  for (int p = 0; p < rounds; ++p) {
+    const std::size_t i = static_cast<std::size_t>(p);
+    if (off[i] > 0) ratios.push_back(on[i] / off[i]);
+    // A preempted round resumes with cold caches and burns extra CPU
+    // time; it shows up as a sample far above its arm's median. Keep
+    // the reported totals paired and like-for-like by dropping the
+    // whole round.
+    if (on[i] > 1.25 * med_on || off[i] > 1.25 * med_off) continue;
+    total_on += on[i];
+    total_off += off[i];
+  }
+  r.traced_ms = total_on;
+  r.untraced_ms = total_off;
+  r.ratio = ratios.empty() ? 1.0 : median_of(ratios);
+  server_off->shutdown();
+  server_on->shutdown();
+  return r;
 }
 
 // ---------------------------------------------------------------------------
@@ -608,8 +753,8 @@ int main(int argc, char** argv) {
 
   telemetry::JsonWriter w;
   w.begin_object();
-  w.kv("bench", "serving").kv("seed", seed).kv("quick", quick).kv("mode",
-                                                                  mode);
+  w.kv("bench", "serving").kv("schema_version", 1);
+  w.kv("seed", seed).kv("quick", quick).kv("mode", mode);
 
   std::printf("== GemmServer serving bench (seed=0x%llx%s) ==\n",
               static_cast<unsigned long long>(seed), quick ? ", quick" : "");
@@ -655,6 +800,23 @@ int main(int argc, char** argv) {
     w.end_object();
   }
 
+  {
+    const OverheadResult o = run_overhead(quick, seed);
+    std::printf(
+        "tracing overhead: traced %.2f vs untraced %.2f CPU ms (trimmed "
+        "paired totals) | ratio %.4f (median of per-round ratios, budget "
+        "1.02)\n",
+        o.traced_ms, o.untraced_ms, o.ratio);
+    w.key("tracing_overhead").begin_object();
+    w.kv("requests", o.requests)
+        .kv("traced_cpu_ms", o.traced_ms)
+        .kv("untraced_cpu_ms", o.untraced_ms)
+        .kv("overhead_ratio", o.ratio)
+        .kv("budget_ratio", 1.02)
+        .kv("within_budget", o.ratio <= 1.02);
+    w.end_object();
+  }
+
   if (run_chaos_mode) {
     const int dp = quick ? 3 : 10;   // datapath requests per domain
     const int sys = quick ? 6 : 20;  // system-domain requests
@@ -697,6 +859,15 @@ int main(int argc, char** argv) {
       w.begin_object().kv("name", d.name).kv("requests", d.tally.total());
       json_tally(w, d.tally);
       w.kv("required_outcome_seen", d.required_seen).kv("pass", dpass);
+      if (!d.tally.trace_samples.empty()) {
+        // Per-request timelines of degraded/failed/expired requests:
+        // admission -> ABFT detections -> ladder walk -> terminal.
+        w.key("timeline_samples").begin_array();
+        for (const RequestHandle& r : d.tally.trace_samples) {
+          r->trace()->write_json(w);
+        }
+        w.end_array();
+      }
       w.end_object();
     }
     w.end_array();
@@ -736,6 +907,31 @@ int main(int argc, char** argv) {
     std::fputs(json.c_str(), f);
     std::fclose(f);
   }
+
+  // Optional live-metrics exposition dump + self-lint (the CI
+  // metrics-smoke step): whatever this process exposes must parse as
+  // Prometheus text format.
+  const std::string metrics_prefix = cli.get("metrics-dump", "");
+  if (!metrics_prefix.empty()) {
+    const std::string prom_path = metrics_prefix + ".prom";
+    const std::string snap_path = metrics_prefix + ".json";
+    if (!telemetry::write_prometheus(prom_path) ||
+        !telemetry::write_snapshot_json(snap_path)) {
+      std::fprintf(stderr, "bench_serving: cannot write metrics dump %s\n",
+                   metrics_prefix.c_str());
+      return 2;
+    }
+    std::string lint_error;
+    if (!telemetry::prometheus_lint(telemetry::prometheus_text(),
+                                    &lint_error)) {
+      std::fprintf(stderr, "bench_serving: prometheus lint FAILED: %s\n",
+                   lint_error.c_str());
+      return 2;
+    }
+    std::printf("metrics dump: %s + %s (prometheus lint ok)\n",
+                prom_path.c_str(), snap_path.c_str());
+  }
+
   std::printf("\nserving bench: %s\n", pass ? "PASS" : "FAIL");
   return pass ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 #include "core/microkernel.hpp"
 #include "fault/injector.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace m3xu::core {
 
@@ -39,6 +40,21 @@ telemetry::Counter rt_fp32c_perdot("mxu.fp32c.elements.perdot");
 
 inline std::uint64_t area(int rows, int cols) {
   return static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+}
+
+// Attributes non-fast-path route decisions to the active request
+// trace, if one is installed on this thread (the tiled driver installs
+// it around each tile). event_once keeps the per-request log bounded
+// no matter how many panel calls the request issues.
+inline void trace_route_decisions(const char* fallback_name,
+                                  const char* generic_name,
+                                  std::uint64_t n_fallback,
+                                  std::uint64_t n_generic) {
+  if (n_fallback == 0 && n_generic == 0) return;
+  telemetry::TraceContext* const t = telemetry::current_trace_context();
+  if (t == nullptr) return;
+  if (n_fallback != 0) t->event_once(fallback_name);
+  if (n_generic != 0) t->event_once(generic_name);
 }
 
 }  // namespace
@@ -709,6 +725,8 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
     rt_fp32_edge.add(area(mb, n - nb) + area(m - mb, n));
     rt_fp32_fused.add(n_fused);
     rt_fp32_fallback.add(n_fallback);
+    trace_route_decisions("core.fp32.route.fallback",
+                          "core.fp32.route.generic", n_fallback, 0);
     return;
   }
   run_range(0, m, 0, n);
@@ -720,6 +738,8 @@ void M3xuEngine::gemm_fp32_prepacked(const PackedPanelFp32A& a, int row0,
   rt_fp32_fused.add(n_fused);
   rt_fp32_fallback.add(n_fallback);
   rt_fp32_generic.add(n_generic);
+  trace_route_decisions("core.fp32.route.fallback",
+                        "core.fp32.route.generic", n_fallback, n_generic);
 }
 
 void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
@@ -862,6 +882,8 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
     rt_fp32c_edge.add(area(mb, n - nb) + area(m - mb, n));
     rt_fp32c_fused.add(n_fused);
     rt_fp32c_fallback.add(n_fallback);
+    trace_route_decisions("core.fp32c.route.fallback",
+                          "core.fp32c.route.generic", n_fallback, 0);
     return;
   }
   run_range(0, m, 0, n);
@@ -873,6 +895,8 @@ void M3xuEngine::gemm_fp32c_prepacked(const PackedPanelFp32cA& a, int row0,
   rt_fp32c_fused.add(n_fused);
   rt_fp32c_fallback.add(n_fallback);
   rt_fp32c_generic.add(n_generic);
+  trace_route_decisions("core.fp32c.route.fallback",
+                        "core.fp32c.route.generic", n_fallback, n_generic);
 }
 
 void M3xuEngine::gemm_fp32_packed(int m, int n, int k, const float* a,

@@ -14,6 +14,7 @@
 #include "gemm/panel_cache.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace m3xu::gemm {
 
@@ -188,6 +189,10 @@ struct GemmPlan::Impl {
     exec.deadline_ms = rails.deadline_ms;
     exec.stall_ms = rails.stall_ms;
     exec.pool = rails.pool;
+    exec.trace = rails.trace;
+    if (rails.trace != nullptr) {
+      rails.trace->event("plan.execute", -1, -1, label);
+    }
     if (rails.b_cache != nullptr) {
       exec.b_cache = rails.b_cache;
       exec.b_key = rails.b_key;

@@ -91,6 +91,9 @@ struct ExecRails {
   /// Thread pool this execute partitions tiles across (non-owning;
   /// null = the global pool). Bit-identical for every pool size.
   ThreadPool* pool = nullptr;
+  /// Request-scoped trace this execute logs milestones into (non-
+  /// owning; may be null). Forwarded to ExecConfig::trace.
+  telemetry::TraceContext* trace = nullptr;
 };
 
 /// Pack/reuse statistics of a plan's private B-panel store.

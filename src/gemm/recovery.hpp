@@ -33,6 +33,10 @@ namespace m3xu {
 class ThreadPool;
 }
 
+namespace m3xu::telemetry {
+class TraceContext;  // see telemetry/trace_context.hpp
+}
+
 namespace m3xu::gemm {
 
 class PanelCache;  // see gemm/panel_cache.hpp
@@ -159,6 +163,13 @@ struct ExecConfig {
   /// K-chunk schedule is fixed - so this only chooses where the work
   /// runs (benchmark thread sweeps, per-tenant pools).
   ThreadPool* pool = nullptr;
+  /// Optional request-scoped trace (non-owning; may be null). The
+  /// driver logs tile-level milestones - pack-cache hits, ABFT
+  /// detections, ladder retries/demotions, quarantine activity,
+  /// terminal degradations - into it and installs it as the active
+  /// thread-local context around each tile so the core route dispatch
+  /// can attribute route decisions to the request.
+  telemetry::TraceContext* trace = nullptr;
 };
 
 /// What the recovery layer did during one driver call. Folded into

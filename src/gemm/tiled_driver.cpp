@@ -19,6 +19,7 @@
 #include "gemm/panel_cache.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace m3xu::gemm {
 
@@ -249,6 +250,9 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
   std::mutex stats_mu;
   TiledGemmStats stats;
   stats.block_tiles = grid.tiles();
+  if (exec.trace != nullptr) {
+    exec.trace->event("exec.start", grid.tiles(), static_cast<long>(k));
+  }
 
   // ABFT column-checksum ingredients: asum/amag depend only on a tile's
   // block-row (sum over its A rows), so compute them once per block row
@@ -284,6 +288,11 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
       [&](std::size_t t) {
     const long tile_row = static_cast<long>(t) / grid.grid_n;
     const long tile_col = static_cast<long>(t) % grid.grid_n;
+    // Request-scoped tracing: `trace` gets tile-level milestones, and
+    // installing it as the thread-local context lets the core route
+    // dispatch attribute route decisions to this request.
+    telemetry::TraceContext* const trace = exec.trace;
+    const telemetry::TraceContextScope trace_scope(trace);
     const int bm = static_cast<int>(tile_row) * cfg.block_m;
     const int bn = static_cast<int>(tile_col) * cfg.block_n;
     const int m_eff = std::min(cfg.block_m, m - bm);
@@ -397,6 +406,10 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
                                    kc,         n_eff, PackedOps<T>::kCplx};
                 b_cached =
                     PackedOps<T>::cache_get(*exec.b_cache, key, &b_panel);
+                if (trace != nullptr) {
+                  trace->event(b_cached ? "pack.cache.hit" : "pack.cache.miss",
+                               static_cast<long>(t), k0);
+                }
                 if (!b_cached) {
                   PackedOps<T>::pack_b(b_stage.data(), n_eff, kc, n_eff,
                                        b_panel);
@@ -411,7 +424,13 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
               packed = false;
             }
           }
-          if (!packed) ++local.recovery.alloc_fallbacks;
+          if (!packed) {
+            ++local.recovery.alloc_fallbacks;
+            if (trace != nullptr) {
+              trace->event("recovery.alloc_fallback", static_cast<long>(t),
+                           k0);
+            }
+          }
         }
         if (counters != nullptr) {
           counters->staged_bytes +=
@@ -457,6 +476,10 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
           return static_cast<int>(x) < static_cast<int>(y);
         });
         ++local.recovery.quarantine_hits;
+        if (trace != nullptr) {
+          trace->event("recovery.quarantine_hit", static_cast<long>(t),
+                       static_cast<long>(start_route));
+        }
       }
     }
 
@@ -509,6 +532,10 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
       };
       if (!verify(c_frag)) {
         ++local.abft_detected;
+        if (trace != nullptr) {
+          trace->event("abft.detect", static_cast<long>(t),
+                       static_cast<long>(start_route));
+        }
         bool resolved = false;
         std::vector<T> prev = c_frag;
         if (!policy.demote) {
@@ -520,6 +547,9 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
             compute_tile(clean, Route::kMicrokernel, redo, nullptr,
                          /*allow_cache=*/false);
             ++local.abft_recomputed;
+            if (trace != nullptr) {
+              trace->event("abft.recompute", static_cast<long>(t), attempt);
+            }
             if (verify(redo)) {
               c_frag = std::move(redo);
               ++local.abft_recovered;
@@ -600,6 +630,10 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
             for (int attempt = 0; attempt < attempts_here && !resolved;
                  ++attempt) {
               std::vector<T> redo = c_in;
+              if (trace != nullptr) {
+                trace->event("recovery.retry", static_cast<long>(t),
+                             static_cast<long>(rung));
+              }
               compute_tile(scalar_clean ? clean : retry_engine(rung), rung,
                            redo, nullptr, /*allow_cache=*/false);
               ++local.abft_recomputed;
@@ -610,6 +644,10 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
                 ++local.abft_recovered;
                 ++local.recovery.recovered_on[static_cast<int>(rung)];
                 resolved = true;
+                if (trace != nullptr) {
+                  trace->event("recovery.recovered", static_cast<long>(t),
+                               static_cast<long>(rung));
+                }
               } else if (std::memcmp(redo.data(), prev.data(),
                                      redo.size() * sizeof(T)) == 0) {
                 // Two identical results that both fail the checksum:
@@ -618,6 +656,10 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
                 ++local.abft_false_alarms;
                 resolved = true;
                 false_alarm = true;
+                if (trace != nullptr) {
+                  trace->event("abft.false_alarm", static_cast<long>(t),
+                               static_cast<long>(rung));
+                }
               } else {
                 prev = std::move(redo);
               }
@@ -629,17 +671,29 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
             rung = static_cast<Route>(static_cast<int>(rung) + 1);
             ++local.recovery.demotions;
             ++local.recovery.demoted_to[static_cast<int>(rung)];
+            if (trace != nullptr) {
+              trace->event("recovery.demote", static_cast<long>(t),
+                           static_cast<long>(rung), route_name(rung));
+            }
           }
           if (resolved && !false_alarm &&
               static_cast<int>(rung) > static_cast<int>(start_route) &&
               policy.quarantine != nullptr) {
             if (policy.quarantine->demote(static_cast<long>(t), rung)) {
               ++local.recovery.quarantined;
+              if (trace != nullptr) {
+                trace->event("recovery.quarantined", static_cast<long>(t),
+                             static_cast<long>(rung));
+              }
             }
           }
           if (!resolved) {
             switch (policy.terminal) {
               case RecoveryPolicy::Terminal::kThrow:
+                if (trace != nullptr) {
+                  trace->event("abft.unrecovered", static_cast<long>(t),
+                               static_cast<long>(rung));
+                }
                 throw AbftFailure(
                     "ABFT: tile (" + std::to_string(tile_row) + "," +
                         std::to_string(tile_col) +
@@ -653,10 +707,20 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
                 // Keep the last attempt's bits (already in prev /
                 // c_frag lineage) and carry on degraded.
                 ++local.recovery.degraded_tiles;
+                if (trace != nullptr) {
+                  trace->event("recovery.degraded_tile",
+                               static_cast<long>(t),
+                               static_cast<long>(rung));
+                }
                 break;
               case RecoveryPolicy::Terminal::kPoison:
                 std::fill(c_frag.begin(), c_frag.end(), Traits::poison());
                 ++local.recovery.poisoned_tiles;
+                if (trace != nullptr) {
+                  trace->event("recovery.poisoned_tile",
+                               static_cast<long>(t),
+                               static_cast<long>(rung));
+                }
                 break;
             }
           }
@@ -720,6 +784,10 @@ TiledGemmStats run_tiled(const CompiledDispatch& d, const ExecConfig& exec,
     stats.recovery.poisoned_tiles += rec.poisoned_tiles;
       },
       popts);
+  if (exec.trace != nullptr) {
+    exec.trace->event("exec.done", grid.tiles(),
+                      static_cast<long>(stats.abft_detected));
+  }
   return stats;
 }
 

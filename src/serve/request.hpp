@@ -32,6 +32,7 @@
 #include "common/cancellation.hpp"
 #include "gemm/matrix.hpp"
 #include "gemm/tiled_driver.hpp"
+#include "telemetry/trace_context.hpp"
 
 namespace m3xu::serve {
 
@@ -142,6 +143,11 @@ class Request {
   const RequestOptions& options() const { return options_; }
   bool complex_mode() const { return complex_; }
 
+  /// Request-scoped trace the server threaded through execution, or
+  /// null when ServerConfig::trace_requests is off. Valid for the
+  /// handle's lifetime; export with trace()->to_json() once terminal.
+  telemetry::TraceContext* trace() const { return trace_.get(); }
+
  private:
   friend class GemmServer;
 
@@ -150,18 +156,28 @@ class Request {
   /// Executor-side: publish a terminal status exactly once. Later
   /// calls are ignored, so racing resolutions (e.g. a cancel landing
   /// while the executor finishes) keep the first outcome.
-  bool resolve(RequestStatus s, const std::string& error) {
+  // Resolution is two-phase so terminal side effects (the trace's
+  // "request.done" event, the SLO sample) complete BEFORE any waiter
+  // wakes: claim_terminal() wins the idempotence race without
+  // publishing; publish_resolution() then stores the outcome and
+  // notifies. A wait() that returns therefore always observes the
+  // finished timeline and a monitor that already counted the request.
+  bool claim_terminal() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (claimed_ || is_terminal(status_)) return false;
+    claimed_ = true;
+    return true;
+  }
+  void publish_resolution(RequestStatus s, const std::string& error) {
     std::unique_lock<std::mutex> lock(mu_);
-    if (is_terminal(status_)) return false;
     status_ = s;
     error_ = error;
     lock.unlock();
     done_cv_.notify_all();
-    return true;
   }
   void set_running() {
     const std::lock_guard<std::mutex> lock(mu_);
-    if (!is_terminal(status_)) status_ = RequestStatus::kRunning;
+    if (!claimed_ && !is_terminal(status_)) status_ = RequestStatus::kRunning;
   }
 
   RequestOptions options_;
@@ -170,12 +186,14 @@ class Request {
   gemm::Matrix<std::complex<float>> ca_, cb_, cc_;
   CancellationToken token_;
   gemm::TiledGemmStats stats_;
+  std::unique_ptr<telemetry::TraceContext> trace_;
   std::int64_t submit_ns_ = 0;  // steady-clock stamp at submission
   int attempts_ = 0;
 
   mutable std::mutex mu_;
   mutable std::condition_variable done_cv_;
   RequestStatus status_ = RequestStatus::kQueued;
+  bool claimed_ = false;  // terminal resolution claimed, not yet published
   std::string error_;
 };
 

@@ -78,6 +78,7 @@ RequestStatus status_for_cancel(CancelReason reason) {
 GemmServer::GemmServer(const ServerConfig& config)
     : config_(config),
       cache_(config.pack_cache_entries, config.pack_cache_verify),
+      slo_(config.slo),
       queue_(config.queue_capacity, config.admission) {
   M3XU_CHECK_MSG(config_.executors >= 1,
                  "ServerConfig.executors must be >= 1");
@@ -131,6 +132,8 @@ RequestHandle GemmServer::submit_sgemm(gemm::Matrix<float> a,
   req->a_ = std::move(a);
   req->b_ = std::move(b);
   req->c_ = std::move(c);
+  begin_request(req, gemm::PlanKey{req->a_.rows(), req->b_.cols(),
+                                   req->a_.cols(), false});
   if (req->a_.cols() != req->b_.rows() || req->a_.rows() != req->c_.rows() ||
       req->b_.cols() != req->c_.cols()) {
     srv_submitted.increment();
@@ -151,6 +154,8 @@ RequestHandle GemmServer::submit_cgemm(gemm::Matrix<std::complex<float>> a,
   req->ca_ = std::move(a);
   req->cb_ = std::move(b);
   req->cc_ = std::move(c);
+  begin_request(req, gemm::PlanKey{req->ca_.rows(), req->cb_.cols(),
+                                   req->ca_.cols(), true});
   if (req->ca_.cols() != req->cb_.rows() ||
       req->ca_.rows() != req->cc_.rows() ||
       req->cb_.cols() != req->cc_.cols()) {
@@ -162,15 +167,32 @@ RequestHandle GemmServer::submit_cgemm(gemm::Matrix<std::complex<float>> a,
   return admit(std::move(req));
 }
 
+void GemmServer::begin_request(const RequestHandle& req,
+                               const gemm::PlanKey& key) {
+  req->submit_ns_ = now_ns();
+  if (!config_.trace_requests) return;
+  req->trace_ = std::make_unique<telemetry::TraceContext>(
+      req->options_.tenant, gemm::plan_key_label(key));
+  req->trace_->event("request.submit", req->options_.priority,
+                     static_cast<long>(effective_deadline_ms(req)));
+}
+
 RequestHandle GemmServer::admit(RequestHandle req) {
   srv_submitted.increment();
-  req->submit_ns_ = now_ns();
   if (shut_down_.load(std::memory_order_acquire)) {
     req->token_.request_cancel("server shut down", CancelReason::kShed);
     resolve_and_count(req, RequestStatus::kShed, "shed: server shut down");
     return req;
   }
   const int priority = req->options_.priority;
+  // Logged BEFORE the push: the push hands the request to an executor,
+  // which may dequeue and start logging immediately - an admit event
+  // written after the handoff could land mid-execution or after the
+  // terminal event. A push the queue then rejects resolves to kShed
+  // below, whose terminal event carries the reason.
+  if (req->trace_ != nullptr) {
+    req->trace_->event("request.admit", static_cast<long>(queue_.size()));
+  }
   BoundedQueue<RequestHandle>::Admit admit = queue_.push(req, priority);
   if (!admit.admitted) {
     srv_shed_rejected.increment();
@@ -182,6 +204,9 @@ RequestHandle GemmServer::admit(RequestHandle req) {
   if (admit.evicted.has_value()) {
     const RequestHandle& victim = *admit.evicted;
     srv_shed_evicted.increment();
+    if (victim->trace_ != nullptr) {
+      victim->trace_->event("request.evicted", req->options_.priority);
+    }
     victim->token_.request_cancel("evicted by higher-priority request",
                                   CancelReason::kShed);
     resolve_and_count(victim, RequestStatus::kShed,
@@ -200,7 +225,18 @@ void GemmServer::executor_loop() {
 
 void GemmServer::resolve_and_count(const RequestHandle& req, RequestStatus s,
                                    const std::string& error) {
-  if (req->resolve(s, error)) count_terminal(s);
+  if (!req->claim_terminal()) return;
+  count_terminal(s);
+  if (req->trace_ != nullptr) {
+    req->trace_->event("request.done", static_cast<long>(s), req->attempts(),
+                       request_status_name(s));
+  }
+  const std::uint64_t latency_ns = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, now_ns() - req->submit_ns_));
+  slo_.record(s, latency_ns,
+              static_cast<std::uint64_t>(req->stats_.recovery.demotions),
+              static_cast<std::uint64_t>(req->stats_.abft_detected));
+  req->publish_resolution(s, error);
 }
 
 gemm::TileQuarantine& GemmServer::tenant_quarantine(const std::string& tenant,
@@ -257,9 +293,12 @@ std::int64_t GemmServer::effective_deadline_ms(const RequestHandle& req) const {
 }
 
 void GemmServer::run_request(const RequestHandle& req) {
-  srv_queue_wait.record(
-      static_cast<std::uint64_t>(std::max<std::int64_t>(
-          0, now_ns() - req->submit_ns_)));
+  const std::int64_t wait_ns =
+      std::max<std::int64_t>(0, now_ns() - req->submit_ns_);
+  srv_queue_wait.record(static_cast<std::uint64_t>(wait_ns));
+  if (req->trace_ != nullptr) {
+    req->trace_->event("request.dequeue", static_cast<long>(wait_ns / 1000));
+  }
   // Requests that died while queued (user cancel, deadline timer at a
   // higher layer) resolve without touching the pool.
   if (req->token_.cancelled()) {
@@ -336,6 +375,7 @@ void GemmServer::run_attempts(const RequestHandle& req, gemm::Matrix<T>& a,
     rails.b_cache = &cache_;
     rails.b_key = req->options_.b_key;
   }
+  rails.trace = req->trace_.get();
 
   // The original C operand, restored before every retry (the driver
   // accumulates into C in place).
@@ -344,6 +384,9 @@ void GemmServer::run_attempts(const RequestHandle& req, gemm::Matrix<T>& a,
     {
       const std::lock_guard<std::mutex> lock(req->mu_);
       req->attempts_ = attempt;
+    }
+    if (req->trace_ != nullptr) {
+      req->trace_->event("request.attempt", attempt);
     }
     const char* transient = nullptr;
     std::string detail;
@@ -399,6 +442,10 @@ void GemmServer::run_attempts(const RequestHandle& req, gemm::Matrix<T>& a,
     // shutdown's join.
     std::int64_t backoff_ms = config_.retry_backoff_ms
                               << std::min(attempt - 1, 20);
+    if (req->trace_ != nullptr) {
+      req->trace_->event("request.retry_backoff", attempt,
+                         static_cast<long>(backoff_ms), transient);
+    }
     while (backoff_ms > 0 && !req->token_.cancelled() &&
            !shut_down_.load(std::memory_order_acquire)) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));

@@ -44,6 +44,7 @@
 #include "serve/bounded_queue.hpp"
 #include "serve/pack_cache.hpp"
 #include "serve/request.hpp"
+#include "serve/slo.hpp"
 
 namespace m3xu::serve {
 
@@ -85,6 +86,15 @@ struct ServerConfig {
   /// injector (chaos benches do); ABFT recomputes and the terminal
   /// scalar rung always run a fault-free clone.
   core::M3xuConfig engine;
+  /// Create a request-scoped TraceContext per submission and thread it
+  /// through admission, execution, recovery, and route dispatch (see
+  /// telemetry/trace_context.hpp; Request::trace() exposes it). Costs
+  /// one allocation plus microsecond-scale event logging per request;
+  /// compiles out entirely with M3XU_TELEMETRY=OFF.
+  bool trace_requests = true;
+  /// Rolling-window SLO monitor fed by every terminal resolution. The
+  /// default thresholds never breach; see serve/slo.hpp.
+  SloConfig slo;
 };
 
 class GemmServer {
@@ -116,6 +126,12 @@ class GemmServer {
   PackCache& pack_cache() { return cache_; }
   const ServerConfig& config() const { return config_; }
 
+  /// The SLO monitor every terminal resolution feeds. Non-const so
+  /// external verifiers (chaos benches checking results against a
+  /// reference) can report SDC escapes into it.
+  SloMonitor& slo() { return slo_; }
+  const SloMonitor& slo() const { return slo_; }
+
   /// The quarantined-tile count for one tenant's grid (tests/benches;
   /// 0 when that tenant never demoted on that grid).
   std::size_t tenant_quarantine_size(const std::string& tenant, long grid_m,
@@ -126,6 +142,11 @@ class GemmServer {
   std::size_t plan_count() const;
 
  private:
+  /// Stamps the submission time and (when trace_requests is on)
+  /// creates the request's TraceContext with its "request.submit"
+  /// event. Runs before shape validation so even rejected submissions
+  /// carry a timeline.
+  void begin_request(const RequestHandle& req, const gemm::PlanKey& key);
   RequestHandle admit(RequestHandle req);
   void executor_loop();
   void run_request(const RequestHandle& req);
@@ -150,6 +171,7 @@ class GemmServer {
 
   const ServerConfig config_;
   PackCache cache_;
+  SloMonitor slo_;
   BoundedQueue<RequestHandle> queue_;
   mutable std::mutex quarantine_mu_;
   std::map<std::tuple<std::string, long, long>,

@@ -1,0 +1,205 @@
+#include "serve/slo.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "telemetry/json.hpp"
+#include "telemetry/stopwatch.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace m3xu::serve {
+
+namespace {
+
+telemetry::Counter c_evaluations("slo.evaluations");
+telemetry::Counter c_breaches("slo.breaches");
+
+/// Bounded edge-triggered breach history.
+constexpr std::size_t kMaxBreachLog = 256;
+
+/// Exact nearest-rank percentile over a sorted sample set.
+double percentile_ms(const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(rank + 0.5);
+  return static_cast<double>(sorted[std::min(idx, sorted.size() - 1)]) * 1e-6;
+}
+
+}  // namespace
+
+SloMonitor::SloMonitor(SloConfig config) : config_(config) {
+  window_.reserve(std::min<std::size_t>(config_.window, 4096));
+}
+
+void SloMonitor::record(RequestStatus status, std::uint64_t latency_ns,
+                        std::uint64_t demotions,
+                        std::uint64_t abft_detected) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Sample sample{status, latency_ns, demotions > 0, abft_detected > 0};
+  if (config_.window == 0) return;
+  if (window_.size() < config_.window) {
+    window_.push_back(sample);
+  } else {
+    window_[next_] = sample;
+  }
+  next_ = (next_ + 1) % config_.window;
+  ++recorded_;
+  if (config_.evaluate_every != 0 &&
+      recorded_ % config_.evaluate_every == 0) {
+    note_breaches_locked(evaluate_locked());
+  }
+}
+
+void SloMonitor::record_sdc_escape() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++sdc_escapes_;
+  // An escape is the one SLO violation that must never wait for the
+  // next cadence tick.
+  note_breaches_locked(evaluate_locked());
+}
+
+SloReport SloMonitor::evaluate() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++evaluations_;
+  c_evaluations.increment();
+  return evaluate_locked();
+}
+
+SloReport SloMonitor::evaluate_locked() const {
+  SloReport report;
+  report.window_requests = window_.size();
+  report.sdc_escapes = sdc_escapes_;
+  std::vector<std::uint64_t> latencies;
+  latencies.reserve(window_.size());
+  std::uint64_t shed = 0, demoted = 0, abft = 0;
+  for (const Sample& s : window_) {
+    if (s.status == RequestStatus::kShed) {
+      ++shed;
+      continue;
+    }
+    latencies.push_back(s.latency_ns);
+    if (s.demoted) ++demoted;
+    if (s.abft_detected) ++abft;
+  }
+  report.executed_requests = latencies.size();
+  std::sort(latencies.begin(), latencies.end());
+  report.p50_ms = percentile_ms(latencies, 50);
+  report.p99_ms = percentile_ms(latencies, 99);
+  if (!window_.empty()) {
+    report.shed_rate =
+        static_cast<double>(shed) / static_cast<double>(window_.size());
+  }
+  if (!latencies.empty()) {
+    const double executed = static_cast<double>(latencies.size());
+    report.demotion_rate = static_cast<double>(demoted) / executed;
+    report.abft_recovery_rate = static_cast<double>(abft) / executed;
+  }
+
+  const SloThresholds& t = config_.thresholds;
+  const std::uint64_t now = telemetry::now_ns();
+  const auto breach = [&](const char* metric, double observed,
+                          double threshold) {
+    report.breaches.push_back(
+        SloBreach{metric, observed, threshold, now, report.window_requests});
+  };
+  const bool enough = window_.size() >= config_.min_requests;
+  if (enough && t.p50_ms > 0 && report.p50_ms > t.p50_ms) {
+    breach("latency_p50_ms", report.p50_ms, t.p50_ms);
+  }
+  if (enough && t.p99_ms > 0 && report.p99_ms > t.p99_ms) {
+    breach("latency_p99_ms", report.p99_ms, t.p99_ms);
+  }
+  if (enough && t.max_shed_rate >= 0 &&
+      report.shed_rate > t.max_shed_rate) {
+    breach("shed_rate", report.shed_rate, t.max_shed_rate);
+  }
+  if (enough && t.max_demotion_rate >= 0 &&
+      report.demotion_rate > t.max_demotion_rate) {
+    breach("demotion_rate", report.demotion_rate, t.max_demotion_rate);
+  }
+  if (enough && t.max_abft_recovery_rate >= 0 &&
+      report.abft_recovery_rate > t.max_abft_recovery_rate) {
+    breach("abft_recovery_rate", report.abft_recovery_rate,
+           t.max_abft_recovery_rate);
+  }
+  if (static_cast<std::int64_t>(sdc_escapes_) > t.max_sdc_escapes) {
+    breach("sdc_escapes", static_cast<double>(sdc_escapes_),
+           static_cast<double>(t.max_sdc_escapes));
+  }
+  return report;
+}
+
+void SloMonitor::note_breaches_locked(const SloReport& report) {
+  ++evaluations_;
+  c_evaluations.increment();
+  const auto latch = [&](const char* metric, bool* active) {
+    const SloBreach* found = nullptr;
+    for (const SloBreach& b : report.breaches) {
+      if (b.metric == metric ||
+          std::string_view(b.metric) == metric) {
+        found = &b;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      *active = false;  // re-arm once the metric recovers
+      return;
+    }
+    if (*active) return;  // still in the same breach episode
+    *active = true;
+    c_breaches.increment();
+    if (breach_log_.size() >= kMaxBreachLog) {
+      breach_log_.erase(breach_log_.begin());
+    }
+    breach_log_.push_back(*found);
+  };
+  latch("latency_p50_ms", &active_p50_);
+  latch("latency_p99_ms", &active_p99_);
+  latch("shed_rate", &active_shed_);
+  latch("demotion_rate", &active_demotion_);
+  latch("abft_recovery_rate", &active_abft_);
+  latch("sdc_escapes", &active_sdc_);
+}
+
+std::vector<SloBreach> SloMonitor::breach_log() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return breach_log_;
+}
+
+std::uint64_t SloMonitor::evaluations() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+std::uint64_t SloMonitor::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+void SloMonitor::write_json(telemetry::JsonWriter& w,
+                            const SloReport& report) {
+  w.begin_object();
+  w.kv("window_requests", report.window_requests);
+  w.kv("executed_requests", report.executed_requests);
+  w.key("p50_ms").value(report.p50_ms, 6);
+  w.key("p99_ms").value(report.p99_ms, 6);
+  w.key("shed_rate").value(report.shed_rate, 6);
+  w.key("demotion_rate").value(report.demotion_rate, 6);
+  w.key("abft_recovery_rate").value(report.abft_recovery_rate, 6);
+  w.kv("sdc_escapes", report.sdc_escapes);
+  w.kv("ok", report.ok());
+  w.key("breaches").begin_array();
+  for (const SloBreach& b : report.breaches) {
+    w.begin_object();
+    w.kv("metric", b.metric);
+    w.key("observed").value(b.observed, 9);
+    w.key("threshold").value(b.threshold, 9);
+    w.kv("at_ns", b.at_ns);
+    w.kv("window_requests", b.window_requests);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace m3xu::serve

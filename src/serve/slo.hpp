@@ -1,0 +1,149 @@
+// SLO monitoring for the serving stack: a rolling window of terminal
+// request outcomes evaluated against configurable thresholds.
+//
+// The monitor tracks, over the last `window` terminal requests:
+//   - p50/p99 latency (exact nearest-rank over the window, computed
+//     over executed requests - shed requests never ran and would only
+//     dilute the percentiles)
+//   - shed rate (kShed / window)
+//   - route-demotion rate (executed requests whose recovery ladder
+//     demoted at least one tile)
+//   - ABFT-recovery rate (executed requests whose ABFT guard detected
+//     and engaged recovery)
+//   - SDC-escape count (cumulative; reported by an external checker
+//     via record_sdc_escape(), e.g. the chaos harness's bit-identity
+//     gate - the server cannot observe its own silent corruption)
+//
+// record() is called once per terminal request by GemmServer (a mutex
+// push into a ring buffer - the serving control path, not the GEMM hot
+// path) and auto-evaluates every `evaluate_every` records. Breaches
+// are edge-triggered into a bounded structured log: one SloBreach when
+// a metric crosses from ok to breached, re-armed when it recovers.
+// evaluate() renders a full report on demand; everything exports as
+// JSON via write_json.
+//
+// Works identically in M3XU_TELEMETRY=OFF builds (the monitor is its
+// own state, not registry-backed); only the slo.* counters vanish.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace m3xu::telemetry {
+class JsonWriter;
+}  // namespace m3xu::telemetry
+
+namespace m3xu::serve {
+
+/// Evaluation thresholds. A threshold at its "disabled" sentinel is
+/// not checked.
+struct SloThresholds {
+  double p50_ms = 0;                   // 0 disables
+  double p99_ms = 0;                   // 0 disables
+  double max_shed_rate = -1;           // fraction in [0,1]; <0 disables
+  double max_demotion_rate = -1;       // fraction in [0,1]; <0 disables
+  double max_abft_recovery_rate = -1;  // fraction in [0,1]; <0 disables
+  /// Breach when cumulative SDC escapes exceed this. Escapes are
+  /// always checked: the only acceptable default is zero.
+  std::int64_t max_sdc_escapes = 0;
+};
+
+struct SloConfig {
+  SloThresholds thresholds;
+  /// Terminal requests retained in the rolling window.
+  std::size_t window = 1024;
+  /// Rate/percentile thresholds are not evaluated below this many
+  /// windowed requests (one early shed is not a 100% shed rate).
+  std::size_t min_requests = 16;
+  /// Auto-evaluation cadence in record() calls; 0 disables (then only
+  /// explicit evaluate() calls observe breaches).
+  std::size_t evaluate_every = 32;
+};
+
+/// One threshold crossing. `metric` is a static name ("latency_p99_ms",
+/// "shed_rate", ...); observed/threshold are in the metric's unit.
+struct SloBreach {
+  const char* metric = "";
+  double observed = 0;
+  double threshold = 0;
+  std::uint64_t at_ns = 0;  // now_ns() stamp of the evaluation
+  std::uint64_t window_requests = 0;
+};
+
+/// Snapshot of the windowed metrics plus the breaches active at this
+/// evaluation.
+struct SloReport {
+  std::uint64_t window_requests = 0;
+  std::uint64_t executed_requests = 0;  // window minus shed
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double shed_rate = 0;
+  double demotion_rate = 0;
+  double abft_recovery_rate = 0;
+  std::uint64_t sdc_escapes = 0;
+  std::vector<SloBreach> breaches;
+  bool ok() const { return breaches.empty(); }
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config = {});
+
+  /// One terminal request. `latency_ns` is submission-to-resolution;
+  /// `demotions`/`abft_detected` come from the winning attempt's
+  /// driver stats (0 when the request never executed).
+  void record(RequestStatus status, std::uint64_t latency_ns,
+              std::uint64_t demotions = 0, std::uint64_t abft_detected = 0);
+
+  /// Cumulative silent-data-corruption escapes observed by an external
+  /// bit-identity checker.
+  void record_sdc_escape();
+
+  /// Evaluates the current window against the thresholds.
+  SloReport evaluate() const;
+
+  /// Edge-triggered breach events from auto-evaluation, oldest first
+  /// (bounded; overflow drops the oldest).
+  std::vector<SloBreach> breach_log() const;
+
+  std::uint64_t evaluations() const;
+  std::uint64_t recorded() const;
+  const SloConfig& config() const { return config_; }
+
+  /// Writes the report as the writer's next value.
+  static void write_json(telemetry::JsonWriter& w, const SloReport& report);
+
+ private:
+  struct Sample {
+    RequestStatus status;
+    std::uint64_t latency_ns;
+    bool demoted;
+    bool abft_detected;
+  };
+
+  SloReport evaluate_locked() const;
+  void note_breaches_locked(const SloReport& report);
+
+  const SloConfig config_;
+
+  mutable std::mutex mu_;
+  std::vector<Sample> window_;  // ring buffer
+  std::size_t next_ = 0;        // ring insertion point
+  std::uint64_t recorded_ = 0;
+  std::uint64_t sdc_escapes_ = 0;
+  mutable std::uint64_t evaluations_ = 0;
+  std::vector<SloBreach> breach_log_;
+  // Edge-trigger state: one latch per thresholded metric.
+  bool active_p50_ = false;
+  bool active_p99_ = false;
+  bool active_shed_ = false;
+  bool active_demotion_ = false;
+  bool active_abft_ = false;
+  bool active_sdc_ = false;
+};
+
+}  // namespace m3xu::serve

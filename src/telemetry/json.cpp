@@ -1,6 +1,7 @@
 #include "telemetry/json.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -360,6 +361,37 @@ struct JsonParser {
     return out;
   }
 
+  // RFC 8259 number grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][-+]?[0-9]+)?
+  // Rejects the spellings strtod tolerates but JSON forbids: leading
+  // '+', leading '.', leading zeros in the integer part, empty
+  // fraction/exponent. Exponents MAY carry '+' and leading zeros
+  // (the writer's %g emits e.g. "1e+06").
+  static bool is_json_number(const std::string& t) {
+    std::size_t i = 0;
+    const auto digit = [&](std::size_t j) {
+      return j < t.size() && t[j] >= '0' && t[j] <= '9';
+    };
+    if (i < t.size() && t[i] == '-') ++i;
+    if (!digit(i)) return false;
+    if (t[i] == '0') {
+      ++i;
+    } else {
+      while (digit(i)) ++i;
+    }
+    if (i < t.size() && t[i] == '.') {
+      ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+      ++i;
+      if (i < t.size() && (t[i] == '+' || t[i] == '-')) ++i;
+      if (!digit(i)) return false;
+      while (digit(i)) ++i;
+    }
+    return i == t.size();
+  }
+
   JsonValue parse_number() {
     JsonValue v;
     const std::size_t start = pos;
@@ -375,9 +407,45 @@ struct JsonParser {
       return v;
     }
     const std::string token(s.substr(start, pos - start));
+    if (!is_json_number(token)) {
+      ok = false;
+      return v;
+    }
+    // Integer tokens are parsed into exact 64-bit wells first so
+    // values past 2^53 (histogram sums, checksums, ids) survive a
+    // round-trip; only fractional/exponent tokens and out-of-64-bit
+    // magnitudes take the double path.
+    if (token.find_first_of(".eE") == std::string::npos) {
+      char* iend = nullptr;
+      errno = 0;
+      if (token[0] == '-') {
+        const long long parsed = std::strtoll(token.c_str(), &iend, 10);
+        if (errno == 0 && iend == token.c_str() + token.size()) {
+          v.type_ = JsonValue::Type::kNumber;
+          v.num_kind_ = JsonValue::NumKind::kInt;
+          v.int_ = parsed;
+          v.num_ = static_cast<double>(parsed);
+          return v;
+        }
+      } else {
+        const unsigned long long parsed =
+            std::strtoull(token.c_str(), &iend, 10);
+        if (errno == 0 && iend == token.c_str() + token.size()) {
+          v.type_ = JsonValue::Type::kNumber;
+          v.num_kind_ = JsonValue::NumKind::kUint;
+          v.uint_ = parsed;
+          v.num_ = static_cast<double>(parsed);
+          return v;
+        }
+      }
+    }
     char* end = nullptr;
+    errno = 0;
     const double parsed = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
+    if (end != token.c_str() + token.size() || !std::isfinite(parsed)) {
+      // Rejecting non-finite results also rejects overflow spellings
+      // like 1e999: JSON has no Inf/NaN, and the writer emits null for
+      // them, so nothing we wrote ever takes this path.
       ok = false;
       return v;
     }
@@ -405,6 +473,16 @@ double JsonValue::as_double(double fallback) const {
 
 std::int64_t JsonValue::as_int(std::int64_t fallback) const {
   if (type_ != Type::kNumber) return fallback;
+  switch (num_kind_) {
+    case NumKind::kInt:
+      return int_;
+    case NumKind::kUint:
+      return uint_ <= 9223372036854775807ull
+                 ? static_cast<std::int64_t>(uint_)
+                 : fallback;
+    case NumKind::kDouble:
+      break;
+  }
   if (num_ < -9.2233720368547758e18 || num_ > 9.2233720368547758e18) {
     return fallback;
   }
@@ -412,7 +490,16 @@ std::int64_t JsonValue::as_int(std::int64_t fallback) const {
 }
 
 std::uint64_t JsonValue::as_uint(std::uint64_t fallback) const {
-  if (type_ != Type::kNumber || num_ < 0 || num_ > 1.8446744073709552e19) {
+  if (type_ != Type::kNumber) return fallback;
+  switch (num_kind_) {
+    case NumKind::kUint:
+      return uint_;
+    case NumKind::kInt:
+      return int_ >= 0 ? static_cast<std::uint64_t>(int_) : fallback;
+    case NumKind::kDouble:
+      break;
+  }
+  if (num_ < 0 || num_ > 1.8446744073709552e19) {
     return fallback;
   }
   return static_cast<std::uint64_t>(num_);

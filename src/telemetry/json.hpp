@@ -95,7 +95,11 @@ class JsonValue {
 
   bool as_bool(bool fallback = false) const;
   double as_double(double fallback = 0.0) const;
-  /// Truncates toward zero; fallback on type mismatch or out-of-range.
+  /// Integer tokens (no fraction/exponent) are held exactly in 64
+  /// bits, so values past 2^53 round-trip bit-exactly through the
+  /// writer's uint64/long emitters; only fractional or out-of-64-bit
+  /// numbers go through double. Truncates toward zero; fallback on
+  /// type mismatch or out-of-range.
   std::int64_t as_int(std::int64_t fallback = 0) const;
   std::uint64_t as_uint(std::uint64_t fallback = 0) const;
   const std::string& as_string() const;  // empty string on mismatch
@@ -113,9 +117,17 @@ class JsonValue {
  private:
   friend struct JsonParser;
 
+  // Integer-token numbers additionally keep an exact 64-bit value
+  // (num_kind_ says which well is authoritative); num_ always holds
+  // the nearest double for as_double.
+  enum class NumKind { kDouble, kInt, kUint };
+
   Type type_ = Type::kNull;
   bool bool_ = false;
+  NumKind num_kind_ = NumKind::kDouble;
   double num_ = 0.0;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
   std::string str_;
   std::vector<JsonValue> array_;
   std::vector<std::pair<std::string, JsonValue>> object_;

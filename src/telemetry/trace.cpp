@@ -120,6 +120,10 @@ Ring& local_ring() {
 
 }  // namespace
 
+std::uint64_t trace_origin_ns() {
+  return TraceRegistry::instance().origin_ns();
+}
+
 void emit_span(const char* name, std::uint64_t start_ns,
                std::uint64_t dur_ns) {
   Ring& r = local_ring();
@@ -132,10 +136,13 @@ std::string trace_json() {
   TraceRegistry& reg = TraceRegistry::instance();
   const std::uint64_t origin = reg.origin_ns();
   std::vector<RingSnapshot> rings = reg.collect();
-  std::sort(rings.begin(), rings.end(),
-            [](const RingSnapshot& a, const RingSnapshot& b) {
-              return a.tid < b.tid;
-            });
+  // Stable sorts keep the export byte-identical across calls even when
+  // tids collide with equal keys (retired ring order is detach order,
+  // which varies with thread teardown at shutdown).
+  std::stable_sort(rings.begin(), rings.end(),
+                   [](const RingSnapshot& a, const RingSnapshot& b) {
+                     return a.tid < b.tid;
+                   });
 
   JsonWriter w;
   w.begin_object();
@@ -154,9 +161,10 @@ std::string trace_json() {
     w.end_object();
     w.end_object();
     std::vector<Span> spans = ring.spans;
-    std::sort(spans.begin(), spans.end(), [](const Span& a, const Span& b) {
-      return a.start_ns < b.start_ns;
-    });
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const Span& a, const Span& b) {
+                       return a.start_ns < b.start_ns;
+                     });
     for (const Span& s : spans) {
       const std::uint64_t rel =
           s.start_ns >= origin ? s.start_ns - origin : 0;

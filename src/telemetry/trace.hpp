@@ -67,6 +67,11 @@ bool write_trace_json(const std::string& path);
 /// Drops every retained span (test-only).
 void reset_trace();
 
+/// now_ns() value the exported trace uses as t=0 (fixed at first trace
+/// use). TraceContext::write_json emits ts_us relative to this so
+/// per-request timelines align with the Perfetto span export.
+std::uint64_t trace_origin_ns();
+
 #else  // !M3XU_TELEMETRY_ENABLED
 
 inline void emit_span(const char*, std::uint64_t, std::uint64_t) {}
@@ -81,6 +86,7 @@ class ScopedTimer {
 std::string trace_json();
 bool write_trace_json(const std::string& path);
 inline void reset_trace() {}
+inline std::uint64_t trace_origin_ns() { return 0; }
 
 #endif  // M3XU_TELEMETRY_ENABLED
 

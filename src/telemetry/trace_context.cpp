@@ -1,0 +1,127 @@
+#include "telemetry/trace_context.hpp"
+
+#include <atomic>
+#include <cstring>
+
+#include "telemetry/json.hpp"
+#include "telemetry/stopwatch.hpp"
+#include "telemetry/trace.hpp"
+
+namespace m3xu::telemetry {
+
+#if M3XU_TELEMETRY_ENABLED
+
+namespace {
+
+// Process-wide id wells. fetch_add gives every request and every event
+// a unique id, monotone in allocation order across all pool threads.
+std::atomic<std::uint64_t> g_next_request_id{1};
+std::atomic<std::uint64_t> g_next_event_id{1};
+
+thread_local TraceContext* t_current_context = nullptr;
+
+}  // namespace
+
+TraceContext::TraceContext(std::string tenant, std::string label)
+    : request_id_(g_next_request_id.fetch_add(1, std::memory_order_relaxed)),
+      tenant_(std::move(tenant)),
+      label_(std::move(label)),
+      created_ns_(now_ns()) {
+  events_.reserve(32);
+}
+
+void TraceContext::event(const char* name, long a0, long a1,
+                         std::string detail) {
+  const std::uint64_t ts = now_ns();
+  const std::uint64_t id =
+      g_next_event_id.fetch_add(1, std::memory_order_relaxed);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxTraceEvents) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(
+      TraceEvent{id, next_seq_++, ts, name, a0, a1, std::move(detail)});
+}
+
+bool TraceContext::event_once(const char* name, long a0, long a1) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceEvent& e : events_) {
+      if (e.name == name || std::strcmp(e.name, name) == 0) return false;
+    }
+  }
+  event(name, a0, a1);
+  return true;
+}
+
+std::vector<TraceEvent> TraceContext::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::uint64_t TraceContext::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceContext::write_json(JsonWriter& w) const {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    dropped = dropped_;
+  }
+  const std::uint64_t origin = trace_origin_ns();
+  w.begin_object();
+  w.kv("request_id", request_id_);
+  w.kv("tenant", tenant_);
+  w.kv("label", label_);
+  w.kv("created_ns", created_ns_);
+  w.key("events").begin_array();
+  for (const TraceEvent& e : events) {
+    w.begin_object();
+    w.kv("id", e.id);
+    w.kv("seq", e.seq);
+    w.kv("name", e.name);
+    w.kv("ts_ns", e.ts_ns);
+    // Span-trace-relative microseconds: overlays directly on the
+    // Perfetto export's ts axis.
+    const std::uint64_t rel = e.ts_ns >= origin ? e.ts_ns - origin : 0;
+    w.key("ts_us").value(static_cast<double>(rel) * 1e-3, 12);
+    if (e.a0 != -1) w.kv("a0", e.a0);
+    if (e.a1 != -1) w.kv("a1", e.a1);
+    if (!e.detail.empty()) w.kv("detail", e.detail);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("dropped_events", dropped);
+  w.end_object();
+}
+
+std::string TraceContext::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.str();
+}
+
+TraceContextScope::TraceContextScope(TraceContext* ctx)
+    : prev_(t_current_context) {
+  t_current_context = ctx;
+}
+
+TraceContextScope::~TraceContextScope() { t_current_context = prev_; }
+
+TraceContext* current_trace_context() { return t_current_context; }
+
+#else  // !M3XU_TELEMETRY_ENABLED
+
+void TraceContext::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.end_object();
+}
+
+#endif  // M3XU_TELEMETRY_ENABLED
+
+}  // namespace m3xu::telemetry

@@ -1,0 +1,202 @@
+// SloMonitor tests: windowed percentile math, shed/demotion/ABFT
+// rates, threshold gating (min_requests, disabled sentinels),
+// edge-triggered breach latching with re-arm, ring-buffer eviction,
+// SDC-escape immediacy, JSON rendering, and the GemmServer
+// integration (every terminal resolution feeds the monitor).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "gemm/matrix.hpp"
+#include "serve/server.hpp"
+#include "serve/slo.hpp"
+#include "telemetry/json.hpp"
+
+using namespace m3xu;
+using serve::RequestStatus;
+using serve::SloConfig;
+using serve::SloMonitor;
+using serve::SloReport;
+
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;  // ns per ms
+
+SloConfig manual_config() {
+  SloConfig cfg;
+  cfg.min_requests = 1;
+  cfg.evaluate_every = 0;  // tests drive evaluation explicitly
+  return cfg;
+}
+
+bool has_breach(const SloReport& report, const std::string& metric) {
+  for (const serve::SloBreach& b : report.breaches) {
+    if (metric == b.metric) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(SloMonitor, PercentilesAreNearestRankOverExecuted) {
+  SloMonitor mon(manual_config());
+  for (int i = 1; i <= 100; ++i) {
+    mon.record(RequestStatus::kOk, static_cast<std::uint64_t>(i) * kMs);
+  }
+  // Shed requests never ran; they must not dilute the percentiles.
+  mon.record(RequestStatus::kShed, 0);
+  const SloReport report = mon.evaluate();
+  EXPECT_EQ(report.window_requests, 101u);
+  EXPECT_EQ(report.executed_requests, 100u);
+  EXPECT_NEAR(report.p50_ms, 50.0, 1.5);
+  EXPECT_NEAR(report.p99_ms, 99.0, 1.5);
+  EXPECT_NEAR(report.shed_rate, 1.0 / 101.0, 1e-9);
+  EXPECT_TRUE(report.ok());  // default thresholds never breach
+}
+
+TEST(SloMonitor, RatesCountExecutedRequestsOnly) {
+  SloMonitor mon(manual_config());
+  mon.record(RequestStatus::kOk, kMs, /*demotions=*/2, /*abft_detected=*/1);
+  mon.record(RequestStatus::kOk, kMs, 0, 1);
+  mon.record(RequestStatus::kOk, kMs, 0, 0);
+  mon.record(RequestStatus::kOk, kMs, 0, 0);
+  const SloReport report = mon.evaluate();
+  EXPECT_NEAR(report.demotion_rate, 0.25, 1e-9);
+  EXPECT_NEAR(report.abft_recovery_rate, 0.5, 1e-9);
+}
+
+TEST(SloMonitor, WindowEvictsOldestSamples) {
+  SloConfig cfg = manual_config();
+  cfg.window = 4;
+  SloMonitor mon(cfg);
+  for (int i = 0; i < 4; ++i) mon.record(RequestStatus::kShed, 0);
+  // Four fresh executed requests push every shed sample out.
+  for (int i = 0; i < 4; ++i) mon.record(RequestStatus::kOk, 10 * kMs);
+  const SloReport report = mon.evaluate();
+  EXPECT_EQ(report.window_requests, 4u);
+  EXPECT_EQ(report.executed_requests, 4u);
+  EXPECT_NEAR(report.shed_rate, 0.0, 1e-9);
+  EXPECT_EQ(mon.recorded(), 8u);
+}
+
+TEST(SloMonitor, ThresholdsGateOnMinRequests) {
+  SloConfig cfg = manual_config();
+  cfg.min_requests = 8;
+  cfg.thresholds.p99_ms = 1.0;
+  SloMonitor mon(cfg);
+  for (int i = 0; i < 7; ++i) mon.record(RequestStatus::kOk, 100 * kMs);
+  EXPECT_TRUE(mon.evaluate().ok());  // under min_requests: no verdict
+  mon.record(RequestStatus::kOk, 100 * kMs);
+  const SloReport report = mon.evaluate();
+  EXPECT_TRUE(has_breach(report, "latency_p99_ms"));
+}
+
+TEST(SloMonitor, BreachesLatchEdgeTriggeredAndRearm) {
+  SloConfig cfg;
+  cfg.window = 4;
+  cfg.min_requests = 1;
+  cfg.evaluate_every = 1;  // evaluate on every record
+  cfg.thresholds.p50_ms = 5.0;
+  SloMonitor mon(cfg);
+  // Four slow requests: the p50 threshold is crossed on the first
+  // record and stays crossed - one breach event, not four.
+  for (int i = 0; i < 4; ++i) mon.record(RequestStatus::kOk, 50 * kMs);
+  EXPECT_EQ(mon.breach_log().size(), 1u);
+  EXPECT_STREQ(mon.breach_log()[0].metric, "latency_p50_ms");
+  EXPECT_NEAR(mon.breach_log()[0].observed, 50.0, 1.0);
+  EXPECT_NEAR(mon.breach_log()[0].threshold, 5.0, 1e-9);
+  // Recovery: fast requests wash the slow ones out of the window and
+  // re-arm the latch ...
+  for (int i = 0; i < 4; ++i) mon.record(RequestStatus::kOk, kMs);
+  EXPECT_EQ(mon.breach_log().size(), 1u);
+  // ... so the next crossing logs a second breach.
+  for (int i = 0; i < 4; ++i) mon.record(RequestStatus::kOk, 50 * kMs);
+  EXPECT_EQ(mon.breach_log().size(), 2u);
+}
+
+TEST(SloMonitor, SdcEscapeBreachesImmediately) {
+  SloConfig cfg = manual_config();
+  cfg.evaluate_every = 0;  // even with auto-evaluation off ...
+  SloMonitor mon(cfg);
+  mon.record_sdc_escape();  // ... an escape must not wait for a tick
+  ASSERT_EQ(mon.breach_log().size(), 1u);
+  EXPECT_STREQ(mon.breach_log()[0].metric, "sdc_escapes");
+  const SloReport report = mon.evaluate();
+  EXPECT_EQ(report.sdc_escapes, 1u);
+  EXPECT_TRUE(has_breach(report, "sdc_escapes"));
+}
+
+TEST(SloMonitor, ShedRateThresholdBreaches) {
+  SloConfig cfg = manual_config();
+  cfg.thresholds.max_shed_rate = 0.25;
+  SloMonitor mon(cfg);
+  mon.record(RequestStatus::kOk, kMs);
+  mon.record(RequestStatus::kShed, 0);
+  const SloReport report = mon.evaluate();
+  EXPECT_TRUE(has_breach(report, "shed_rate"));
+}
+
+TEST(SloMonitor, ReportRendersAsJson) {
+  SloConfig cfg = manual_config();
+  cfg.thresholds.p50_ms = 1.0;
+  SloMonitor mon(cfg);
+  mon.record(RequestStatus::kOk, 10 * kMs);
+  const SloReport report = mon.evaluate();
+  telemetry::JsonWriter w;
+  SloMonitor::write_json(w, report);
+  const auto doc = telemetry::JsonValue::parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("window_requests")->as_uint(), 1u);
+  EXPECT_NEAR(doc->find("p50_ms")->as_double(), 10.0, 1.0);
+  EXPECT_FALSE(doc->find("ok")->as_bool(true));
+  const telemetry::JsonValue* breaches = doc->find("breaches");
+  ASSERT_NE(breaches, nullptr);
+  ASSERT_EQ(breaches->size(), 1u);
+  EXPECT_EQ(breaches->at(0).find("metric")->as_string(), "latency_p50_ms");
+}
+
+TEST(SloMonitor, AutoEvaluationCadence) {
+  SloConfig cfg = manual_config();
+  cfg.evaluate_every = 4;
+  SloMonitor mon(cfg);
+  for (int i = 0; i < 8; ++i) mon.record(RequestStatus::kOk, kMs);
+  EXPECT_EQ(mon.evaluations(), 2u);  // records 4 and 8
+}
+
+TEST(SloMonitorServer, TerminalResolutionsFeedTheMonitor) {
+  serve::ServerConfig cfg;
+  cfg.executors = 2;
+  cfg.abft.enable = true;
+  cfg.slo.min_requests = 1;
+  cfg.slo.evaluate_every = 1;
+  cfg.tile = gemm::TileConfig{32, 32, 32, 16, 16};
+  serve::GemmServer server(cfg);
+
+  const int kRequests = 6;
+  Rng rng{0x510ull};
+  std::vector<serve::RequestHandle> handles;
+  for (int i = 0; i < kRequests; ++i) {
+    gemm::Matrix<float> a(64, 32), b(32, 48), c(64, 48);
+    fill_random(a, rng);
+    fill_random(b, rng);
+    fill_random(c, rng);
+    handles.push_back(server.submit_sgemm(std::move(a), std::move(b),
+                                          std::move(c)));
+  }
+  for (const serve::RequestHandle& h : handles) h->wait();
+  // One invalid-shape submission also terminates (kFailed) and counts.
+  server.submit_sgemm(gemm::Matrix<float>(4, 4), gemm::Matrix<float>(5, 4),
+                      gemm::Matrix<float>(4, 4));
+  EXPECT_EQ(server.slo().recorded(), static_cast<std::uint64_t>(kRequests) + 1);
+  const SloReport report = server.slo().evaluate();
+  EXPECT_EQ(report.window_requests, static_cast<std::uint64_t>(kRequests) + 1);
+  EXPECT_GT(report.p50_ms, 0.0);
+  EXPECT_TRUE(report.ok());
+  // External checkers report escapes straight into the server monitor.
+  server.slo().record_sdc_escape();
+  EXPECT_FALSE(server.slo().evaluate().ok());
+  server.shutdown();
+}

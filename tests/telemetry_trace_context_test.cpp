@@ -1,0 +1,230 @@
+// Request-scoped TraceContext tests: event ordering and arguments,
+// event_once dedup, the bounded log + drop counter, process-unique
+// monotonic event ids under the thread pool, thread-local scope
+// nesting, JSON export round-trips, and stable trace/span export
+// ordering across repeated exports (the PR 8 immortal-registry
+// teardown path). Every test also compiles and passes with
+// M3XU_TELEMETRY=OFF, where the context is a no-op.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+#include "telemetry/trace_context.hpp"
+
+namespace telemetry = m3xu::telemetry;
+
+TEST(TraceContext, EventsAreSeqOrderedWithArgs) {
+  telemetry::TraceContext ctx("tenant-a", "sgemm.8x8x8");
+  ctx.event("request.submit", 3, 250);
+  ctx.event("abft.detect", 7, 0, "tile 7 checksum");
+  ctx.event("request.done");
+  const std::vector<telemetry::TraceEvent> events = ctx.events();
+#if M3XU_TELEMETRY_ENABLED
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[2].seq, 2u);
+  EXPECT_STREQ(events[0].name, "request.submit");
+  EXPECT_EQ(events[0].a0, 3);
+  EXPECT_EQ(events[0].a1, 250);
+  EXPECT_EQ(events[1].detail, "tile 7 checksum");
+  EXPECT_EQ(events[2].a0, -1);
+  // Timestamps are causally ordered within one thread.
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_LE(events[1].ts_ns, events[2].ts_ns);
+  EXPECT_GT(ctx.request_id(), 0u);
+  EXPECT_EQ(ctx.tenant(), "tenant-a");
+  EXPECT_EQ(ctx.label(), "sgemm.8x8x8");
+#else
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(ctx.request_id(), 0u);
+#endif
+}
+
+TEST(TraceContext, RequestIdsAreUniqueAndMonotonic) {
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    telemetry::TraceContext ctx("t", "l");
+    ids.push_back(ctx.request_id());
+  }
+#if M3XU_TELEMETRY_ENABLED
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_LT(ids[i - 1], ids[i]);
+  }
+#endif
+}
+
+TEST(TraceContext, EventOnceDeduplicatesByNameText) {
+  telemetry::TraceContext ctx("t", "l");
+  // Distinct pointers with equal text must still dedup (the core route
+  // hooks pass literals from different translation units).
+  const std::string name1 = "core.fp32.route.generic";
+  const std::string name2 = "core.fp32.route.generic";
+  const bool first = ctx.event_once(name1.c_str(), 1);
+  const bool second = ctx.event_once(name2.c_str(), 2);
+  ctx.event("other");
+  const bool third = ctx.event_once(name1.c_str());
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_TRUE(first);
+  EXPECT_FALSE(second);
+  EXPECT_FALSE(third);
+  ASSERT_EQ(ctx.events().size(), 2u);
+  EXPECT_EQ(ctx.events()[0].a0, 1);  // the first call's args won
+#else
+  EXPECT_FALSE(first);
+  EXPECT_FALSE(second);
+  EXPECT_FALSE(third);
+#endif
+}
+
+TEST(TraceContext, LogIsBoundedAndCountsDrops) {
+  telemetry::TraceContext ctx("t", "l");
+  const std::size_t total = telemetry::kMaxTraceEvents + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    ctx.event("flood", static_cast<long>(i));
+  }
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(ctx.events().size(), telemetry::kMaxTraceEvents);
+  EXPECT_EQ(ctx.dropped(), 100u);
+  // The retained prefix is the oldest events, in order.
+  EXPECT_EQ(ctx.events().front().a0, 0);
+  EXPECT_EQ(ctx.events().back().a0,
+            static_cast<long>(telemetry::kMaxTraceEvents - 1));
+#else
+  EXPECT_TRUE(ctx.events().empty());
+  EXPECT_EQ(ctx.dropped(), 0u);
+#endif
+}
+
+// Satellite: event ids must be unique and per-thread monotonic even
+// when many pool threads log into many contexts concurrently.
+TEST(TraceContext, EventIdsUniqueAcrossPoolThreads) {
+  constexpr int kContexts = 4;
+  constexpr std::size_t kEventsPerContext = 400;  // below the log bound
+  std::vector<std::unique_ptr<telemetry::TraceContext>> contexts;
+  for (int c = 0; c < kContexts; ++c) {
+    contexts.push_back(
+        std::make_unique<telemetry::TraceContext>("t", "hammer"));
+  }
+  m3xu::parallel_for(kContexts * kEventsPerContext, [&](std::size_t i) {
+    contexts[i % kContexts]->event("hammer", static_cast<long>(i));
+  });
+#if M3XU_TELEMETRY_ENABLED
+  std::set<std::uint64_t> ids;
+  for (const auto& ctx : contexts) {
+    const std::vector<telemetry::TraceEvent> events = ctx->events();
+    ASSERT_EQ(events.size(), kEventsPerContext);
+    EXPECT_EQ(ctx->dropped(), 0u);
+    std::set<std::uint64_t> seqs;
+    for (const telemetry::TraceEvent& e : events) {
+      EXPECT_GT(e.id, 0u);
+      ids.insert(e.id);
+      seqs.insert(e.seq);
+    }
+    // seq is a dense 0..n-1 ordering within the context.
+    EXPECT_EQ(seqs.size(), kEventsPerContext);
+    EXPECT_EQ(*seqs.begin(), 0u);
+    EXPECT_EQ(*seqs.rbegin(), kEventsPerContext - 1);
+  }
+  // Every event id is process-unique across contexts and threads.
+  EXPECT_EQ(ids.size(), kContexts * kEventsPerContext);
+#endif
+}
+
+TEST(TraceContext, ScopeInstallsAndRestoresNested) {
+  EXPECT_EQ(telemetry::current_trace_context(), nullptr);
+  telemetry::TraceContext outer("t", "outer");
+  telemetry::TraceContext inner("t", "inner");
+  {
+    telemetry::TraceContextScope outer_scope(&outer);
+#if M3XU_TELEMETRY_ENABLED
+    EXPECT_EQ(telemetry::current_trace_context(), &outer);
+    {
+      telemetry::TraceContextScope inner_scope(&inner);
+      EXPECT_EQ(telemetry::current_trace_context(), &inner);
+      // A null scope means "no tracing" without disturbing restore.
+      {
+        telemetry::TraceContextScope null_scope(nullptr);
+        EXPECT_EQ(telemetry::current_trace_context(), nullptr);
+      }
+      EXPECT_EQ(telemetry::current_trace_context(), &inner);
+    }
+    EXPECT_EQ(telemetry::current_trace_context(), &outer);
+#endif
+  }
+  EXPECT_EQ(telemetry::current_trace_context(), nullptr);
+}
+
+TEST(TraceContext, ScopeIsPerThread) {
+  telemetry::TraceContext ctx("t", "l");
+  telemetry::TraceContextScope scope(&ctx);
+  telemetry::TraceContext* seen_on_other_thread = &ctx;
+  std::thread t([&] { seen_on_other_thread = telemetry::current_trace_context(); });
+  t.join();
+  EXPECT_EQ(seen_on_other_thread, nullptr);
+}
+
+TEST(TraceContext, JsonExportParsesAndCarriesEvents) {
+  telemetry::TraceContext ctx("tenant \"q\"", "sgemm.4x4x4");
+  ctx.event("request.submit", 1, 2);
+  ctx.event("abft.detect", 5, -1, "path\\with\t\"escapes\"");
+  const std::string json = ctx.to_json();
+  const auto doc = telemetry::JsonValue::parse(json);
+  ASSERT_TRUE(doc.has_value());
+#if M3XU_TELEMETRY_ENABLED
+  EXPECT_EQ(doc->find("request_id")->as_uint(), ctx.request_id());
+  EXPECT_EQ(doc->find("tenant")->as_string(), "tenant \"q\"");
+  EXPECT_EQ(doc->find("label")->as_string(), "sgemm.4x4x4");
+  EXPECT_EQ(doc->find("dropped_events")->as_uint(), 0u);
+  const telemetry::JsonValue* events = doc->find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 2u);
+  const telemetry::JsonValue& e0 = events->at(0);
+  EXPECT_EQ(e0.find("name")->as_string(), "request.submit");
+  EXPECT_EQ(e0.find("seq")->as_uint(), 0u);
+  EXPECT_EQ(e0.find("a0")->as_int(), 1);
+  EXPECT_EQ(e0.find("a1")->as_int(), 2);
+  // ts_us is span-origin-relative for Perfetto overlay; ts_ns is the
+  // shared clock. Both must be present and consistent-ordered.
+  ASSERT_NE(e0.find("ts_ns"), nullptr);
+  ASSERT_NE(e0.find("ts_us"), nullptr);
+  const telemetry::JsonValue& e1 = events->at(1);
+  EXPECT_EQ(e1.find("detail")->as_string(), "path\\with\t\"escapes\"");
+  EXPECT_LE(e0.find("ts_ns")->as_uint(), e1.find("ts_ns")->as_uint());
+  // Unused args are omitted from the export entirely.
+  EXPECT_EQ(e1.find("a1"), nullptr);
+#else
+  EXPECT_EQ(json, "{}");
+#endif
+}
+
+// Satellite: exporting the span trace twice - after pool threads have
+// created and retired spans - must produce identical documents, so
+// flush ordering at shutdown is deterministic (stable sort over
+// retired rings).
+TEST(TraceContext, TraceJsonExportIsStableAcrossCalls) {
+  // Seed spans from short-lived threads so their rings detach and land
+  // in the registry's retired list in a nondeterministic order.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 8; ++i) {
+        telemetry::ScopedTimer span(t % 2 == 0 ? "span.even" : "span.odd");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::string first = telemetry::trace_json();
+  const std::string second = telemetry::trace_json();
+  EXPECT_EQ(first, second);
+  const auto doc = telemetry::JsonValue::parse(first);
+  ASSERT_TRUE(doc.has_value());
+}
